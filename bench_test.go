@@ -1,0 +1,392 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus ablations of the design choices called out in
+// DESIGN.md. Each benchmark regenerates its artifact end-to-end and
+// attaches the reproduced headline numbers as custom metrics, so
+// `go test -bench=. -benchmem` doubles as the reproduction record.
+package gsf_test
+
+import (
+	"io"
+	"testing"
+
+	"github.com/greensku/gsf/internal/alloc"
+	"github.com/greensku/gsf/internal/carbon"
+	"github.com/greensku/gsf/internal/carbondata"
+	"github.com/greensku/gsf/internal/cluster"
+	"github.com/greensku/gsf/internal/experiments"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/maintenance"
+	"github.com/greensku/gsf/internal/perf"
+	"github.com/greensku/gsf/internal/stats"
+	"github.com/greensku/gsf/internal/trace"
+	"github.com/greensku/gsf/internal/units"
+)
+
+func BenchmarkFig1CarbonBreakdown(b *testing.B) {
+	var r experiments.Fig1Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Standard.OpShare*100, "op-share-%")
+	b.ReportMetric(r.Standard.ComputeShare*100, "compute-share-%")
+	b.ReportMetric(r.FullyRenewable.OpShare*100, "op-share-renewable-%")
+}
+
+func BenchmarkFig2DRAMFailureRates(b *testing.B) {
+	var r experiments.Fig2Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Stability, "plateau-stability")
+}
+
+func BenchmarkTable1CPUCatalog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table1(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSec5WorkedExample(b *testing.B) {
+	var e experiments.Sec5Example
+	var err error
+	for i := 0; i < b.N; i++ {
+		e, err = experiments.Sec5WorkedExample()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(e.PerCore), "kgCO2e/core")
+	b.ReportMetric(float64(e.PowerServer), "Ps-watts")
+}
+
+func BenchmarkSec5Maintenance(b *testing.B) {
+	var rows []maintenance.Overhead
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Sec5Maintenance()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].COOS, "COOS-baseline")
+	b.ReportMetric(rows[1].COOS, "COOS-greensku-full")
+}
+
+func BenchmarkFig7TailLatencyCurves(b *testing.B) {
+	var curves []experiments.AppCurves
+	var err error
+	for i := 0; i < b.N; i++ {
+		curves, err = experiments.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(curves)), "apps")
+}
+
+func BenchmarkTable2DevOpsSlowdown(b *testing.B) {
+	var r experiments.Table2Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r["Build-PHP"][3], "php-efficient-slowdown")
+}
+
+func BenchmarkTable3ScalingFactors(b *testing.B) {
+	var factors map[string]map[int]perf.Factor
+	var err error
+	for i := 0; i < b.N; i++ {
+		factors, err = experiments.Table3(hw.GreenSKUEfficient())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	adoptable := 0
+	for _, byGen := range factors {
+		for _, f := range byGen {
+			if f.Adoptable {
+				adoptable++
+			}
+		}
+	}
+	b.ReportMetric(float64(adoptable), "adoptable-cells")
+}
+
+func BenchmarkFig8CXLImpact(b *testing.B) {
+	var r experiments.Fig8Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.PeakReduction["HAProxy"]*100, "haproxy-peak-loss-%")
+	b.ReportMetric(r.PeakReduction["Moses"]*100, "moses-peak-loss-%")
+}
+
+func BenchmarkFig9PackingDensity(b *testing.B) {
+	opt := experiments.DefaultPackingOptions()
+	opt.Traces = 12 // full 35-trace study via cmd/gsf; trimmed here for bench time
+	var r experiments.PackingResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Packing(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(stats.Mean(r.BaseCore), "base-core-packing")
+	b.ReportMetric(stats.Mean(r.GreenCore), "green-core-packing")
+	b.ReportMetric(stats.Mean(r.BaseMem), "base-mem-packing")
+	b.ReportMetric(stats.Mean(r.GreenMem), "green-mem-packing")
+}
+
+func BenchmarkFig10MemoryUtilization(b *testing.B) {
+	opt := experiments.DefaultPackingOptions()
+	opt.Traces = 12
+	opt.Green = hw.GreenSKUCXL()
+	var r experiments.PackingResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Packing(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(stats.Median(r.GreenMaxMem), "green-median-maxmem")
+	b.ReportMetric(r.LocalFit*100, "local-ddr5-fit-%")
+}
+
+func benchSavings(b *testing.B, dataset string) []carbon.Savings {
+	b.Helper()
+	var rows []carbon.Savings
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.SavingsTable(dataset)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return rows
+}
+
+func BenchmarkTable4PerCoreSavings(b *testing.B) {
+	rows := benchSavings(b, "paper-calibrated")
+	b.ReportMetric(rows[3].Total*100, "greensku-full-total-%")
+}
+
+func BenchmarkTable8OpenSavings(b *testing.B) {
+	rows := benchSavings(b, "open-source")
+	b.ReportMetric(rows[3].Total*100, "greensku-full-total-%")
+}
+
+func benchSweep(b *testing.B, dataset string) experiments.CISweepResult {
+	b.Helper()
+	opt := experiments.DefaultCISweepOptions(dataset)
+	var r experiments.CISweepResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.CISweep(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return r
+}
+
+func BenchmarkFig11ClusterSavings(b *testing.B) {
+	r := benchSweep(b, "paper-calibrated")
+	b.ReportMetric(r.AvgClusterSavings*100, "avg-cluster-savings-%")
+	b.ReportMetric(r.DCSavings*100, "dc-savings-%")
+}
+
+func BenchmarkFig12OpenClusterSavings(b *testing.B) {
+	r := benchSweep(b, "open-source")
+	b.ReportMetric(r.AvgClusterSavings*100, "avg-cluster-savings-%")
+	b.ReportMetric(r.DCSavings*100, "dc-savings-%")
+}
+
+func BenchmarkSec7Alternatives(b *testing.B) {
+	var r experiments.Sec7Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Sec7()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.RenewableIncrease*100, "renewable-pp")
+	b.ReportMetric(r.EfficiencyGain*100, "efficiency-%")
+	b.ReportMetric(r.Lifetime.YearsValue(), "lifetime-years")
+}
+
+// --- Ablations (DESIGN.md) ---
+
+// BenchmarkAblationGlobalVRLoss applies the voltage-regulator loss to
+// every component instead of the CPU only, quantifying how much the
+// worked example's P_s shifts.
+func BenchmarkAblationGlobalVRLoss(b *testing.B) {
+	perComponent := carbondata.WorkedExample()
+	global := carbondata.WorkedExample()
+	global.DRAMPerGB.VRLoss = 0.05
+	global.ReusedDRAMPerGB.VRLoss = 0.05
+	global.SSDPerTB.VRLoss = 0.05
+	global.CXLSubsystem.VRLoss = 0.05
+	var pcW, gcW float64
+	for i := 0; i < b.N; i++ {
+		m1, err := carbon.New(perComponent)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m2, err := carbon.New(global)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s1, err := m1.Server(hw.GreenSKUCXL())
+		if err != nil {
+			b.Fatal(err)
+		}
+		s2, err := m2.Server(hw.GreenSKUCXL())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pcW, gcW = float64(s1.Power), float64(s2.Power)
+	}
+	b.ReportMetric(pcW, "Ps-cpu-only-loss")
+	b.ReportMetric(gcW, "Ps-global-loss")
+}
+
+// BenchmarkAblationRackPowerCap sweeps the rack power cap to find where
+// GreenSKU racks flip from space- to power-constrained.
+func BenchmarkAblationRackPowerCap(b *testing.B) {
+	var flip float64
+	for i := 0; i < b.N; i++ {
+		flip = 0
+		for cap := units.Watts(16000); cap >= 2000; cap -= 500 {
+			d := carbondata.OpenSource()
+			d.RackPowerCap = cap
+			m, err := carbon.New(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := m.Rack(hw.GreenSKUFull())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.PowerConstrained {
+				flip = float64(cap)
+				break
+			}
+		}
+	}
+	b.ReportMetric(flip, "flip-watts")
+}
+
+// BenchmarkAblationPlacementPolicy compares best-fit against first- and
+// worst-fit on right-sized cluster size.
+func BenchmarkAblationPlacementPolicy(b *testing.B) {
+	p := trace.DefaultParams("ablation-policy", 555)
+	p.HorizonHours = 24 * 5
+	tr, err := trace.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := alloc.ServerClass{Name: "base", Cores: 80, Memory: 768, LocalMemory: 768}
+	sizes := map[alloc.Policy]int{}
+	for i := 0; i < b.N; i++ {
+		for _, pol := range []alloc.Policy{alloc.BestFit, alloc.FirstFit, alloc.WorstFit} {
+			s := &cluster.Sizer{Base: base, Policy: pol, Decide: alloc.AdoptNone}
+			n, err := s.RightSizeBaseline(tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sizes[pol] = n
+		}
+	}
+	b.ReportMetric(float64(sizes[alloc.BestFit]), "bestfit-servers")
+	b.ReportMetric(float64(sizes[alloc.FirstFit]), "firstfit-servers")
+	b.ReportMetric(float64(sizes[alloc.WorstFit]), "worstfit-servers")
+}
+
+// BenchmarkAblationFIPEffectiveness sweeps Fail-In-Place effectiveness
+// and reports GreenSKU-Full's repair rate at 0%, 75%, and 100%.
+func BenchmarkAblationFIPEffectiveness(b *testing.B) {
+	afrs := maintenance.DefaultAFRs()
+	sku := hw.GreenSKUFull()
+	var at0, at75, at100 float64
+	for i := 0; i < b.N; i++ {
+		at0 = maintenance.FIP{Effectiveness: 0}.RepairRate(sku, afrs)
+		at75 = maintenance.FIP{Effectiveness: 0.75}.RepairRate(sku, afrs)
+		at100 = maintenance.FIP{Effectiveness: 1}.RepairRate(sku, afrs)
+	}
+	b.ReportMetric(at0, "repair-rate-fip0")
+	b.ReportMetric(at75, "repair-rate-fip75")
+	b.ReportMetric(at100, "repair-rate-fip100")
+}
+
+// BenchmarkAblationAdoptionPolicy compares carbon-aware adoption
+// against naive always-adopt on cluster-level savings: always-adopt
+// forces carbon-negative scaling onto GreenSKUs.
+func BenchmarkAblationAdoptionPolicy(b *testing.B) {
+	d := carbondata.OpenSource()
+	m, err := carbon.New(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := trace.DefaultParams("ablation-adoption", 777)
+	p.HorizonHours = 24 * 5
+	tr, err := trace.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	green := hw.GreenSKUFull()
+	basePC, err := m.PerCore(hw.BaselineGen3(), d.DefaultCI)
+	if err != nil {
+		b.Fatal(err)
+	}
+	greenPC, err := m.PerCore(green, d.DefaultCI)
+	if err != nil {
+		b.Fatal(err)
+	}
+	carbonAware, err := experiments.NewSizer("open-source", green)
+	if err != nil {
+		b.Fatal(err)
+	}
+	naive := *carbonAware
+	naive.Decide = func(vm trace.VM) alloc.Decision {
+		// Always adopt, always pay the worst-case 1.5x scaling.
+		return alloc.Decision{Adopt: true, Scale: 1.5}
+	}
+	var aware, always float64
+	for i := 0; i < b.N; i++ {
+		baseIn := cluster.SavingsInput{Class: carbonAware.Base, PerCore: basePC}
+		greenIn := cluster.SavingsInput{Class: carbonAware.Green, PerCore: greenPC}
+		mixA, err := carbonAware.MixedSize(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		aware = cluster.Savings(mixA, baseIn, greenIn)
+		mixN, err := naive.MixedSize(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		always = cluster.Savings(mixN, baseIn, greenIn)
+	}
+	b.ReportMetric(aware*100, "carbon-aware-savings-%")
+	b.ReportMetric(always*100, "always-adopt-savings-%")
+}

@@ -1,0 +1,100 @@
+// Command carboncalc walks through §V's worked example — the
+// GreenSKU-CXL server/rack carbon calculation — printing every
+// intermediate value next to the number the paper prints, and then
+// shows the same calculation for any of the paper's SKU configurations
+// under any built-in dataset.
+//
+// Usage:
+//
+//	carboncalc                        # the §V worked example
+//	carboncalc -sku GreenSKU-Full -dataset open-source -ci 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/greensku/gsf/internal/carbon"
+	"github.com/greensku/gsf/internal/carbondata"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/units"
+)
+
+func main() {
+	sku := flag.String("sku", "GreenSKU-CXL", "SKU configuration (Baseline, Baseline-Resized, GreenSKU-Efficient, GreenSKU-CXL, GreenSKU-Full)")
+	dataset := flag.String("dataset", "worked-example", "carbon dataset (worked-example, open-source, paper-calibrated)")
+	ci := flag.Float64("ci", 0, "carbon intensity in kgCO2e/kWh (0 = dataset default)")
+	flag.Parse()
+	if err := run(os.Stdout, *sku, *dataset, *ci); err != nil {
+		fmt.Fprintln(os.Stderr, "carboncalc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, skuName, datasetName string, ci float64) error {
+	data, ok := carbondata.Datasets()[datasetName]
+	if !ok {
+		return fmt.Errorf("unknown dataset %q", datasetName)
+	}
+	var sku hw.SKU
+	found := false
+	for _, s := range hw.TableIVConfigs() {
+		if s.Name == skuName {
+			sku = s
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown SKU %q", skuName)
+	}
+	m, err := carbon.New(data)
+	if err != nil {
+		return err
+	}
+	intensity := data.DefaultCI
+	if ci > 0 {
+		intensity = units.CarbonIntensity(ci)
+	}
+
+	srv, err := m.Server(sku)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "SKU %s under dataset %s at CI %s\n\n", sku.Name, data.Name, intensity)
+	fmt.Fprintf(w, "Server level (Eq. 1 with derate %.2f):\n", data.DerateFactor)
+	for _, p := range srv.Parts {
+		fmt.Fprintf(w, "  %-6s power %8.1f W   embodied %9.1f kgCO2e\n", p.Name, float64(p.Power), float64(p.Embodied))
+	}
+	fmt.Fprintf(w, "  P_s      = %.1f W\n", float64(srv.Power))
+	fmt.Fprintf(w, "  E_emb,s  = %.1f kgCO2e\n\n", float64(srv.Embodied))
+
+	rack, err := m.Rack(sku)
+	if err != nil {
+		return err
+	}
+	constraint := "space"
+	if rack.PowerConstrained {
+		constraint = "power"
+	}
+	op := m.Operational(rack, intensity)
+	fmt.Fprintf(w, "Rack level (Eqs. 2-3; %d U space, %.0f W cap):\n", data.RackSpaceU, float64(data.RackPowerCap))
+	fmt.Fprintf(w, "  N_s      = %d servers (%s-constrained)\n", rack.ServersPerRack, constraint)
+	fmt.Fprintf(w, "  P_r      = %.1f W\n", float64(rack.Power))
+	fmt.Fprintf(w, "  E_emb,r  = %.1f kgCO2e\n", float64(rack.Embodied))
+	fmt.Fprintf(w, "  E_op,r   = %.1f kgCO2e over %.0f years\n", float64(op), data.Lifetime.YearsValue())
+	fmt.Fprintf(w, "  E_r      = %.1f kgCO2e\n", float64(op)+float64(rack.Embodied))
+	fmt.Fprintf(w, "  N_c,r    = %d cores\n\n", rack.Cores)
+
+	pc, err := m.PerCore(sku, intensity)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Per core: operational %.2f + embodied %.2f = %.2f kgCO2e\n",
+		float64(pc.Operational), float64(pc.Embodied), float64(pc.Total()))
+	if sku.Name == "GreenSKU-CXL" && data.Name == "worked-example" {
+		fmt.Fprintln(w, "\nPaper (§V): E_emb,s=1644, P_s=403, N_s=16, E_emb,r=26804, P_r=6953, E_op,r=36547, E_r=63351, 31 kg/core")
+	}
+	return nil
+}

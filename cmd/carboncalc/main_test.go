@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWorkedExampleOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "GreenSKU-CXL", "worked-example", 0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// The §V intermediates must appear with the paper's values.
+	for _, want := range []string{"403.3", "1644.0", "16 servers", "space-constrained", "26804.0", "Paper (§V)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOtherSKUAndDataset(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "GreenSKU-Full", "open-source", 0.2); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "GreenSKU-Full") || !strings.Contains(out, "0.200") {
+		t.Errorf("output missing SKU or CI:\n%s", out)
+	}
+	if strings.Contains(out, "Paper (§V)") {
+		t.Error("paper footer should only print for the worked example")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "NoSuchSKU", "worked-example", 0); err == nil {
+		t.Error("accepted unknown SKU")
+	}
+	if err := run(&b, "Baseline", "no-such-dataset", 0); err == nil {
+		t.Error("accepted unknown dataset")
+	}
+	// The worked-example dataset has no Genoa carbon data; the model
+	// must error cleanly rather than fabricate numbers.
+	if err := run(&b, "Baseline", "worked-example", 0); err == nil {
+		t.Error("accepted a SKU missing from the dataset")
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"fig1", "fig11", "table3", "table8", "sec5", "sec7", "memtier", "search"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunQuickExperiments(t *testing.T) {
+	// Exercise the cheap experiments end-to-end through the CLI.
+	var b strings.Builder
+	err := run([]string{"run", "fig1", "table1", "sec5", "maintenance", "table4", "table8", "sec7", "storage", "growth"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Fig. 1", "Table I", "worked example", "C_OOS",
+		"Table IV", "Table VIII", "GreenSKU-Full", "stripe plan", "Growth-buffer",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := run([]string{"run", "fig99"}, &strings.Builder{}); err == nil {
+		t.Fatal("accepted unknown experiment")
+	}
+	if err := run([]string{"bogus"}, &strings.Builder{}); err == nil {
+		t.Fatal("accepted unknown command")
+	}
+	if err := run(nil, &strings.Builder{}); err == nil {
+		t.Fatal("accepted empty args")
+	}
+	if err := run([]string{"run"}, &strings.Builder{}); err == nil {
+		t.Fatal("accepted run without targets")
+	}
+}

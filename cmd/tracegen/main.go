@@ -1,0 +1,85 @@
+// Command tracegen generates and inspects the synthetic Azure-like VM
+// traces that stand in for the paper's production traces.
+//
+// Usage:
+//
+//	tracegen -name demo -seed 42 -hours 336 -rate 24        # summary
+//	tracegen -name demo -csv trace.csv                      # export
+//	tracegen -suite                                         # the 35-trace study suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"github.com/greensku/gsf/internal/report"
+	"github.com/greensku/gsf/internal/trace"
+)
+
+func main() {
+	name := flag.String("name", "trace", "trace name")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	hours := flag.Float64("hours", 24*14, "trace horizon in hours")
+	rate := flag.Float64("rate", 24, "mean VM arrivals per hour")
+	csvPath := flag.String("csv", "", "write the full trace as CSV to this path")
+	suite := flag.Bool("suite", false, "summarise the 35-trace production-like suite")
+	flag.Parse()
+
+	if err := run(os.Stdout, *name, *seed, *hours, *rate, *csvPath, *suite); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, name string, seed uint64, hours, rate float64, csvPath string, suite bool) error {
+	if suite {
+		traces, err := trace.ProductionSuite()
+		if err != nil {
+			return err
+		}
+		t := report.Table{
+			Title:  "Production-like trace suite (stand-in for the paper's 35 Azure traces)",
+			Header: []string{"trace", "VMs", "full-node", "mean cores", "mean life (h)", "peak cores"},
+		}
+		for _, tr := range traces {
+			s := trace.Summarise(tr)
+			t.AddRow(tr.Name, strconv.Itoa(s.VMs), strconv.Itoa(s.FullNodeVMs),
+				fmt.Sprintf("%.1f", s.MeanCores), fmt.Sprintf("%.1f", s.MeanLifetime),
+				strconv.Itoa(s.PeakCoreDmd))
+		}
+		return t.Render(w)
+	}
+
+	p := trace.DefaultParams(name, seed)
+	p.HorizonHours = hours
+	p.ArrivalsPerHour = rate
+	tr, err := trace.Generate(p)
+	if err != nil {
+		return err
+	}
+	s := trace.Summarise(tr)
+	fmt.Fprintf(w, "trace %s: %d VMs over %.0f h\n", tr.Name, s.VMs, tr.Horizon)
+	fmt.Fprintf(w, "  mean cores %.1f, mean memory %.0f GB, mean lifetime %.1f h\n",
+		s.MeanCores, s.MeanMemoryGB, s.MeanLifetime)
+	fmt.Fprintf(w, "  full-node VMs %d, mean max-memory fraction %.2f\n", s.FullNodeVMs, s.MeanMaxMem)
+	fmt.Fprintf(w, "  peak demand: %d cores, %s memory\n", s.PeakCoreDmd, s.PeakMemoryDmd)
+
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		werr := trace.WriteCSV(f, tr)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(w, "wrote %d VMs to %s\n", len(tr.VMs), csvPath)
+	}
+	return nil
+}

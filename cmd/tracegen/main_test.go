@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSummary(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "demo", 7, 48, 12, "", false); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"trace demo", "mean cores", "peak demand"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	var b strings.Builder
+	if err := run(&b, "demo", 7, 48, 12, path, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 100 {
+		t.Fatalf("CSV has only %d lines", len(lines))
+	}
+	if lines[0] != "id,arrive_h,depart_h,cores,memory_gb,gen,full_node,app,max_mem_frac" {
+		t.Fatalf("unexpected header: %s", lines[0])
+	}
+}
+
+func TestSuite(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "", 0, 0, 0, "", true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "prod-00") || !strings.Contains(out, "prod-34") {
+		t.Errorf("suite summary incomplete:\n%s", out)
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	if err := run(&strings.Builder{}, "x", 1, 0, 10, "", false); err == nil {
+		t.Fatal("accepted zero horizon")
+	}
+}

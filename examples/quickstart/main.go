@@ -1,0 +1,44 @@
+// Quickstart: evaluate a GreenSKU's carbon savings with the public API.
+//
+// This is the 30-line path through GSF: build a framework over the open
+// dataset, generate a synthetic workload, and evaluate GreenSKU-Full
+// against the Gen3 baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gsf "github.com/greensku/gsf"
+)
+
+func main() {
+	fw, err := gsf.NewFramework(gsf.OpenSourceData())
+	if err != nil {
+		log.Fatal(err)
+	}
+	workload, err := gsf.SyntheticWorkload("quickstart", 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := fw.Evaluate(gsf.Input{
+		Green:    gsf.GreenSKUFull(),
+		Baseline: gsf.BaselineGen3(),
+		Workload: workload,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("GreenSKU-Full vs Gen3 baseline (open dataset, CI=0.1 kgCO2e/kWh)\n")
+	fmt.Printf("  per-core savings:      %.1f%% operational, %.1f%% embodied, %.1f%% total\n",
+		ev.PerCoreSavings.Operational*100, ev.PerCoreSavings.Embodied*100, ev.PerCoreSavings.Total*100)
+	fmt.Printf("  right-sized cluster:   %d all-baseline -> %d baseline + %d GreenSKU (+%d buffer)\n",
+		ev.Mix.BaselineOnly, ev.Mix.NBase, ev.Mix.NGreen, ev.Buffered.BufferServers)
+	fmt.Printf("  cluster-level savings: %.1f%%\n", ev.ClusterSavings*100)
+	fmt.Printf("  datacenter savings:    %.1f%%\n", ev.DCSavings*100)
+	fmt.Printf("  adoption rate:         %.0f%% of (app, generation) pairs\n",
+		ev.Adoption.AdoptionRate()*100)
+}

@@ -1,0 +1,71 @@
+// Region planner: pick the best GreenSKU per datacenter region by grid
+// carbon intensity — the decision Fig. 11 supports ("the best GreenSKU
+// design depends on the data center's operating conditions").
+//
+// High-carbon grids favour GreenSKU-Efficient (operational savings);
+// low-carbon grids favour GreenSKU-Full (embodied savings from reuse).
+//
+//	go run ./examples/regionplanner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gsf "github.com/greensku/gsf"
+)
+
+func main() {
+	data := gsf.PaperCalibratedData()
+	baseline := gsf.BaselineGen3()
+	candidates := []gsf.SKU{
+		gsf.GreenSKUEfficient(),
+		gsf.GreenSKUCXL(),
+		gsf.GreenSKUFull(),
+	}
+	regions := []struct {
+		name string
+		ci   gsf.CarbonIntensity
+	}{
+		{"Azure-us-south (hydro-heavy)", 0.035},
+		{"Azure-us-east", 0.095},
+		{"Azure-europe-north", 0.35},
+		{"coal-heavy grid", 0.7},
+	}
+
+	fmt.Println("Best GreenSKU per region (per-core savings vs Gen3 baseline):")
+	for _, region := range regions {
+		var best gsf.Savings
+		for _, sku := range candidates {
+			s, err := gsf.PerCoreSavings(data, sku, baseline, region.ci)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if s.Total > best.Total {
+				best = s
+			}
+		}
+		fmt.Printf("  %-30s CI %.3f -> %-20s %.1f%% total (%.1f%% op, %.1f%% emb)\n",
+			region.name, float64(region.ci), best.SKU,
+			best.Total*100, best.Operational*100, best.Embodied*100)
+	}
+
+	// Show the crossover explicitly.
+	fmt.Println("\nSavings vs carbon intensity (per-core, paper-calibrated data):")
+	fmt.Printf("  %8s %20s %20s\n", "CI", "GreenSKU-Efficient", "GreenSKU-Full")
+	for _, ci := range []gsf.CarbonIntensity{0.01, 0.05, 0.1, 0.2, 0.35, 0.5, 0.7} {
+		eff, err := gsf.PerCoreSavings(data, gsf.GreenSKUEfficient(), baseline, ci)
+		if err != nil {
+			log.Fatal(err)
+		}
+		full, err := gsf.PerCoreSavings(data, gsf.GreenSKUFull(), baseline, ci)
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := ""
+		if full.Total > eff.Total {
+			marker = "  <- reuse wins"
+		}
+		fmt.Printf("  %8.3f %19.1f%% %19.1f%%%s\n", float64(ci), eff.Total*100, full.Total*100, marker)
+	}
+}

@@ -1,0 +1,92 @@
+// SKU design-space exploration (§VIII "Navigating component search
+// space"): sweep memory:core ratios and reuse choices on a Bergamo
+// platform and rank the designs by per-core carbon — the inner loop the
+// paper describes running "through hundreds of configurations".
+//
+//	go run ./examples/skudesign
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	gsf "github.com/greensku/gsf"
+)
+
+type design struct {
+	sku     gsf.SKU
+	savings gsf.Savings
+}
+
+func main() {
+	data := gsf.OpenSourceData()
+	baseline := gsf.BaselineGen3()
+
+	var designs []design
+	skipped := 0
+	// Sweep: DDR5 DIMM capacity x CXL reuse share x SSD reuse share.
+	// The workload constraint from the paper's trace analysis: at
+	// least 8 GB of DRAM per core (the carbon-optimal ratio), else
+	// memory, not cores, limits VM packing.
+	const minMemPerCore = 8
+	for _, dimmGB := range []gsf.GB{48, 64, 96} {
+		for _, cxlDIMMs := range []int{0, 4, 8, 12} {
+			for _, reusedSSDs := range []int{0, 6, 12} {
+				sku := build(dimmGB, cxlDIMMs, reusedSSDs)
+				if sku.MemoryCoreRatio() < minMemPerCore {
+					skipped++
+					continue
+				}
+				s, err := gsf.PerCoreSavings(data, sku, baseline, 0)
+				if err != nil {
+					log.Fatal(err)
+				}
+				designs = append(designs, design{sku: sku, savings: s})
+			}
+		}
+	}
+	fmt.Printf("(%d designs below the %d GB/core workload floor skipped)\n", skipped, minMemPerCore)
+
+	sort.Slice(designs, func(i, j int) bool {
+		return designs[i].savings.Total > designs[j].savings.Total
+	})
+
+	fmt.Println("Bergamo design space, ranked by per-core carbon savings vs Gen3 baseline:")
+	fmt.Printf("%-34s %10s %8s %8s %8s\n", "design", "mem:core", "op", "emb", "total")
+	for i, d := range designs {
+		if i >= 10 {
+			fmt.Printf("... (%d more designs)\n", len(designs)-10)
+			break
+		}
+		fmt.Printf("%-34s %10.1f %7.1f%% %7.1f%% %7.1f%%\n",
+			d.sku.Name, d.sku.MemoryCoreRatio(),
+			d.savings.Operational*100, d.savings.Embodied*100, d.savings.Total*100)
+	}
+
+	best := designs[0].sku
+	fmt.Printf("\ncarbon-optimal design: %s (%.0f GB local + %.0f GB CXL, %.0f TB SSD of which %.0f TB reused)\n",
+		best.Name, float64(best.LocalDRAMGB()), float64(best.CXLDRAMGB()),
+		best.TotalSSDTB(), best.ReusedSSDTB())
+}
+
+func build(dimmGB gsf.GB, cxlDIMMs, reusedSSDs int) gsf.SKU {
+	sku := gsf.SKU{
+		Name:        fmt.Sprintf("bergamo-%.0fg-%dcxl-%drssd", float64(dimmGB), cxlDIMMs, reusedSSDs),
+		CPU:         gsf.CPUBergamo,
+		Sockets:     1,
+		FormFactorU: 2,
+		DIMMs:       []gsf.DIMMGroup{{Count: 12, CapacityGB: dimmGB, Kind: gsf.MemLocal}},
+	}
+	if cxlDIMMs > 0 {
+		sku.DIMMs = append(sku.DIMMs, gsf.DIMMGroup{Count: cxlDIMMs, CapacityGB: 32, Kind: gsf.MemCXL, Reused: true})
+		sku.CXLControllers = (cxlDIMMs + 3) / 4
+		sku.CXLBWGBs = 100
+	}
+	newSSDs := 5 - reusedSSDs/3 // keep total capacity near 20 TB
+	sku.SSDs = []gsf.SSDGroup{{Count: newSSDs, CapacityTB: 4}}
+	if reusedSSDs > 0 {
+		sku.SSDs = append(sku.SSDs, gsf.SSDGroup{Count: reusedSSDs, CapacityTB: 1, Reused: true})
+	}
+	return sku
+}

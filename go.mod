@@ -1,0 +1,3 @@
+module github.com/greensku/gsf
+
+go 1.22

@@ -1,0 +1,160 @@
+// Package gsf is the public API of the GreenSKU Framework (GSF), a
+// reproduction of "Designing Cloud Servers for Lower Carbon" (ISCA
+// 2024). GSF estimates the datacenter-scale carbon savings of deploying
+// a carbon-efficient server SKU — a GreenSKU — by composing seven
+// components: a carbon model, application performance profiling,
+// maintenance overheads, adoption decisions, VM allocation, cluster
+// sizing, and growth buffering.
+//
+// Quick start:
+//
+//	fw, err := gsf.NewFramework(gsf.OpenSourceData())
+//	tr, err := gsf.SyntheticWorkload("demo", 42)
+//	ev, err := fw.Evaluate(gsf.Input{
+//		Green:    gsf.GreenSKUFull(),
+//		Baseline: gsf.BaselineGen3(),
+//		Workload: tr,
+//	})
+//	fmt.Println("cluster savings:", ev.ClusterSavings)
+//
+// The deeper component packages under internal/ are reachable through
+// the aliases below; everything needed to reproduce the paper's tables
+// and figures is exported here.
+package gsf
+
+import (
+	"github.com/greensku/gsf/internal/carbon"
+	"github.com/greensku/gsf/internal/carbondata"
+	"github.com/greensku/gsf/internal/core"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/trace"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// Core quantities.
+type (
+	// Watts is electrical power.
+	Watts = units.Watts
+	// KgCO2e is carbon-dioxide-equivalent mass.
+	KgCO2e = units.KgCO2e
+	// CarbonIntensity is kgCO2e per kWh of consumed energy.
+	CarbonIntensity = units.CarbonIntensity
+	// GB is memory/storage capacity.
+	GB = units.GB
+)
+
+// Hardware and data.
+type (
+	// SKU is a complete server configuration.
+	SKU = hw.SKU
+	// CPUSpec describes a CPU socket (Table I).
+	CPUSpec = hw.CPUSpec
+	// DIMMGroup is a homogeneous set of DIMMs in a SKU.
+	DIMMGroup = hw.DIMMGroup
+	// SSDGroup is a homogeneous set of SSDs in a SKU.
+	SSDGroup = hw.SSDGroup
+	// Dataset carries per-component carbon data and datacenter
+	// parameters (Appendix A).
+	Dataset = carbondata.Dataset
+)
+
+// Memory attachment kinds for DIMMGroup.
+const (
+	MemLocal = hw.MemLocal
+	MemCXL   = hw.MemCXL
+)
+
+// Table I CPUs, for custom SKU designs.
+var (
+	CPUBergamo = hw.Bergamo
+	CPURome    = hw.Rome
+	CPUMilan   = hw.Milan
+	CPUGenoa   = hw.Genoa
+)
+
+// Framework types.
+type (
+	// Framework wires GSF's components (Fig. 6).
+	Framework = core.Framework
+	// Input is one GreenSKU evaluation request.
+	Input = core.Input
+	// Evaluation is the framework's full output.
+	Evaluation = core.Evaluation
+	// Trace is a VM workload.
+	Trace = trace.Trace
+	// VM is one deployment record in a trace.
+	VM = trace.VM
+	// PerCore is amortised lifetime emissions per core.
+	PerCore = carbon.PerCore
+	// Savings is a per-core savings row (Tables IV/VIII).
+	Savings = carbon.Savings
+)
+
+// The paper's SKU configurations.
+var (
+	// BaselineGen3 is the deployed Genoa baseline.
+	BaselineGen3 = hw.BaselineGen3
+	// BaselineResized is the baseline at the carbon-optimal 8 GB/core.
+	BaselineResized = hw.BaselineResized
+	// GreenSKUEfficient uses the efficient Bergamo CPU.
+	GreenSKUEfficient = hw.GreenSKUEfficient
+	// GreenSKUCXL adds reused DDR4 behind CXL.
+	GreenSKUCXL = hw.GreenSKUCXL
+	// GreenSKUFull adds reused SSDs.
+	GreenSKUFull = hw.GreenSKUFull
+)
+
+// OpenSourceData returns the Appendix A open dataset (Table V/VI plus
+// fitted fill-ins); it reproduces Table VIII and Fig. 12.
+func OpenSourceData() Dataset { return carbondata.OpenSource() }
+
+// PaperCalibratedData returns the dataset fitted to the paper's
+// internal results (Table IV, Fig. 11).
+func PaperCalibratedData() Dataset { return carbondata.PaperCalibrated() }
+
+// WorkedExampleData returns exactly §V's worked-example inputs.
+func WorkedExampleData() Dataset { return carbondata.WorkedExample() }
+
+// NewFramework builds a GSF instance over a carbon dataset with the
+// paper's default component settings.
+func NewFramework(d Dataset) (*Framework, error) {
+	m, err := carbon.New(d)
+	if err != nil {
+		return nil, err
+	}
+	return core.New(m), nil
+}
+
+// SyntheticWorkload generates an Azure-like VM trace (the stand-in for
+// the paper's production traces).
+func SyntheticWorkload(name string, seed uint64) (Trace, error) {
+	return trace.Generate(trace.DefaultParams(name, seed))
+}
+
+// PerCoreEmissions evaluates a SKU's rack-amortised lifetime emissions
+// per core under a dataset at the given carbon intensity (zero uses the
+// dataset default). This is the carbon-model component on its own,
+// without the full framework.
+func PerCoreEmissions(d Dataset, sku SKU, ci CarbonIntensity) (PerCore, error) {
+	m, err := carbon.New(d)
+	if err != nil {
+		return PerCore{}, err
+	}
+	if ci == 0 {
+		ci = d.DefaultCI
+	}
+	return m.PerCore(sku, ci)
+}
+
+// PerCoreSavings compares a SKU's per-core emissions against a baseline
+// (a Table IV/VIII row).
+func PerCoreSavings(d Dataset, sku, baseline SKU, ci CarbonIntensity) (Savings, error) {
+	m, err := carbon.New(d)
+	if err != nil {
+		return Savings{}, err
+	}
+	if ci == 0 {
+		ci = d.DefaultCI
+	}
+	return m.SavingsVs(sku, baseline, ci)
+}

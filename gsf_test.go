@@ -1,0 +1,56 @@
+package gsf_test
+
+import (
+	"testing"
+
+	gsf "github.com/greensku/gsf"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	fw, err := gsf.NewFramework(gsf.OpenSourceData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := gsf.SyntheticWorkload("api-test", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trim to keep the test quick.
+	tr.VMs = tr.VMs[:600]
+	tr.Horizon = 24 * 3
+	for i := range tr.VMs {
+		if tr.VMs[i].Depart > tr.Horizon {
+			tr.VMs[i].Depart = tr.Horizon
+		}
+	}
+	ev, err := fw.Evaluate(gsf.Input{
+		Green:    gsf.GreenSKUFull(),
+		Baseline: gsf.BaselineGen3(),
+		Workload: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.ClusterSavings <= 0 {
+		t.Fatalf("cluster savings = %v, want positive", ev.ClusterSavings)
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	for _, d := range []gsf.Dataset{gsf.OpenSourceData(), gsf.PaperCalibratedData(), gsf.WorkedExampleData()} {
+		if err := d.Validate(); err != nil {
+			t.Errorf("dataset %s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestSKUConstructors(t *testing.T) {
+	for _, sku := range []gsf.SKU{
+		gsf.BaselineGen3(), gsf.BaselineResized(),
+		gsf.GreenSKUEfficient(), gsf.GreenSKUCXL(), gsf.GreenSKUFull(),
+	} {
+		if err := sku.Validate(); err != nil {
+			t.Errorf("%s: %v", sku.Name, err)
+		}
+	}
+}

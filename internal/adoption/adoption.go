@@ -1,0 +1,98 @@
+// Package adoption implements GSF's adoption component (§IV-C, §V): it
+// decides, per application, whether running on a GreenSKU reduces
+// carbon while meeting performance goals. An application adopts the
+// GreenSKU when the carbon to serve it there — scaling factor times the
+// GreenSKU's CO2e-per-core — is below the carbon to serve it on the
+// baseline SKU it currently runs on.
+package adoption
+
+import (
+	"fmt"
+
+	"github.com/greensku/gsf/internal/alloc"
+	"github.com/greensku/gsf/internal/carbon"
+	"github.com/greensku/gsf/internal/perf"
+	"github.com/greensku/gsf/internal/trace"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// Decision records the adoption outcome for one (application, baseline
+// generation) pair.
+type Decision struct {
+	App    string
+	Gen    int
+	Factor perf.Factor
+	// GreenCarbon and BaseCarbon are the lifetime emissions to serve
+	// one baseline core's worth of the application.
+	GreenCarbon units.KgCO2e
+	BaseCarbon  units.KgCO2e
+	Adopt       bool
+}
+
+// Decide applies the carbon-to-serve rule.
+func Decide(f perf.Factor, gen int, greenPC, basePC carbon.PerCore) Decision {
+	d := Decision{App: f.App, Gen: gen, Factor: f, BaseCarbon: basePC.Total()}
+	if !f.Adoptable {
+		return d
+	}
+	d.GreenCarbon = units.KgCO2e(f.Value * float64(greenPC.Total()))
+	d.Adopt = d.GreenCarbon < d.BaseCarbon
+	return d
+}
+
+// Table maps application name and generation to a decision.
+type Table map[string]map[int]Decision
+
+// Build assembles the adoption table from the performance component's
+// scaling factors and the carbon model's per-core emissions.
+// factors[app][gen] comes from perf.TableIII; basePC maps generation to
+// that baseline's per-core carbon.
+func Build(factors map[string]map[int]perf.Factor, greenPC carbon.PerCore, basePC map[int]carbon.PerCore) (Table, error) {
+	t := Table{}
+	for app, byGen := range factors {
+		t[app] = map[int]Decision{}
+		for gen, f := range byGen {
+			pc, ok := basePC[gen]
+			if !ok {
+				return nil, fmt.Errorf("adoption: no baseline carbon for generation %d", gen)
+			}
+			t[app][gen] = Decide(f, gen, greenPC, pc)
+		}
+	}
+	return t, nil
+}
+
+// Decider converts the table into the allocation simulator's per-VM
+// directive: a VM adopts the GreenSKU when its assigned application
+// adopts it for the VM's server generation, scaled by the application's
+// scaling factor. Unknown applications stay on the baseline.
+func (t Table) Decider() alloc.Decider {
+	return func(vm trace.VM) alloc.Decision {
+		byGen, ok := t[vm.App]
+		if !ok {
+			return alloc.Decision{}
+		}
+		d, ok := byGen[vm.Gen]
+		if !ok || !d.Adopt {
+			return alloc.Decision{}
+		}
+		return alloc.Decision{Adopt: true, Scale: d.Factor.Value}
+	}
+}
+
+// AdoptionRate returns the fraction of (app, gen) pairs that adopt.
+func (t Table) AdoptionRate() float64 {
+	var adopt, total int
+	for _, byGen := range t {
+		for _, d := range byGen {
+			total++
+			if d.Adopt {
+				adopt++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(adopt) / float64(total)
+}

@@ -1,0 +1,156 @@
+package adoption
+
+import (
+	"math"
+	"testing"
+
+	"github.com/greensku/gsf/internal/carbon"
+	"github.com/greensku/gsf/internal/carbondata"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/perf"
+	"github.com/greensku/gsf/internal/trace"
+)
+
+func perCores(t *testing.T) (green carbon.PerCore, base map[int]carbon.PerCore) {
+	t.Helper()
+	m, err := carbon.New(carbondata.OpenSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	green, err = m.PerCore(hw.GreenSKUEfficient(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base = map[int]carbon.PerCore{}
+	for gen := 1; gen <= 3; gen++ {
+		pc, err := m.PerCore(hw.BaselineForGeneration(gen), 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base[gen] = pc
+	}
+	return green, base
+}
+
+func TestDecideRules(t *testing.T) {
+	green, base := perCores(t)
+	// Factor 1: green per-core is below baseline's, so adopt.
+	d := Decide(perf.Factor{App: "Redis", Value: 1, Adoptable: true}, 3, green, base[3])
+	if !d.Adopt {
+		t.Errorf("factor-1 app should adopt: %+v", d)
+	}
+	// Not adoptable (>1.5): never adopt.
+	d = Decide(perf.Factor{App: "Silo", Value: math.Inf(1)}, 3, green, base[3])
+	if d.Adopt {
+		t.Error("non-adoptable factor must not adopt")
+	}
+	// A factor so large it costs more carbon than the baseline.
+	big := float64(base[3].Total()) / float64(green.Total()) * 1.01
+	d = Decide(perf.Factor{App: "X", Value: big, Adoptable: true}, 3, green, base[3])
+	if d.Adopt {
+		t.Errorf("scaling that exceeds the carbon break-even (%v) must not adopt", big)
+	}
+}
+
+func TestBreakEvenFactor(t *testing.T) {
+	// The break-even scaling factor equals basePC/greenPC; below it
+	// adoption saves carbon.
+	green, base := perCores(t)
+	breakEven := float64(base[3].Total()) / float64(green.Total())
+	if breakEven <= 1 {
+		t.Fatalf("GreenSKU per-core (%v) should be below baseline (%v)", green.Total(), base[3].Total())
+	}
+	d := Decide(perf.Factor{App: "X", Value: breakEven * 0.99, Adoptable: true}, 3, green, base[3])
+	if !d.Adopt {
+		t.Error("factor just below break-even should adopt")
+	}
+}
+
+func TestBuildAndDecider(t *testing.T) {
+	green, base := perCores(t)
+	factors, err := perf.TableIII(hw.GreenSKUEfficient(), perf.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := Build(factors, green, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != len(factors) {
+		t.Fatalf("table has %d apps, want %d", len(table), len(factors))
+	}
+	// Silo can never adopt (Table III: >1.5 everywhere).
+	for gen := 1; gen <= 3; gen++ {
+		if table["Silo"][gen].Adopt {
+			t.Errorf("Silo adopts for gen %d", gen)
+		}
+	}
+	// Redis adopts everywhere (factor 1 across generations).
+	for gen := 1; gen <= 3; gen++ {
+		if !table["Redis"][gen].Adopt {
+			t.Errorf("Redis does not adopt for gen %d", gen)
+		}
+	}
+
+	decide := table.Decider()
+	d := decide(trace.VM{App: "Redis", Gen: 3})
+	if !d.Adopt || d.Scale != 1 {
+		t.Errorf("Redis VM decision = %+v, want adopt at scale 1", d)
+	}
+	d = decide(trace.VM{App: "Silo", Gen: 2})
+	if d.Adopt {
+		t.Error("Silo VM must stay on baseline")
+	}
+	// Xapian needs 1.5x cores vs Gen3, beyond the open dataset's
+	// carbon break-even (~1.16): meeting the SLO is possible but
+	// adoption would not save carbon, so the component refuses (§VI's
+	// "the scaling required outweighs carbon savings").
+	d = decide(trace.VM{App: "Xapian", Gen: 3})
+	if d.Adopt {
+		t.Errorf("Xapian gen-3 decision = %+v, want no adoption (scaling beats savings)", d)
+	}
+	// Against the older Gen2 baseline the same 1.25x scaling is well
+	// under break-even, so WebF-Dynamic adopts with its request scaled.
+	d = decide(trace.VM{App: "WebF-Dynamic", Gen: 2})
+	if !d.Adopt || d.Scale != 1.25 {
+		t.Errorf("WebF-Dynamic gen-2 decision = %+v, want adopt at scale 1.25", d)
+	}
+	d = decide(trace.VM{App: "unknown-app", Gen: 3})
+	if d.Adopt {
+		t.Error("unknown app must stay on baseline")
+	}
+}
+
+func TestAdoptionRate(t *testing.T) {
+	green, base := perCores(t)
+	factors, err := perf.TableIII(hw.GreenSKUEfficient(), perf.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := Build(factors, green, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := table.AdoptionRate()
+	// Most (app, gen) pairs adopt; Silo and Masstree-gen3 do not.
+	if rate < 0.7 || rate >= 1 {
+		t.Fatalf("adoption rate = %v, want high but below 1", rate)
+	}
+}
+
+func TestBuildMissingGeneration(t *testing.T) {
+	green, _ := perCores(t)
+	factors := map[string]map[int]perf.Factor{
+		"X": {7: {App: "X", Value: 1, Adoptable: true}},
+	}
+	if _, err := Build(factors, green, map[int]carbon.PerCore{}); err == nil {
+		t.Fatal("Build accepted a generation without baseline carbon")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	var tb Table
+	if tb.AdoptionRate() != 0 {
+		t.Error("empty table adoption rate should be 0")
+	}
+}

@@ -1,0 +1,386 @@
+// Package alloc implements GSF's VM allocation component (§IV-C, §V): a
+// VM placement simulator capturing the key rules of Azure's production
+// scheduler — best-fit placement to reduce fragmentation, a preference
+// for non-empty servers, and placement constraints (full-node VMs pin to
+// baseline SKUs; only adopting VMs may land on GreenSKUs, with their
+// requests scaled by the application's scaling factor).
+//
+// The simulator replays a trace against a fixed cluster of baseline and
+// GreenSKU servers and reports rejections, packing densities, and
+// per-server memory-utilisation snapshots — the measurements behind
+// Figs. 9 and 10.
+package alloc
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"github.com/greensku/gsf/internal/trace"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// ServerClass describes one SKU's capacity as seen by the scheduler.
+type ServerClass struct {
+	Name   string
+	Cores  int
+	Memory units.GB
+	// LocalMemory is the direct-attached (DDR5) portion; memory above
+	// it is served from CXL. Equal to Memory when the SKU has no CXL.
+	LocalMemory units.GB
+	Green       bool
+}
+
+// Decision is the adoption component's directive for one VM.
+type Decision struct {
+	// Adopt permits placement on GreenSKU servers.
+	Adopt bool
+	// Scale multiplies the VM's core and memory request when placed
+	// on a GreenSKU (the application's scaling factor; >= 1).
+	Scale float64
+}
+
+// Decider maps a VM to its placement directive.
+type Decider func(trace.VM) Decision
+
+// AdoptAll places every non-full-node VM on GreenSKUs unscaled; useful
+// as a baseline policy and in tests.
+func AdoptAll(trace.VM) Decision { return Decision{Adopt: true, Scale: 1} }
+
+// AdoptNone keeps every VM on baseline servers.
+func AdoptNone(trace.VM) Decision { return Decision{} }
+
+// Policy selects among feasible servers.
+type Policy int
+
+const (
+	// BestFit picks the feasible server with the least free cores
+	// (ties: least free memory) — the production default.
+	BestFit Policy = iota
+	// FirstFit picks the lowest-indexed feasible server.
+	FirstFit
+	// WorstFit picks the feasible server with the most free cores.
+	WorstFit
+)
+
+func (p Policy) String() string {
+	switch p {
+	case BestFit:
+		return "best-fit"
+	case FirstFit:
+		return "first-fit"
+	case WorstFit:
+		return "worst-fit"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Config describes the simulated cluster.
+type Config struct {
+	Base   ServerClass
+	NBase  int
+	Green  ServerClass
+	NGreen int
+	Policy Policy
+	// PreferNonEmpty applies the production rule of packing onto
+	// already-occupied servers when possible.
+	PreferNonEmpty bool
+	// SnapshotEvery controls how often (in trace hours) utilisation
+	// snapshots are taken. Zero defaults to 12h.
+	SnapshotEvery float64
+}
+
+type server struct {
+	class     *ServerClass
+	coresFree float64
+	memFree   float64
+	vms       int
+	// maxMemTouched accumulates the resident VMs' maximum touched
+	// memory in GB (request * MaxMemFrac), the Fig. 10 metric.
+	maxMemTouched float64
+}
+
+func (s *server) fits(cores, mem float64) bool {
+	return s.coresFree >= cores && s.memFree >= mem
+}
+
+type departure struct {
+	at         float64
+	srv        *server
+	cores, mem float64
+	touched    float64
+}
+
+type depHeap []departure
+
+func (h depHeap) Len() int            { return len(h) }
+func (h depHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h depHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *depHeap) Push(x interface{}) { *h = append(*h, x.(departure)) }
+func (h *depHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// ClassStats aggregates snapshot measurements for one server class.
+type ClassStats struct {
+	// CorePacking and MemPacking are mean packing densities across
+	// snapshots: allocated/allocatable on non-empty servers.
+	CorePacking float64
+	MemPacking  float64
+	// MaxMemUtil is the mean per-server maximum memory utilisation:
+	// the resident VMs' aggregate touched memory over server memory.
+	MaxMemUtil float64
+	// CXLServedFrac is the mean fraction of touched memory that
+	// spills past local DDR5 onto CXL (zero for non-CXL classes).
+	CXLServedFrac float64
+	// LocalFitsFrac is the fraction of snapshot server observations
+	// whose touched memory fits entirely in local DDR5.
+	LocalFitsFrac float64
+}
+
+// Result summarises one simulation.
+type Result struct {
+	Placed    int
+	Rejected  int
+	Base      ClassStats
+	Green     ClassStats
+	Snapshots int
+}
+
+// Simulate replays the trace against the configured cluster.
+func Simulate(tr trace.Trace, cfg Config, decide Decider) (Result, error) {
+	if err := tr.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.NBase < 0 || cfg.NGreen < 0 || cfg.NBase+cfg.NGreen == 0 {
+		return Result{}, fmt.Errorf("alloc: cluster needs at least one server")
+	}
+	if cfg.NBase > 0 && (cfg.Base.Cores <= 0 || cfg.Base.Memory <= 0) {
+		return Result{}, fmt.Errorf("alloc: baseline class has no capacity")
+	}
+	if cfg.NGreen > 0 && (cfg.Green.Cores <= 0 || cfg.Green.Memory <= 0) {
+		return Result{}, fmt.Errorf("alloc: green class has no capacity")
+	}
+	if decide == nil {
+		decide = AdoptNone
+	}
+	snapEvery := cfg.SnapshotEvery
+	if snapEvery <= 0 {
+		snapEvery = 12
+	}
+
+	baseSrvs := makeServers(&cfg.Base, cfg.NBase)
+	greenSrvs := makeServers(&cfg.Green, cfg.NGreen)
+
+	var deps depHeap
+	heap.Init(&deps)
+	var res Result
+	baseAgg := newAggregator()
+	greenAgg := newAggregator()
+	nextSnap := snapEvery
+
+	release := func(until float64) {
+		for len(deps) > 0 && deps[0].at <= until {
+			d := heap.Pop(&deps).(departure)
+			d.srv.coresFree += d.cores
+			d.srv.memFree += d.mem
+			d.srv.vms--
+			d.srv.maxMemTouched -= d.touched
+		}
+	}
+
+	for _, vm := range tr.VMs {
+		// Take snapshots and release departed VMs up to this arrival.
+		for nextSnap <= vm.Arrive {
+			release(nextSnap)
+			baseAgg.observe(baseSrvs)
+			greenAgg.observe(greenSrvs)
+			res.Snapshots++
+			nextSnap += snapEvery
+		}
+		release(vm.Arrive)
+
+		d := decide(vm)
+		if d.Scale < 1 {
+			d.Scale = 1
+		}
+		var placedSrv *server
+		var cores, mem float64
+		if vm.FullNode {
+			// Full-node VMs take a dedicated, empty baseline server.
+			for _, s := range baseSrvs {
+				if s.vms == 0 && s.fits(float64(s.class.Cores), float64(s.class.Memory)) {
+					placedSrv = s
+					cores = float64(s.class.Cores)
+					mem = float64(s.class.Memory)
+					break
+				}
+			}
+		} else {
+			if d.Adopt && cfg.NGreen > 0 {
+				cores = float64(vm.Cores) * d.Scale
+				mem = float64(vm.Memory) * d.Scale
+				placedSrv = pick(greenSrvs, cores, mem, cfg)
+			}
+			if placedSrv == nil {
+				cores = float64(vm.Cores)
+				mem = float64(vm.Memory)
+				placedSrv = pick(baseSrvs, cores, mem, cfg)
+			}
+		}
+		if placedSrv == nil {
+			res.Rejected++
+			continue
+		}
+		touched := mem * vm.MaxMemFrac
+		placedSrv.coresFree -= cores
+		placedSrv.memFree -= mem
+		placedSrv.vms++
+		placedSrv.maxMemTouched += touched
+		heap.Push(&deps, departure{at: vm.Depart, srv: placedSrv, cores: cores, mem: mem, touched: touched})
+		res.Placed++
+	}
+	// Keep snapshotting through the tail of the trace, then take a
+	// final observation at the horizon.
+	for nextSnap <= tr.Horizon {
+		release(nextSnap)
+		baseAgg.observe(baseSrvs)
+		greenAgg.observe(greenSrvs)
+		res.Snapshots++
+		nextSnap += snapEvery
+	}
+	release(tr.Horizon)
+	baseAgg.observe(baseSrvs)
+	greenAgg.observe(greenSrvs)
+	res.Snapshots++
+
+	res.Base = baseAgg.stats()
+	res.Green = greenAgg.stats()
+	return res, nil
+}
+
+func makeServers(class *ServerClass, n int) []*server {
+	out := make([]*server, n)
+	for i := range out {
+		out[i] = &server{
+			class:     class,
+			coresFree: float64(class.Cores),
+			memFree:   float64(class.Memory),
+		}
+	}
+	return out
+}
+
+// pick selects a feasible server under the configured policy.
+func pick(servers []*server, cores, mem float64, cfg Config) *server {
+	var best *server
+	bestNonEmpty := false
+	better := func(cand *server, candNonEmpty bool) bool {
+		if best == nil {
+			return true
+		}
+		if cfg.PreferNonEmpty && candNonEmpty != bestNonEmpty {
+			return candNonEmpty
+		}
+		switch cfg.Policy {
+		case BestFit:
+			if cand.coresFree != best.coresFree {
+				return cand.coresFree < best.coresFree
+			}
+			return cand.memFree < best.memFree
+		case WorstFit:
+			return cand.coresFree > best.coresFree
+		default: // FirstFit: earlier index wins; iteration order handles it
+			return false
+		}
+	}
+	for _, s := range servers {
+		if !s.fits(cores, mem) {
+			continue
+		}
+		nonEmpty := s.vms > 0
+		if better(s, nonEmpty) {
+			best = s
+			bestNonEmpty = nonEmpty
+		}
+	}
+	return best
+}
+
+// aggregator accumulates snapshot observations for one class.
+type aggregator struct {
+	corePack, memPack   []float64
+	maxMemUtil          []float64
+	cxlFrac             []float64
+	localFits, observed int
+}
+
+func newAggregator() *aggregator { return &aggregator{} }
+
+func (a *aggregator) observe(servers []*server) {
+	if len(servers) == 0 {
+		return
+	}
+	var allocC, capC, allocM, capM float64
+	for _, s := range servers {
+		if s.vms == 0 {
+			continue
+		}
+		allocC += float64(s.class.Cores) - s.coresFree
+		capC += float64(s.class.Cores)
+		allocM += float64(s.class.Memory) - s.memFree
+		capM += float64(s.class.Memory)
+
+		util := s.maxMemTouched / float64(s.class.Memory)
+		a.maxMemUtil = append(a.maxMemUtil, util)
+		local := float64(s.class.LocalMemory)
+		if local <= 0 || local > float64(s.class.Memory) {
+			local = float64(s.class.Memory)
+		}
+		over := s.maxMemTouched - local
+		if over < 0 {
+			over = 0
+			a.localFits++
+		}
+		a.observed++
+		if s.maxMemTouched > 0 {
+			a.cxlFrac = append(a.cxlFrac, over/s.maxMemTouched)
+		}
+	}
+	if capC > 0 {
+		a.corePack = append(a.corePack, allocC/capC)
+		a.memPack = append(a.memPack, allocM/capM)
+	}
+}
+
+func (a *aggregator) stats() ClassStats {
+	var cs ClassStats
+	cs.CorePacking = mean(a.corePack)
+	cs.MemPacking = mean(a.memPack)
+	cs.MaxMemUtil = mean(a.maxMemUtil)
+	cs.CXLServedFrac = mean(a.cxlFrac)
+	if a.observed > 0 {
+		cs.LocalFitsFrac = float64(a.localFits) / float64(a.observed)
+	}
+	return cs
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	return sum / float64(len(v))
+}
+
+// ClassOf derives a ServerClass from SKU capacities.
+func ClassOf(name string, cores int, memory, localMemory units.GB, green bool) ServerClass {
+	return ServerClass{Name: name, Cores: cores, Memory: memory, LocalMemory: localMemory, Green: green}
+}

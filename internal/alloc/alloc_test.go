@@ -1,0 +1,232 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+
+	"github.com/greensku/gsf/internal/trace"
+)
+
+func baseClass() ServerClass {
+	return ServerClass{Name: "base", Cores: 80, Memory: 768, LocalMemory: 768}
+}
+
+func greenClass() ServerClass {
+	return ServerClass{Name: "green", Cores: 128, Memory: 1024, LocalMemory: 768, Green: true}
+}
+
+func smallTrace() trace.Trace {
+	return trace.Trace{Name: "small", Horizon: 100, VMs: []trace.VM{
+		{ID: 0, Arrive: 1, Depart: 50, Cores: 8, Memory: 32, Gen: 3, MaxMemFrac: 0.5, App: "Redis"},
+		{ID: 1, Arrive: 2, Depart: 60, Cores: 16, Memory: 64, Gen: 3, MaxMemFrac: 0.5, App: "Redis"},
+		{ID: 2, Arrive: 3, Depart: 70, Cores: 8, Memory: 32, Gen: 2, MaxMemFrac: 0.4, App: "Nginx"},
+	}}
+}
+
+func TestPlacesAll(t *testing.T) {
+	res, err := Simulate(smallTrace(), Config{Base: baseClass(), NBase: 2}, AdoptNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placed != 3 || res.Rejected != 0 {
+		t.Fatalf("placed/rejected = %d/%d, want 3/0", res.Placed, res.Rejected)
+	}
+}
+
+func TestRejectsWhenFull(t *testing.T) {
+	tr := trace.Trace{Name: "over", Horizon: 10, VMs: []trace.VM{
+		{ID: 0, Arrive: 1, Depart: 9, Cores: 60, Memory: 240, Gen: 3, MaxMemFrac: 0.5},
+		{ID: 1, Arrive: 2, Depart: 9, Cores: 60, Memory: 240, Gen: 3, MaxMemFrac: 0.5},
+	}}
+	res, err := Simulate(tr, Config{Base: baseClass(), NBase: 1}, AdoptNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", res.Rejected)
+	}
+}
+
+func TestDeparturesFreeCapacity(t *testing.T) {
+	tr := trace.Trace{Name: "seq", Horizon: 100, VMs: []trace.VM{
+		{ID: 0, Arrive: 1, Depart: 5, Cores: 60, Memory: 240, Gen: 3, MaxMemFrac: 0.5},
+		{ID: 1, Arrive: 6, Depart: 9, Cores: 60, Memory: 240, Gen: 3, MaxMemFrac: 0.5},
+	}}
+	res, err := Simulate(tr, Config{Base: baseClass(), NBase: 1}, AdoptNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != 0 {
+		t.Fatalf("rejected = %d, want 0 (first VM departed)", res.Rejected)
+	}
+}
+
+func TestBestFitConsolidates(t *testing.T) {
+	// Two servers, one half-loaded: best-fit with prefer-non-empty
+	// should put the next VM on the loaded server.
+	tr := trace.Trace{Name: "bf", Horizon: 100, VMs: []trace.VM{
+		{ID: 0, Arrive: 1, Depart: 90, Cores: 40, Memory: 160, Gen: 3, MaxMemFrac: 0.5},
+		{ID: 1, Arrive: 2, Depart: 90, Cores: 8, Memory: 32, Gen: 3, MaxMemFrac: 0.5},
+	}}
+	res, err := Simulate(tr, Config{Base: baseClass(), NBase: 2, Policy: BestFit, PreferNonEmpty: true, SnapshotEvery: 1}, AdoptNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-empty packing density should reflect a single server holding
+	// 48/80 cores, not two servers at lower density.
+	if math.Abs(res.Base.CorePacking-0.6) > 0.02 {
+		t.Fatalf("core packing = %v, want ~0.6 (consolidated)", res.Base.CorePacking)
+	}
+}
+
+func TestWorstFitSpreads(t *testing.T) {
+	tr := trace.Trace{Name: "wf", Horizon: 100, VMs: []trace.VM{
+		{ID: 0, Arrive: 1, Depart: 90, Cores: 8, Memory: 32, Gen: 3, MaxMemFrac: 0.5},
+		{ID: 1, Arrive: 2, Depart: 90, Cores: 8, Memory: 32, Gen: 3, MaxMemFrac: 0.5},
+	}}
+	res, err := Simulate(tr, Config{Base: baseClass(), NBase: 2, Policy: WorstFit, SnapshotEvery: 1}, AdoptNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spread across both servers: each non-empty at 8/80.
+	if math.Abs(res.Base.CorePacking-0.1) > 0.02 {
+		t.Fatalf("core packing = %v, want ~0.1 (spread)", res.Base.CorePacking)
+	}
+}
+
+func TestAdoptersPreferGreen(t *testing.T) {
+	res, err := Simulate(smallTrace(), Config{
+		Base: baseClass(), NBase: 1,
+		Green: greenClass(), NGreen: 1,
+		SnapshotEvery: 1,
+	}, AdoptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != 0 {
+		t.Fatalf("rejected = %d, want 0", res.Rejected)
+	}
+	// All VMs adopt: green servers hold everything; base stays empty
+	// (NaN packing since never non-empty).
+	if !math.IsNaN(res.Base.CorePacking) {
+		t.Fatalf("baseline packing = %v, want NaN (never used)", res.Base.CorePacking)
+	}
+	if res.Green.CorePacking <= 0 {
+		t.Fatalf("green packing = %v, want positive", res.Green.CorePacking)
+	}
+}
+
+func TestScalingInflatesGreenRequests(t *testing.T) {
+	// A 64-core VM scaled 1.5x needs 96 cores: fits a 128-core green
+	// server, and consumes measurably more of it.
+	tr := trace.Trace{Name: "scale", Horizon: 10, VMs: []trace.VM{
+		{ID: 0, Arrive: 1, Depart: 9, Cores: 64, Memory: 256, Gen: 3, MaxMemFrac: 0.5},
+	}}
+	scaled := func(trace.VM) Decision { return Decision{Adopt: true, Scale: 1.5} }
+	res, err := Simulate(tr, Config{Base: baseClass(), NBase: 1, Green: greenClass(), NGreen: 1, SnapshotEvery: 1}, scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Green.CorePacking-96.0/128) > 0.02 {
+		t.Fatalf("green core packing = %v, want 0.75 (96/128)", res.Green.CorePacking)
+	}
+}
+
+func TestFullNodePinsToBaseline(t *testing.T) {
+	tr := trace.Trace{Name: "fn", Horizon: 10, VMs: []trace.VM{
+		{ID: 0, Arrive: 1, Depart: 9, Cores: 80, Memory: 768, Gen: 3, FullNode: true, MaxMemFrac: 0.5},
+	}}
+	res, err := Simulate(tr, Config{Base: baseClass(), NBase: 1, Green: greenClass(), NGreen: 1, SnapshotEvery: 1}, AdoptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != 0 {
+		t.Fatal("full-node VM rejected despite empty baseline server")
+	}
+	if math.Abs(res.Base.CorePacking-1.0) > 1e-9 {
+		t.Fatalf("baseline packing = %v, want 1.0 (dedicated)", res.Base.CorePacking)
+	}
+	if !math.IsNaN(res.Green.CorePacking) {
+		t.Fatal("full-node VM must not land on a GreenSKU")
+	}
+}
+
+func TestFullNodeNeedsEmptyServer(t *testing.T) {
+	tr := trace.Trace{Name: "fn2", Horizon: 10, VMs: []trace.VM{
+		{ID: 0, Arrive: 1, Depart: 9, Cores: 2, Memory: 8, Gen: 3, MaxMemFrac: 0.5},
+		{ID: 1, Arrive: 2, Depart: 9, Cores: 80, Memory: 768, Gen: 3, FullNode: true, MaxMemFrac: 0.5},
+	}}
+	res, err := Simulate(tr, Config{Base: baseClass(), NBase: 1}, AdoptNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1 (no empty server for full-node VM)", res.Rejected)
+	}
+}
+
+func TestCXLAccounting(t *testing.T) {
+	// Green server: 1024 GB total, 768 local. A VM touching 900 GB
+	// spills 132 GB onto CXL.
+	tr := trace.Trace{Name: "cxl", Horizon: 10, VMs: []trace.VM{
+		{ID: 0, Arrive: 1, Depart: 9, Cores: 64, Memory: 1000, Gen: 3, MaxMemFrac: 0.9},
+	}}
+	res, err := Simulate(tr, Config{Green: greenClass(), NGreen: 1, Base: baseClass(), NBase: 1, SnapshotEvery: 1}, AdoptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUtil := 900.0 / 1024
+	if math.Abs(res.Green.MaxMemUtil-wantUtil) > 0.01 {
+		t.Fatalf("green max-mem util = %v, want %v", res.Green.MaxMemUtil, wantUtil)
+	}
+	wantCXL := (900.0 - 768) / 900
+	if math.Abs(res.Green.CXLServedFrac-wantCXL) > 0.01 {
+		t.Fatalf("CXL-served fraction = %v, want %v", res.Green.CXLServedFrac, wantCXL)
+	}
+	if res.Green.LocalFitsFrac != 0 {
+		t.Fatalf("LocalFitsFrac = %v, want 0 (touched memory exceeds local)", res.Green.LocalFitsFrac)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tr := smallTrace()
+	if _, err := Simulate(tr, Config{}, AdoptNone); err == nil {
+		t.Error("Simulate accepted an empty cluster")
+	}
+	if _, err := Simulate(tr, Config{NBase: 1}, AdoptNone); err == nil {
+		t.Error("Simulate accepted a zero-capacity class")
+	}
+	bad := trace.Trace{VMs: []trace.VM{{Arrive: 2, Depart: 1, Cores: 1, Memory: 1, Gen: 1}}}
+	if _, err := Simulate(bad, Config{Base: baseClass(), NBase: 1}, AdoptNone); err == nil {
+		t.Error("Simulate accepted an invalid trace")
+	}
+}
+
+func TestGeneratedTraceRuns(t *testing.T) {
+	p := trace.DefaultParams("sim", 77)
+	p.HorizonHours = 24 * 3
+	tr, err := trace.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(tr, Config{
+		Base: baseClass(), NBase: 40,
+		Green: greenClass(), NGreen: 10,
+		Policy: BestFit, PreferNonEmpty: true,
+	}, AdoptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placed == 0 || res.Snapshots == 0 {
+		t.Fatalf("nothing simulated: %+v", res)
+	}
+	if res.Green.CorePacking <= 0 || res.Green.CorePacking > 1 {
+		t.Fatalf("green packing out of range: %v", res.Green.CorePacking)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if BestFit.String() != "best-fit" || Policy(9).String() != "policy(9)" {
+		t.Error("unexpected policy names")
+	}
+}

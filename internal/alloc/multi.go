@@ -1,0 +1,186 @@
+package alloc
+
+// Multi-pool allocation: §II's design goal D2 notes that every
+// additional SKU type in a fleet has side effects, but a second
+// GreenSKU could serve applications the first cannot. SimulateMulti
+// generalises Simulate to a baseline pool plus any number of GreenSKU
+// pools, with per-VM, per-pool directives.
+
+import (
+	"container/heap"
+	"fmt"
+
+	"github.com/greensku/gsf/internal/trace"
+)
+
+// Pool is one homogeneous group of servers in a mixed cluster.
+type Pool struct {
+	Class ServerClass
+	N     int
+}
+
+// MultiDecision directs one VM across the green pools: Scales[i] > 0
+// permits pool i (in cluster order) with that scaling factor; 0 forbids
+// it. Pools are tried in order, so the caller encodes preference by
+// ordering pools from most to least carbon-efficient for the workload.
+type MultiDecision struct {
+	Scales []float64
+}
+
+// MultiDecider maps a VM to its per-pool directive.
+type MultiDecider func(trace.VM) MultiDecision
+
+// MultiConfig describes the multi-pool cluster.
+type MultiConfig struct {
+	Base           Pool
+	Greens         []Pool
+	Policy         Policy
+	PreferNonEmpty bool
+	// SnapshotEvery controls utilisation snapshots (trace hours);
+	// zero defaults to 12h.
+	SnapshotEvery float64
+}
+
+// MultiResult holds per-pool statistics.
+type MultiResult struct {
+	Placed    int
+	Rejected  int
+	Base      ClassStats
+	Green     []ClassStats // aligned with the green pools
+	Snapshots int
+}
+
+// SimulateMulti replays a trace against a baseline pool plus green
+// pools. Full-node VMs pin to the baseline; other VMs try the green
+// pools in order (scaled per the directive) and fall back to the
+// baseline.
+func SimulateMulti(tr trace.Trace, mc MultiConfig, decide MultiDecider) (MultiResult, error) {
+	if err := tr.Validate(); err != nil {
+		return MultiResult{}, err
+	}
+	base, greens := mc.Base, mc.Greens
+	total := base.N
+	for _, g := range greens {
+		total += g.N
+		if g.N > 0 && (g.Class.Cores <= 0 || g.Class.Memory <= 0) {
+			return MultiResult{}, fmt.Errorf("alloc: green pool %s has no capacity", g.Class.Name)
+		}
+	}
+	if total == 0 {
+		return MultiResult{}, fmt.Errorf("alloc: cluster needs at least one server")
+	}
+	if base.N > 0 && (base.Class.Cores <= 0 || base.Class.Memory <= 0) {
+		return MultiResult{}, fmt.Errorf("alloc: baseline pool has no capacity")
+	}
+	if decide == nil {
+		decide = func(trace.VM) MultiDecision { return MultiDecision{} }
+	}
+	cfg := Config{Policy: mc.Policy, PreferNonEmpty: mc.PreferNonEmpty}
+	snapEvery := mc.SnapshotEvery
+	if snapEvery <= 0 {
+		snapEvery = 12
+	}
+
+	baseSrvs := makeServers(&base.Class, base.N)
+	greenSrvs := make([][]*server, len(greens))
+	for i := range greens {
+		cls := greens[i].Class
+		greenSrvs[i] = makeServers(&cls, greens[i].N)
+	}
+
+	var deps depHeap
+	heap.Init(&deps)
+	var res MultiResult
+	baseAgg := newAggregator()
+	greenAggs := make([]*aggregator, len(greens))
+	for i := range greenAggs {
+		greenAggs[i] = newAggregator()
+	}
+	nextSnap := snapEvery
+
+	release := func(until float64) {
+		for len(deps) > 0 && deps[0].at <= until {
+			d := heap.Pop(&deps).(departure)
+			d.srv.coresFree += d.cores
+			d.srv.memFree += d.mem
+			d.srv.vms--
+			d.srv.maxMemTouched -= d.touched
+		}
+	}
+	observe := func() {
+		baseAgg.observe(baseSrvs)
+		for i := range greens {
+			greenAggs[i].observe(greenSrvs[i])
+		}
+		res.Snapshots++
+	}
+
+	for _, vm := range tr.VMs {
+		for nextSnap <= vm.Arrive {
+			release(nextSnap)
+			observe()
+			nextSnap += snapEvery
+		}
+		release(vm.Arrive)
+
+		var placedSrv *server
+		var cores, mem float64
+		if vm.FullNode {
+			for _, s := range baseSrvs {
+				if s.vms == 0 {
+					placedSrv = s
+					cores = float64(s.class.Cores)
+					mem = float64(s.class.Memory)
+					break
+				}
+			}
+		} else {
+			d := decide(vm)
+			for i := range greens {
+				if i >= len(d.Scales) || d.Scales[i] <= 0 {
+					continue
+				}
+				scale := d.Scales[i]
+				if scale < 1 {
+					scale = 1
+				}
+				cores = float64(vm.Cores) * scale
+				mem = float64(vm.Memory) * scale
+				placedSrv = pick(greenSrvs[i], cores, mem, cfg)
+				if placedSrv != nil {
+					break
+				}
+			}
+			if placedSrv == nil {
+				cores = float64(vm.Cores)
+				mem = float64(vm.Memory)
+				placedSrv = pick(baseSrvs, cores, mem, cfg)
+			}
+		}
+		if placedSrv == nil {
+			res.Rejected++
+			continue
+		}
+		touched := mem * vm.MaxMemFrac
+		placedSrv.coresFree -= cores
+		placedSrv.memFree -= mem
+		placedSrv.vms++
+		placedSrv.maxMemTouched += touched
+		heap.Push(&deps, departure{at: vm.Depart, srv: placedSrv, cores: cores, mem: mem, touched: touched})
+		res.Placed++
+	}
+	for nextSnap <= tr.Horizon {
+		release(nextSnap)
+		observe()
+		nextSnap += snapEvery
+	}
+	release(tr.Horizon)
+	observe()
+
+	res.Base = baseAgg.stats()
+	res.Green = make([]ClassStats, len(greens))
+	for i := range greens {
+		res.Green[i] = greenAggs[i].stats()
+	}
+	return res, nil
+}

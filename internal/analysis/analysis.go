@@ -1,0 +1,124 @@
+// Package analysis implements §VII's comparisons between GreenSKU
+// deployment and alternative carbon-reduction strategies: buying more
+// renewable energy, improving server energy efficiency uniformly, and
+// extending server lifetimes. Each function solves for the investment
+// the alternative strategy needs to match a given GreenSKU saving.
+//
+// It also demonstrates §VII-A's TCO analysis by swapping the carbon
+// model's dataset for a cost dataset — the model's aggregation
+// machinery is unit-agnostic, so dollars flow through the same
+// equations as kgCO2e.
+package analysis
+
+import (
+	"fmt"
+
+	"github.com/greensku/gsf/internal/carbondata"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// RenewableIncreaseFor returns the increase in a datacenter's renewable
+// energy fraction needed to cut total emissions by target, under
+// purchase-matching accounting (renewable-covered energy counts as
+// zero-carbon): operational emissions scale with (1 - renewableFrac).
+//
+// With the paper's operating point — high current renewable coverage
+// and operational emissions at ~58% of the total — matching
+// GreenSKU-Full's 8% datacenter-wide savings requires ~2.6 percentage
+// points of additional renewables.
+func RenewableIncreaseFor(target, opShare, currentRenewableFrac float64) (float64, error) {
+	if target < 0 || target >= 1 {
+		return 0, fmt.Errorf("analysis: target %v out of [0,1)", target)
+	}
+	if opShare <= 0 || opShare > 1 {
+		return 0, fmt.Errorf("analysis: operational share %v out of (0,1]", opShare)
+	}
+	if currentRenewableFrac < 0 || currentRenewableFrac >= 1 {
+		return 0, fmt.Errorf("analysis: renewable fraction %v out of [0,1)", currentRenewableFrac)
+	}
+	// target = opShare * delta/(1-rf)  =>  delta = target*(1-rf)/opShare.
+	delta := target * (1 - currentRenewableFrac) / opShare
+	if currentRenewableFrac+delta > 1 {
+		return 0, fmt.Errorf("analysis: target %v unreachable with renewables alone", target)
+	}
+	return delta, nil
+}
+
+// EfficiencyGainFor returns the uniform energy-efficiency improvement
+// (as a fraction: 0.28 means "28% more energy efficient", i.e. power
+// scales by 1/1.28) that all server components need to cut total
+// datacenter emissions by target, assuming the improvement is free of
+// embodied cost (§VII's optimistic assumptions).
+//
+// computeOpShare is compute servers' operational emissions as a share
+// of total datacenter emissions.
+func EfficiencyGainFor(target, computeOpShare float64) (float64, error) {
+	if target < 0 || target >= computeOpShare {
+		return 0, fmt.Errorf("analysis: target %v unreachable via efficiency (compute op share %v)",
+			target, computeOpShare)
+	}
+	if computeOpShare <= 0 || computeOpShare > 1 {
+		return 0, fmt.Errorf("analysis: compute op share %v out of (0,1]", computeOpShare)
+	}
+	// target = computeOpShare * (1 - 1/f)  =>  f = 1/(1 - target/share).
+	f := 1 / (1 - target/computeOpShare)
+	return f - 1, nil
+}
+
+// LifetimeExtensionFor returns the server lifetime needed to match a
+// per-core carbon saving of target by amortising embodied emissions
+// over more years, assuming operational emissions per year stay
+// constant (§VII's simplifying assumption). opShare is the operational
+// share of a server's lifetime per-core emissions at the current
+// lifetime.
+//
+// With the paper's numbers (28% per-core savings, roughly half of
+// emissions operational), 6 years stretch to ~13.
+func LifetimeExtensionFor(target, opShare float64, current units.Hours) (units.Hours, error) {
+	if opShare <= 0 || opShare >= 1 {
+		return 0, fmt.Errorf("analysis: operational share %v out of (0,1)", opShare)
+	}
+	embShare := 1 - opShare
+	if target < 0 || target >= embShare {
+		return 0, fmt.Errorf("analysis: target %v unreachable by lifetime extension (embodied share %v)",
+			target, embShare)
+	}
+	// Annualised: op + emb*L/L'. Savings = embShare*(1 - L/L') = target.
+	ratio := 1 - target/embShare
+	return units.Hours(float64(current) / ratio), nil
+}
+
+// TCODataset returns a cost dataset in the shape of a carbon dataset:
+// "Embodied" fields carry component capital cost in dollars and the
+// carbon intensity carries the electricity price in $/kWh, so
+// carbon.Model computes dollars-per-core instead of kgCO2e-per-core
+// (§VII-A: "GSF can be adapted to analyze TCO by replacing the carbon
+// model with a TCO model").
+//
+// fitted: prices are representative list prices chosen so that the
+// cost-optimal conventional SKU lands ~5% below the carbon-efficient
+// GreenSKU in TCO, the gap the paper reports.
+func TCODataset() carbondata.Dataset {
+	d := carbondata.OpenSource()
+	d.Name = "tco-dollars"
+	d.CPUs = map[string]carbondata.Component{
+		"Bergamo": {TDP: 400, Embodied: 11000, VRLoss: 0.05},
+		"Genoa":   {TDP: 320, Embodied: 9100, VRLoss: 0.05},
+		"Milan":   {TDP: 280, Embodied: 5500, VRLoss: 0.05},
+		"Rome":    {TDP: 240, Embodied: 3600, VRLoss: 0.05},
+	}
+	d.DRAMPerGB = carbondata.Component{TDP: 0.37, Embodied: 3.1}
+	// Reused parts are not free in TCO terms: requalification,
+	// testing, adapters, and handling dominate, which is why the
+	// cost-optimal SKU avoids reuse even though the carbon-optimal
+	// one embraces it.
+	d.ReusedDRAMPerGB = carbondata.Component{TDP: 0.583, Embodied: 4}
+	d.SSDPerTB = carbondata.Component{TDP: 5.6, Embodied: 95}
+	d.ReusedSSDPerTB = carbondata.Component{TDP: 7, Embodied: 80}
+	d.CXLSubsystem = carbondata.Component{TDP: 5.8, Embodied: 1400}
+	d.ServerBase = carbondata.Component{TDP: 30, Embodied: 2600}
+	d.RackMisc = carbondata.Component{TDP: 500, Embodied: 3000}
+	// Electricity at $0.08/kWh plays the role of carbon intensity.
+	d.DefaultCI = 0.08
+	return d
+}

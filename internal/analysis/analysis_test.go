@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"github.com/greensku/gsf/internal/carbon"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// TestRenewableIncreasePaperValue reproduces §VII: matching
+// GreenSKU-Full's ~8% datacenter-wide savings at Azure's operating
+// point requires a ~2.6 percentage-point increase in renewables.
+func TestRenewableIncreasePaperValue(t *testing.T) {
+	got, err := RenewableIncreaseFor(0.08, 0.58, 0.81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.026) > 0.002 {
+		t.Fatalf("renewable increase = %.4f, want ~0.026 (paper: 2.6%%)", got)
+	}
+}
+
+// TestEfficiencyGainPaperValue reproduces §VII: all server components
+// must become ~28% more energy efficient to match GreenSKU-Full.
+func TestEfficiencyGainPaperValue(t *testing.T) {
+	// Compute operational emissions are ~37% of the datacenter total
+	// (58% op share x ~57% compute x compute's op weight).
+	got, err := EfficiencyGainFor(0.08, 0.37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.28) > 0.02 {
+		t.Fatalf("efficiency gain = %.3f, want ~0.28 (paper: 28%%)", got)
+	}
+}
+
+// TestLifetimeExtensionPaperValue reproduces §VII: matching
+// GreenSKU-Full's 28% per-core savings requires extending server
+// lifetime from 6 to ~13 years.
+func TestLifetimeExtensionPaperValue(t *testing.T) {
+	got, err := LifetimeExtensionFor(0.28, 0.475, units.Years(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	years := got.YearsValue()
+	if math.Abs(years-13) > 0.5 {
+		t.Fatalf("lifetime = %.1f years, want ~13 (paper: 6 -> 13)", years)
+	}
+}
+
+func TestRenewableInverse(t *testing.T) {
+	// Applying the solved increase reproduces the target saving.
+	const op, rf = 0.6, 0.5
+	delta, err := RenewableIncreaseFor(0.1, op, rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saving := op * delta / (1 - rf)
+	if math.Abs(saving-0.1) > 1e-12 {
+		t.Fatalf("round trip saving = %v, want 0.1", saving)
+	}
+}
+
+func TestEfficiencyInverse(t *testing.T) {
+	gain, err := EfficiencyGainFor(0.1, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saving := 0.4 * (1 - 1/(1+gain))
+	if math.Abs(saving-0.1) > 1e-12 {
+		t.Fatalf("round trip saving = %v, want 0.1", saving)
+	}
+}
+
+func TestLifetimeInverse(t *testing.T) {
+	lt, err := LifetimeExtensionFor(0.2, 0.5, units.Years(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Annualised savings: embShare*(1 - L/L').
+	saving := 0.5 * (1 - float64(units.Years(6))/float64(lt))
+	if math.Abs(saving-0.2) > 1e-12 {
+		t.Fatalf("round trip saving = %v, want 0.2", saving)
+	}
+}
+
+func TestUnreachableTargets(t *testing.T) {
+	if _, err := RenewableIncreaseFor(0.6, 0.5, 0.9); err == nil {
+		t.Error("renewables: accepted unreachable target")
+	}
+	if _, err := EfficiencyGainFor(0.5, 0.4); err == nil {
+		t.Error("efficiency: accepted target above compute op share")
+	}
+	if _, err := LifetimeExtensionFor(0.6, 0.5, units.Years(6)); err == nil {
+		t.Error("lifetime: accepted target above embodied share")
+	}
+	if _, err := RenewableIncreaseFor(-0.1, 0.5, 0.5); err == nil {
+		t.Error("renewables: accepted negative target")
+	}
+}
+
+// TestTCOGap reproduces §VII-A's headline: the cost-efficient
+// conventional SKU is only ~5% cheaper per core than the
+// carbon-efficient GreenSKU.
+func TestTCOGap(t *testing.T) {
+	m, err := carbon.New(TCODataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cost-efficient SKU is the cheapest per-core configuration
+	// in the design space (the all-new Bergamo SKU: reuse carries
+	// requalification and adapter costs that new parts do not).
+	costOpt := math.Inf(1)
+	var costOptName string
+	for _, sku := range hw.TableIVConfigs() {
+		pc, err := m.PerCore(sku, m.Data.DefaultCI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(pc.Total()) < costOpt {
+			costOpt = float64(pc.Total())
+			costOptName = sku.Name
+		}
+	}
+	greenTCO, err := m.PerCore(hw.GreenSKUFull(), m.Data.DefaultCI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := float64(greenTCO.Total())/costOpt - 1
+	if costOptName == hw.GreenSKUFull().Name {
+		t.Fatal("GreenSKU-Full should not be the cost-optimal SKU")
+	}
+	if math.Abs(gap-0.05) > 0.03 {
+		t.Fatalf("TCO gap = %.3f (cost-opt %s), want ~0.05 (paper: 5%%)", gap, costOptName)
+	}
+}
+
+func TestTCODatasetValid(t *testing.T) {
+	if err := TCODataset().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package analysis
+
+// Lifetime-extension evaluation (§VII-B): GSF can weigh extending a
+// deployed server's life — zero marginal embodied emissions, but old
+// hardware's higher per-core operational cost and rising failure rates
+// — against retiring it for a GreenSKU whose embodied cost amortises
+// over a fresh deployment. "Older servers also tend to have higher
+// per-core operational emissions relative to newer hardware."
+
+import (
+	"fmt"
+
+	"github.com/greensku/gsf/internal/carbon"
+	"github.com/greensku/gsf/internal/carbondata"
+	"github.com/greensku/gsf/internal/failure"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// LifetimeOption is one side of the extend-vs-replace comparison,
+// expressed per delivered Gen3-equivalent core-year (old cores deliver
+// less work per core, so emissions are normalised by per-core
+// performance).
+type LifetimeOption struct {
+	Name string
+	// PerCoreYear is kgCO2e per Gen3-equivalent core-year.
+	PerCoreYear units.KgCO2e
+	// OOSFraction is capacity lost to servers awaiting repair.
+	OOSFraction float64
+}
+
+// LifetimeStudy compares extending an old baseline generation against
+// replacing it with a GreenSKU.
+type LifetimeStudy struct {
+	Extend  LifetimeOption
+	Replace LifetimeOption
+	// ReplaceWins reports whether retirement and replacement emits
+	// less per delivered core-year.
+	ReplaceWins bool
+	// BreakEvenCI is the carbon intensity at which the two options
+	// tie (found by bisection); below it extension wins.
+	BreakEvenCI units.CarbonIntensity
+}
+
+// EvaluateLifetimeExtension compares keeping a gen-`gen` baseline for
+// extra years (starting at age `ageYears`) versus deploying a GreenSKU,
+// at the given carbon intensity.
+func EvaluateLifetimeExtension(dataset string, gen int, ageYears float64, green hw.SKU, ci units.CarbonIntensity) (LifetimeStudy, error) {
+	var st LifetimeStudy
+	d, ok := carbondata.Datasets()[dataset]
+	if !ok {
+		return st, fmt.Errorf("analysis: unknown dataset %q", dataset)
+	}
+	if ageYears < 0 {
+		return st, fmt.Errorf("analysis: negative server age")
+	}
+	m, err := carbon.New(d)
+	if err != nil {
+		return st, err
+	}
+	if ci == 0 {
+		ci = d.DefaultCI
+	}
+	old := hw.BaselineForGeneration(gen)
+
+	ext, err := extensionOption(m, old, ageYears, ci)
+	if err != nil {
+		return st, err
+	}
+	st.Extend = ext
+	rep, err := replacementOption(m, green, ci)
+	if err != nil {
+		return st, err
+	}
+	st.Replace = rep
+	st.ReplaceWins = st.Replace.PerCoreYear < st.Extend.PerCoreYear
+
+	// Bisect the break-even carbon intensity on [0, 2]: extension's
+	// cost is almost purely operational, so it wins at low CI and
+	// loses as CI grows.
+	lo, hi := units.CarbonIntensity(0), units.CarbonIntensity(2)
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		e, err := extensionOption(m, old, ageYears, mid)
+		if err != nil {
+			return st, err
+		}
+		r, err := replacementOption(m, green, mid)
+		if err != nil {
+			return st, err
+		}
+		if e.PerCoreYear < r.PerCoreYear {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	st.BreakEvenCI = (lo + hi) / 2
+	return st, nil
+}
+
+// extensionOption: operational emissions only (embodied is sunk), with
+// delivered capacity discounted by old per-core performance and the
+// out-of-service fraction from aging failure rates.
+func extensionOption(m *carbon.Model, old hw.SKU, ageYears float64, ci units.CarbonIntensity) (LifetimeOption, error) {
+	srv, err := m.Server(old)
+	if err != nil {
+		return LifetimeOption{}, err
+	}
+	opPerYear := ci.Emissions(units.Years(1).Energy(srv.Power))
+	// Aging: normalised AFR at the server's age scales the baseline
+	// ~4.8%/year failure rate; two-week repairs take capacity out of
+	// service.
+	afrScale := failure.DDR4().At(ageYears * 12)
+	oos := 0.048 * afrScale * (336.0 / float64(units.HoursPerYear))
+	delivered := float64(old.Cores()) * old.CPU.CPUScore * (1 - oos)
+	return LifetimeOption{
+		Name:        fmt.Sprintf("extend %s at age %.0fy", old.Name, ageYears),
+		PerCoreYear: units.KgCO2e(float64(opPerYear) / delivered),
+		OOSFraction: oos,
+	}, nil
+}
+
+// replacementOption: fresh GreenSKU, embodied amortised over its
+// lifetime, full performance, nominal failure rates.
+func replacementOption(m *carbon.Model, green hw.SKU, ci units.CarbonIntensity) (LifetimeOption, error) {
+	srv, err := m.Server(green)
+	if err != nil {
+		return LifetimeOption{}, err
+	}
+	opPerYear := float64(ci.Emissions(units.Years(1).Energy(srv.Power)))
+	embPerYear := float64(srv.Embodied) / m.Data.Lifetime.YearsValue()
+	oos := 0.036 * (336.0 / float64(units.HoursPerYear))
+	delivered := float64(green.Cores()) * green.CPU.CPUScore * (1 - oos)
+	return LifetimeOption{
+		Name:        "replace with " + green.Name,
+		PerCoreYear: units.KgCO2e((opPerYear + embPerYear) / delivered),
+		OOSFraction: oos,
+	}, nil
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"testing"
+
+	"github.com/greensku/gsf/internal/hw"
+)
+
+func TestLifetimeExtensionLowCI(t *testing.T) {
+	// At a nearly carbon-free grid, keeping the old server running is
+	// almost free (embodied is sunk, operations are clean): extension
+	// wins.
+	st, err := EvaluateLifetimeExtension("open-source", 1, 6, hw.GreenSKUFull(), 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ReplaceWins {
+		t.Fatalf("at CI 0.005 extension should win: extend %v vs replace %v",
+			st.Extend.PerCoreYear, st.Replace.PerCoreYear)
+	}
+}
+
+func TestLifetimeExtensionHighCI(t *testing.T) {
+	// On a dirty grid the old Rome server's poor per-delivered-core
+	// efficiency dominates: replacement wins (§VII: "older servers
+	// tend to have higher per-core operational emissions").
+	st, err := EvaluateLifetimeExtension("open-source", 1, 6, hw.GreenSKUFull(), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.ReplaceWins {
+		t.Fatalf("at CI 0.7 replacement should win: extend %v vs replace %v",
+			st.Extend.PerCoreYear, st.Replace.PerCoreYear)
+	}
+}
+
+func TestBreakEvenOrdersTheRegimes(t *testing.T) {
+	st, err := EvaluateLifetimeExtension("open-source", 1, 6, hw.GreenSKUFull(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BreakEvenCI <= 0.005 || st.BreakEvenCI >= 0.7 {
+		t.Fatalf("break-even CI = %v, want between the two test regimes", st.BreakEvenCI)
+	}
+	// The decision at CI 0.1 must agree with the break-even point.
+	if st.ReplaceWins != (0.1 > float64(st.BreakEvenCI)) {
+		t.Fatalf("decision at CI 0.1 (replace=%v) disagrees with break-even %v",
+			st.ReplaceWins, st.BreakEvenCI)
+	}
+}
+
+func TestNewerGenerationsExtendBetter(t *testing.T) {
+	// A Milan server delivers more per watt than Rome: extending it is
+	// cheaper per delivered core-year.
+	gen1, err := EvaluateLifetimeExtension("open-source", 1, 6, hw.GreenSKUFull(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen2, err := EvaluateLifetimeExtension("open-source", 2, 6, hw.GreenSKUFull(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen2.Extend.PerCoreYear >= gen1.Extend.PerCoreYear {
+		t.Fatalf("Gen2 extension (%v) should beat Gen1 (%v)",
+			gen2.Extend.PerCoreYear, gen1.Extend.PerCoreYear)
+	}
+}
+
+func TestAgingRaisesExtensionCost(t *testing.T) {
+	// Very old servers (past the DDR4 wear-out onset) lose more
+	// capacity to repairs; per-core-year emissions must not fall with
+	// age.
+	young, err := EvaluateLifetimeExtension("open-source", 1, 2, hw.GreenSKUFull(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := EvaluateLifetimeExtension("open-source", 1, 16, hw.GreenSKUFull(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Extend.PerCoreYear < young.Extend.PerCoreYear {
+		t.Fatalf("aging should not reduce extension cost: age16 %v vs age2 %v",
+			old.Extend.PerCoreYear, young.Extend.PerCoreYear)
+	}
+	if old.Extend.OOSFraction <= 0 {
+		t.Fatal("out-of-service fraction missing")
+	}
+}
+
+func TestLifetimeValidation(t *testing.T) {
+	if _, err := EvaluateLifetimeExtension("nope", 1, 6, hw.GreenSKUFull(), 0.1); err == nil {
+		t.Error("accepted unknown dataset")
+	}
+	if _, err := EvaluateLifetimeExtension("open-source", 1, -1, hw.GreenSKUFull(), 0.1); err == nil {
+		t.Error("accepted negative age")
+	}
+}

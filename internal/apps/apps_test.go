@@ -1,0 +1,166 @@
+package apps
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTwentyApplications(t *testing.T) {
+	// §V: "we benchmark 20 open-source and closed-source applications"
+	// — the 19 rows of Table III plus WebF-Mix.
+	all := All()
+	if len(all) != 20 {
+		t.Fatalf("catalog has %d apps, want 20", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if seen[a.Name] {
+			t.Errorf("duplicate app %s", a.Name)
+		}
+		seen[a.Name] = true
+		if a.BaseServiceMS <= 0 || a.CV < 0 {
+			t.Errorf("%s: invalid service time parameters", a.Name)
+		}
+		if a.FreqSens < 0 || a.LLCSens < 0 || a.BWDemandGBs < 0 || a.MemLatSens < 0 {
+			t.Errorf("%s: negative sensitivity", a.Name)
+		}
+	}
+}
+
+func TestClassSizes(t *testing.T) {
+	byClass := ByClass()
+	want := map[Class]int{
+		BigData:     4, // Redis, Masstree, Silo, Shore
+		WebApp:      5, // Xapian + WebF-Dynamic/Hot/Cold/Mix
+		RTC:         2, // Moses, Sphinx
+		MLInference: 1, // Img-DNN
+		WebProxy:    5, // Nginx, Caddy, Envoy, HAProxy, Traefik
+		DevOps:      3, // Build-Python, Build-Wasm, Build-PHP
+	}
+	for class, n := range want {
+		if got := len(byClass[class]); got != n {
+			t.Errorf("%s has %d apps, want %d", class, got, n)
+		}
+	}
+}
+
+func TestClassShares(t *testing.T) {
+	// Table III core-hour shares.
+	want := map[Class]float64{BigData: 32, WebApp: 27, RTC: 24, MLInference: 11, WebProxy: 4, DevOps: 1}
+	var sum float64
+	for class, share := range want {
+		if ClassShares[class] != share {
+			t.Errorf("%s share = %v, want %v", class, ClassShares[class], share)
+		}
+		sum += ClassShares[class]
+	}
+	if sum != 99 {
+		t.Errorf("shares sum to %v, want 99 (as printed in Table III)", sum)
+	}
+}
+
+func TestCXLFriendlyShare(t *testing.T) {
+	// §VI: "20.2% of our applications, weighted by proportion of fleet
+	// core-hours, do not face significant performance penalties when
+	// running on GreenSKU-CXL".
+	got := CXLFriendlyShare() * 100
+	if math.Abs(got-20.2) > 1.5 {
+		t.Fatalf("CXL-friendly share = %.1f%%, want ~20.2%%", got)
+	}
+}
+
+func TestCXLFriendlyApps(t *testing.T) {
+	// Img-DNN and Shore (plus the DevOps builds) are the CXL-friendly
+	// set; Moses is the paper's canonical CXL-hostile app.
+	friendly := map[string]bool{}
+	for _, a := range All() {
+		friendly[a.Name] = a.CXLFriendly()
+	}
+	for _, name := range []string{"Img-DNN", "Shore", "Build-Python", "Build-Wasm", "Build-PHP"} {
+		if !friendly[name] {
+			t.Errorf("%s should be CXL-friendly", name)
+		}
+	}
+	for _, name := range []string{"Moses", "Masstree", "Redis"} {
+		if friendly[name] {
+			t.Errorf("%s should not be CXL-friendly", name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	a, err := ByName("Moses")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Class != RTC || !a.LatencyCritical {
+		t.Errorf("Moses = %+v, want latency-critical RTC", a)
+	}
+	if _, err := ByName("memcached"); err == nil {
+		t.Error("ByName accepted an unknown app")
+	}
+}
+
+func TestProductionFlags(t *testing.T) {
+	// §V: four Microsoft production services, the WebF set.
+	n := 0
+	for _, a := range All() {
+		if a.Production {
+			n++
+			if a.Class != WebApp {
+				t.Errorf("%s: production apps are the WebF web services", a.Name)
+			}
+		}
+	}
+	if n != 4 {
+		t.Errorf("%d production apps, want 4 (the WebF services)", n)
+	}
+}
+
+func TestDevOpsNotLatencyCritical(t *testing.T) {
+	for _, a := range ByClass()[DevOps] {
+		if a.LatencyCritical {
+			t.Errorf("%s: DevOps apps report throughput only (Table II)", a.Name)
+		}
+	}
+}
+
+func TestCoreHourWeights(t *testing.T) {
+	var sum float64
+	for _, a := range All() {
+		w := CoreHourWeight(a)
+		if w <= 0 {
+			t.Errorf("%s: non-positive weight", a.Name)
+		}
+		sum += w
+	}
+	if math.Abs(sum-99) > 1e-9 {
+		t.Errorf("weights sum to %v, want 99", sum)
+	}
+}
+
+func TestRepresentativesSpanClasses(t *testing.T) {
+	reps := Representatives()
+	if len(reps) != 5 {
+		t.Fatalf("got %d representatives, want 5", len(reps))
+	}
+	classes := map[Class]bool{}
+	for _, a := range reps {
+		if classes[a.Class] {
+			t.Errorf("duplicate class %s among representatives", a.Class)
+		}
+		classes[a.Class] = true
+		if !a.LatencyCritical {
+			t.Errorf("%s: Fig 7 representatives are latency-critical", a.Name)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if BigData.String() != "big-data" || DevOps.String() != "devops" {
+		t.Error("unexpected class names")
+	}
+	if Class(99).String() != "class(99)" {
+		t.Error("out-of-range class should render numerically")
+	}
+}

@@ -1,0 +1,103 @@
+package buffer
+
+import (
+	"math"
+	"testing"
+
+	"github.com/greensku/gsf/internal/alloc"
+	"github.com/greensku/gsf/internal/carbon"
+	"github.com/greensku/gsf/internal/cluster"
+)
+
+func inputs() (base, green cluster.SavingsInput) {
+	base = cluster.SavingsInput{
+		Class:   alloc.ServerClass{Name: "base", Cores: 80, Memory: 768},
+		PerCore: carbon.PerCore{Operational: 23, Embodied: 23},
+	}
+	green = cluster.SavingsInput{
+		Class:   alloc.ServerClass{Name: "green", Cores: 128, Memory: 1024, Green: true},
+		PerCore: carbon.PerCore{Operational: 19, Embodied: 14},
+	}
+	return base, green
+}
+
+func TestServersSizing(t *testing.T) {
+	p := Params{Fraction: 0.15}
+	m := cluster.Mix{BaselineOnly: 20, NBase: 5, NGreen: 10}
+	// 15% of the 20-server baseline demand -> 3 buffer servers.
+	n, err := p.Servers(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("buffer servers = %d, want 3", n)
+	}
+}
+
+func TestApply(t *testing.T) {
+	b, err := DefaultParams().Apply(cluster.Mix{BaselineOnly: 20, NBase: 5, NGreen: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.BufferServers != 3 {
+		t.Fatalf("buffer = %d, want 3", b.BufferServers)
+	}
+}
+
+func TestBufferedSavingsBelowUnbuffered(t *testing.T) {
+	// §V: keeping the buffer on baseline SKUs marginally reduces the
+	// savings.
+	base, green := inputs()
+	m := cluster.Mix{BaselineOnly: 20, NBase: 5, NGreen: 10}
+	unbuffered := cluster.Savings(m, base, green)
+	b, err := DefaultParams().Apply(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buffered := DefaultParams().Savings(b, base, green)
+	if buffered >= unbuffered {
+		t.Fatalf("buffered savings (%v) should be below unbuffered (%v)", buffered, unbuffered)
+	}
+	if unbuffered-buffered > 0.05 {
+		t.Fatalf("buffer penalty %v too large; should be marginal", unbuffered-buffered)
+	}
+}
+
+func TestPenaltyPositive(t *testing.T) {
+	base, green := inputs()
+	b := Buffered{Mix: cluster.Mix{BaselineOnly: 20, NBase: 5, NGreen: 10}, BufferServers: 3}
+	if got := Penalty(b, base, green); got <= 0 {
+		t.Fatalf("penalty = %v, want positive (baseline buffer is carbon-inefficient)", got)
+	}
+	if got := Penalty(b, base, cluster.SavingsInput{}); got != 0 {
+		t.Fatalf("penalty without a green class = %v, want 0", got)
+	}
+}
+
+func TestZeroFraction(t *testing.T) {
+	p := Params{Fraction: 0}
+	b, err := p.Apply(cluster.Mix{BaselineOnly: 20, NBase: 5, NGreen: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.BufferServers != 0 {
+		t.Fatalf("zero-fraction buffer = %+v, want none", b)
+	}
+	base, green := inputs()
+	if s := p.Savings(b, base, green); math.Abs(s-cluster.Savings(b.Mix, base, green)) > 1e-12 {
+		t.Fatal("zero-fraction buffered savings should equal unbuffered")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := (Params{Fraction: -1}).Servers(cluster.Mix{}); err == nil {
+		t.Error("accepted negative fraction")
+	}
+}
+
+func TestEmptyClusterSavings(t *testing.T) {
+	base, green := inputs()
+	if got := DefaultParams().Savings(Buffered{}, base, green); got != 0 {
+		t.Fatalf("savings of empty cluster = %v, want 0", got)
+	}
+}

@@ -1,0 +1,53 @@
+package carbon
+
+import (
+	"testing"
+
+	"github.com/greensku/gsf/internal/carbondata"
+	"github.com/greensku/gsf/internal/hw"
+)
+
+func BenchmarkPerCore(b *testing.B) {
+	m, err := New(carbondata.OpenSource())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sku := hw.GreenSKUFull()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PerCore(sku, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSavingsAllConfigs(b *testing.B) {
+	m, err := New(carbondata.OpenSource())
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := hw.BaselineGen3()
+	configs := hw.TableIVConfigs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, sku := range configs {
+			if _, err := m.SavingsVs(sku, base, 0.1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkDataCenter(b *testing.B) {
+	m, err := New(carbondata.OpenSource())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := DefaultDCParams(100, m.Overheads())
+	sku := hw.GreenSKUCXL()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.DataCenter(sku, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package carbon implements GSF's carbon model component (§IV-A, §V):
+// it aggregates per-component embodied emissions and derated power into
+// server-, rack-, and datacenter-level emissions and produces the
+// CO2e-per-core metric every other GSF component consumes.
+//
+// The model follows the paper's equations:
+//
+//	P_s   = Σ_i TDP_i · d_i · (1 + l_i)                    (Eq. 1)
+//	P_r   = N_s · P_s + Σ_j P_j                            (Eq. 2)
+//	N_s   = min(⌊(P_cap − P_rack)/P_s⌋, N_space)
+//	E_r   = E_emb,r + L · CI · P_r
+//	E_emb,r = N_s · E_emb,s + Σ_j CO2e_j                   (Eq. 3)
+//
+// The voltage-regulator loss l is applied per component (the paper's
+// worked example applies the 5% loss to the CPU only).
+package carbon
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/greensku/gsf/internal/carbondata"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// Model evaluates SKU emissions under one carbon dataset.
+type Model struct {
+	Data carbondata.Dataset
+}
+
+// New returns a model over the given dataset. It returns an error if the
+// dataset fails validation.
+func New(data carbondata.Dataset) (*Model, error) {
+	if err := data.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{Data: data}, nil
+}
+
+// Part is the contribution of one component class to a server's power
+// and embodied emissions.
+type Part struct {
+	Name     string
+	Power    units.Watts // derated, loss-adjusted average draw
+	Embodied units.KgCO2e
+}
+
+// Server is the server-level output of the carbon model.
+type Server struct {
+	SKU      hw.SKU
+	Power    units.Watts  // P_s
+	Embodied units.KgCO2e // E_emb,s
+	Parts    []Part
+}
+
+// Server evaluates Eq. 1 and the embodied sum for one SKU.
+func (m *Model) Server(sku hw.SKU) (Server, error) {
+	if err := sku.Validate(); err != nil {
+		return Server{}, err
+	}
+	cpu, err := m.Data.CPU(sku.CPU.Name)
+	if err != nil {
+		return Server{}, err
+	}
+	d := m.Data.DerateFactor
+	var parts []Part
+
+	add := func(name string, tdp units.Watts, loss float64, emb units.KgCO2e) {
+		parts = append(parts, Part{
+			Name:     name,
+			Power:    units.Watts(float64(tdp) * d * (1 + loss)),
+			Embodied: emb,
+		})
+	}
+
+	add("cpu", units.Watts(float64(cpu.TDP)*float64(sku.Sockets)), cpu.VRLoss,
+		units.KgCO2e(float64(cpu.Embodied)*float64(sku.Sockets)))
+
+	var dramPower units.Watts
+	var dramEmb units.KgCO2e
+	for _, g := range sku.DIMMs {
+		spec := m.Data.DRAMPerGB
+		if g.Reused {
+			spec = m.Data.ReusedDRAMPerGB
+		}
+		gb := float64(g.TotalGB())
+		dramPower += units.Watts(float64(spec.TDP) * gb * (1 + spec.VRLoss))
+		dramEmb += units.KgCO2e(float64(spec.Embodied) * gb)
+	}
+	parts = append(parts, Part{Name: "dram", Power: units.Watts(float64(dramPower) * d), Embodied: dramEmb})
+
+	var ssdPower units.Watts
+	var ssdEmb units.KgCO2e
+	for _, g := range sku.SSDs {
+		spec := m.Data.SSDPerTB
+		if g.Reused {
+			spec = m.Data.ReusedSSDPerTB
+		}
+		tb := g.TotalTB()
+		ssdPower += units.Watts(float64(spec.TDP) * tb * (1 + spec.VRLoss))
+		ssdEmb += units.KgCO2e(float64(spec.Embodied) * tb)
+	}
+	parts = append(parts, Part{Name: "ssd", Power: units.Watts(float64(ssdPower) * d), Embodied: ssdEmb})
+
+	if sku.HasCXL() {
+		cxl := m.Data.CXLSubsystem
+		add("cxl", cxl.TDP, cxl.VRLoss, cxl.Embodied)
+	}
+	if base := m.Data.ServerBase; base.TDP > 0 || base.Embodied > 0 {
+		add("base", base.TDP, base.VRLoss, base.Embodied)
+	}
+
+	var s Server
+	s.SKU = sku
+	s.Parts = parts
+	for _, p := range parts {
+		s.Power += p.Power
+		s.Embodied += p.Embodied
+	}
+	return s, nil
+}
+
+// Rack is the rack-level output of the carbon model.
+type Rack struct {
+	Server           Server
+	ServersPerRack   int          // N_s
+	PowerConstrained bool         // true if N_s was limited by rack power, not space
+	Power            units.Watts  // P_r
+	Embodied         units.KgCO2e // E_emb,r
+	Cores            int          // N_c,r
+}
+
+// Rack evaluates Eqs. 2–3 for one SKU.
+func (m *Model) Rack(sku hw.SKU) (Rack, error) {
+	srv, err := m.Server(sku)
+	if err != nil {
+		return Rack{}, err
+	}
+	spaceLimit := m.Data.RackSpaceU / sku.FormFactorU
+	budget := float64(m.Data.RackPowerCap) - float64(m.Data.RackMisc.TDP)
+	powerLimit := int(math.Floor(budget / float64(srv.Power)))
+	if powerLimit < 0 {
+		powerLimit = 0
+	}
+	r := Rack{Server: srv}
+	if powerLimit < spaceLimit {
+		r.ServersPerRack = powerLimit
+		r.PowerConstrained = true
+	} else {
+		r.ServersPerRack = spaceLimit
+	}
+	n := float64(r.ServersPerRack)
+	r.Power = units.Watts(n*float64(srv.Power) + float64(m.Data.RackMisc.TDP))
+	r.Embodied = units.KgCO2e(n*float64(srv.Embodied) + float64(m.Data.RackMisc.Embodied))
+	r.Cores = r.ServersPerRack * sku.Cores()
+	return r, nil
+}
+
+// Operational returns the rack's lifetime operational emissions at the
+// given carbon intensity: E_op,r = L · CI · P_r.
+func (m *Model) Operational(r Rack, ci units.CarbonIntensity) units.KgCO2e {
+	return ci.Emissions(m.Data.Lifetime.Energy(r.Power))
+}
+
+// PerCore is the amortised lifetime emissions of one core, the common
+// currency of GSF's adoption and cluster components.
+type PerCore struct {
+	SKU         string
+	Operational units.KgCO2e
+	Embodied    units.KgCO2e
+}
+
+// Total returns operational plus embodied per-core emissions.
+func (p PerCore) Total() units.KgCO2e { return p.Operational + p.Embodied }
+
+// PerCore computes rack-level CO2e-per-core at the given carbon
+// intensity, the metric of Tables IV and VIII.
+func (m *Model) PerCore(sku hw.SKU, ci units.CarbonIntensity) (PerCore, error) {
+	r, err := m.Rack(sku)
+	if err != nil {
+		return PerCore{}, err
+	}
+	if r.Cores == 0 {
+		return PerCore{}, fmt.Errorf("carbon: SKU %s fits zero servers per rack", sku.Name)
+	}
+	n := float64(r.Cores)
+	return PerCore{
+		SKU:         sku.Name,
+		Operational: units.KgCO2e(float64(m.Operational(r, ci)) / n),
+		Embodied:    units.KgCO2e(float64(r.Embodied) / n),
+	}, nil
+}
+
+// PerCoreDC computes datacenter-level CO2e-per-core: rack-level plus
+// amortised networking/storage/building overheads, with PUE applied to
+// all operational power.
+func (m *Model) PerCoreDC(sku hw.SKU, ci units.CarbonIntensity) (PerCore, error) {
+	r, err := m.Rack(sku)
+	if err != nil {
+		return PerCore{}, err
+	}
+	if r.Cores == 0 {
+		return PerCore{}, fmt.Errorf("carbon: SKU %s fits zero servers per rack", sku.Name)
+	}
+	n := float64(r.Cores)
+	power := units.Watts((float64(r.Power) + float64(m.Data.DCPowerPerRack)) * m.Data.PUE)
+	op := ci.Emissions(m.Data.Lifetime.Energy(power))
+	emb := float64(r.Embodied) + float64(m.Data.DCEmbodiedPerRack)
+	return PerCore{
+		SKU:         sku.Name,
+		Operational: units.KgCO2e(float64(op) / n),
+		Embodied:    units.KgCO2e(emb / n),
+	}, nil
+}
+
+// Savings is the relative per-core emission reduction of a candidate
+// SKU versus a baseline, the format of Table IV/VIII rows.
+type Savings struct {
+	SKU         string
+	Operational float64 // fraction, e.g. 0.16 for 16%
+	Embodied    float64
+	Total       float64
+}
+
+// SavingsVs computes per-core savings of sku relative to baseline at the
+// given carbon intensity (rack level).
+func (m *Model) SavingsVs(sku, baseline hw.SKU, ci units.CarbonIntensity) (Savings, error) {
+	pc, err := m.PerCore(sku, ci)
+	if err != nil {
+		return Savings{}, err
+	}
+	base, err := m.PerCore(baseline, ci)
+	if err != nil {
+		return Savings{}, err
+	}
+	return savingsOf(sku.Name, pc, base), nil
+}
+
+func savingsOf(name string, pc, base PerCore) Savings {
+	frac := func(b, g units.KgCO2e) float64 {
+		if b == 0 {
+			return 0
+		}
+		return 1 - float64(g)/float64(b)
+	}
+	return Savings{
+		SKU:         name,
+		Operational: frac(base.Operational, pc.Operational),
+		Embodied:    frac(base.Embodied, pc.Embodied),
+		Total:       frac(base.Total(), pc.Total()),
+	}
+}

@@ -1,0 +1,295 @@
+package carbon
+
+import (
+	"math"
+	"testing"
+
+	"github.com/greensku/gsf/internal/carbondata"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/units"
+)
+
+func mustModel(t *testing.T, d carbondata.Dataset) *Model {
+	t.Helper()
+	m, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestWorkedExample reproduces §V's step-by-step GreenSKU-CXL example to
+// the paper's printed precision.
+func TestWorkedExample(t *testing.T) {
+	m := mustModel(t, carbondata.WorkedExample())
+	sku := hw.GreenSKUCXL()
+
+	srv, err := m.Server(sku)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "a total E_emb,s of 1644 kgCO2e"
+	if got := float64(srv.Embodied); math.Abs(got-1644) > 0.5 {
+		t.Errorf("E_emb,s = %v, want 1644", got)
+	}
+	// "Eq. 1 results in P_s = 403 W"
+	if got := float64(srv.Power); math.Abs(got-403.34) > 0.1 {
+		t.Errorf("P_s = %v, want 403.3", got)
+	}
+
+	r, err := m.Rack(sku)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "the rack is space-constrained to N_s = 16 servers"
+	if r.ServersPerRack != 16 || r.PowerConstrained {
+		t.Errorf("N_s = %d (powerConstrained=%v), want 16 space-constrained",
+			r.ServersPerRack, r.PowerConstrained)
+	}
+	// "E_emb,r = 16 * 1644 + 500 = 26,804 kgCO2e"
+	if got := float64(r.Embodied); math.Abs(got-26804) > 8 {
+		t.Errorf("E_emb,r = %v, want 26804", got)
+	}
+	// "P_r = 16 * 403 + 500 = 6953 W"
+	if got := float64(r.Power); math.Abs(got-6953) > 2 {
+		t.Errorf("P_r = %v, want 6953", got)
+	}
+	// "E_op,r = L * CI * P_r = 36,547 kgCO2e"
+	op := float64(m.Operational(r, 0.1))
+	if math.Abs(op-36547) > 10 {
+		t.Errorf("E_op,r = %v, want 36547", op)
+	}
+	// "E_r = 63,351 kgCO2e"
+	if total := op + float64(r.Embodied); math.Abs(total-63351) > 15 {
+		t.Errorf("E_r = %v, want 63351", total)
+	}
+	// "N_c,r = 16 * 128 = 2048" and "31 kgCO2e per core"
+	if r.Cores != 2048 {
+		t.Errorf("N_c,r = %d, want 2048", r.Cores)
+	}
+	pc, err := m.PerCore(sku, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(pc.Total()); math.Abs(got-30.93) > 0.05 {
+		t.Errorf("per-core = %v, want 30.9 (paper rounds to 31)", got)
+	}
+}
+
+// TestWorkedExamplePowerLimit checks the power-constraint arithmetic:
+// floor((15000-500)/403) = 35 would fit, so space (16) binds.
+func TestWorkedExamplePowerLimit(t *testing.T) {
+	m := mustModel(t, carbondata.WorkedExample())
+	r, err := m.Rack(hw.GreenSKUCXL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := float64(m.Data.RackPowerCap) - float64(m.Data.RackMisc.TDP)
+	powerLimit := int(budget / float64(r.Server.Power))
+	if powerLimit != 35 {
+		t.Errorf("power-limited servers per rack = %d, want 35", powerLimit)
+	}
+}
+
+// TestTableVIII checks the open-data per-core savings against the
+// paper's Table VIII within a tolerance that reflects our fitted
+// fill-in values (Genoa CPU, server base hardware).
+func TestTableVIII(t *testing.T) {
+	m := mustModel(t, carbondata.OpenSource())
+	base := hw.BaselineGen3()
+	cases := []struct {
+		sku          hw.SKU
+		op, emb, tot float64 // paper percentages
+		tol          float64 // percentage points
+	}{
+		{hw.BaselineResized(), 6, 10, 8, 3},
+		{hw.GreenSKUEfficient(), 16, 14, 15, 5},
+		{hw.GreenSKUCXL(), 15, 32, 24, 5},
+		{hw.GreenSKUFull(), 14, 38, 26, 5},
+	}
+	for _, c := range cases {
+		s, err := m.SavingsVs(c.sku, base, m.Data.DefaultCI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(metric string, got, want, tol float64) {
+			if math.Abs(got*100-want) > tol {
+				t.Errorf("%s %s savings = %.1f%%, want %v%% ±%v", c.sku.Name, metric, got*100, want, tol)
+			}
+		}
+		check("operational", s.Operational, c.op, c.tol)
+		check("embodied", s.Embodied, c.emb, c.tol)
+		check("total", s.Total, c.tot, c.tol)
+	}
+}
+
+// TestTableVIIIOrdering asserts the qualitative structure of Table VIII,
+// which must hold exactly: embodied savings grow with reuse, operational
+// savings shrink with reuse, total savings grow monotonically.
+func TestTableVIIIOrdering(t *testing.T) {
+	for _, name := range []string{"open-source", "paper-calibrated"} {
+		m := mustModel(t, carbondata.Datasets()[name])
+		base := hw.BaselineGen3()
+		get := func(sku hw.SKU) Savings {
+			s, err := m.SavingsVs(sku, base, m.Data.DefaultCI)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+		resized := get(hw.BaselineResized())
+		eff := get(hw.GreenSKUEfficient())
+		cxl := get(hw.GreenSKUCXL())
+		full := get(hw.GreenSKUFull())
+
+		if !(resized.Total < eff.Total && eff.Total < cxl.Total && cxl.Total < full.Total) {
+			t.Errorf("%s: total savings not monotone: %v %v %v %v",
+				name, resized.Total, eff.Total, cxl.Total, full.Total)
+		}
+		if !(eff.Embodied < cxl.Embodied && cxl.Embodied < full.Embodied) {
+			t.Errorf("%s: embodied savings should grow with reuse: %v %v %v",
+				name, eff.Embodied, cxl.Embodied, full.Embodied)
+		}
+		if !(eff.Operational > cxl.Operational && cxl.Operational > full.Operational) {
+			t.Errorf("%s: operational savings should shrink with reuse: %v %v %v",
+				name, eff.Operational, cxl.Operational, full.Operational)
+		}
+	}
+}
+
+// TestTableIV checks the paper-calibrated dataset against Table IV.
+func TestTableIV(t *testing.T) {
+	m := mustModel(t, carbondata.PaperCalibrated())
+	base := hw.BaselineGen3()
+	cases := []struct {
+		sku          hw.SKU
+		op, emb, tot float64
+		tol          float64
+	}{
+		{hw.BaselineResized(), 3, 6, 4, 4},
+		{hw.GreenSKUEfficient(), 29, 14, 23, 6},
+		{hw.GreenSKUCXL(), 23, 25, 24, 6},
+		{hw.GreenSKUFull(), 17, 43, 28, 6},
+	}
+	for _, c := range cases {
+		s, err := m.SavingsVs(c.sku, base, m.Data.DefaultCI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(s.Operational*100-c.op) > c.tol ||
+			math.Abs(s.Embodied*100-c.emb) > c.tol ||
+			math.Abs(s.Total*100-c.tot) > c.tol {
+			t.Errorf("%s savings = %.1f/%.1f/%.1f%%, want %v/%v/%v ±%v",
+				c.sku.Name, s.Operational*100, s.Embodied*100, s.Total*100,
+				c.op, c.emb, c.tot, c.tol)
+		}
+	}
+}
+
+func TestPerCoreDCExceedsRackLevel(t *testing.T) {
+	m := mustModel(t, carbondata.OpenSource())
+	sku := hw.BaselineGen3()
+	rack, err := m.PerCore(sku, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := m.PerCoreDC(sku, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Operational <= rack.Operational || dc.Embodied <= rack.Embodied {
+		t.Errorf("DC per-core (%v) should exceed rack per-core (%v)", dc, rack)
+	}
+}
+
+func TestZeroCarbonIntensity(t *testing.T) {
+	// With CI = 0 all operational emissions vanish; savings become
+	// purely embodied.
+	m := mustModel(t, carbondata.OpenSource())
+	s, err := m.SavingsVs(hw.GreenSKUFull(), hw.BaselineGen3(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Operational != 0 {
+		t.Errorf("operational savings at CI=0 = %v, want 0 (no operational emissions)", s.Operational)
+	}
+	if math.Abs(s.Total-s.Embodied) > 1e-9 {
+		t.Errorf("total (%v) should equal embodied (%v) at CI=0", s.Total, s.Embodied)
+	}
+}
+
+func TestServerPartsSum(t *testing.T) {
+	m := mustModel(t, carbondata.OpenSource())
+	for _, sku := range hw.TableIVConfigs() {
+		srv, err := m.Server(sku)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p units.Watts
+		var e units.KgCO2e
+		for _, part := range srv.Parts {
+			p += part.Power
+			e += part.Embodied
+		}
+		if math.Abs(float64(p-srv.Power)) > 1e-9 || math.Abs(float64(e-srv.Embodied)) > 1e-9 {
+			t.Errorf("%s: parts do not sum to totals", sku.Name)
+		}
+	}
+}
+
+func TestReusedPartsHaveZeroEmbodied(t *testing.T) {
+	m := mustModel(t, carbondata.OpenSource())
+	cxl, err := m.Server(hw.GreenSKUCXL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff, err := m.Server(hw.GreenSKUEfficient())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GreenSKU-CXL has 1024 GB total DRAM vs Efficient's 1152 GB, yet
+	// lower DRAM embodied because 256 GB is second-life.
+	dram := func(s Server) Part {
+		for _, p := range s.Parts {
+			if p.Name == "dram" {
+				return p
+			}
+		}
+		t.Fatal("no dram part")
+		return Part{}
+	}
+	if dram(cxl).Embodied >= dram(eff).Embodied {
+		t.Errorf("reused DRAM embodied (%v) should be below all-new (%v)",
+			dram(cxl).Embodied, dram(eff).Embodied)
+	}
+}
+
+func TestRackPowerConstrained(t *testing.T) {
+	// Shrink the rack power cap until power, not space, binds.
+	d := carbondata.OpenSource()
+	d.RackPowerCap = 3000
+	m := mustModel(t, d)
+	r, err := m.Rack(hw.BaselineGen3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.PowerConstrained {
+		t.Fatalf("expected power-constrained rack, got %d servers space-constrained", r.ServersPerRack)
+	}
+	if r.ServersPerRack >= 16 {
+		t.Fatalf("power cap should reduce servers below 16, got %d", r.ServersPerRack)
+	}
+}
+
+func TestNewRejectsInvalidDataset(t *testing.T) {
+	if _, err := New(carbondata.Dataset{}); err == nil {
+		t.Fatal("New accepted an empty dataset")
+	}
+}
+
+func TestUnknownCPU(t *testing.T) {
+	m := mustModel(t, carbondata.WorkedExample())
+	if _, err := m.Server(hw.BaselineGen3()); err == nil {
+		t.Fatal("expected error for CPU missing from dataset")
+	}
+}

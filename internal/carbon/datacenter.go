@@ -1,0 +1,130 @@
+package carbon
+
+// Datacenter-level aggregation (§IV-A / §V): the rack model scales to a
+// full datacenter with N_r racks bounded by space and power,
+// networking/storage overheads (X for power, Y for embodied), non-IT
+// building embodied (Z), and PUE on all operational power:
+//
+//	P_DC      = (N_r · P_r + X) · PUE
+//	E_emb,DC  = N_r · E_emb,r + Y + Z
+//	N_c,DC    = N_c,s · N_s · N_r
+//	CO2e/core = (E_op,DC + E_emb,DC) / N_c,DC
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// DCParams bounds and loads the datacenter model.
+type DCParams struct {
+	// SpaceRacks is the compute-rack capacity of the building.
+	SpaceRacks int
+	// PowerCap is the facility power available to compute racks
+	// (before PUE overhead).
+	PowerCap units.Watts
+	// NetworkStoragePower is X: power drawn by networking and storage
+	// infrastructure.
+	NetworkStoragePower units.Watts
+	// NetworkStorageEmbodied is Y.
+	NetworkStorageEmbodied units.KgCO2e
+	// BuildingEmbodied is Z: non-IT embodied emissions.
+	BuildingEmbodied units.KgCO2e
+	// PUE multiplies all operational power.
+	PUE float64
+}
+
+// DefaultDCParams returns a mid-size datacenter hall consistent with
+// the dataset-level overheads used by PerCoreDC: 100 compute racks of
+// 15 kW each, with networking/storage and building overheads amortised
+// at the dataset's per-rack values.
+func DefaultDCParams(racks int, data DCOverheads) DCParams {
+	n := float64(racks)
+	return DCParams{
+		SpaceRacks:             racks,
+		PowerCap:               units.Watts(n * 15000),
+		NetworkStoragePower:    units.Watts(n * float64(data.PowerPerRack)),
+		NetworkStorageEmbodied: units.KgCO2e(n * float64(data.EmbodiedPerRack)),
+		BuildingEmbodied:       0,
+		PUE:                    data.PUE,
+	}
+}
+
+// DCOverheads carries the dataset's amortised overhead values.
+type DCOverheads struct {
+	PowerPerRack    units.Watts
+	EmbodiedPerRack units.KgCO2e
+	PUE             float64
+}
+
+// Overheads extracts the dataset's DC overheads.
+func (m *Model) Overheads() DCOverheads {
+	return DCOverheads{
+		PowerPerRack:    m.Data.DCPowerPerRack,
+		EmbodiedPerRack: m.Data.DCEmbodiedPerRack,
+		PUE:             m.Data.PUE,
+	}
+}
+
+// DataCenter is the datacenter-level output.
+type DataCenter struct {
+	Rack             Rack
+	Racks            int          // N_r
+	PowerConstrained bool         // racks limited by facility power, not space
+	Power            units.Watts  // P_DC (PUE applied)
+	Embodied         units.KgCO2e // E_emb,DC
+	Cores            int          // N_c,DC
+}
+
+// DataCenter fills a facility with racks of the given SKU, mirroring
+// the rack-level min(space, power) rule one level up.
+func (m *Model) DataCenter(sku hw.SKU, p DCParams) (DataCenter, error) {
+	if p.SpaceRacks <= 0 || p.PowerCap <= 0 {
+		return DataCenter{}, fmt.Errorf("carbon: datacenter needs positive space and power")
+	}
+	if p.PUE < 1 {
+		return DataCenter{}, fmt.Errorf("carbon: PUE %v below 1", p.PUE)
+	}
+	r, err := m.Rack(sku)
+	if err != nil {
+		return DataCenter{}, err
+	}
+	dc := DataCenter{Rack: r}
+	budget := float64(p.PowerCap) - float64(p.NetworkStoragePower)
+	if budget < 0 {
+		budget = 0
+	}
+	powerLimit := int(math.Floor(budget / float64(r.Power)))
+	if powerLimit < p.SpaceRacks {
+		dc.Racks = powerLimit
+		dc.PowerConstrained = true
+	} else {
+		dc.Racks = p.SpaceRacks
+	}
+	n := float64(dc.Racks)
+	dc.Power = units.Watts((n*float64(r.Power) + float64(p.NetworkStoragePower)) * p.PUE)
+	dc.Embodied = units.KgCO2e(n*float64(r.Embodied)) + p.NetworkStorageEmbodied + p.BuildingEmbodied
+	dc.Cores = dc.Racks * r.Cores
+	return dc, nil
+}
+
+// DataCenterPerCore computes the paper's final output — datacenter
+// emissions amortised per core — from the explicit facility model.
+func (m *Model) DataCenterPerCore(sku hw.SKU, p DCParams, ci units.CarbonIntensity) (PerCore, error) {
+	dc, err := m.DataCenter(sku, p)
+	if err != nil {
+		return PerCore{}, err
+	}
+	if dc.Cores == 0 {
+		return PerCore{}, fmt.Errorf("carbon: datacenter fits zero racks of %s", sku.Name)
+	}
+	op := ci.Emissions(m.Data.Lifetime.Energy(dc.Power))
+	n := float64(dc.Cores)
+	return PerCore{
+		SKU:         sku.Name,
+		Operational: units.KgCO2e(float64(op) / n),
+		Embodied:    units.KgCO2e(float64(dc.Embodied) / n),
+	}, nil
+}

@@ -1,0 +1,174 @@
+package carbon
+
+import (
+	"math"
+	"testing"
+
+	"github.com/greensku/gsf/internal/carbondata"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/units"
+)
+
+func dcParams(m *Model, racks int) DCParams {
+	return DefaultDCParams(racks, m.Overheads())
+}
+
+func TestDataCenterSpaceConstrained(t *testing.T) {
+	m := mustModel(t, carbondata.OpenSource())
+	p := dcParams(m, 100)
+	dc, err := m.DataCenter(hw.GreenSKUCXL(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 racks of 15 kW budget minus networking power leaves room
+	// for fewer than 100 racks at ~7 kW each? No: budget is
+	// 1.5 MW - 90 kW = 1.41 MW over ~7.17 kW racks = 196 racks, so
+	// space (100) binds.
+	if dc.PowerConstrained {
+		t.Fatalf("expected space-constrained facility, got power-constrained at %d racks", dc.Racks)
+	}
+	if dc.Racks != 100 {
+		t.Fatalf("racks = %d, want 100", dc.Racks)
+	}
+	if dc.Cores != 100*16*128 {
+		t.Fatalf("cores = %d, want %d", dc.Cores, 100*16*128)
+	}
+}
+
+func TestDataCenterPowerConstrained(t *testing.T) {
+	m := mustModel(t, carbondata.OpenSource())
+	p := dcParams(m, 100)
+	p.PowerCap = 500000 // 0.5 MW facility
+	dc, err := m.DataCenter(hw.GreenSKUCXL(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dc.PowerConstrained {
+		t.Fatal("expected power-constrained facility")
+	}
+	if dc.Racks >= 100 || dc.Racks <= 0 {
+		t.Fatalf("racks = %d, want in (0, 100)", dc.Racks)
+	}
+}
+
+func TestDataCenterPerCoreMatchesPerCoreDC(t *testing.T) {
+	// The explicit facility model with DefaultDCParams must agree
+	// with the amortised PerCoreDC shortcut when space binds (both
+	// spread the same per-rack overheads).
+	m := mustModel(t, carbondata.OpenSource())
+	sku := hw.BaselineGen3()
+	explicit, err := m.DataCenterPerCore(sku, dcParams(m, 100), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shortcut, err := m.PerCoreDC(sku, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(explicit.Operational-shortcut.Operational)) > 0.01 {
+		t.Errorf("operational per-core: explicit %v vs shortcut %v", explicit.Operational, shortcut.Operational)
+	}
+	if math.Abs(float64(explicit.Embodied-shortcut.Embodied)) > 0.01 {
+		t.Errorf("embodied per-core: explicit %v vs shortcut %v", explicit.Embodied, shortcut.Embodied)
+	}
+}
+
+func TestDataCenterPUEScalesOperationalOnly(t *testing.T) {
+	m := mustModel(t, carbondata.OpenSource())
+	p := dcParams(m, 50)
+	base, err := m.DataCenter(hw.GreenSKUFull(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.PUE = p.PUE * 1.2
+	hot, err := m.DataCenter(hw.GreenSKUFull(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(hot.Power)/float64(base.Power)-1.2) > 1e-9 {
+		t.Errorf("PUE should scale power linearly: %v vs %v", hot.Power, base.Power)
+	}
+	if hot.Embodied != base.Embodied {
+		t.Error("PUE must not change embodied emissions")
+	}
+}
+
+func TestDataCenterBuildingEmbodied(t *testing.T) {
+	m := mustModel(t, carbondata.OpenSource())
+	p := dcParams(m, 50)
+	p.BuildingEmbodied = 1e6
+	with, err := m.DataCenter(hw.BaselineGen3(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.BuildingEmbodied = 0
+	without, err := m.DataCenter(hw.BaselineGen3(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(with.Embodied-without.Embodied) != 1e6 {
+		t.Errorf("building embodied not added: %v vs %v", with.Embodied, without.Embodied)
+	}
+}
+
+func TestDataCenterGreenHoldsMoreCores(t *testing.T) {
+	// The amortisation argument of §VI: in the same facility,
+	// GreenSKU racks hold 60% more cores than baseline racks, so
+	// fixed overheads spread thinner per core.
+	m := mustModel(t, carbondata.OpenSource())
+	p := dcParams(m, 80)
+	green, err := m.DataCenter(hw.GreenSKUEfficient(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := m.DataCenter(hw.BaselineGen3(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(green.Cores)/float64(base.Cores) != 1.6 {
+		t.Fatalf("core ratio = %v, want 1.6 (128/80)", float64(green.Cores)/float64(base.Cores))
+	}
+}
+
+func TestDataCenterValidation(t *testing.T) {
+	m := mustModel(t, carbondata.OpenSource())
+	if _, err := m.DataCenter(hw.BaselineGen3(), DCParams{SpaceRacks: 0, PowerCap: 1, PUE: 1.2}); err == nil {
+		t.Error("accepted zero space")
+	}
+	if _, err := m.DataCenter(hw.BaselineGen3(), DCParams{SpaceRacks: 10, PowerCap: 1e6, PUE: 0.5}); err == nil {
+		t.Error("accepted PUE < 1")
+	}
+	p := dcParams(m, 10)
+	p.PowerCap = 1 // even networking power exceeds it
+	dc, err := m.DataCenter(hw.BaselineGen3(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Racks != 0 {
+		t.Errorf("racks = %d, want 0 when power is exhausted by overheads", dc.Racks)
+	}
+	if _, err := m.DataCenterPerCore(hw.BaselineGen3(), p, 0.1); err == nil {
+		t.Error("per-core over zero racks should error")
+	}
+}
+
+func TestPropertyDCPerCoreCIlinearity(t *testing.T) {
+	// Operational per-core emissions are linear in carbon intensity.
+	m := mustModel(t, carbondata.OpenSource())
+	p := dcParams(m, 60)
+	at := func(ci float64) PerCore {
+		pc, err := m.DataCenterPerCore(hw.GreenSKUFull(), p, units.CarbonIntensity(ci))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pc
+	}
+	a, b, c := at(0.1), at(0.2), at(0.4)
+	if math.Abs(float64(b.Operational)/float64(a.Operational)-2) > 1e-9 ||
+		math.Abs(float64(c.Operational)/float64(a.Operational)-4) > 1e-9 {
+		t.Error("operational per-core not linear in CI")
+	}
+	if a.Embodied != b.Embodied || b.Embodied != c.Embodied {
+		t.Error("embodied per-core must not depend on CI")
+	}
+}

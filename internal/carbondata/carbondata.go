@@ -1,0 +1,276 @@
+// Package carbondata holds the carbon-accounting datasets consumed by
+// the carbon model: per-component TDP and embodied emissions, plus the
+// datacenter parameters of Appendix A (derating factor, rack limits,
+// lifetime, carbon intensity, PUE).
+//
+// Three datasets are provided:
+//
+//   - WorkedExample: exactly the Table V/VI numbers, restricted to the
+//     four component types used in §V's step-by-step example, so the
+//     example's intermediate values (P_s = 403 W, E_emb,s = 1644 kg,
+//     E_r = 63,351 kg, 31 kg/core) reproduce to the digit.
+//   - OpenSource: Table V/VI extended with the values the example omits
+//     for brevity (the Gen3 Genoa CPU, per-server base hardware,
+//     reused-SSD power). Reproduces Table VIII within rounding slack.
+//   - PaperCalibrated: fitted to the per-core savings the paper reports
+//     from Azure-internal data (Table IV), used for the Fig. 11
+//     reproduction.
+//
+// Values marked "fitted:" are not published by the paper; they were
+// chosen so the model reproduces a stated result.
+package carbondata
+
+import (
+	"fmt"
+
+	"github.com/greensku/gsf/internal/units"
+)
+
+// Component carries the two carbon-relevant properties of a hardware
+// component: its thermal design power and its embodied emissions.
+// Depending on the component, values are per unit (CPU, CXL subsystem,
+// server base, rack), per GB (DRAM), or per TB (SSD).
+type Component struct {
+	TDP      units.Watts
+	Embodied units.KgCO2e
+	// VRLoss is the component's power-delivery loss factor (e.g. 0.05
+	// for the CPU's voltage regulators in the paper's example). Zero
+	// means no modelled loss.
+	VRLoss float64
+}
+
+// Dataset is a complete set of inputs for the carbon model.
+type Dataset struct {
+	Name string
+
+	// CPUs maps a CPU name (hw.CPUSpec.Name) to its carbon data.
+	CPUs map[string]Component
+
+	// DRAMPerGB is first-life direct-attached DRAM, per GB.
+	DRAMPerGB Component
+	// ReusedDRAMPerGB is second-life (reused) DRAM, per GB. Embodied
+	// is zero: the paper counts reused components in their "second
+	// life" with no embodied emissions.
+	ReusedDRAMPerGB Component
+	// SSDPerTB is first-life SSD storage, per TB.
+	SSDPerTB Component
+	// ReusedSSDPerTB is second-life SSD storage, per TB.
+	ReusedSSDPerTB Component
+	// CXLSubsystem is the CXL memory-expansion hardware of one SKU
+	// (controllers plus carrier cards), matching Table V's single
+	// "CXL Controller" line item.
+	CXLSubsystem Component
+	// ServerBase is the per-server fixed hardware: chassis, board,
+	// NIC, fans, management controller, power supplies.
+	ServerBase Component
+	// RackMisc is the empty rack: structure, power bus, rack
+	// controller ("Rack misc." in Table V: 500 W, 500 kgCO2e).
+	RackMisc Component
+
+	// DerateFactor scales component TDP to average draw (Table VI:
+	// 0.44 at 40% SPEC rate).
+	DerateFactor float64
+	// Lifetime is the server deployment lifetime (Table VI: 6 years).
+	Lifetime units.Hours
+	// DefaultCI is the average grid carbon intensity across major
+	// Azure regions (Table VI: 0.1 kgCO2e/kWh).
+	DefaultCI units.CarbonIntensity
+
+	// RackSpaceU is rack space available for servers (Table VI: 42U
+	// minus 10U overhead = 32U).
+	RackSpaceU int
+	// RackPowerCap is the rack power limit (Table VI: 15 kW).
+	RackPowerCap units.Watts
+
+	// PUE is the datacenter power usage effectiveness applied at the
+	// datacenter level.
+	PUE float64
+	// DCPowerPerRack is non-compute IT power (networking, storage)
+	// amortised per compute rack (X / N_r in §V's notation).
+	DCPowerPerRack units.Watts
+	// DCEmbodiedPerRack is networking/storage/building embodied
+	// emissions amortised per compute rack ((Y + Z) / N_r).
+	DCEmbodiedPerRack units.KgCO2e
+}
+
+// Validate checks the dataset for structurally impossible values.
+func (d Dataset) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("carbondata: dataset has no name")
+	}
+	if d.DerateFactor <= 0 || d.DerateFactor > 1 {
+		return fmt.Errorf("carbondata: %s: derate factor %v out of (0,1]", d.Name, d.DerateFactor)
+	}
+	if d.Lifetime <= 0 {
+		return fmt.Errorf("carbondata: %s: non-positive lifetime", d.Name)
+	}
+	if d.DefaultCI < 0 {
+		return fmt.Errorf("carbondata: %s: negative carbon intensity", d.Name)
+	}
+	if d.RackSpaceU <= 0 || d.RackPowerCap <= 0 {
+		return fmt.Errorf("carbondata: %s: rack limits must be positive", d.Name)
+	}
+	if d.PUE < 1 {
+		return fmt.Errorf("carbondata: %s: PUE %v below 1", d.Name, d.PUE)
+	}
+	comps := []struct {
+		name string
+		c    Component
+	}{
+		{"DRAMPerGB", d.DRAMPerGB}, {"ReusedDRAMPerGB", d.ReusedDRAMPerGB},
+		{"SSDPerTB", d.SSDPerTB}, {"ReusedSSDPerTB", d.ReusedSSDPerTB},
+		{"CXLSubsystem", d.CXLSubsystem}, {"ServerBase", d.ServerBase},
+		{"RackMisc", d.RackMisc},
+	}
+	for _, c := range comps {
+		if c.c.TDP < 0 || c.c.Embodied < 0 || c.c.VRLoss < 0 {
+			return fmt.Errorf("carbondata: %s: component %s has negative values", d.Name, c.name)
+		}
+	}
+	for name, c := range d.CPUs {
+		if c.TDP <= 0 {
+			return fmt.Errorf("carbondata: %s: CPU %s has non-positive TDP", d.Name, name)
+		}
+		if c.Embodied < 0 {
+			return fmt.Errorf("carbondata: %s: CPU %s has negative embodied", d.Name, name)
+		}
+	}
+	if len(d.CPUs) == 0 {
+		return fmt.Errorf("carbondata: %s: no CPU carbon data", d.Name)
+	}
+	return nil
+}
+
+// CPU returns the carbon data for the named CPU.
+func (d Dataset) CPU(name string) (Component, error) {
+	c, ok := d.CPUs[name]
+	if !ok {
+		return Component{}, fmt.Errorf("carbondata: %s: no carbon data for CPU %q", d.Name, name)
+	}
+	return c, nil
+}
+
+// tableVI returns the shared Table VI parameters.
+func tableVI(d *Dataset) {
+	d.DerateFactor = 0.44
+	d.Lifetime = units.Years(6)
+	d.DefaultCI = 0.1
+	d.RackSpaceU = 32 // 42U minus 10U overhead
+	d.RackPowerCap = 15000
+	d.RackMisc = Component{TDP: 500, Embodied: 500}
+	d.PUE = 1.18                // fitted: typical hyperscale PUE; Fig 1 non-IT share
+	d.DCPowerPerRack = 900      // fitted: networking+storage power per compute rack
+	d.DCEmbodiedPerRack = 26000 // fitted: storage/network/building embodied per compute rack
+}
+
+// WorkedExample returns exactly the data used in §V's step-by-step
+// rack-level calculation: Table V's four component rows and Table VI's
+// parameters, with no per-server base hardware.
+func WorkedExample() Dataset {
+	d := Dataset{
+		Name: "worked-example",
+		CPUs: map[string]Component{
+			"Bergamo": {TDP: 400, Embodied: 28.3, VRLoss: 0.05},
+		},
+		DRAMPerGB:       Component{TDP: 0.37, Embodied: 1.65},
+		ReusedDRAMPerGB: Component{TDP: 0.37, Embodied: 0},
+		SSDPerTB:        Component{TDP: 5.6, Embodied: 17.3},
+		ReusedSSDPerTB:  Component{TDP: 5.6, Embodied: 0},
+		CXLSubsystem:    Component{TDP: 5.8, Embodied: 2.5},
+		ServerBase:      Component{},
+	}
+	tableVI(&d)
+	return d
+}
+
+// OpenSource returns the Appendix A open dataset extended with the
+// values the worked example omits for brevity: baseline-generation CPUs,
+// per-server base hardware, and reused-SSD power. This dataset drives
+// the Table VIII and Fig. 12 reproductions.
+func OpenSource() Dataset {
+	d := WorkedExample()
+	d.Name = "open-source"
+	d.CPUs = map[string]Component{
+		"Bergamo": {TDP: 400, Embodied: 28.3, VRLoss: 0.05},
+		// fitted: Genoa at 320 W / 30 kg reproduces Table VIII's
+		// Baseline-Resized (6% op) and GreenSKU-Efficient (16% op)
+		// savings; TDP is within Table I's 300-350 W range.
+		"Genoa": {TDP: 320, Embodied: 30, VRLoss: 0.05},
+		// Older DDR4 platforms; used only by the performance study's
+		// Gen1/Gen2 baselines, not by Table VIII.
+		"Milan": {TDP: 280, Embodied: 26, VRLoss: 0.05},
+		"Rome":  {TDP: 240, Embodied: 24, VRLoss: 0.05},
+	}
+	// fitted: per-server base hardware (chassis, board, NIC, fans,
+	// BMC, PSUs) at 30 W / 300 kg; with it, per-core embodied savings
+	// land within rounding of Table VIII.
+	d.ServerBase = Component{TDP: 30, Embodied: 300}
+	// fitted: reused DDR4 behind CXL draws more wall power per GB than
+	// the worked example's brevity value (0.37) once controller-side
+	// DRAM interface power is attributed; 0.583 W/GB reproduces Table
+	// VIII's GreenSKU-CXL operational savings (15%) landing below
+	// GreenSKU-Efficient's (16%), which is the paper's headline
+	// operational-vs-embodied tradeoff.
+	d.ReusedDRAMPerGB = Component{TDP: 0.583, Embodied: 0}
+	// fitted: reused m.2 SSDs draw more power per TB than new E1.s
+	// drives (§III/§VI: "reused SSDs are less energy efficient"),
+	// which makes GreenSKU-Full's operational savings lower than
+	// GreenSKU-CXL's as in Table VIII (14% vs 15%).
+	d.ReusedSSDPerTB = Component{TDP: 7, Embodied: 0}
+	return d
+}
+
+// PaperCalibrated returns a dataset fitted so the model's per-core
+// savings match Table IV (the paper's Azure-internal results): 23%, 24%,
+// and 28% total savings for GreenSKU-Efficient/-CXL/-Full. It exists so
+// the Fig. 11 reproduction exercises the same operating regime as the
+// paper's internal data.
+func PaperCalibrated() Dataset {
+	d := OpenSource()
+	d.Name = "paper-calibrated"
+	// fitted: this entire parameter set was solved so the rack-level
+	// per-core savings at CI = 0.1 reproduce all twelve cells of
+	// Table IV (see carbon.TestTableIV):
+	//
+	//	Baseline-Resized     ~3% op /  6% emb /  ~4% total
+	//	GreenSKU-Efficient   29% op / 14% emb /  23% total
+	//	GreenSKU-CXL         23% op / 25% emb /  24% total
+	//	GreenSKU-Full        17% op / 43% emb /  28% total
+	//
+	// and the implied operational share of baseline emissions is
+	// ~58%, matching §II's renewable-mix accounting.
+	d.CPUs = map[string]Component{
+		"Bergamo": {TDP: 267, Embodied: 108.1, VRLoss: 0.05},
+		"Genoa":   {TDP: 300, Embodied: 104, VRLoss: 0.05},
+		"Milan":   {TDP: 280, Embodied: 95, VRLoss: 0.05},
+		"Rome":    {TDP: 240, Embodied: 90, VRLoss: 0.05},
+	}
+	d.DRAMPerGB = Component{TDP: 0.2, Embodied: 0.5026}
+	d.ReusedDRAMPerGB = Component{TDP: 0.517, Embodied: 0}
+	d.SSDPerTB = Component{TDP: 5.6, Embodied: 25.74}
+	d.ReusedSSDPerTB = Component{TDP: 10.7, Embodied: 0}
+	d.CXLSubsystem = Component{TDP: 5.8, Embodied: 4.33}
+	d.ServerBase = Component{TDP: 33, Embodied: 219.2}
+	d.RackMisc = Component{TDP: 500, Embodied: 866}
+	return d
+}
+
+// Datasets returns all built-in datasets keyed by name.
+func Datasets() map[string]Dataset {
+	out := map[string]Dataset{}
+	for _, d := range []Dataset{WorkedExample(), OpenSource(), PaperCalibrated()} {
+		out[d.Name] = d
+	}
+	return out
+}
+
+// RegionCI lists the estimated grid carbon intensities for the three
+// Azure datacenter regions annotated on Fig. 11/12.
+var RegionCI = []struct {
+	Region string
+	CI     units.CarbonIntensity
+}{
+	{"Azure-us-south", 0.035},
+	{"Azure-us-east", 0.095},
+	{"Azure-europe-north", 0.35},
+}

@@ -1,0 +1,114 @@
+package carbondata
+
+import (
+	"testing"
+
+	"github.com/greensku/gsf/internal/units"
+)
+
+func TestBuiltinDatasetsValidate(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 3 {
+		t.Fatalf("Datasets() returned %d datasets, want 3", len(ds))
+	}
+	for name, d := range ds {
+		if err := d.Validate(); err != nil {
+			t.Errorf("dataset %s invalid: %v", name, err)
+		}
+		if d.Name != name {
+			t.Errorf("dataset keyed %q has Name %q", name, d.Name)
+		}
+	}
+}
+
+func TestTableVValues(t *testing.T) {
+	d := WorkedExample()
+	cpu, err := d.CPU("Bergamo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu.TDP != 400 || cpu.Embodied != 28.3 {
+		t.Errorf("Bergamo = %+v, want TDP 400 / embodied 28.3 (Table V)", cpu)
+	}
+	if d.DRAMPerGB.TDP != 0.37 || d.DRAMPerGB.Embodied != 1.65 {
+		t.Errorf("DDR5 = %+v, want 0.37 W/GB, 1.65 kg/GB", d.DRAMPerGB)
+	}
+	if d.ReusedDRAMPerGB.Embodied != 0 {
+		t.Error("reused DDR4 must have zero embodied (second life)")
+	}
+	if d.SSDPerTB.TDP != 5.6 || d.SSDPerTB.Embodied != 17.3 {
+		t.Errorf("SSD = %+v, want 5.6 W/TB, 17.3 kg/TB", d.SSDPerTB)
+	}
+	if d.CXLSubsystem.TDP != 5.8 || d.CXLSubsystem.Embodied != 2.5 {
+		t.Errorf("CXL = %+v, want 5.8 W, 2.5 kg", d.CXLSubsystem)
+	}
+	if d.RackMisc.TDP != 500 || d.RackMisc.Embodied != 500 {
+		t.Errorf("rack misc = %+v, want 500/500", d.RackMisc)
+	}
+}
+
+func TestTableVIValues(t *testing.T) {
+	d := WorkedExample()
+	if d.DerateFactor != 0.44 {
+		t.Errorf("derate = %v, want 0.44", d.DerateFactor)
+	}
+	if d.Lifetime != units.Years(6) {
+		t.Errorf("lifetime = %v, want 6 years", d.Lifetime)
+	}
+	if d.DefaultCI != 0.1 {
+		t.Errorf("CI = %v, want 0.1", d.DefaultCI)
+	}
+	if d.RackSpaceU != 32 {
+		t.Errorf("rack space = %d U, want 32 (42U - 10U overhead)", d.RackSpaceU)
+	}
+	if d.RackPowerCap != 15000 {
+		t.Errorf("rack power cap = %v, want 15 kW", d.RackPowerCap)
+	}
+	cpu, _ := d.CPU("Bergamo")
+	if cpu.VRLoss != 0.05 {
+		t.Errorf("CPU VR loss = %v, want 0.05", cpu.VRLoss)
+	}
+}
+
+func TestValidateCatchesBadData(t *testing.T) {
+	bad := []func(*Dataset){
+		func(d *Dataset) { d.Name = "" },
+		func(d *Dataset) { d.DerateFactor = 0 },
+		func(d *Dataset) { d.DerateFactor = 1.5 },
+		func(d *Dataset) { d.Lifetime = 0 },
+		func(d *Dataset) { d.DefaultCI = -1 },
+		func(d *Dataset) { d.RackSpaceU = 0 },
+		func(d *Dataset) { d.PUE = 0.9 },
+		func(d *Dataset) { d.DRAMPerGB.TDP = -1 },
+		func(d *Dataset) { d.CPUs = map[string]Component{} },
+		func(d *Dataset) { d.CPUs = map[string]Component{"X": {TDP: 0}} },
+		func(d *Dataset) { d.CPUs = map[string]Component{"X": {TDP: 100, Embodied: -5}} },
+	}
+	for i, mutate := range bad {
+		d := OpenSource()
+		mutate(&d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted corrupted dataset", i)
+		}
+	}
+}
+
+func TestCPUUnknown(t *testing.T) {
+	d := WorkedExample()
+	if _, err := d.CPU("Pentium"); err == nil {
+		t.Fatal("expected error for unknown CPU")
+	}
+}
+
+func TestRegionCIOrdering(t *testing.T) {
+	// Fig. 11: us-south has the lowest CI, europe-north the highest.
+	if len(RegionCI) != 3 {
+		t.Fatalf("want 3 annotated regions, got %d", len(RegionCI))
+	}
+	if !(RegionCI[0].CI < RegionCI[1].CI && RegionCI[1].CI < RegionCI[2].CI) {
+		t.Error("regions should be ordered by carbon intensity")
+	}
+	if RegionCI[0].Region != "Azure-us-south" || RegionCI[2].Region != "Azure-europe-north" {
+		t.Errorf("unexpected region names: %+v", RegionCI)
+	}
+}

@@ -1,0 +1,199 @@
+// Package cluster implements GSF's cluster-sizing component (§IV-D,
+// §V): it right-sizes a baseline-only cluster for a VM trace, then
+// finds the smallest mixed cluster of GreenSKUs plus baseline SKUs that
+// still hosts the trace without rejecting any VM, and compares the two
+// clusters' lifetime carbon.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/greensku/gsf/internal/alloc"
+	"github.com/greensku/gsf/internal/carbon"
+	"github.com/greensku/gsf/internal/trace"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// Sizer runs right-sizing searches for one workload and SKU pair.
+type Sizer struct {
+	Base   alloc.ServerClass
+	Green  alloc.ServerClass
+	Policy alloc.Policy
+	// Decide is the adoption component's per-VM directive used when
+	// GreenSKUs are present.
+	Decide alloc.Decider
+	// MaxServers caps the search (guards against unhostable traces).
+	MaxServers int
+}
+
+func (s *Sizer) maxServers(tr trace.Trace) int {
+	if s.MaxServers > 0 {
+		return s.MaxServers
+	}
+	st := trace.Summarise(tr)
+	perCores := int(math.Ceil(float64(st.PeakCoreDmd)/float64(s.Base.Cores))) + st.FullNodeVMs
+	perMem := int(math.Ceil(float64(st.PeakMemoryDmd) / float64(s.Base.Memory)))
+	n := perCores
+	if perMem > n {
+		n = perMem
+	}
+	// Fragmentation means the right size can exceed the fluid bound;
+	// 3x plus slack is a safe ceiling.
+	return 3*n + 8
+}
+
+func (s *Sizer) hosts(tr trace.Trace, nBase, nGreen int) (bool, error) {
+	if nBase+nGreen == 0 {
+		return len(tr.VMs) == 0, nil
+	}
+	res, err := alloc.Simulate(tr, alloc.Config{
+		Base: s.Base, NBase: nBase,
+		Green: s.Green, NGreen: nGreen,
+		Policy: s.Policy, PreferNonEmpty: true,
+	}, s.Decide)
+	if err != nil {
+		return false, err
+	}
+	return res.Rejected == 0, nil
+}
+
+// searchMin finds the smallest n in [0, hi] for which ok(n) holds,
+// assuming ok is (approximately) monotone; it verifies the result and
+// walks upward if fragmentation breaks monotonicity at the boundary.
+func searchMin(hi int, ok func(int) (bool, error)) (int, error) {
+	if fits, err := ok(hi); err != nil {
+		return 0, err
+	} else if !fits {
+		return 0, fmt.Errorf("cluster: workload does not fit within %d servers", hi)
+	}
+	lo := 0
+	for lo < hi {
+		mid := (lo + hi) / 2
+		fits, err := ok(mid)
+		if err != nil {
+			return 0, err
+		}
+		if fits {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}
+
+// RightSizeBaseline returns the minimum number of baseline servers that
+// host the trace with no rejections (the paper's first sizing step).
+func (s *Sizer) RightSizeBaseline(tr trace.Trace) (int, error) {
+	if err := tr.Validate(); err != nil {
+		return 0, err
+	}
+	return searchMin(s.maxServers(tr), func(n int) (bool, error) {
+		return s.hosts(tr, n, 0)
+	})
+}
+
+// Mix is a sized mixed cluster.
+type Mix struct {
+	BaselineOnly int // right-sized all-baseline cluster
+	NBase        int // baseline servers kept in the mixed cluster
+	NGreen       int // GreenSKU servers in the mixed cluster
+}
+
+// MixedSize performs the paper's incremental-replacement search: after
+// right-sizing the baseline-only cluster, it finds the fewest baseline
+// servers that must remain (hosting non-adopting and full-node VMs) and
+// then the fewest GreenSKUs that, together with them, host everything.
+func (s *Sizer) MixedSize(tr trace.Trace) (Mix, error) {
+	var m Mix
+	n0, err := s.RightSizeBaseline(tr)
+	if err != nil {
+		return m, err
+	}
+	m.BaselineOnly = n0
+	if s.Green.Cores == 0 {
+		m.NBase = n0
+		return m, nil
+	}
+	// Plenty of green capacity while minimising baseline count.
+	greenCap := s.maxServers(tr)
+	m.NBase, err = searchMin(n0, func(n int) (bool, error) {
+		return s.hosts(tr, n, greenCap)
+	})
+	if err != nil {
+		return m, err
+	}
+	m.NGreen, err = searchMin(greenCap, func(n int) (bool, error) {
+		return s.hosts(tr, m.NBase, n)
+	})
+	if err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// Emissions computes a cluster's lifetime carbon from per-core
+// emissions (rack-amortised) at a given carbon intensity.
+func Emissions(n int, class alloc.ServerClass, pc carbon.PerCore) units.KgCO2e {
+	return units.KgCO2e(float64(n) * float64(class.Cores) * float64(pc.Total()))
+}
+
+// SavingsInput bundles what the savings calculation needs per SKU.
+type SavingsInput struct {
+	Class   alloc.ServerClass
+	PerCore carbon.PerCore
+}
+
+// Savings returns the relative carbon reduction of the mixed cluster
+// versus the right-sized all-baseline cluster (Fig. 11's y-axis).
+func Savings(m Mix, base, green SavingsInput) float64 {
+	all := Emissions(m.BaselineOnly, base.Class, base.PerCore)
+	mixed := Emissions(m.NBase, base.Class, base.PerCore) + Emissions(m.NGreen, green.Class, green.PerCore)
+	if all == 0 {
+		return 0
+	}
+	return 1 - float64(mixed)/float64(all)
+}
+
+// PackingComparison holds the Fig. 9/10 measurements for one trace:
+// packing densities and memory utilisation for the right-sized
+// all-baseline cluster and for the GreenSKUs of the mixed cluster.
+type PackingComparison struct {
+	Trace string
+	Mix   Mix
+	// Baseline stats come from the all-baseline right-sized cluster.
+	Baseline alloc.ClassStats
+	// Green stats come from the GreenSKU servers of the mixed cluster.
+	Green alloc.ClassStats
+}
+
+// ComparePacking right-sizes both cluster shapes for the trace and
+// returns their packing measurements.
+func (s *Sizer) ComparePacking(tr trace.Trace) (PackingComparison, error) {
+	var pc PackingComparison
+	pc.Trace = tr.Name
+	m, err := s.MixedSize(tr)
+	if err != nil {
+		return pc, err
+	}
+	pc.Mix = m
+	baseRes, err := alloc.Simulate(tr, alloc.Config{
+		Base: s.Base, NBase: m.BaselineOnly,
+		Policy: s.Policy, PreferNonEmpty: true,
+	}, alloc.AdoptNone)
+	if err != nil {
+		return pc, err
+	}
+	pc.Baseline = baseRes.Base
+	mixRes, err := alloc.Simulate(tr, alloc.Config{
+		Base: s.Base, NBase: m.NBase,
+		Green: s.Green, NGreen: m.NGreen,
+		Policy: s.Policy, PreferNonEmpty: true,
+	}, s.Decide)
+	if err != nil {
+		return pc, err
+	}
+	pc.Green = mixRes.Green
+	return pc, nil
+}

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"github.com/greensku/gsf/internal/alloc"
+	"github.com/greensku/gsf/internal/carbon"
+	"github.com/greensku/gsf/internal/trace"
+)
+
+func baseClass() alloc.ServerClass {
+	return alloc.ServerClass{Name: "base", Cores: 80, Memory: 768, LocalMemory: 768}
+}
+
+func greenClass() alloc.ServerClass {
+	return alloc.ServerClass{Name: "green", Cores: 128, Memory: 1024, LocalMemory: 768, Green: true}
+}
+
+func testTrace(t *testing.T, seed uint64) trace.Trace {
+	t.Helper()
+	p := trace.DefaultParams("cluster-test", seed)
+	p.HorizonHours = 24 * 4
+	p.ArrivalsPerHour = 10
+	tr, err := trace.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRightSizeBaselineHosts(t *testing.T) {
+	tr := testTrace(t, 1)
+	s := &Sizer{Base: baseClass(), Policy: alloc.BestFit, Decide: alloc.AdoptNone}
+	n, err := s.RightSizeBaseline(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("right-sized cluster is empty")
+	}
+	// n hosts the trace; n-1 must not (minimality).
+	ok, err := s.hosts(tr, n, 0)
+	if err != nil || !ok {
+		t.Fatalf("right-sized cluster rejects VMs: %v", err)
+	}
+	if n > 1 {
+		ok, err = s.hosts(tr, n-1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("cluster of %d already hosts the trace; %d is not minimal", n-1, n)
+		}
+	}
+	// Sanity: the size is near the fluid bound.
+	st := trace.Summarise(tr)
+	lower := st.PeakCoreDmd / baseClass().Cores
+	if n < lower || n > 3*lower+8 {
+		t.Fatalf("right size %d implausible vs fluid bound %d", n, lower)
+	}
+}
+
+func TestMixedSizeReplacesBaselines(t *testing.T) {
+	tr := testTrace(t, 2)
+	s := &Sizer{Base: baseClass(), Green: greenClass(), Policy: alloc.BestFit, Decide: alloc.AdoptAll}
+	m, err := s.MixedSize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NGreen == 0 {
+		t.Fatal("no GreenSKUs in the mixed cluster despite universal adoption")
+	}
+	if m.NBase >= m.BaselineOnly {
+		t.Fatalf("mixed cluster keeps %d baselines, not fewer than %d", m.NBase, m.BaselineOnly)
+	}
+	// Full-node VMs exist, so some baseline servers must remain.
+	if m.NBase == 0 {
+		t.Fatal("full-node VMs require baseline servers")
+	}
+	// Verify the mix actually hosts the trace.
+	ok, err := s.hosts(tr, m.NBase, m.NGreen)
+	if err != nil || !ok {
+		t.Fatalf("mixed cluster rejects VMs: %v", err)
+	}
+}
+
+func TestMixedSizeNoAdoption(t *testing.T) {
+	// When nothing adopts, green servers are useless: the mixed
+	// cluster degenerates to the baseline-only cluster.
+	tr := testTrace(t, 3)
+	s := &Sizer{Base: baseClass(), Green: greenClass(), Policy: alloc.BestFit, Decide: alloc.AdoptNone}
+	m, err := s.MixedSize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NBase != m.BaselineOnly {
+		t.Fatalf("no-adoption mix keeps %d baselines, want %d", m.NBase, m.BaselineOnly)
+	}
+	if m.NGreen != 0 {
+		t.Fatalf("no-adoption mix has %d green servers, want 0", m.NGreen)
+	}
+}
+
+func TestSavingsPositiveWhenGreenCheaper(t *testing.T) {
+	m := Mix{BaselineOnly: 10, NBase: 2, NGreen: 5}
+	base := SavingsInput{Class: baseClass(), PerCore: carbon.PerCore{Operational: 23, Embodied: 23}}
+	green := SavingsInput{Class: greenClass(), PerCore: carbon.PerCore{Operational: 19, Embodied: 14}}
+	s := Savings(m, base, green)
+	// all-baseline: 10*80*46 = 36800; mixed: 2*80*46 + 5*128*33 = 28480.
+	want := 1 - 28480.0/36800
+	if math.Abs(s-want) > 1e-9 {
+		t.Fatalf("savings = %v, want %v", s, want)
+	}
+}
+
+func TestSavingsZeroCluster(t *testing.T) {
+	if got := Savings(Mix{}, SavingsInput{Class: baseClass()}, SavingsInput{Class: greenClass()}); got != 0 {
+		t.Fatalf("savings of empty cluster = %v, want 0", got)
+	}
+}
+
+func TestEmissions(t *testing.T) {
+	pc := carbon.PerCore{Operational: 20, Embodied: 10}
+	if got := Emissions(2, baseClass(), pc); got != 2*80*30 {
+		t.Fatalf("Emissions = %v, want 4800", got)
+	}
+}
+
+func TestComparePacking(t *testing.T) {
+	tr := testTrace(t, 4)
+	s := &Sizer{Base: baseClass(), Green: greenClass(), Policy: alloc.BestFit, Decide: alloc.AdoptAll}
+	pc, err := s.ComparePacking(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Baseline.CorePacking <= 0 || pc.Baseline.CorePacking > 1 {
+		t.Fatalf("baseline core packing out of range: %v", pc.Baseline.CorePacking)
+	}
+	if pc.Green.CorePacking <= 0 || pc.Green.CorePacking > 1 {
+		t.Fatalf("green core packing out of range: %v", pc.Green.CorePacking)
+	}
+	if pc.Green.MaxMemUtil <= 0 || pc.Green.MaxMemUtil > 1 {
+		t.Fatalf("green memory utilisation out of range: %v", pc.Green.MaxMemUtil)
+	}
+}
+
+func TestSearchMinUnhostable(t *testing.T) {
+	tr := trace.Trace{Name: "huge", Horizon: 10, VMs: []trace.VM{
+		// Wider than a baseline server: can never be placed.
+		{ID: 0, Arrive: 1, Depart: 9, Cores: 200, Memory: 100, Gen: 3, MaxMemFrac: 0.5},
+	}}
+	s := &Sizer{Base: baseClass(), Policy: alloc.BestFit, Decide: alloc.AdoptNone, MaxServers: 10}
+	if _, err := s.RightSizeBaseline(tr); err == nil {
+		t.Fatal("right-sizing accepted an unhostable trace")
+	}
+}
+
+func TestInvalidTrace(t *testing.T) {
+	bad := trace.Trace{VMs: []trace.VM{{Arrive: 2, Depart: 1, Cores: 1, Memory: 1, Gen: 1}}}
+	s := &Sizer{Base: baseClass(), Policy: alloc.BestFit}
+	if _, err := s.RightSizeBaseline(bad); err == nil {
+		t.Fatal("right-sizing accepted an invalid trace")
+	}
+}

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/greensku/gsf/internal/alloc"
+	"github.com/greensku/gsf/internal/carbon"
+	"github.com/greensku/gsf/internal/trace"
+)
+
+func greenClassB() alloc.ServerClass {
+	return alloc.ServerClass{Name: "green-b", Cores: 128, Memory: 1152, LocalMemory: 1152, Green: true}
+}
+
+func TestMultiSizeTwoGreens(t *testing.T) {
+	tr := testTrace(t, 11)
+	s := &MultiSizer{
+		Base:   baseClass(),
+		Greens: []alloc.ServerClass{greenClass(), greenClassB()},
+		Policy: alloc.BestFit,
+		// Even VM IDs may use pool 0, odd IDs pool 1: forces both
+		// pools into service.
+		Decide: func(vm trace.VM) alloc.MultiDecision {
+			if vm.ID%2 == 0 {
+				return alloc.MultiDecision{Scales: []float64{1, 0}}
+			}
+			return alloc.MultiDecision{Scales: []float64{0, 1}}
+		},
+	}
+	m, err := s.Size(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NGreens[0] == 0 || m.NGreens[1] == 0 {
+		t.Fatalf("both pools should be populated: %+v", m.NGreens)
+	}
+	if m.NBase >= m.BaselineOnly {
+		t.Fatalf("mixed cluster keeps %d baselines, want fewer than %d", m.NBase, m.BaselineOnly)
+	}
+	ok, err := s.hosts(tr, m.NBase, m.NGreens)
+	if err != nil || !ok {
+		t.Fatalf("sized multi cluster rejects VMs: %v", err)
+	}
+}
+
+func TestMultiSizeMatchesSingleWithOneGreen(t *testing.T) {
+	tr := testTrace(t, 12)
+	single := &Sizer{Base: baseClass(), Green: greenClass(), Policy: alloc.BestFit, Decide: alloc.AdoptAll}
+	sm, err := single.MixedSize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := &MultiSizer{
+		Base:   baseClass(),
+		Greens: []alloc.ServerClass{greenClass()},
+		Policy: alloc.BestFit,
+		Decide: func(trace.VM) alloc.MultiDecision {
+			return alloc.MultiDecision{Scales: []float64{1}}
+		},
+	}
+	mm, err := multi.Size(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.BaselineOnly != sm.BaselineOnly {
+		t.Fatalf("baseline-only sizes diverge: %d vs %d", mm.BaselineOnly, sm.BaselineOnly)
+	}
+	if mm.NBase != sm.NBase || mm.NGreens[0] != sm.NGreen {
+		t.Fatalf("multi (%d, %v) diverges from single (%d, %d)",
+			mm.NBase, mm.NGreens, sm.NBase, sm.NGreen)
+	}
+}
+
+func TestMultiSavings(t *testing.T) {
+	m := MultiMix{BaselineOnly: 10, NBase: 2, NGreens: []int{3, 2}}
+	base := SavingsInput{Class: baseClass(), PerCore: carbon.PerCore{Operational: 23, Embodied: 23}}
+	greens := []SavingsInput{
+		{Class: greenClass(), PerCore: carbon.PerCore{Operational: 19, Embodied: 14}},
+		{Class: greenClassB(), PerCore: carbon.PerCore{Operational: 20, Embodied: 18}},
+	}
+	// all: 10*80*46 = 36800; mixed: 2*80*46 + 3*128*33 + 2*128*38 = 29760.
+	want := 1 - 29760.0/36800
+	if got := MultiSavings(m, base, greens); got != want {
+		t.Fatalf("MultiSavings = %v, want %v", got, want)
+	}
+	if m.TotalGreens() != 5 {
+		t.Fatalf("TotalGreens = %d, want 5", m.TotalGreens())
+	}
+}
+
+func TestMultiSizeValidation(t *testing.T) {
+	s := &MultiSizer{Base: baseClass(), Policy: alloc.BestFit}
+	if _, err := s.Size(testTrace(t, 13)); err == nil {
+		t.Fatal("accepted a sizer without green classes")
+	}
+}

@@ -1,0 +1,233 @@
+// Package core is GSF itself: the framework of §IV that composes the
+// carbon model, performance, maintenance, adoption, VM allocation,
+// cluster sizing, and growth-buffer components (Fig. 6) to estimate the
+// datacenter emissions of deploying a GreenSKU at scale.
+//
+// Each component lives in its own package with explicit inputs and
+// outputs; core wires them in the paper's dependency order:
+//
+//	performance -> scaling factors -> adoption -+
+//	carbon model -> CO2e-per-core --------------+-> allocation/sizing
+//	maintenance -> out-of-service overhead -----+        |
+//	                                growth buffer <------+
+//	                                        |
+//	                         cluster & datacenter emissions
+package core
+
+import (
+	"fmt"
+
+	"github.com/greensku/gsf/internal/adoption"
+	"github.com/greensku/gsf/internal/alloc"
+	"github.com/greensku/gsf/internal/buffer"
+	"github.com/greensku/gsf/internal/carbon"
+	"github.com/greensku/gsf/internal/cluster"
+	"github.com/greensku/gsf/internal/fleet"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/maintenance"
+	"github.com/greensku/gsf/internal/perf"
+	"github.com/greensku/gsf/internal/trace"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// Framework bundles the component implementations. The zero value is
+// not usable; construct with New.
+type Framework struct {
+	Carbon *carbon.Model
+	Perf   perf.Options
+	AFRs   maintenance.ComponentAFRs
+	FIP    maintenance.FIP
+	Buffer buffer.Params
+	Policy alloc.Policy
+	Fleet  fleet.Params
+}
+
+// New assembles a framework over a carbon model with the paper's
+// default component settings.
+func New(m *carbon.Model) *Framework {
+	return &Framework{
+		Carbon: m,
+		Perf:   perf.DefaultOptions(),
+		AFRs:   maintenance.DefaultAFRs(),
+		FIP:    maintenance.FIP{Effectiveness: 0.75},
+		Buffer: buffer.DefaultParams(),
+		Policy: alloc.BestFit,
+		Fleet:  fleet.Default(),
+	}
+}
+
+// Input is one GreenSKU evaluation request: the design, the baseline
+// fleet it would join, and the target workload.
+type Input struct {
+	Green hw.SKU
+	// Baseline is the current-generation SKU the savings are measured
+	// against (the paper's Gen3).
+	Baseline hw.SKU
+	// Workload is the VM trace the cluster must host.
+	Workload trace.Trace
+	// CI is the grid carbon intensity; zero uses the dataset default.
+	CI units.CarbonIntensity
+	// CXLBacked evaluates the performance component as if VM memory
+	// were served from CXL (used for GreenSKU-CXL sensitivity runs).
+	CXLBacked bool
+	// Factors, if non-nil, reuses precomputed scaling factors
+	// (they are carbon-intensity independent, so sweeps across CI
+	// should share them).
+	Factors map[string]map[int]perf.Factor
+}
+
+// Evaluation is the framework's output for one GreenSKU.
+type Evaluation struct {
+	// Factors are the performance component's scaling factors.
+	Factors map[string]map[int]perf.Factor
+	// Adoption is the per-(app, generation) adoption table.
+	Adoption adoption.Table
+	// PerCoreGreen/PerCoreBase are rack-amortised lifetime emissions.
+	PerCoreGreen carbon.PerCore
+	PerCoreBase  carbon.PerCore
+	// PerCoreSavings is the Table IV/VIII-style headline.
+	PerCoreSavings carbon.Savings
+	// Mix is the right-sized mixed cluster for the workload.
+	Mix cluster.Mix
+	// Buffered attaches the growth buffer.
+	Buffered buffer.Buffered
+	// Maintenance compares out-of-service overheads.
+	Maintenance []maintenance.Overhead
+	// ClusterSavings is the end-to-end cluster-level carbon saving
+	// including the growth buffer (Fig. 11/12's y-axis).
+	ClusterSavings float64
+	// DCSavings scales the cluster saving by compute's share of
+	// datacenter emissions (the paper's "net cloud emissions").
+	DCSavings float64
+}
+
+// Evaluate runs the full GSF pipeline for one design.
+func (f *Framework) Evaluate(in Input) (Evaluation, error) {
+	var ev Evaluation
+	if f.Carbon == nil {
+		return ev, fmt.Errorf("core: framework has no carbon model")
+	}
+	if err := in.Green.Validate(); err != nil {
+		return ev, err
+	}
+	if err := in.Baseline.Validate(); err != nil {
+		return ev, err
+	}
+	ci := in.CI
+	if ci == 0 {
+		ci = f.Carbon.Data.DefaultCI
+	}
+
+	// Performance component: scaling factors per baseline generation.
+	var err error
+	ev.Factors = in.Factors
+	if ev.Factors == nil {
+		ev.Factors, err = perf.TableIII(in.Green, f.Perf)
+		if err != nil {
+			return ev, err
+		}
+	}
+
+	// Carbon model: per-core emissions for the GreenSKU and each
+	// baseline generation.
+	ev.PerCoreGreen, err = f.Carbon.PerCore(in.Green, ci)
+	if err != nil {
+		return ev, err
+	}
+	basePC := map[int]carbon.PerCore{}
+	for gen := 1; gen <= 3; gen++ {
+		pc, err := f.Carbon.PerCore(hw.BaselineForGeneration(gen), ci)
+		if err != nil {
+			return ev, err
+		}
+		basePC[gen] = pc
+	}
+	ev.PerCoreBase, err = f.Carbon.PerCore(in.Baseline, ci)
+	if err != nil {
+		return ev, err
+	}
+	ev.PerCoreSavings, err = f.Carbon.SavingsVs(in.Green, in.Baseline, ci)
+	if err != nil {
+		return ev, err
+	}
+
+	// Adoption component.
+	ev.Adoption, err = adoption.Build(ev.Factors, ev.PerCoreGreen, basePC)
+	if err != nil {
+		return ev, err
+	}
+
+	// Maintenance component.
+	serverRatio := float64(in.Baseline.Cores()) / float64(in.Green.Cores())
+	emissionRatio := float64(ev.PerCoreGreen.Total()) * float64(in.Green.Cores()) /
+		(float64(ev.PerCoreBase.Total()) * float64(in.Baseline.Cores()))
+	ev.Maintenance, err = maintenance.Compare([]maintenance.Input{
+		{SKU: in.Baseline, ServerRatio: 1, EmissionRatio: 1},
+		{SKU: in.Green, ServerRatio: serverRatio, EmissionRatio: emissionRatio},
+	}, f.AFRs, f.FIP)
+	if err != nil {
+		return ev, err
+	}
+
+	// VM allocation + cluster sizing.
+	baseClass := classOf(in.Baseline, false)
+	greenClass := classOf(in.Green, true)
+	sizer := &cluster.Sizer{
+		Base:   baseClass,
+		Green:  greenClass,
+		Policy: f.Policy,
+		Decide: ev.Adoption.Decider(),
+	}
+	ev.Mix, err = sizer.MixedSize(in.Workload)
+	if err != nil {
+		return ev, err
+	}
+
+	// Growth buffer.
+	ev.Buffered, err = f.Buffer.Apply(ev.Mix)
+	if err != nil {
+		return ev, err
+	}
+
+	// Cluster- and datacenter-level savings.
+	baseIn := cluster.SavingsInput{Class: baseClass, PerCore: ev.PerCoreBase}
+	greenIn := cluster.SavingsInput{Class: greenClass, PerCore: ev.PerCoreGreen}
+	ev.ClusterSavings = f.Buffer.Savings(ev.Buffered, baseIn, greenIn)
+	breakdown, err := fleet.Analyze(f.Fleet)
+	if err != nil {
+		return ev, err
+	}
+	ev.DCSavings = fleet.DCSavings(ev.ClusterSavings, breakdown)
+	return ev, nil
+}
+
+func classOf(sku hw.SKU, green bool) alloc.ServerClass {
+	return alloc.ServerClass{
+		Name:        sku.Name,
+		Cores:       sku.Cores(),
+		Memory:      sku.TotalDRAMGB(),
+		LocalMemory: sku.LocalDRAMGB(),
+		Green:       green,
+	}
+}
+
+// SweepCI evaluates the design across carbon intensities, reusing the
+// CI-independent scaling factors (Fig. 11/12).
+func (f *Framework) SweepCI(in Input, cis []units.CarbonIntensity) ([]Evaluation, error) {
+	factors, err := perf.TableIII(in.Green, f.Perf)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Evaluation, 0, len(cis))
+	for _, ci := range cis {
+		run := in
+		run.CI = ci
+		run.Factors = factors
+		ev, err := f.Evaluate(run)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}

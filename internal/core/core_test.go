@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/greensku/gsf/internal/carbon"
+	"github.com/greensku/gsf/internal/carbondata"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/trace"
+	"github.com/greensku/gsf/internal/units"
+)
+
+func framework(t *testing.T, dataset string) *Framework {
+	t.Helper()
+	m, err := carbon.New(carbondata.Datasets()[dataset])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(m)
+}
+
+func workload(t *testing.T, seed uint64) trace.Trace {
+	t.Helper()
+	// Large enough that server-count granularity does not swamp the
+	// savings signal (a dozen-server cluster can see negative savings
+	// from fragmentation alone, which is a real effect but not what
+	// this test probes).
+	p := trace.DefaultParams("core-test", seed)
+	p.HorizonHours = 24 * 6
+	p.ArrivalsPerHour = 18
+	tr, err := trace.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestEvaluateEndToEnd(t *testing.T) {
+	f := framework(t, "open-source")
+	ev, err := f.Evaluate(Input{
+		Green:    hw.GreenSKUEfficient(),
+		Baseline: hw.BaselineGen3(),
+		Workload: workload(t, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Factors) != 20 {
+		t.Errorf("factors for %d apps, want 20", len(ev.Factors))
+	}
+	if ev.PerCoreSavings.Total <= 0 {
+		t.Errorf("per-core savings = %v, want positive", ev.PerCoreSavings.Total)
+	}
+	if ev.Mix.NGreen == 0 {
+		t.Error("mixed cluster deployed no GreenSKUs")
+	}
+	if ev.ClusterSavings <= 0 || ev.ClusterSavings >= ev.PerCoreSavings.Total {
+		t.Errorf("cluster savings = %v, want in (0, per-core %v): adoption and buffers dilute",
+			ev.ClusterSavings, ev.PerCoreSavings.Total)
+	}
+	if ev.DCSavings <= 0 || ev.DCSavings >= ev.ClusterSavings {
+		t.Errorf("DC savings = %v, want in (0, cluster %v)", ev.DCSavings, ev.ClusterSavings)
+	}
+	if len(ev.Maintenance) != 2 {
+		t.Errorf("maintenance comparison has %d rows, want 2", len(ev.Maintenance))
+	}
+	if ev.Buffered.BufferServers == 0 {
+		t.Error("growth buffer is empty")
+	}
+}
+
+func TestSweepCI(t *testing.T) {
+	f := framework(t, "paper-calibrated")
+	evs, err := f.SweepCI(Input{
+		Green:    hw.GreenSKUFull(),
+		Baseline: hw.BaselineGen3(),
+		Workload: workload(t, 2),
+	}, []units.CarbonIntensity{0.02, 0.1, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("got %d evaluations, want 3", len(evs))
+	}
+	// GreenSKU-Full's edge is embodied reuse: its savings shrink as
+	// carbon intensity (operational weight) grows.
+	if !(evs[0].PerCoreSavings.Total > evs[1].PerCoreSavings.Total &&
+		evs[1].PerCoreSavings.Total > evs[2].PerCoreSavings.Total) {
+		t.Errorf("GreenSKU-Full savings should fall with CI: %v %v %v",
+			evs[0].PerCoreSavings.Total, evs[1].PerCoreSavings.Total, evs[2].PerCoreSavings.Total)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	f := framework(t, "open-source")
+	if _, err := f.Evaluate(Input{Baseline: hw.BaselineGen3(), Workload: workload(t, 3)}); err == nil {
+		t.Error("Evaluate accepted an empty GreenSKU")
+	}
+	if _, err := (&Framework{}).Evaluate(Input{}); err == nil {
+		t.Error("Evaluate accepted a framework without a carbon model")
+	}
+}
+
+func TestDefaultCIUsed(t *testing.T) {
+	f := framework(t, "open-source")
+	w := workload(t, 4)
+	a, err := f.Evaluate(Input{Green: hw.GreenSKUCXL(), Baseline: hw.BaselineGen3(), Workload: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Evaluate(Input{Green: hw.GreenSKUCXL(), Baseline: hw.BaselineGen3(), Workload: w, CI: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PerCoreSavings.Total != b.PerCoreSavings.Total {
+		t.Error("zero CI should default to the dataset's 0.1")
+	}
+}

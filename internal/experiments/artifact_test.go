@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWriteArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	written, err := WriteArtifacts(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(written) != len(ArtifactFiles) {
+		t.Fatalf("wrote %d files, want %d", len(written), len(ArtifactFiles))
+	}
+	for _, name := range ArtifactFiles {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing artifact file %s: %v", name, err)
+		}
+	}
+
+	// Table_VIII.csv: four SKU rows with fractional savings.
+	data, err := os.ReadFile(filepath.Join(dir, "Table_VIII.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("Table_VIII.csv has %d lines, want header + 4 rows", len(lines))
+	}
+	last := strings.Split(lines[4], ",")
+	if last[0] != "GreenSKU-Full" {
+		t.Fatalf("last row = %v, want GreenSKU-Full", last)
+	}
+	total, err := strconv.ParseFloat(last[3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Artifact: 26% total savings for GreenSKU-Full (open data).
+	if total < 0.22 || total > 0.31 {
+		t.Fatalf("GreenSKU-Full total savings = %v, want ~0.26", total)
+	}
+
+	// Figure_12.csv parses and has three SKU columns.
+	data, err = os.ReadFile(filepath.Join(dir, "Figure_12.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines = strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("Figure_12.csv has %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "GreenSKU-Full") {
+		t.Fatalf("header missing SKU columns: %s", lines[0])
+	}
+
+	// Savings summaries mention the artifact reference values.
+	data, err = os.ReadFile(filepath.Join(dir, "cluster_savings.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "14%") {
+		t.Errorf("cluster_savings.txt missing artifact reference: %s", data)
+	}
+	data, err = os.ReadFile(filepath.Join(dir, "dc_savings.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "7%") {
+		t.Errorf("dc_savings.txt missing artifact reference: %s", data)
+	}
+}

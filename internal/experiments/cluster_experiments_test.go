@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/greensku/gsf/internal/units"
+)
+
+func TestPackingSmall(t *testing.T) {
+	opt := DefaultPackingOptions()
+	opt.Traces = 4 // keep the unit test quick; the bench runs all 35
+	r, err := Packing(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerTrace) != 4 {
+		t.Fatalf("got %d traces, want 4", len(r.PerTrace))
+	}
+	var coreGap, memGap float64
+	for i := range r.BaseCore {
+		coreGap += r.BaseCore[i] - r.GreenCore[i]
+		memGap += r.GreenMem[i] - r.BaseMem[i]
+	}
+	// Fig. 9's claim: the baseline packs cores tighter (its higher
+	// memory:core ratio leaves core headroom), the GreenSKU packs
+	// memory tighter.
+	if coreGap <= 0 {
+		t.Errorf("baseline should have higher core packing density (gap %v)", coreGap)
+	}
+	if memGap <= 0 {
+		t.Errorf("GreenSKU should have higher memory packing density (gap %v)", memGap)
+	}
+	// Fig. 10's claim: nearly all green-server observations fit in
+	// local DDR5.
+	if r.LocalFit < 0.9 {
+		t.Errorf("local-DDR5 fit fraction = %v, want > 0.9", r.LocalFit)
+	}
+	var b strings.Builder
+	if err := r.RenderFig9(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RenderFig10(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "CDF") {
+		t.Error("packing render missing CDF output")
+	}
+}
+
+func TestCISweepShape(t *testing.T) {
+	opt := DefaultCISweepOptions("paper-calibrated")
+	opt.CIs = []units.CarbonIntensity{0.01, 0.1, 0.4}
+	r, err := CISweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Savings) != 3 {
+		t.Fatalf("sweep covers %d SKUs, want 3", len(r.Savings))
+	}
+	full := r.Savings["GreenSKU-Full"]
+	eff := r.Savings["GreenSKU-Efficient"]
+	// Fig. 11's crossover: at low carbon intensity reuse wins
+	// (GreenSKU-Full best); at high intensity the efficient CPU wins.
+	if full[0] <= eff[0] {
+		t.Errorf("at low CI, GreenSKU-Full (%v) should beat Efficient (%v)", full[0], eff[0])
+	}
+	if eff[2] <= full[2] {
+		t.Errorf("at high CI, GreenSKU-Efficient (%v) should beat Full (%v)", eff[2], full[2])
+	}
+	for name, vals := range r.Savings {
+		for i, v := range vals {
+			if v <= 0 || v >= 0.5 {
+				t.Errorf("%s savings[%d] = %v, want in (0, 0.5) (paper: 6-25%%)", name, i, v)
+			}
+		}
+	}
+	if r.AvgClusterSavings <= 0 || r.DCSavings <= 0 || r.DCSavings >= r.AvgClusterSavings {
+		t.Errorf("summary savings inconsistent: cluster %v, DC %v", r.AvgClusterSavings, r.DCSavings)
+	}
+	var b strings.Builder
+	if err := r.Render(&b, "Fig. 11"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Azure-europe-north") {
+		t.Error("render missing region annotations")
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	xs := []units.CarbonIntensity{0, 1, 2}
+	ys := []float64{0, 10, 20}
+	cases := []struct{ x, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 5}, {1.5, 15}, {3, 20},
+	}
+	for _, c := range cases {
+		if got := interpolate(xs, ys, units.CarbonIntensity(c.x)); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("interpolate(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if got := interpolate(nil, nil, 1); got != 0 {
+		t.Errorf("interpolate on empty = %v, want 0", got)
+	}
+}

@@ -1,0 +1,194 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation. Each experiment is a function returning a
+// structured result plus a renderer, shared by cmd/gsf, the benchmark
+// harness, and the EXPERIMENTS.md record.
+//
+// Index (see DESIGN.md for the full mapping):
+//
+//	Fig1   datacenter carbon breakdown
+//	Fig2   DDR4 failure rates over deployment time
+//	Table1 CPU characteristics
+//	Sec5   worked example & maintenance numbers
+//	Fig7   p95 vs load, GreenSKU-Efficient vs Gen3
+//	Table2 DevOps slowdowns
+//	Table3 scaling factors
+//	Fig8   CXL impact (Moses vs HAProxy)
+//	Fig9   packing-density CDFs
+//	Fig10  per-server max memory utilisation CDF
+//	Table4/Table8  per-core savings (internal/open data)
+//	Fig11/Fig12    cluster savings vs carbon intensity
+//	Sec7   alternative-strategy equivalents
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/greensku/gsf/internal/carbon"
+	"github.com/greensku/gsf/internal/carbondata"
+	"github.com/greensku/gsf/internal/failure"
+	"github.com/greensku/gsf/internal/fleet"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/maintenance"
+	"github.com/greensku/gsf/internal/report"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// Fig1Result is the datacenter carbon breakdown at the standard and
+// fully renewable energy mixes.
+type Fig1Result struct {
+	Standard       fleet.Breakdown
+	FullyRenewable fleet.Breakdown
+}
+
+// Fig1 computes the Fig. 1 breakdown.
+func Fig1() (Fig1Result, error) {
+	std, err := fleet.Analyze(fleet.Default())
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	p := fleet.Default()
+	p.RenewableFraction = 1
+	ren, err := fleet.Analyze(p)
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	return Fig1Result{Standard: std, FullyRenewable: ren}, nil
+}
+
+// Render writes the breakdown in the paper's terms.
+func (r Fig1Result) Render(w io.Writer) error {
+	t := report.Table{
+		Title:  "Fig. 1: carbon breakdown of general-purpose datacenters",
+		Header: []string{"metric", "standard mix", "100% renewable", "paper (std)"},
+	}
+	row := func(name string, std, ren float64, paper string) {
+		t.AddRow(name, report.Pct(std), report.Pct(ren), paper)
+	}
+	row("operational share of DC", r.Standard.OpShare, r.FullyRenewable.OpShare, "58%")
+	row("compute servers share of DC", r.Standard.ComputeShare, r.FullyRenewable.ComputeShare, "57%")
+	row("DRAM share of compute", r.Standard.ComputePartShares["dram"], r.FullyRenewable.ComputePartShares["dram"], "35%")
+	row("SSD share of compute", r.Standard.ComputePartShares["ssd"], r.FullyRenewable.ComputePartShares["ssd"], "28%")
+	row("CPU share of compute", r.Standard.ComputePartShares["cpu"], r.FullyRenewable.ComputePartShares["cpu"], "24%")
+	return t.Render(w)
+}
+
+// Fig2Result is the failure-rate series.
+type Fig2Result struct {
+	Series    failure.Series
+	Stability float64
+}
+
+// Fig2 samples the DDR4 failure-rate curve over seven years.
+func Fig2() (Fig2Result, error) {
+	s, err := failure.Sample(failure.DDR4(), 84, 0.12, 20240402)
+	if err != nil {
+		return Fig2Result{}, err
+	}
+	return Fig2Result{Series: s, Stability: failure.PlateauStability(s)}, nil
+}
+
+// Render writes the raw and smoothed series.
+func (r Fig2Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Fig. 2: DDR4 AFR plateau stability (last year / year 2) = %.3f (paper: flat, ~1.0)\n", r.Stability); err != nil {
+		return err
+	}
+	return report.RenderSeries(w, "Fig. 2: normalized DDR4 failure rate", "month", "normalized AFR", []report.Series{
+		{Name: "raw", X: r.Series.Months, Y: r.Series.Raw},
+		{Name: "smoothed", X: r.Series.Months, Y: r.Series.Smooth},
+	})
+}
+
+// Table1 renders the CPU catalog.
+func Table1(w io.Writer) error {
+	t := report.Table{
+		Title:  "Table I: baseline AMD CPUs vs the efficient Bergamo CPU",
+		Header: []string{"CPU", "cores", "max freq (GHz)", "LLC (MiB)", "TDP (W)"},
+	}
+	for _, c := range hw.CPUCatalog() {
+		t.AddRow(c.Name, fmt.Sprint(c.Cores), fmt.Sprintf("%.1f", c.MaxFreqGHz),
+			fmt.Sprint(c.LLCMiB), fmt.Sprintf("%.0f", float64(c.TDP)))
+	}
+	return t.Render(w)
+}
+
+// Sec5Example holds §V's worked-example intermediates.
+type Sec5Example struct {
+	EmbServer   units.KgCO2e
+	PowerServer units.Watts
+	ServersRack int
+	EmbRack     units.KgCO2e
+	PowerRack   units.Watts
+	OpRack      units.KgCO2e
+	TotalRack   units.KgCO2e
+	CoresRack   int
+	PerCore     units.KgCO2e
+}
+
+// Sec5WorkedExample reproduces §V's GreenSKU-CXL calculation.
+func Sec5WorkedExample() (Sec5Example, error) {
+	m, err := carbon.New(carbondata.WorkedExample())
+	if err != nil {
+		return Sec5Example{}, err
+	}
+	sku := hw.GreenSKUCXL()
+	srv, err := m.Server(sku)
+	if err != nil {
+		return Sec5Example{}, err
+	}
+	rack, err := m.Rack(sku)
+	if err != nil {
+		return Sec5Example{}, err
+	}
+	op := m.Operational(rack, m.Data.DefaultCI)
+	pc, err := m.PerCore(sku, m.Data.DefaultCI)
+	if err != nil {
+		return Sec5Example{}, err
+	}
+	return Sec5Example{
+		EmbServer:   srv.Embodied,
+		PowerServer: srv.Power,
+		ServersRack: rack.ServersPerRack,
+		EmbRack:     rack.Embodied,
+		PowerRack:   rack.Power,
+		OpRack:      op,
+		TotalRack:   rack.Embodied + op,
+		CoresRack:   rack.Cores,
+		PerCore:     pc.Total(),
+	}, nil
+}
+
+// Render prints measured-vs-paper for every intermediate.
+func (e Sec5Example) Render(w io.Writer) error {
+	t := report.Table{
+		Title:  "§V worked example: GreenSKU-CXL under the open dataset",
+		Header: []string{"quantity", "measured", "paper"},
+	}
+	t.AddRow("E_emb,s (kgCO2e)", fmt.Sprintf("%.0f", float64(e.EmbServer)), "1644")
+	t.AddRow("P_s (W)", fmt.Sprintf("%.0f", float64(e.PowerServer)), "403")
+	t.AddRow("N_s (servers/rack)", fmt.Sprint(e.ServersRack), "16")
+	t.AddRow("E_emb,r (kgCO2e)", fmt.Sprintf("%.0f", float64(e.EmbRack)), "26804")
+	t.AddRow("P_r (W)", fmt.Sprintf("%.0f", float64(e.PowerRack)), "6953")
+	t.AddRow("E_op,r (kgCO2e)", fmt.Sprintf("%.0f", float64(e.OpRack)), "36547")
+	t.AddRow("E_r (kgCO2e)", fmt.Sprintf("%.0f", float64(e.TotalRack)), "63351")
+	t.AddRow("N_c,r (cores)", fmt.Sprint(e.CoresRack), "2048")
+	t.AddRow("CO2e per core (kg)", fmt.Sprintf("%.1f", float64(e.PerCore)), "31")
+	return t.Render(w)
+}
+
+// Sec5Maintenance reproduces §V's maintenance numbers.
+func Sec5Maintenance() ([]maintenance.Overhead, error) {
+	return maintenance.PaperComparison()
+}
+
+// RenderMaintenance prints the maintenance comparison.
+func RenderMaintenance(w io.Writer, rows []maintenance.Overhead) error {
+	t := report.Table{
+		Title:  "§V maintenance: out-of-service overheads (paper: AFR 4.8/7.2, repair 3.0/3.6, C_OOS 3.0/2.98)",
+		Header: []string{"SKU", "AFR/100srv", "repair rate (FIP)", "C_OOS"},
+	}
+	for _, o := range rows {
+		t.AddRow(o.SKU, fmt.Sprintf("%.1f", o.AFR), fmt.Sprintf("%.1f", o.RepairRate), fmt.Sprintf("%.2f", o.COOS))
+	}
+	return t.Render(w)
+}

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFig1(t *testing.T) {
+	r, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Standard.OpShare-0.58) > 0.02 {
+		t.Errorf("standard op share = %v, want ~0.58", r.Standard.OpShare)
+	}
+	if math.Abs(r.FullyRenewable.OpShare-0.09) > 0.03 {
+		t.Errorf("renewable op share = %v, want ~0.09", r.FullyRenewable.OpShare)
+	}
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "compute servers share") {
+		t.Error("render missing compute share row")
+	}
+}
+
+func TestFig2(t *testing.T) {
+	r, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series.Raw) != 84 {
+		t.Fatalf("series length = %d, want 84 months", len(r.Series.Raw))
+	}
+	if math.Abs(r.Stability-1) > 0.1 {
+		t.Errorf("plateau stability = %v, want ~1 (flat AFR)", r.Stability)
+	}
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	var b strings.Builder
+	if err := Table1(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Bergamo", "Genoa", "128", "384"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+}
+
+func TestSec5WorkedExample(t *testing.T) {
+	e, err := Sec5WorkedExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name      string
+		got, want float64
+		tol       float64
+	}{
+		{"E_emb,s", float64(e.EmbServer), 1644, 1},
+		{"P_s", float64(e.PowerServer), 403.3, 0.2},
+		{"N_s", float64(e.ServersRack), 16, 0},
+		{"E_emb,r", float64(e.EmbRack), 26804, 5},
+		{"P_r", float64(e.PowerRack), 6953, 2},
+		{"E_op,r", float64(e.OpRack), 36547, 10},
+		{"E_r", float64(e.TotalRack), 63351, 15},
+		{"cores", float64(e.CoresRack), 2048, 0},
+		{"per-core", float64(e.PerCore), 30.93, 0.05},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > c.tol {
+			t.Errorf("%s = %v, want %v ±%v", c.name, c.got, c.want, c.tol)
+		}
+	}
+	var b strings.Builder
+	if err := e.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSec5Maintenance(t *testing.T) {
+	rows, err := Sec5Maintenance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := RenderMaintenance(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "GreenSKU-Full") {
+		t.Error("maintenance table missing GreenSKU-Full")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	r, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 3 {
+		t.Fatalf("Table II has %d rows, want 3", len(r))
+	}
+	for name, v := range r {
+		// Gen3 column is the normalisation point.
+		if math.Abs(v[2]-1) > 1e-9 {
+			t.Errorf("%s Gen3 = %v, want 1", name, v[2])
+		}
+		// CXL slowdowns exceed Efficient's (Table II: 1.21-1.38 vs
+		// 1.15-1.17).
+		if v[4] <= v[3] {
+			t.Errorf("%s: CXL slowdown (%v) should exceed Efficient (%v)", name, v[4], v[3])
+		}
+	}
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig7CurvesShape(t *testing.T) {
+	curves, err := Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 5 {
+		t.Fatalf("Fig 7 has %d apps, want 5", len(curves))
+	}
+	for _, ac := range curves {
+		if len(ac.Curves) != 4 {
+			t.Fatalf("%s: %d curves, want 4 (Gen3 + 3 green core counts)", ac.App, len(ac.Curves))
+		}
+		if ac.SLO <= 0 {
+			t.Fatalf("%s: SLO = %v", ac.App, ac.SLO)
+		}
+		for _, c := range ac.Curves {
+			last := c.Points[len(c.Points)-1]
+			first := c.Points[0]
+			if last.P95 <= first.P95 {
+				t.Errorf("%s/%s: no latency growth toward saturation", ac.App, c.Label)
+			}
+		}
+		var b strings.Builder
+		if err := RenderCurves(&b, "Fig. 7", ac); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFig8(t *testing.T) {
+	r, err := Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Moses is the high-impact app, HAProxy the low-impact one; the
+	// paper reports ~11% peak reduction for HAProxy.
+	if r.PeakReduction["Moses"] <= r.PeakReduction["HAProxy"] {
+		t.Errorf("Moses peak reduction (%v) should exceed HAProxy's (%v)",
+			r.PeakReduction["Moses"], r.PeakReduction["HAProxy"])
+	}
+	if math.Abs(r.PeakReduction["HAProxy"]-0.11) > 0.02 {
+		t.Errorf("HAProxy peak reduction = %v, want ~0.11", r.PeakReduction["HAProxy"])
+	}
+	if r.PeakReduction["Moses"] < 0.25 {
+		t.Errorf("Moses peak reduction = %v, want large (memory-bound)", r.PeakReduction["Moses"])
+	}
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowLoad(t *testing.T) {
+	r, err := LowLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §VI: median low-load latency is below Gen1's, near Gen2's, and
+	// moderately above Gen3's (paper: -8.3%, -2%, +16%).
+	if r.MedianVsGen1 >= 1 {
+		t.Errorf("vs Gen1 = %v, want < 1", r.MedianVsGen1)
+	}
+	if r.MedianVsGen3 <= 1 || r.MedianVsGen3 > 1.45 {
+		t.Errorf("vs Gen3 = %v, want moderately above 1", r.MedianVsGen3)
+	}
+	if !(r.MedianVsGen1 < r.MedianVsGen2 && r.MedianVsGen2 < r.MedianVsGen3) {
+		t.Errorf("medians should order Gen1 < Gen2 < Gen3: %v %v %v",
+			r.MedianVsGen1, r.MedianVsGen2, r.MedianVsGen3)
+	}
+}
+
+func TestSavingsTables(t *testing.T) {
+	for _, tc := range []struct {
+		dataset string
+		paper   map[string][3]int
+		tol     float64
+	}{
+		{"open-source", PaperTable8, 5},
+		{"paper-calibrated", PaperTable4, 6},
+	} {
+		rows, err := SavingsTable(tc.dataset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 4 {
+			t.Fatalf("%s: %d rows, want 4", tc.dataset, len(rows))
+		}
+		for _, r := range rows {
+			p, ok := tc.paper[r.SKU]
+			if !ok {
+				t.Fatalf("%s: unexpected SKU %s", tc.dataset, r.SKU)
+			}
+			if math.Abs(r.Operational*100-float64(p[0])) > tc.tol ||
+				math.Abs(r.Embodied*100-float64(p[1])) > tc.tol ||
+				math.Abs(r.Total*100-float64(p[2])) > tc.tol {
+				t.Errorf("%s %s = %.0f/%.0f/%.0f, paper %v ±%v", tc.dataset, r.SKU,
+					r.Operational*100, r.Embodied*100, r.Total*100, p, tc.tol)
+			}
+		}
+		var b strings.Builder
+		if err := RenderSavingsTable(&b, "t", rows, tc.paper); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := SavingsTable("nope"); err == nil {
+		t.Error("SavingsTable accepted an unknown dataset")
+	}
+}
+
+func TestSec7(t *testing.T) {
+	r, err := Sec7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.RenewableIncrease-0.026) > 0.003 {
+		t.Errorf("renewable increase = %v, want ~0.026", r.RenewableIncrease)
+	}
+	if math.Abs(r.EfficiencyGain-0.28) > 0.03 {
+		t.Errorf("efficiency gain = %v, want ~0.28", r.EfficiencyGain)
+	}
+	if math.Abs(r.Lifetime.YearsValue()-13) > 0.6 {
+		t.Errorf("lifetime = %v years, want ~13", r.Lifetime.YearsValue())
+	}
+	if math.Abs(r.TCOGap-0.05) > 0.03 {
+		t.Errorf("TCO gap = %v, want ~0.05", r.TCOGap)
+	}
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/greensku/gsf/internal/apps"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/perf"
+	"github.com/greensku/gsf/internal/queueing"
+	"github.com/greensku/gsf/internal/report"
+)
+
+// LatencyCurve is one measured p95-vs-QPS line.
+type LatencyCurve struct {
+	Label  string
+	Points []queueing.CurvePoint
+}
+
+// AppCurves holds Fig. 7's content for one application: the Gen3
+// baseline curve, the GreenSKU curves at increasing core counts, and
+// the SLO (p95 at 90% of the baseline's peak).
+type AppCurves struct {
+	App    string
+	SLO    float64
+	Curves []LatencyCurve
+}
+
+// latencyCurves sweeps an app on a SKU at the given core count over
+// 10%..105% of the reference capacity.
+func latencyCurves(a apps.App, sku hw.SKU, cores int, cxlBacked bool, refCap float64, label string, seed uint64) (LatencyCurve, error) {
+	s := queueing.LogNormal{MeanSeconds: perf.ServiceTime(a, perf.ProfileOf(sku, cxlBacked)), CV: a.CV}
+	const steps = 12
+	pts := make([]queueing.CurvePoint, 0, steps)
+	for i := 0; i < steps; i++ {
+		frac := 0.10 + (1.05-0.10)*float64(i)/float64(steps-1)
+		res, err := queueing.Run(queueing.Config{
+			Servers:     cores,
+			ArrivalRate: frac * refCap,
+			Service:     s,
+			Requests:    20000,
+			Seed:        seed + uint64(i),
+		})
+		if err != nil {
+			return LatencyCurve{}, err
+		}
+		pts = append(pts, queueing.CurvePoint{QPS: res.Offered, P95: res.P95, Saturated: res.Saturated})
+	}
+	return LatencyCurve{Label: label, Points: pts}, nil
+}
+
+// Fig7 measures the five representative applications on the Gen3
+// baseline (8 cores) and GreenSKU-Efficient (8, 10, 12 cores).
+func Fig7() ([]AppCurves, error) {
+	opt := perf.DefaultOptions()
+	gen3 := hw.BaselineGen3()
+	green := hw.GreenSKUEfficient()
+	var out []AppCurves
+	for _, a := range apps.Representatives() {
+		slo, _, err := perf.SLO(a, gen3, opt)
+		if err != nil {
+			return nil, err
+		}
+		refCap := queueing.Capacity(opt.BaselineCores,
+			queueing.LogNormal{MeanSeconds: perf.ServiceTime(a, perf.ProfileOf(gen3, false)), CV: a.CV})
+		ac := AppCurves{App: a.Name, SLO: slo}
+		base, err := latencyCurves(a, gen3, opt.BaselineCores, false, refCap, "Gen3-8c", opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		ac.Curves = append(ac.Curves, base)
+		for _, cores := range opt.CoreSteps {
+			c, err := latencyCurves(a, green, cores, false, refCap,
+				fmt.Sprintf("GreenSKU-Efficient-%dc", cores), opt.Seed+uint64(cores))
+			if err != nil {
+				return nil, err
+			}
+			ac.Curves = append(ac.Curves, c)
+		}
+		out = append(out, ac)
+	}
+	return out, nil
+}
+
+// RenderCurves writes one application's latency curves.
+func RenderCurves(w io.Writer, title string, ac AppCurves) error {
+	if _, err := fmt.Fprintf(w, "%s: %s  (SLO p95 = %.1f ms)\n", title, ac.App, ac.SLO*1000); err != nil {
+		return err
+	}
+	series := make([]report.Series, 0, len(ac.Curves))
+	for _, c := range ac.Curves {
+		s := report.Series{Name: c.Label}
+		for _, p := range c.Points {
+			s.X = append(s.X, p.QPS)
+			s.Y = append(s.Y, p.P95*1000)
+		}
+		series = append(series, s)
+	}
+	return report.RenderSeries(w, "", "QPS", "p95 (ms)", series)
+}
+
+// Table2Result maps DevOps app to its normalised slowdowns:
+// Gen1, Gen2, Gen3, GreenSKU-Efficient, GreenSKU-CXL (Table II's
+// columns).
+type Table2Result map[string][5]float64
+
+// Table2 computes the DevOps slowdown matrix.
+func Table2() (Table2Result, error) {
+	out := Table2Result{}
+	for _, a := range apps.ByClass()[apps.DevOps] {
+		out[a.Name] = [5]float64{
+			perf.ThroughputSlowdown(a, hw.BaselineGen1(), false),
+			perf.ThroughputSlowdown(a, hw.BaselineGen2(), false),
+			perf.ThroughputSlowdown(a, hw.BaselineGen3(), false),
+			perf.ThroughputSlowdown(a, hw.GreenSKUEfficient(), false),
+			perf.ThroughputSlowdown(a, hw.GreenSKUCXL(), true),
+		}
+	}
+	return out, nil
+}
+
+// Render writes Table II.
+func (r Table2Result) Render(w io.Writer) error {
+	t := report.Table{
+		Title:  "Table II: DevOps slowdown normalized to Gen3 (paper: Efficient 1.15-1.17, CXL 1.21-1.38)",
+		Header: []string{"app", "Gen1", "Gen2", "Gen3", "GreenSKU-Efficient", "GreenSKU-CXL"},
+	}
+	names := make([]string, 0, len(r))
+	for name := range r {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := r[name]
+		t.AddRow(name, fmt.Sprintf("%.2f", v[0]), fmt.Sprintf("%.2f", v[1]),
+			fmt.Sprintf("%.2f", v[2]), fmt.Sprintf("%.2f", v[3]), fmt.Sprintf("%.2f", v[4]))
+	}
+	return t.Render(w)
+}
+
+// Table3 computes the full scaling-factor matrix for a GreenSKU.
+func Table3(green hw.SKU) (map[string]map[int]perf.Factor, error) {
+	return perf.TableIII(green, perf.DefaultOptions())
+}
+
+// RenderTable3 writes Table III in the paper's class order.
+func RenderTable3(w io.Writer, factors map[string]map[int]perf.Factor) error {
+	t := report.Table{
+		Title:  "Table III: GreenSKU-Efficient scaling factors vs Gen1/2/3",
+		Header: []string{"class", "app", "Gen1", "Gen2", "Gen3"},
+	}
+	for _, a := range apps.All() {
+		byGen, ok := factors[a.Name]
+		if !ok {
+			continue
+		}
+		t.AddRow(a.Class.String(), a.Name,
+			byGen[1].String(), byGen[2].String(), byGen[3].String())
+	}
+	return t.Render(w)
+}
+
+// Fig8Result holds the CXL-impact curves for the high-impact (Moses)
+// and low-impact (HAProxy) applications.
+type Fig8Result struct {
+	Moses   AppCurves
+	HAProxy AppCurves
+	// PeakReduction maps app name to the peak-throughput loss from
+	// serving memory over CXL (paper: ~11% for HAProxy, large for
+	// Moses).
+	PeakReduction map[string]float64
+}
+
+// Fig8 measures GreenSKU-Efficient vs GreenSKU-CXL (fully CXL-backed
+// memory) at each app's SLO core count relative to Gen3.
+func Fig8() (Fig8Result, error) {
+	opt := perf.DefaultOptions()
+	gen3 := hw.BaselineGen3()
+	res := Fig8Result{PeakReduction: map[string]float64{}}
+	for _, name := range []string{"Moses", "HAProxy"} {
+		a, err := apps.ByName(name)
+		if err != nil {
+			return res, err
+		}
+		f, err := perf.ScalingFactor(a, hw.GreenSKUEfficient(), gen3, false, opt)
+		if err != nil {
+			return res, err
+		}
+		cores := opt.BaselineCores
+		if f.Adoptable {
+			cores = int(f.Value * float64(opt.BaselineCores))
+		}
+		slo, _, err := perf.SLO(a, gen3, opt)
+		if err != nil {
+			return res, err
+		}
+		refCap := queueing.Capacity(opt.BaselineCores,
+			queueing.LogNormal{MeanSeconds: perf.ServiceTime(a, perf.ProfileOf(gen3, false)), CV: a.CV})
+		eff, err := latencyCurves(a, hw.GreenSKUEfficient(), cores, false, refCap, "GreenSKU-Efficient", opt.Seed)
+		if err != nil {
+			return res, err
+		}
+		cxl, err := latencyCurves(a, hw.GreenSKUCXL(), cores, true, refCap, "GreenSKU-CXL", opt.Seed)
+		if err != nil {
+			return res, err
+		}
+		ac := AppCurves{App: name, SLO: slo, Curves: []LatencyCurve{eff, cxl}}
+		effPeak := queueing.Capacity(cores, queueing.LogNormal{
+			MeanSeconds: perf.ServiceTime(a, perf.ProfileOf(hw.GreenSKUEfficient(), false)), CV: a.CV})
+		cxlPeak := queueing.Capacity(cores, queueing.LogNormal{
+			MeanSeconds: perf.ServiceTime(a, perf.ProfileOf(hw.GreenSKUCXL(), true)), CV: a.CV})
+		res.PeakReduction[name] = 1 - cxlPeak/effPeak
+		if name == "Moses" {
+			res.Moses = ac
+		} else {
+			res.HAProxy = ac
+		}
+	}
+	return res, nil
+}
+
+// Render writes both Fig. 8 panels.
+func (r Fig8Result) Render(w io.Writer) error {
+	if err := RenderCurves(w, "Fig. 8 (high CXL impact)", r.Moses); err != nil {
+		return err
+	}
+	if err := RenderCurves(w, "Fig. 8 (low CXL impact)", r.HAProxy); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "peak-throughput reduction from CXL: Moses %.1f%% (paper: large), HAProxy %.1f%% (paper: 11%%)\n",
+		r.PeakReduction["Moses"]*100, r.PeakReduction["HAProxy"]*100)
+	return err
+}
+
+// LowLoadResult is §VI's low-load latency comparison.
+type LowLoadResult struct {
+	MedianVsGen1 float64 // paper: 0.917 (8.3% lower)
+	MedianVsGen2 float64 // paper: 0.98  (2% lower)
+	MedianVsGen3 float64 // paper: 1.16  (16% higher)
+}
+
+// LowLoad measures median low-load latency of GreenSKU-Efficient
+// (scaled per generation) against each baseline.
+func LowLoad() (LowLoadResult, error) {
+	opt := perf.DefaultOptions()
+	green := hw.GreenSKUEfficient()
+	var ratios [3][]float64
+	for _, a := range apps.All() {
+		if !a.LatencyCritical {
+			continue
+		}
+		for gen := 1; gen <= 3; gen++ {
+			base := hw.BaselineForGeneration(gen)
+			f, err := perf.ScalingFactor(a, green, base, false, opt)
+			if err != nil {
+				return LowLoadResult{}, err
+			}
+			cores := opt.BaselineCores
+			if f.Adoptable {
+				cores = int(f.Value * float64(opt.BaselineCores))
+			}
+			g, err := perf.LowLoadLatency(a, green, cores, false, opt)
+			if err != nil {
+				return LowLoadResult{}, err
+			}
+			b, err := perf.LowLoadLatency(a, base, opt.BaselineCores, false, opt)
+			if err != nil {
+				return LowLoadResult{}, err
+			}
+			ratios[gen-1] = append(ratios[gen-1], g/b)
+		}
+	}
+	med := func(v []float64) float64 {
+		s := append([]float64(nil), v...)
+		sort.Float64s(s)
+		return s[len(s)/2]
+	}
+	return LowLoadResult{
+		MedianVsGen1: med(ratios[0]),
+		MedianVsGen2: med(ratios[1]),
+		MedianVsGen3: med(ratios[2]),
+	}, nil
+}

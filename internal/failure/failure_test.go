@@ -1,0 +1,124 @@
+package failure
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestDDR4FlatThroughSevenYears encodes Fig. 2's claim: after the
+// initial period, DDR4 failure rates stay constant over a 7-year
+// deployment.
+func TestDDR4FlatThroughSevenYears(t *testing.T) {
+	c := DDR4()
+	at24 := c.At(24)
+	at84 := c.At(84)
+	if math.Abs(at84/at24-1) > 0.02 {
+		t.Fatalf("AFR at 7y / AFR at 2y = %v, want ~1 (flat)", at84/at24)
+	}
+	// And beyond: the accelerated-aging claim (flat past 12 years).
+	at144 := c.At(144)
+	if math.Abs(at144/at24-1) > 0.02 {
+		t.Fatalf("AFR at 12y / 2y = %v, want ~1", at144/at24)
+	}
+}
+
+func TestInfantMortality(t *testing.T) {
+	c := DDR4()
+	if c.At(0) <= c.At(24)*1.5 {
+		t.Fatalf("AFR at deployment (%v) should clearly exceed plateau (%v)", c.At(0), c.At(24))
+	}
+	// Strictly decreasing through the infant period.
+	for m := 0.0; m < 12; m++ {
+		if c.At(m+1) >= c.At(m) {
+			t.Fatalf("AFR not decreasing at month %v", m)
+		}
+	}
+}
+
+func TestSSDWearout(t *testing.T) {
+	c := SSD()
+	// Flat at 7 years (reuse is viable)...
+	if math.Abs(c.At(84)/c.At(24)-1) > 0.02 {
+		t.Fatalf("SSD AFR at 7y should still be flat, got ratio %v", c.At(84)/c.At(24))
+	}
+	// ...but rising past the wear-out onset.
+	if c.At(140) <= c.At(84)*1.2 {
+		t.Fatalf("SSD AFR at ~12y (%v) should show wear-out vs 7y (%v)", c.At(140), c.At(84))
+	}
+}
+
+func TestNegativeAgeClamped(t *testing.T) {
+	c := DDR4()
+	if c.At(-5) != c.At(0) {
+		t.Fatal("negative age should clamp to deployment time")
+	}
+}
+
+func TestSampleSeries(t *testing.T) {
+	s, err := Sample(DDR4(), 84, 0.15, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Months) != 84 || len(s.Raw) != 84 || len(s.Smooth) != 84 {
+		t.Fatalf("series lengths = %d/%d/%d, want 84", len(s.Months), len(s.Raw), len(s.Smooth))
+	}
+	for i, v := range s.Raw {
+		if v < 0 {
+			t.Fatalf("negative raw AFR at %d", i)
+		}
+	}
+	// The moving average should be less jittery than the raw series.
+	var rawVar, smoothVar float64
+	for i := 24; i < 83; i++ {
+		d1 := s.Raw[i+1] - s.Raw[i]
+		d2 := s.Smooth[i+1] - s.Smooth[i]
+		rawVar += d1 * d1
+		smoothVar += d2 * d2
+	}
+	if smoothVar >= rawVar {
+		t.Fatal("smoothing did not reduce step variance")
+	}
+}
+
+func TestPlateauStability(t *testing.T) {
+	s, err := Sample(DDR4(), 84, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := PlateauStability(s); math.Abs(got-1) > 0.1 {
+		t.Fatalf("plateau stability = %v, want within 10%% of 1 (Fig 2)", got)
+	}
+	if got := PlateauStability(Series{}); got != 0 {
+		t.Fatalf("stability of empty series = %v, want 0", got)
+	}
+}
+
+func TestSampleValidation(t *testing.T) {
+	if _, err := Sample(DDR4(), 0, 0.1, 1); err == nil {
+		t.Error("Sample accepted zero months")
+	}
+	if _, err := Sample(DDR4(), 12, -1, 1); err == nil {
+		t.Error("Sample accepted negative noise")
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	a, _ := Sample(DDR4(), 40, 0.2, 99)
+	b, _ := Sample(DDR4(), 40, 0.2, 99)
+	for i := range a.Raw {
+		if a.Raw[i] != b.Raw[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestPropertyCurveNonNegative(t *testing.T) {
+	f := func(m float64) bool {
+		m = math.Mod(math.Abs(m), 600)
+		return DDR4().At(m) >= 0 && SSD().At(m) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+)
+
+func analyze(t *testing.T, p Params) Breakdown {
+	t.Helper()
+	b, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestFig1Shares reproduces the paper's headline Fig. 1 numbers:
+// operational ~58% of total emissions, compute servers ~57% of the
+// datacenter, and DRAM/SSD/CPU at 35/28/24% of compute emissions.
+func TestFig1Shares(t *testing.T) {
+	b := analyze(t, Default())
+	check := func(name string, got, want, tol float64) {
+		if math.Abs(got*100-want) > tol {
+			t.Errorf("%s = %.1f%%, want %v%% ±%v", name, got*100, want, tol)
+		}
+	}
+	check("operational share", b.OpShare, 58, 2)
+	check("compute share", b.ComputeShare, 57, 2)
+	check("DRAM share of compute", b.ComputePartShares["dram"], 35, 2)
+	check("SSD share of compute", b.ComputePartShares["ssd"], 28, 2)
+	check("CPU share of compute", b.ComputePartShares["cpu"], 24, 2)
+}
+
+// TestFig1FullyRenewable reproduces the 100%-renewable sensitivity:
+// operational drops to ~9% of emissions and compute to ~44%.
+func TestFig1FullyRenewable(t *testing.T) {
+	p := Default()
+	p.RenewableFraction = 1
+	b := analyze(t, p)
+	if math.Abs(b.OpShare*100-9) > 2.5 {
+		t.Errorf("operational share at 100%% renewables = %.1f%%, want ~9%%", b.OpShare*100)
+	}
+	if math.Abs(b.ComputeShare*100-44) > 6 {
+		t.Errorf("compute share at 100%% renewables = %.1f%%, want ~44%%", b.ComputeShare*100)
+	}
+}
+
+// TestFig1ComponentOrdering encodes Fig. 1's qualitative claims: CPUs
+// dominate compute operational emissions; DRAM and SSDs dominate
+// embodied.
+func TestFig1ComponentOrdering(t *testing.T) {
+	b := analyze(t, Default())
+	op := b.ComputePartOpShares
+	if !(op["cpu"] > op["dram"] && op["cpu"] > op["ssd"]) {
+		t.Errorf("CPU should dominate operational: %v", op)
+	}
+	emb := b.ComputePartEmbShares
+	if !(emb["dram"] > emb["cpu"] && emb["ssd"] > emb["cpu"]) {
+		t.Errorf("DRAM and SSD should dominate embodied: %v", emb)
+	}
+	// §III: CPU+DRAM+SSD cause 67% of a compute server's emissions —
+	// our fitted breakdown puts them higher still; assert at least
+	// two-thirds.
+	sum := b.ComputePartShares["cpu"] + b.ComputePartShares["dram"] + b.ComputePartShares["ssd"]
+	if sum < 0.67 {
+		t.Errorf("top-3 components cover %.2f of compute emissions, want >= 0.67", sum)
+	}
+}
+
+func TestSharesSumToOne(t *testing.T) {
+	b := analyze(t, Default())
+	sum := b.ComputeShare + b.StorageShare + b.NetworkShare + b.NonITShare
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("type shares sum to %v", sum)
+	}
+	var parts float64
+	for _, v := range b.ComputePartShares {
+		parts += v
+	}
+	if math.Abs(parts-1) > 1e-9 {
+		t.Fatalf("compute part shares sum to %v", parts)
+	}
+}
+
+func TestEffectiveCIBlend(t *testing.T) {
+	p := Default()
+	got := float64(p.EffectiveCI())
+	want := 0.4*0.238 + 0.6*0.008
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("effective CI = %v, want %v", got, want)
+	}
+	if math.Abs(got-0.1) > 0.002 {
+		t.Fatalf("effective CI = %v, want ~0.1 (the paper's regional average)", got)
+	}
+}
+
+func TestMoreRenewablesLowerOpShare(t *testing.T) {
+	prev := 2.0
+	for _, rf := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		p := Default()
+		p.RenewableFraction = rf
+		b := analyze(t, p)
+		if b.OpShare >= prev {
+			t.Fatalf("op share not decreasing with renewables at %v", rf)
+		}
+		prev = b.OpShare
+	}
+}
+
+func TestDCSavings(t *testing.T) {
+	b := analyze(t, Default())
+	got := DCSavings(0.14, b)
+	// ~14% cluster savings -> ~8% DC savings at 57% compute share.
+	if math.Abs(got-0.08) > 0.01 {
+		t.Fatalf("DC savings = %v, want ~0.08", got)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	p := Default()
+	p.NCompute = 0
+	if _, err := Analyze(p); err == nil {
+		t.Error("Analyze accepted zero compute servers")
+	}
+	p = Default()
+	p.RenewableFraction = 2
+	if _, err := Analyze(p); err == nil {
+		t.Error("Analyze accepted renewable fraction > 1")
+	}
+	p = Default()
+	p.PUE = 0.5
+	if _, err := Analyze(p); err == nil {
+		t.Error("Analyze accepted PUE < 1")
+	}
+}

@@ -1,0 +1,147 @@
+// Package growth simulates VM demand growth to validate the growth
+// buffer GSF's buffer component sizes (§IV-D): a cloud keeps spare
+// capacity to absorb demand spikes during the weeks it takes to procure
+// and deploy additional servers. The paper's workaround keeps the
+// buffer on baseline SKUs — whose demand history exists — while VMs run
+// on GreenSKUs fungibly whenever GreenSKU capacity is available.
+//
+// The simulator models demand as drifting growth plus lognormal spikes,
+// procurement as a lead-time delay on capacity orders, and reports how
+// often demand outruns capacity (a "stockout") for a given buffer
+// fraction.
+package growth
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/greensku/gsf/internal/stats"
+)
+
+// Params configures the demand simulation.
+type Params struct {
+	// InitialDemand is the starting demand in baseline-server
+	// equivalents.
+	InitialDemand float64
+	// WeeklyGrowth is the mean multiplicative demand growth per week.
+	WeeklyGrowth float64
+	// SpikeStdDev is the per-week lognormal deviation around the
+	// growth trend.
+	SpikeStdDev float64
+	// LeadTimeWeeks is how long a capacity order takes to land.
+	LeadTimeWeeks int
+	// Weeks is the simulation horizon.
+	Weeks int
+	Seed  uint64
+}
+
+// DefaultParams models a steadily growing region: ~1.5% weekly growth
+// (about 2x demand per year), 6-week procurement, one simulated year.
+func DefaultParams() Params {
+	return Params{
+		InitialDemand: 100,
+		WeeklyGrowth:  1.015,
+		SpikeStdDev:   0.02,
+		LeadTimeWeeks: 6,
+		Weeks:         52,
+		Seed:          20240404,
+	}
+}
+
+// Result summarises one buffer policy's performance.
+type Result struct {
+	BufferFraction float64
+	// StockoutWeeks is the number of weeks demand exceeded deployed
+	// capacity.
+	StockoutWeeks int
+	// StockoutProb is StockoutWeeks over the horizon.
+	StockoutProb float64
+	// MeanIdleFraction is the average unused share of deployed
+	// capacity — the carbon cost of the buffer.
+	MeanIdleFraction float64
+	// PeakShortfall is the worst relative capacity deficit observed.
+	PeakShortfall float64
+}
+
+// Simulate runs the capacity-management loop: each week the operator
+// orders enough capacity to cover forecast demand plus the buffer;
+// orders arrive after the lead time; demand follows trend plus spikes.
+func Simulate(p Params, bufferFraction float64) (Result, error) {
+	if p.InitialDemand <= 0 || p.Weeks <= 0 || p.LeadTimeWeeks < 0 {
+		return Result{}, fmt.Errorf("growth: invalid parameters")
+	}
+	if p.WeeklyGrowth <= 0 || bufferFraction < 0 {
+		return Result{}, fmt.Errorf("growth: growth and buffer must be non-negative")
+	}
+	r := stats.NewRNG(p.Seed)
+	demand := p.InitialDemand
+	capacity := p.InitialDemand * (1 + bufferFraction)
+	// Orders in flight, indexed by arrival week.
+	arrivals := make([]float64, p.Weeks+p.LeadTimeWeeks+1)
+
+	res := Result{BufferFraction: bufferFraction}
+	var idleSum float64
+	for week := 0; week < p.Weeks; week++ {
+		capacity += arrivals[week]
+		// Demand evolves: trend plus spike.
+		demand *= p.WeeklyGrowth * math.Exp(r.Normal(0, p.SpikeStdDev))
+
+		if demand > capacity {
+			res.StockoutWeeks++
+			shortfall := (demand - capacity) / demand
+			if shortfall > res.PeakShortfall {
+				res.PeakShortfall = shortfall
+			}
+		} else {
+			idleSum += (capacity - demand) / capacity
+		}
+
+		// Order up to forecast demand at arrival time plus buffer,
+		// accounting for capacity already deployed or in flight.
+		forecast := demand * math.Pow(p.WeeklyGrowth, float64(p.LeadTimeWeeks))
+		target := forecast * (1 + bufferFraction)
+		inFlight := 0.0
+		for w := week + 1; w <= week+p.LeadTimeWeeks && w < len(arrivals); w++ {
+			inFlight += arrivals[w]
+		}
+		order := target - capacity - inFlight
+		if order > 0 && week+p.LeadTimeWeeks < len(arrivals) {
+			arrivals[week+p.LeadTimeWeeks] += order
+		}
+	}
+	res.StockoutProb = float64(res.StockoutWeeks) / float64(p.Weeks)
+	nonStockout := p.Weeks - res.StockoutWeeks
+	if nonStockout > 0 {
+		res.MeanIdleFraction = idleSum / float64(nonStockout)
+	}
+	return res, nil
+}
+
+// SweepBuffers evaluates several buffer fractions under the same demand
+// realisation (same seed), the comparison behind choosing ~15%.
+func SweepBuffers(p Params, fractions []float64) ([]Result, error) {
+	out := make([]Result, 0, len(fractions))
+	for _, f := range fractions {
+		res, err := Simulate(p, f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// MinimalBuffer returns the smallest buffer fraction from the
+// candidates that keeps the stockout probability at or below target.
+func MinimalBuffer(p Params, candidates []float64, target float64) (float64, error) {
+	results, err := SweepBuffers(p, candidates)
+	if err != nil {
+		return 0, err
+	}
+	for _, res := range results {
+		if res.StockoutProb <= target {
+			return res.BufferFraction, nil
+		}
+	}
+	return 0, fmt.Errorf("growth: no candidate buffer meets stockout target %v", target)
+}

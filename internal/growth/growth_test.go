@@ -1,0 +1,111 @@
+package growth
+
+import (
+	"testing"
+)
+
+func TestNoBufferStocksOut(t *testing.T) {
+	res, err := Simulate(DefaultParams(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StockoutWeeks == 0 {
+		t.Fatal("zero buffer should stock out under spiky growth")
+	}
+}
+
+func TestDefaultBufferAbsorbsSpikes(t *testing.T) {
+	res, err := Simulate(DefaultParams(), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StockoutProb > 0.02 {
+		t.Fatalf("15%% buffer stockout probability = %v, want ~0", res.StockoutProb)
+	}
+}
+
+func TestStockoutMonotoneInBuffer(t *testing.T) {
+	fractions := []float64{0, 0.05, 0.10, 0.15, 0.25}
+	results, err := SweepBuffers(DefaultParams(), fractions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].StockoutProb > results[i-1].StockoutProb {
+			t.Fatalf("stockouts should not increase with buffer: %+v", results)
+		}
+	}
+	// And the buffer's cost: idle capacity grows with the fraction.
+	if results[4].MeanIdleFraction <= results[1].MeanIdleFraction {
+		t.Fatalf("idle fraction should grow with buffer: %+v", results)
+	}
+}
+
+func TestMinimalBuffer(t *testing.T) {
+	f, err := MinimalBuffer(DefaultParams(), []float64{0, 0.05, 0.10, 0.15, 0.20, 0.30}, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The component's 15% default should be in the right
+	// neighbourhood for the default demand model.
+	if f < 0.05 || f > 0.20 {
+		t.Fatalf("minimal buffer = %v, want within [0.05, 0.20]", f)
+	}
+}
+
+func TestMinimalBufferUnreachable(t *testing.T) {
+	p := DefaultParams()
+	p.SpikeStdDev = 0.5 // absurdly spiky
+	if _, err := MinimalBuffer(p, []float64{0, 0.01}, 0.0); err == nil {
+		t.Fatal("accepted an unreachable stockout target")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Simulate(DefaultParams(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(DefaultParams(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same seed diverged")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	p := DefaultParams()
+	p.InitialDemand = 0
+	if _, err := Simulate(p, 0.1); err == nil {
+		t.Error("accepted zero demand")
+	}
+	if _, err := Simulate(DefaultParams(), -0.1); err == nil {
+		t.Error("accepted negative buffer")
+	}
+	p = DefaultParams()
+	p.WeeklyGrowth = 0
+	if _, err := Simulate(p, 0.1); err == nil {
+		t.Error("accepted zero growth factor")
+	}
+}
+
+func TestLongerLeadTimeNeedsMoreBuffer(t *testing.T) {
+	short := DefaultParams()
+	short.LeadTimeWeeks = 2
+	long := DefaultParams()
+	long.LeadTimeWeeks = 12
+	sRes, err := Simulate(short, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lRes, err := Simulate(long, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lRes.StockoutWeeks < sRes.StockoutWeeks {
+		t.Fatalf("longer lead time should not reduce stockouts: %d vs %d",
+			lRes.StockoutWeeks, sRes.StockoutWeeks)
+	}
+}

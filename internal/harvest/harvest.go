@@ -1,0 +1,202 @@
+// Package harvest plans the supply side of component reuse: GreenSKUs
+// consume second-life DDR4 DIMMs and m.2 SSDs, which must be harvested
+// from decommissioned donor servers (§III: "we decommission a rack of
+// Azure servers that was deployed in 2018; these servers have two
+// sockets, each with six low-capacity and six high-capacity DDR4 DIMMs;
+// we reuse the high-capacity DIMMs").
+//
+// The planner answers the deployment questions the paper's scale-out
+// implies: how many donors a GreenSKU fleet needs, which harvested
+// component bottlenecks production, and how much embodied carbon the
+// harvest avoids versus buying new parts.
+package harvest
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/greensku/gsf/internal/carbondata"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// DonorSpec describes one decommissioned server model's harvestable
+// contents.
+type DonorSpec struct {
+	Name string
+	// HighCapDIMMs are the reusable high-capacity DDR4 DIMMs (the
+	// low-capacity ones are not worth a CXL slot).
+	HighCapDIMMs int
+	DIMMGB       units.GB
+	// SSDs are the m.2 drives per donor.
+	SSDs  int
+	SSDTB float64
+}
+
+// Donor2018 is the paper's donor: a 2018 two-socket server with six
+// high-capacity 32 GB DIMMs per socket, plus its boot/cache m.2 drives.
+func Donor2018() DonorSpec {
+	return DonorSpec{Name: "2018-2S", HighCapDIMMs: 12, DIMMGB: 32, SSDs: 4, SSDTB: 1}
+}
+
+// Yield is the requalification pass rate per component class: parts
+// failing health screens (erase cycles, correctable-error history) are
+// scrapped rather than reused.
+type Yield struct {
+	DIMM float64
+	SSD  float64
+}
+
+// DefaultYield reflects the paper's reliability findings: DIMMs show no
+// aging (§II, Fig. 2), SSDs are screened for remaining erase cycles.
+func DefaultYield() Yield { return Yield{DIMM: 0.97, SSD: 0.88} }
+
+// Demand is one GreenSKU's appetite for harvested parts.
+type Demand struct {
+	DIMMs int
+	SSDs  int
+}
+
+// DemandFor counts the reused component groups of a SKU.
+func DemandFor(sku hw.SKU) Demand {
+	var d Demand
+	for _, g := range sku.DIMMs {
+		if g.Reused {
+			d.DIMMs += g.Count
+		}
+	}
+	for _, g := range sku.SSDs {
+		if g.Reused {
+			d.SSDs += g.Count
+		}
+	}
+	return d
+}
+
+func (y Yield) validate() error {
+	if y.DIMM < 0 || y.DIMM > 1 || y.SSD < 0 || y.SSD > 1 {
+		return fmt.Errorf("harvest: yields out of [0,1]: %+v", y)
+	}
+	return nil
+}
+
+// SKUsFrom returns how many GreenSKUs a donor pool can supply, and
+// which component runs out first.
+func SKUsFrom(donors int, spec DonorSpec, y Yield, d Demand) (skus int, bottleneck string, err error) {
+	if err := y.validate(); err != nil {
+		return 0, "", err
+	}
+	if donors < 0 {
+		return 0, "", fmt.Errorf("harvest: negative donor count")
+	}
+	if d.DIMMs == 0 && d.SSDs == 0 {
+		return 0, "", fmt.Errorf("harvest: SKU reuses no components")
+	}
+	dimmSupply := math.Floor(float64(donors) * float64(spec.HighCapDIMMs) * y.DIMM)
+	ssdSupply := math.Floor(float64(donors) * float64(spec.SSDs) * y.SSD)
+	best := math.Inf(1)
+	bottleneck = "none"
+	if d.DIMMs > 0 {
+		byDIMM := math.Floor(dimmSupply / float64(d.DIMMs))
+		if byDIMM < best {
+			best = byDIMM
+			bottleneck = "dimm"
+		}
+	}
+	if d.SSDs > 0 {
+		bySSD := math.Floor(ssdSupply / float64(d.SSDs))
+		if bySSD < best {
+			best = bySSD
+			bottleneck = "ssd"
+		}
+	}
+	return int(best), bottleneck, nil
+}
+
+// DonorsFor returns the smallest donor pool that supplies n GreenSKUs.
+func DonorsFor(n int, spec DonorSpec, y Yield, d Demand) (int, error) {
+	if err := y.validate(); err != nil {
+		return 0, err
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("harvest: SKU count must be positive")
+	}
+	if d.DIMMs == 0 && d.SSDs == 0 {
+		return 0, fmt.Errorf("harvest: SKU reuses no components")
+	}
+	need := 0.0
+	if d.DIMMs > 0 {
+		if spec.HighCapDIMMs == 0 || y.DIMM == 0 {
+			return 0, fmt.Errorf("harvest: donor %s supplies no usable DIMMs", spec.Name)
+		}
+		need = math.Max(need, float64(n*d.DIMMs)/(float64(spec.HighCapDIMMs)*y.DIMM))
+	}
+	if d.SSDs > 0 {
+		if spec.SSDs == 0 || y.SSD == 0 {
+			return 0, fmt.Errorf("harvest: donor %s supplies no usable SSDs", spec.Name)
+		}
+		need = math.Max(need, float64(n*d.SSDs)/(float64(spec.SSDs)*y.SSD))
+	}
+	donors := int(math.Ceil(need))
+	// Flooring in SKUsFrom can leave the estimate one donor short.
+	for {
+		got, _, err := SKUsFrom(donors, spec, y, d)
+		if err != nil {
+			return 0, err
+		}
+		if got >= n {
+			return donors, nil
+		}
+		donors++
+	}
+}
+
+// AvoidedEmbodied returns the embodied emissions one GreenSKU's reuse
+// avoids versus buying new parts, under the dataset's new-component
+// values.
+func AvoidedEmbodied(sku hw.SKU, data carbondata.Dataset) units.KgCO2e {
+	var total float64
+	for _, g := range sku.DIMMs {
+		if g.Reused {
+			total += float64(g.TotalGB()) * float64(data.DRAMPerGB.Embodied)
+		}
+	}
+	for _, g := range sku.SSDs {
+		if g.Reused {
+			total += g.TotalTB() * float64(data.SSDPerTB.Embodied)
+		}
+	}
+	return units.KgCO2e(total)
+}
+
+// Plan summarises a harvest campaign for a GreenSKU fleet.
+type Plan struct {
+	SKUs            int
+	Donors          int
+	Bottleneck      string
+	SpareDIMMs      int
+	SpareSSDs       int
+	AvoidedEmbodied units.KgCO2e // across the fleet
+}
+
+// PlanFleet sizes the donor pool for a fleet of the given GreenSKU.
+func PlanFleet(sku hw.SKU, fleet int, spec DonorSpec, y Yield, data carbondata.Dataset) (Plan, error) {
+	d := DemandFor(sku)
+	donors, err := DonorsFor(fleet, spec, y, d)
+	if err != nil {
+		return Plan{}, err
+	}
+	_, bottleneck, err := SKUsFrom(donors, spec, y, d)
+	if err != nil {
+		return Plan{}, err
+	}
+	p := Plan{
+		SKUs:       fleet,
+		Donors:     donors,
+		Bottleneck: bottleneck,
+	}
+	p.SpareDIMMs = int(math.Floor(float64(donors)*float64(spec.HighCapDIMMs)*y.DIMM)) - fleet*d.DIMMs
+	p.SpareSSDs = int(math.Floor(float64(donors)*float64(spec.SSDs)*y.SSD)) - fleet*d.SSDs
+	p.AvoidedEmbodied = units.KgCO2e(float64(fleet) * float64(AvoidedEmbodied(sku, data)))
+	return p, nil
+}

@@ -1,0 +1,142 @@
+package harvest
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/greensku/gsf/internal/carbondata"
+	"github.com/greensku/gsf/internal/hw"
+)
+
+func TestDemandForGreenSKUs(t *testing.T) {
+	// GreenSKU-CXL reuses 8 DIMMs and no SSDs; -Full adds 12 SSDs.
+	d := DemandFor(hw.GreenSKUCXL())
+	if d.DIMMs != 8 || d.SSDs != 0 {
+		t.Fatalf("GreenSKU-CXL demand = %+v, want 8 DIMMs / 0 SSDs", d)
+	}
+	d = DemandFor(hw.GreenSKUFull())
+	if d.DIMMs != 8 || d.SSDs != 12 {
+		t.Fatalf("GreenSKU-Full demand = %+v, want 8 DIMMs / 12 SSDs", d)
+	}
+	d = DemandFor(hw.BaselineGen3())
+	if d.DIMMs != 0 || d.SSDs != 0 {
+		t.Fatalf("baseline demand = %+v, want none", d)
+	}
+}
+
+func TestSSDsBottleneckFullSKU(t *testing.T) {
+	// A donor yields 12 DIMMs but only 4 SSDs; GreenSKU-Full wants 8
+	// and 12: SSD supply binds.
+	_, bottleneck, err := SKUsFrom(100, Donor2018(), DefaultYield(), DemandFor(hw.GreenSKUFull()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bottleneck != "ssd" {
+		t.Fatalf("bottleneck = %s, want ssd", bottleneck)
+	}
+	// For the CXL SKU (no SSD reuse) DIMMs bind instead.
+	_, bottleneck, err = SKUsFrom(100, Donor2018(), DefaultYield(), DemandFor(hw.GreenSKUCXL()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bottleneck != "dimm" {
+		t.Fatalf("bottleneck = %s, want dimm", bottleneck)
+	}
+}
+
+func TestDonorsForRoundTrip(t *testing.T) {
+	spec, y := Donor2018(), DefaultYield()
+	for _, sku := range []hw.SKU{hw.GreenSKUCXL(), hw.GreenSKUFull()} {
+		d := DemandFor(sku)
+		for _, fleet := range []int{1, 16, 100, 1000} {
+			donors, err := DonorsFor(fleet, spec, y, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := SKUsFrom(donors, spec, y, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got < fleet {
+				t.Fatalf("%s fleet %d: %d donors supply only %d SKUs", sku.Name, fleet, donors, got)
+			}
+			if donors > 1 {
+				fewer, _, err := SKUsFrom(donors-1, spec, y, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fewer >= fleet {
+					t.Fatalf("%s fleet %d: %d donors not minimal (%d suffice)", sku.Name, fleet, donors, donors-1)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanFleet(t *testing.T) {
+	plan, err := PlanFleet(hw.GreenSKUFull(), 1000, Donor2018(), DefaultYield(), carbondata.OpenSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000 SKUs need 12000 reused SSDs; a donor yields
+	// floor(4*0.88)=3.52 SSDs -> ~3410 donors.
+	if plan.Donors < 3000 || plan.Donors > 3600 {
+		t.Fatalf("donors = %d, want ~3410", plan.Donors)
+	}
+	if plan.Bottleneck != "ssd" {
+		t.Fatalf("bottleneck = %s, want ssd", plan.Bottleneck)
+	}
+	if plan.SpareDIMMs <= 0 {
+		t.Fatalf("spare DIMMs = %d, want surplus (DIMMs are not the bottleneck)", plan.SpareDIMMs)
+	}
+	// Avoided embodied: 256 GB * 1.65 + 12 TB * 17.3 = 630 kg per SKU.
+	want := 1000 * (256*1.65 + 12*17.3)
+	if math.Abs(float64(plan.AvoidedEmbodied)-want) > 1 {
+		t.Fatalf("avoided embodied = %v, want %v", plan.AvoidedEmbodied, want)
+	}
+}
+
+func TestAvoidedEmbodiedZeroForNewSKU(t *testing.T) {
+	if got := AvoidedEmbodied(hw.GreenSKUEfficient(), carbondata.OpenSource()); got != 0 {
+		t.Fatalf("all-new SKU avoided embodied = %v, want 0", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	spec, d := Donor2018(), DemandFor(hw.GreenSKUFull())
+	if _, _, err := SKUsFrom(10, spec, Yield{DIMM: 2, SSD: 0.5}, d); err == nil {
+		t.Error("accepted yield > 1")
+	}
+	if _, _, err := SKUsFrom(-1, spec, DefaultYield(), d); err == nil {
+		t.Error("accepted negative donors")
+	}
+	if _, _, err := SKUsFrom(10, spec, DefaultYield(), Demand{}); err == nil {
+		t.Error("accepted a SKU with no reuse")
+	}
+	if _, err := DonorsFor(0, spec, DefaultYield(), d); err == nil {
+		t.Error("accepted zero fleet")
+	}
+	noSSD := spec
+	noSSD.SSDs = 0
+	if _, err := DonorsFor(10, noSSD, DefaultYield(), d); err == nil {
+		t.Error("accepted a donor that cannot supply demanded SSDs")
+	}
+}
+
+func TestPropertySupplyMonotone(t *testing.T) {
+	spec, y := Donor2018(), DefaultYield()
+	d := DemandFor(hw.GreenSKUFull())
+	f := func(a, b uint16) bool {
+		x, yy := int(a%2000), int(b%2000)
+		if x > yy {
+			x, yy = yy, x
+		}
+		sx, _, err1 := SKUsFrom(x, spec, y, d)
+		sy, _, err2 := SKUsFrom(yy, spec, y, d)
+		return err1 == nil && err2 == nil && sx <= sy
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

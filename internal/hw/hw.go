@@ -1,0 +1,231 @@
+// Package hw describes server hardware: CPU specifications (Table I of
+// the paper), memory and storage groups, and complete SKU configurations
+// including the three GreenSKU prototypes and the Gen1–3 baselines.
+//
+// hw holds only physical/performance characteristics. Carbon-accounting
+// values (TDP used for emission estimates, embodied kgCO2e) live in
+// package carbondata, keyed by the component identifiers defined here,
+// because the paper evaluates the same hardware under two datasets
+// (internal-calibrated and open-source).
+package hw
+
+import (
+	"fmt"
+
+	"github.com/greensku/gsf/internal/units"
+)
+
+// MemKind distinguishes locally attached DRAM from DRAM reached through
+// a CXL controller.
+type MemKind int
+
+const (
+	// MemLocal is direct-attached DRAM (DDR5 in current servers).
+	MemLocal MemKind = iota
+	// MemCXL is DRAM behind a CXL Type 3 (CXL.mem) controller, the
+	// paper's mechanism for reusing old DDR4 in new servers.
+	MemCXL
+)
+
+func (k MemKind) String() string {
+	if k == MemCXL {
+		return "cxl"
+	}
+	return "local"
+}
+
+// CPUSpec describes a CPU socket, mirroring Table I.
+type CPUSpec struct {
+	Name       string
+	Cores      int     // cores per socket
+	MaxFreqGHz float64 // max core frequency
+	LLCMiB     int     // last-level cache per socket
+	TDP        units.Watts
+	// MemBWGBs is the peak local memory bandwidth of a server built
+	// around this CPU, in GB/s (e.g. 460 for DDR5 Genoa platforms).
+	MemBWGBs float64
+	// CPUScore is the relative per-core performance on a
+	// Sysbench-style single-thread benchmark, normalised to Gen3
+	// (Genoa) = 1.0.
+	//
+	// fitted: Bergamo 0.90 and Milan 0.957 reproduce the paper's
+	// reported 10% and 6% Sysbench per-core slowdowns of Bergamo
+	// relative to Genoa and Milan (§III).
+	CPUScore float64
+}
+
+// LLCPerCoreMiB is the last-level cache available per core.
+func (c CPUSpec) LLCPerCoreMiB() float64 {
+	if c.Cores == 0 {
+		return 0
+	}
+	return float64(c.LLCMiB) / float64(c.Cores)
+}
+
+// Table I CPU catalog, plus the efficient Bergamo part.
+var (
+	Bergamo = CPUSpec{Name: "Bergamo", Cores: 128, MaxFreqGHz: 3.0, LLCMiB: 256, TDP: 350, MemBWGBs: 460, CPUScore: 0.90}
+	Rome    = CPUSpec{Name: "Rome", Cores: 64, MaxFreqGHz: 3.0, LLCMiB: 256, TDP: 240, MemBWGBs: 205, CPUScore: 0.78}
+	Milan   = CPUSpec{Name: "Milan", Cores: 64, MaxFreqGHz: 3.7, LLCMiB: 256, TDP: 280, MemBWGBs: 205, CPUScore: 0.957}
+	Genoa   = CPUSpec{Name: "Genoa", Cores: 80, MaxFreqGHz: 3.7, LLCMiB: 384, TDP: 320, MemBWGBs: 460, CPUScore: 1.0}
+)
+
+// CPUCatalog lists the CPUs of Table I in the paper's column order.
+func CPUCatalog() []CPUSpec { return []CPUSpec{Bergamo, Rome, Milan, Genoa} }
+
+// DIMMGroup is a homogeneous set of memory DIMMs in a SKU.
+type DIMMGroup struct {
+	Count      int
+	CapacityGB units.GB
+	Kind       MemKind
+	Reused     bool // second-life part: zero embodied emissions
+}
+
+// TotalGB returns the group's aggregate capacity.
+func (g DIMMGroup) TotalGB() units.GB { return units.GB(float64(g.Count)) * g.CapacityGB }
+
+// SSDGroup is a homogeneous set of SSDs in a SKU.
+type SSDGroup struct {
+	Count      int
+	CapacityTB float64
+	Reused     bool
+}
+
+// TotalTB returns the group's aggregate capacity.
+func (g SSDGroup) TotalTB() float64 { return float64(g.Count) * g.CapacityTB }
+
+// SKU is a complete compute-server configuration.
+type SKU struct {
+	Name           string
+	CPU            CPUSpec
+	Sockets        int
+	DIMMs          []DIMMGroup
+	SSDs           []SSDGroup
+	CXLControllers int
+	// FormFactorU is the rack height of the server in rack units.
+	FormFactorU int
+	// CXLBWGBs is additional memory bandwidth contributed by the CXL
+	// links (e.g. ~100 GB/s over 32 PCIe5 lanes with 256-byte
+	// interleaving).
+	CXLBWGBs float64
+}
+
+// Cores returns the SKU's total core count.
+func (s SKU) Cores() int { return s.CPU.Cores * s.Sockets }
+
+// TotalDRAMGB returns all DRAM capacity, local plus CXL.
+func (s SKU) TotalDRAMGB() units.GB {
+	var total units.GB
+	for _, g := range s.DIMMs {
+		total += g.TotalGB()
+	}
+	return total
+}
+
+// LocalDRAMGB returns direct-attached DRAM capacity.
+func (s SKU) LocalDRAMGB() units.GB { return s.dramBy(MemLocal) }
+
+// CXLDRAMGB returns CXL-attached DRAM capacity.
+func (s SKU) CXLDRAMGB() units.GB { return s.dramBy(MemCXL) }
+
+func (s SKU) dramBy(kind MemKind) units.GB {
+	var total units.GB
+	for _, g := range s.DIMMs {
+		if g.Kind == kind {
+			total += g.TotalGB()
+		}
+	}
+	return total
+}
+
+// TotalSSDTB returns all SSD capacity in TB.
+func (s SKU) TotalSSDTB() float64 {
+	var total float64
+	for _, g := range s.SSDs {
+		total += g.TotalTB()
+	}
+	return total
+}
+
+// NewSSDTB returns the capacity of first-life SSDs in TB.
+func (s SKU) NewSSDTB() float64 {
+	var total float64
+	for _, g := range s.SSDs {
+		if !g.Reused {
+			total += g.TotalTB()
+		}
+	}
+	return total
+}
+
+// ReusedSSDTB returns the capacity of second-life SSDs in TB.
+func (s SKU) ReusedSSDTB() float64 { return s.TotalSSDTB() - s.NewSSDTB() }
+
+// DIMMCount returns the number of physical DIMMs.
+func (s SKU) DIMMCount() int {
+	n := 0
+	for _, g := range s.DIMMs {
+		n += g.Count
+	}
+	return n
+}
+
+// SSDCount returns the number of physical SSDs.
+func (s SKU) SSDCount() int {
+	n := 0
+	for _, g := range s.SSDs {
+		n += g.Count
+	}
+	return n
+}
+
+// MemoryCoreRatio returns GB of DRAM per core (9.6 for the baseline,
+// 8 for GreenSKU-CXL/Full).
+func (s SKU) MemoryCoreRatio() float64 {
+	if s.Cores() == 0 {
+		return 0
+	}
+	return float64(s.TotalDRAMGB()) / float64(s.Cores())
+}
+
+// MemBWPerCoreGBs returns memory bandwidth per core including CXL-added
+// bandwidth (5.8 GB/s for Genoa, 4.4 GB/s for Bergamo+CXL in §III).
+func (s SKU) MemBWPerCoreGBs() float64 {
+	if s.Cores() == 0 {
+		return 0
+	}
+	return (s.CPU.MemBWGBs + s.CXLBWGBs) / float64(s.Cores())
+}
+
+// HasCXL reports whether the SKU reaches any memory through CXL.
+func (s SKU) HasCXL() bool { return s.CXLControllers > 0 }
+
+// Validate checks structural invariants of the SKU definition.
+func (s SKU) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("hw: SKU has no name")
+	}
+	if s.Sockets <= 0 {
+		return fmt.Errorf("hw: SKU %s: sockets must be positive", s.Name)
+	}
+	if s.CPU.Cores <= 0 {
+		return fmt.Errorf("hw: SKU %s: CPU has no cores", s.Name)
+	}
+	if s.FormFactorU <= 0 {
+		return fmt.Errorf("hw: SKU %s: form factor must be positive", s.Name)
+	}
+	for _, g := range s.DIMMs {
+		if g.Count < 0 || g.CapacityGB < 0 {
+			return fmt.Errorf("hw: SKU %s: negative DIMM group", s.Name)
+		}
+		if g.Kind == MemCXL && s.CXLControllers == 0 {
+			return fmt.Errorf("hw: SKU %s: CXL memory without a CXL controller", s.Name)
+		}
+	}
+	for _, g := range s.SSDs {
+		if g.Count < 0 || g.CapacityTB < 0 {
+			return fmt.Errorf("hw: SKU %s: negative SSD group", s.Name)
+		}
+	}
+	return nil
+}

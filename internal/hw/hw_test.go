@@ -1,0 +1,157 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableICatalog(t *testing.T) {
+	cases := []struct {
+		cpu   CPUSpec
+		cores int
+		freq  float64
+		llc   int
+	}{
+		{Bergamo, 128, 3.0, 256},
+		{Rome, 64, 3.0, 256},
+		{Milan, 64, 3.7, 256},
+		{Genoa, 80, 3.7, 384},
+	}
+	for _, c := range cases {
+		if c.cpu.Cores != c.cores || c.cpu.MaxFreqGHz != c.freq || c.cpu.LLCMiB != c.llc {
+			t.Errorf("%s = %+v, want cores=%d freq=%v llc=%d", c.cpu.Name, c.cpu, c.cores, c.freq, c.llc)
+		}
+	}
+	if len(CPUCatalog()) != 4 {
+		t.Fatalf("CPUCatalog has %d entries, want 4", len(CPUCatalog()))
+	}
+}
+
+func TestLLCPerCore(t *testing.T) {
+	// Genoa: 384/80 = 4.8 MiB/core; Bergamo: 256/128 = 2 MiB/core.
+	if got := Genoa.LLCPerCoreMiB(); math.Abs(got-4.8) > 1e-9 {
+		t.Fatalf("Genoa LLC/core = %v, want 4.8", got)
+	}
+	if got := Bergamo.LLCPerCoreMiB(); got != 2 {
+		t.Fatalf("Bergamo LLC/core = %v, want 2", got)
+	}
+}
+
+func TestBaselineConfig(t *testing.T) {
+	b := BaselineGen3()
+	if b.Cores() != 80 {
+		t.Fatalf("baseline cores = %d, want 80", b.Cores())
+	}
+	if got := b.TotalDRAMGB(); got != 768 {
+		t.Fatalf("baseline DRAM = %v, want 768", got)
+	}
+	if got := b.TotalSSDTB(); got != 12 {
+		t.Fatalf("baseline SSD = %v, want 12", got)
+	}
+	// Paper: baseline memory:core ratio is 9.6.
+	if got := b.MemoryCoreRatio(); math.Abs(got-9.6) > 1e-9 {
+		t.Fatalf("baseline mem:core = %v, want 9.6", got)
+	}
+	if b.DIMMCount() != 12 || b.SSDCount() != 6 {
+		t.Fatalf("baseline DIMMs/SSDs = %d/%d, want 12/6", b.DIMMCount(), b.SSDCount())
+	}
+}
+
+func TestGreenSKUCXLConfig(t *testing.T) {
+	s := GreenSKUCXL()
+	if s.Cores() != 128 {
+		t.Fatalf("cores = %d, want 128", s.Cores())
+	}
+	if got := s.LocalDRAMGB(); got != 768 {
+		t.Fatalf("local DRAM = %v, want 768", got)
+	}
+	if got := s.CXLDRAMGB(); got != 256 {
+		t.Fatalf("CXL DRAM = %v, want 256", got)
+	}
+	// Paper: GreenSKU memory:core ratio is 8.
+	if got := s.MemoryCoreRatio(); got != 8 {
+		t.Fatalf("mem:core = %v, want 8", got)
+	}
+	// §III: Bergamo with CXL offers (460+100)/128 = 4.375 GB/s per core.
+	if got := s.MemBWPerCoreGBs(); math.Abs(got-4.375) > 1e-9 {
+		t.Fatalf("mem BW per core = %v, want 4.375", got)
+	}
+	if !s.HasCXL() {
+		t.Fatal("GreenSKU-CXL should report HasCXL")
+	}
+}
+
+func TestGreenSKUFullConfig(t *testing.T) {
+	s := GreenSKUFull()
+	if got := s.TotalSSDTB(); got != 20 {
+		t.Fatalf("total SSD = %v, want 20", got)
+	}
+	if got := s.NewSSDTB(); got != 8 {
+		t.Fatalf("new SSD = %v, want 8", got)
+	}
+	if got := s.ReusedSSDTB(); got != 12 {
+		t.Fatalf("reused SSD = %v, want 12", got)
+	}
+	// §V maintenance example: GreenSKU-Full has 20 DIMMs and 14 SSDs.
+	if s.DIMMCount() != 20 || s.SSDCount() != 14 {
+		t.Fatalf("DIMMs/SSDs = %d/%d, want 20/14", s.DIMMCount(), s.SSDCount())
+	}
+}
+
+func TestGenoaVsBaselineBandwidth(t *testing.T) {
+	// §III: Genoa offers 5.8 GB/s per core.
+	if got := BaselineGen3().MemBWPerCoreGBs(); math.Abs(got-5.75) > 0.1 {
+		t.Fatalf("Genoa BW/core = %v, want ~5.8", got)
+	}
+}
+
+func TestValidateAll(t *testing.T) {
+	for _, s := range TableIVConfigs() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%s): %v", s.Name, err)
+		}
+	}
+	for _, gen := range []int{1, 2, 3} {
+		if err := BaselineForGeneration(gen).Validate(); err != nil {
+			t.Errorf("Validate(gen %d): %v", gen, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadSKUs(t *testing.T) {
+	bad := []SKU{
+		{},
+		{Name: "x", Sockets: 1, FormFactorU: 2},
+		{Name: "x", CPU: Genoa, Sockets: 1, FormFactorU: 2,
+			DIMMs: []DIMMGroup{{Count: 4, CapacityGB: 32, Kind: MemCXL}}},
+		{Name: "x", CPU: Genoa, Sockets: 1, FormFactorU: 2,
+			SSDs: []SSDGroup{{Count: -1, CapacityTB: 2}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid SKU", i)
+		}
+	}
+}
+
+func TestBaselineForGenerationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for generation 0")
+		}
+	}()
+	BaselineForGeneration(0)
+}
+
+func TestSysbenchGaps(t *testing.T) {
+	// §III: Bergamo incurs 10% and 6% per-core slowdown vs Genoa and
+	// Milan respectively.
+	vsGenoa := 1 - Bergamo.CPUScore/Genoa.CPUScore
+	if math.Abs(vsGenoa-0.10) > 0.005 {
+		t.Errorf("Bergamo vs Genoa slowdown = %v, want 0.10", vsGenoa)
+	}
+	vsMilan := 1 - Bergamo.CPUScore/Milan.CPUScore
+	if math.Abs(vsMilan-0.06) > 0.015 {
+		t.Errorf("Bergamo vs Milan slowdown = %v, want ~0.06", vsMilan)
+	}
+}

@@ -1,0 +1,120 @@
+package hw
+
+// The SKU configurations evaluated in Tables IV and VIII of the paper,
+// plus the Gen1/Gen2 baselines used in the performance study. All are
+// single-socket 2U servers (the paper's GreenSKU prototype form factor).
+
+// BaselineGen3 is the currently deployed Genoa baseline SKU:
+// 80 cores, 12 x 64 GB DDR5, 6 x 2 TB SSD (memory:core ratio 9.6).
+func BaselineGen3() SKU {
+	return SKU{
+		Name:        "Baseline",
+		CPU:         Genoa,
+		Sockets:     1,
+		DIMMs:       []DIMMGroup{{Count: 12, CapacityGB: 64, Kind: MemLocal}},
+		SSDs:        []SSDGroup{{Count: 6, CapacityTB: 2}},
+		FormFactorU: 2,
+	}
+}
+
+// BaselineResized is the baseline with its memory:core ratio reduced
+// from 9.6 to 8 (10 x 64 GB), the carbon-optimal ratio for the paper's
+// workload traces.
+func BaselineResized() SKU {
+	s := BaselineGen3()
+	s.Name = "Baseline-Resized"
+	s.DIMMs = []DIMMGroup{{Count: 10, CapacityGB: 64, Kind: MemLocal}}
+	return s
+}
+
+// BaselineGen1 is the oldest deployed generation (Rome).
+func BaselineGen1() SKU {
+	return SKU{
+		Name:        "Gen1",
+		CPU:         Rome,
+		Sockets:     1,
+		DIMMs:       []DIMMGroup{{Count: 12, CapacityGB: 64, Kind: MemLocal}},
+		SSDs:        []SSDGroup{{Count: 6, CapacityTB: 2}},
+		FormFactorU: 2,
+	}
+}
+
+// BaselineGen2 is the second deployed generation (Milan).
+func BaselineGen2() SKU {
+	s := BaselineGen1()
+	s.Name = "Gen2"
+	s.CPU = Milan
+	return s
+}
+
+// GreenSKUEfficient is GreenSKU #1: the efficient 128-core Bergamo CPU
+// with 12 x 96 GB DDR5 and 5 x 4 TB SSD.
+func GreenSKUEfficient() SKU {
+	return SKU{
+		Name:        "GreenSKU-Efficient",
+		CPU:         Bergamo,
+		Sockets:     1,
+		DIMMs:       []DIMMGroup{{Count: 12, CapacityGB: 96, Kind: MemLocal}},
+		SSDs:        []SSDGroup{{Count: 5, CapacityTB: 4}},
+		FormFactorU: 2,
+	}
+}
+
+// GreenSKUCXL is GreenSKU #2: GreenSKU-Efficient with 30% of its memory
+// replaced by reused 32 GB DDR4 DIMMs behind two CXL controllers
+// (memory:core ratio 8).
+func GreenSKUCXL() SKU {
+	return SKU{
+		Name:    "GreenSKU-CXL",
+		CPU:     Bergamo,
+		Sockets: 1,
+		DIMMs: []DIMMGroup{
+			{Count: 12, CapacityGB: 64, Kind: MemLocal},
+			{Count: 8, CapacityGB: 32, Kind: MemCXL, Reused: true},
+		},
+		SSDs:           []SSDGroup{{Count: 5, CapacityTB: 4}},
+		CXLControllers: 2,
+		CXLBWGBs:       100,
+		FormFactorU:    2,
+	}
+}
+
+// GreenSKUFull is GreenSKU #3: GreenSKU-CXL with 60% of its storage
+// replaced by reused 1 TB m.2 SSDs (2 x 4 TB new E1.s plus 12 x 1 TB
+// reused).
+func GreenSKUFull() SKU {
+	s := GreenSKUCXL()
+	s.Name = "GreenSKU-Full"
+	s.SSDs = []SSDGroup{
+		{Count: 2, CapacityTB: 4},
+		{Count: 12, CapacityTB: 1, Reused: true},
+	}
+	return s
+}
+
+// TableIVConfigs returns the five SKU configurations of Table IV/VIII in
+// row order: Baseline, Baseline-Resized, GreenSKU-Efficient,
+// GreenSKU-CXL, GreenSKU-Full.
+func TableIVConfigs() []SKU {
+	return []SKU{
+		BaselineGen3(),
+		BaselineResized(),
+		GreenSKUEfficient(),
+		GreenSKUCXL(),
+		GreenSKUFull(),
+	}
+}
+
+// BaselineForGeneration maps the paper's generation index (1, 2, 3) to
+// its baseline SKU. It panics for other values.
+func BaselineForGeneration(gen int) SKU {
+	switch gen {
+	case 1:
+		return BaselineGen1()
+	case 2:
+		return BaselineGen2()
+	case 3:
+		return BaselineGen3()
+	}
+	panic("hw: unknown server generation")
+}

@@ -1,0 +1,120 @@
+package maintenance
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// TestPaperAFRs reproduces §V: baseline AFR 4.8, GreenSKU-Full AFR 7.2
+// per 100 servers.
+func TestPaperAFRs(t *testing.T) {
+	afrs := DefaultAFRs()
+	if got := ServerAFR(hw.BaselineGen3(), afrs); math.Abs(got-4.8) > 1e-9 {
+		t.Errorf("baseline AFR = %v, want 4.8", got)
+	}
+	if got := ServerAFR(hw.GreenSKUFull(), afrs); math.Abs(got-7.2) > 1e-9 {
+		t.Errorf("GreenSKU-Full AFR = %v, want 7.2", got)
+	}
+}
+
+// TestPaperFIP reproduces §V: repair rates of 3.0 and 3.6 after 75% FIP.
+func TestPaperFIP(t *testing.T) {
+	fip := FIP{Effectiveness: 0.75}
+	afrs := DefaultAFRs()
+	if got := fip.RepairRate(hw.BaselineGen3(), afrs); math.Abs(got-3.0) > 1e-9 {
+		t.Errorf("baseline repair rate = %v, want 3.0", got)
+	}
+	if got := fip.RepairRate(hw.GreenSKUFull(), afrs); math.Abs(got-3.6) > 1e-9 {
+		t.Errorf("GreenSKU-Full repair rate = %v, want 3.6", got)
+	}
+}
+
+// TestPaperCOOS reproduces §V: C_OOS = 3.0 for the baseline vs 2.98 for
+// GreenSKU-Full — maintenance overheads are negligible.
+func TestPaperCOOS(t *testing.T) {
+	out, err := PaperComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d overheads, want 2", len(out))
+	}
+	if math.Abs(out[0].COOS-3.0) > 1e-9 {
+		t.Errorf("baseline C_OOS = %v, want 3.0", out[0].COOS)
+	}
+	if math.Abs(out[1].COOS-2.9985) > 0.01 {
+		t.Errorf("GreenSKU-Full C_OOS = %v, want ~2.98", out[1].COOS)
+	}
+	// The paper's conclusion: GreenSKU-Full's maintenance overhead does
+	// not exceed the baseline's.
+	if out[1].COOS > out[0].COOS {
+		t.Errorf("GreenSKU-Full C_OOS (%v) should not exceed baseline (%v)", out[1].COOS, out[0].COOS)
+	}
+}
+
+func TestOutOfServiceFraction(t *testing.T) {
+	// Repair rate 3 per 100 servers/year with a 2-week repair time:
+	// 0.03 * 336/8760 = 0.115%.
+	got := OutOfServiceFraction(3, units.Hours(336))
+	if math.Abs(got-0.0011506849) > 1e-8 {
+		t.Fatalf("out-of-service fraction = %v, want ~0.00115", got)
+	}
+}
+
+func TestFIPBounds(t *testing.T) {
+	afrs := DefaultAFRs()
+	sku := hw.GreenSKUFull()
+	// 0% effectiveness: repair rate equals full AFR.
+	if got := (FIP{}).RepairRate(sku, afrs); math.Abs(got-ServerAFR(sku, afrs)) > 1e-9 {
+		t.Errorf("FIP 0%% repair rate = %v, want full AFR", got)
+	}
+	// 100% effectiveness: only non-media failures remain.
+	if got := (FIP{Effectiveness: 1}).RepairRate(sku, afrs); math.Abs(got-afrs.ServerOther) > 1e-9 {
+		t.Errorf("FIP 100%% repair rate = %v, want %v", got, afrs.ServerOther)
+	}
+}
+
+func TestCompareValidation(t *testing.T) {
+	_, err := Compare([]Input{{SKU: hw.BaselineGen3(), ServerRatio: 0, EmissionRatio: 1}},
+		DefaultAFRs(), FIP{Effectiveness: 0.75})
+	if err == nil {
+		t.Fatal("Compare accepted a zero server ratio")
+	}
+	_, err = Compare([]Input{{SKU: hw.SKU{}, ServerRatio: 1, EmissionRatio: 1}},
+		DefaultAFRs(), FIP{Effectiveness: 0.75})
+	if err == nil {
+		t.Fatal("Compare accepted an invalid SKU")
+	}
+}
+
+func TestPropertyFIPMonotone(t *testing.T) {
+	// More FIP effectiveness never increases the repair rate.
+	afrs := DefaultAFRs()
+	sku := hw.GreenSKUFull()
+	f := func(a, b float64) bool {
+		a = math.Mod(math.Abs(a), 1)
+		b = math.Mod(math.Abs(b), 1)
+		if a > b {
+			a, b = b, a
+		}
+		return FIP{Effectiveness: a}.RepairRate(sku, afrs) >= FIP{Effectiveness: b}.RepairRate(sku, afrs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAFRMonotoneInComponents(t *testing.T) {
+	// Adding DIMMs or SSDs never lowers the server AFR.
+	afrs := DefaultAFRs()
+	base := ServerAFR(hw.BaselineGen3(), afrs)
+	bigger := hw.BaselineGen3()
+	bigger.DIMMs = append(bigger.DIMMs, hw.DIMMGroup{Count: 4, CapacityGB: 32, Kind: hw.MemLocal})
+	if ServerAFR(bigger, afrs) <= base {
+		t.Error("adding DIMMs should raise AFR")
+	}
+}

@@ -1,0 +1,146 @@
+package memtier
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStudyReproducesPaperClaims(t *testing.T) {
+	r, err := Study(20000, 20240403)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §III: "98% of applications incur <5% slowdown with CXL".
+	if r.UnderFivePct < 0.97 {
+		t.Errorf("VMs under 5%% slowdown = %.3f, want >= 0.97 (paper: 0.98)", r.UnderFivePct)
+	}
+	if r.UnderFivePct >= 1 {
+		t.Errorf("every VM under 5%%: predictor unrealistically conservative")
+	}
+	// §III: "untouched memory is almost half of a VM's memory
+	// capacity".
+	if math.Abs(r.MeanUntouched-0.5) > 0.08 {
+		t.Errorf("mean untouched fraction = %.3f, want ~0.5", r.MeanUntouched)
+	}
+	// Reuse must be material: a meaningful share of memory lands on
+	// CXL.
+	if r.CXLShare < 0.15 {
+		t.Errorf("CXL share = %.3f, want >= 0.15", r.CXLShare)
+	}
+	// ~20% of core-hours are CXL-friendly; their memory runs fully on
+	// CXL.
+	if r.EntirelyCXLShare < 0.1 || r.EntirelyCXLShare > 0.35 {
+		t.Errorf("entirely-CXL share = %.3f, want ~0.2", r.EntirelyCXLShare)
+	}
+}
+
+func TestFriendlyAppsRunEntirelyOnCXL(t *testing.T) {
+	p := NewPredictor()
+	pl, err := p.Place(Behavior{App: "Img-DNN", AllocGB: 64, TouchedFrac: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.EntirelyCXL || pl.LocalGB != 0 || pl.CXLGB != 64 {
+		t.Fatalf("friendly app placement = %+v, want entirely CXL", pl)
+	}
+	s, err := Slowdown(Behavior{App: "Img-DNN", AllocGB: 64, TouchedFrac: 0.9}, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 1 {
+		t.Fatalf("friendly app slowdown = %v, want 1", s)
+	}
+}
+
+func TestFallbackWithoutHistory(t *testing.T) {
+	p := NewPredictor()
+	pl, err := p.Place(Behavior{App: "Moses", AllocGB: 100, TouchedFrac: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pl.LocalGB-95) > 1e-9 {
+		t.Fatalf("fallback local = %v, want 95 (95%% conservative)", pl.LocalGB)
+	}
+}
+
+func TestPredictorLearns(t *testing.T) {
+	p := NewPredictor()
+	for i := 0; i < 100; i++ {
+		p.Observe("Moses", 0.5)
+	}
+	pl, err := p.Place(Behavior{App: "Moses", AllocGB: 100, TouchedFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quantile of constant 0.5 history + 4% margin = 54 GB local.
+	if math.Abs(pl.LocalGB-54) > 0.5 {
+		t.Fatalf("learned local = %v, want ~54", pl.LocalGB)
+	}
+	if pl.CXLGB < 40 {
+		t.Fatalf("learned CXL share = %v, want substantial reuse", pl.CXLGB)
+	}
+}
+
+func TestSlowdownMechanics(t *testing.T) {
+	// Moses (MemLatSens 0.5): 60 GB touched with 30 GB local means
+	// half the accesses overflow: slowdown = 1 + 0.5*0.5 = 1.25.
+	b := Behavior{App: "Moses", AllocGB: 100, TouchedFrac: 0.6}
+	s, err := Slowdown(b, Placement{LocalGB: 30, CXLGB: 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1.25) > 1e-9 {
+		t.Fatalf("slowdown = %v, want 1.25", s)
+	}
+	// Touched fits local: no slowdown.
+	s, err = Slowdown(b, Placement{LocalGB: 60, CXLGB: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 1 {
+		t.Fatalf("slowdown = %v, want 1 when touched fits local", s)
+	}
+}
+
+func TestSlowdownUnknownApp(t *testing.T) {
+	if _, err := Slowdown(Behavior{App: "nope", AllocGB: 1, TouchedFrac: 0.5}, Placement{}); err == nil {
+		t.Fatal("Slowdown accepted an unknown app")
+	}
+}
+
+func TestPlaceValidation(t *testing.T) {
+	p := NewPredictor()
+	if _, err := p.Place(Behavior{App: "Moses", AllocGB: 0}); err == nil {
+		t.Fatal("Place accepted a zero allocation")
+	}
+}
+
+func TestObserveClamps(t *testing.T) {
+	p := NewPredictor()
+	p.Observe("Moses", -1)
+	p.Observe("Moses", 2)
+	h := p.SortedHistory("Moses")
+	if h[0] != 0 || h[1] != 1 {
+		t.Fatalf("observations not clamped: %v", h)
+	}
+}
+
+func TestStudyValidation(t *testing.T) {
+	if _, err := Study(10, 1); err == nil {
+		t.Fatal("Study accepted a tiny population")
+	}
+}
+
+func TestStudyDeterminism(t *testing.T) {
+	a, err := Study(2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Study(2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same seed diverged")
+	}
+}

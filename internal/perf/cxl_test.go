@@ -1,0 +1,89 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"github.com/greensku/gsf/internal/apps"
+	"github.com/greensku/gsf/internal/hw"
+)
+
+// GreenSKU-CXL adds ~100 GB/s of CXL bandwidth on top of local DDR5
+// (§III), raising bandwidth per core from 3.6 to 4.4 GB/s. For
+// bandwidth-bound applications this changes the scaling story relative
+// to GreenSKU-Efficient, even before any latency effects.
+
+func TestCXLBandwidthRescuesMasstree(t *testing.T) {
+	a, err := apps.ByName("Masstree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	// On GreenSKU-Efficient, Masstree cannot reach Gen3's peak even
+	// at 12 cores (Table III: ">1.5").
+	eff, err := ScalingFactor(a, hw.GreenSKUEfficient(), hw.BaselineGen3(), false, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff.Adoptable {
+		t.Fatalf("Masstree on Efficient = %v, want not adoptable", eff.Value)
+	}
+	// GreenSKU-CXL's extra bandwidth brings it within the 12-core
+	// band (VM memory still local DDR5: cxlBacked=false).
+	cxl, err := ScalingFactor(a, hw.GreenSKUCXL(), hw.BaselineGen3(), false, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cxl.Adoptable || cxl.Value != 1.5 {
+		t.Fatalf("Masstree on CXL SKU = %v (adoptable=%v), want 1.5", cxl.Value, cxl.Adoptable)
+	}
+}
+
+func TestCXLBandwidthImprovesXapian(t *testing.T) {
+	a, err := apps.ByName("Xapian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	eff, err := ScalingFactor(a, hw.GreenSKUEfficient(), hw.BaselineGen3(), false, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cxl, err := ScalingFactor(a, hw.GreenSKUCXL(), hw.BaselineGen3(), false, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(cxl.Adoptable && eff.Adoptable && cxl.Value < eff.Value) {
+		t.Fatalf("Xapian: CXL SKU factor %v should beat Efficient's %v", cxl.Value, eff.Value)
+	}
+}
+
+func TestCXLFactorsNeverWorseWhenLocal(t *testing.T) {
+	// With VM memory kept on local DDR5, the CXL SKU strictly adds
+	// bandwidth: no app's scaling factor may get worse.
+	opt := DefaultOptions()
+	effFactors, err := TableIII(hw.GreenSKUEfficient(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cxlFactors, err := TableIII(hw.GreenSKUCXL(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for app, byGen := range effFactors {
+		for gen, eff := range byGen {
+			cxl := cxlFactors[app][gen]
+			effV := eff.Value
+			if !eff.Adoptable {
+				effV = math.Inf(1)
+			}
+			cxlV := cxl.Value
+			if !cxl.Adoptable {
+				cxlV = math.Inf(1)
+			}
+			if cxlV > effV {
+				t.Errorf("%s vs Gen%d: CXL factor %v worse than Efficient %v", app, gen, cxlV, effV)
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"github.com/greensku/gsf/internal/apps"
+	"github.com/greensku/gsf/internal/hw"
+)
+
+// tableIII is the paper's Table III: scaling factors of
+// GreenSKU-Efficient relative to Gen1/Gen2/Gen3 per application.
+// Inf marks ">1.5" (cannot adopt).
+var tableIII = map[string][3]float64{
+	"Redis":        {1, 1, 1},
+	"Masstree":     {1, 1, math.Inf(1)},
+	"Silo":         {math.Inf(1), math.Inf(1), math.Inf(1)},
+	"Shore":        {1, 1, 1},
+	"Xapian":       {1, 1, 1.5},
+	"WebF-Dynamic": {1, 1.25, 1.25},
+	"WebF-Hot":     {1, 1.25, 1.5},
+	"WebF-Cold":    {1, 1, 1},
+	"Moses":        {1, 1, 1.25},
+	"Sphinx":       {1, 1.25, 1.25},
+	"Img-DNN":      {1, 1, 1},
+	"Nginx":        {1, 1, 1.25},
+	"Caddy":        {1, 1, 1},
+	"Envoy":        {1, 1, 1},
+	"HAProxy":      {1, 1, 1.25},
+	"Traefik":      {1, 1, 1.25},
+	"Build-Python": {1, 1, 1.25},
+	"Build-Wasm":   {1, 1, 1.25},
+	"Build-PHP":    {1, 1, 1.25},
+}
+
+// TestTableIII verifies that the fitted application models reproduce
+// every cell of the paper's Table III via the full SLO measurement
+// protocol (simulated latency curves, not just analytic slowdowns).
+func TestTableIII(t *testing.T) {
+	got, err := TableIII(hw.GreenSKUEfficient(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for app, want := range tableIII {
+		for gen := 1; gen <= 3; gen++ {
+			f, ok := got[app][gen]
+			if !ok {
+				t.Fatalf("no factor for %s gen %d", app, gen)
+			}
+			w := want[gen-1]
+			if math.IsInf(w, 1) {
+				if f.Adoptable {
+					t.Errorf("%s vs Gen%d: got %v, want >1.5 (not adoptable)", app, gen, f.Value)
+				}
+				continue
+			}
+			if !f.Adoptable || f.Value != w {
+				t.Errorf("%s vs Gen%d: got %v (adoptable=%v), want %v", app, gen, f.Value, f.Adoptable, w)
+			}
+		}
+	}
+	if len(got) != 20 {
+		t.Errorf("TableIII computed %d apps, want 20 (19 Table III rows + WebF-Mix)", len(got))
+	}
+}
+
+// TestTableII verifies the DevOps slowdowns against Table II within
+// ±0.05 on every cell.
+func TestTableII(t *testing.T) {
+	want := map[string][3]float64{ // Gen1, Gen2, GreenSKU-Efficient (Gen3 = 1.0)
+		"Build-PHP":    {1.27, 1.11, 1.17},
+		"Build-Python": {1.28, 1.13, 1.15},
+		"Build-Wasm":   {1.34, 1.19, 1.15},
+	}
+	for name, w := range want {
+		a, err := apps.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := [3]float64{
+			ThroughputSlowdown(a, hw.BaselineGen1(), false),
+			ThroughputSlowdown(a, hw.BaselineGen2(), false),
+			ThroughputSlowdown(a, hw.GreenSKUEfficient(), false),
+		}
+		for i := range got {
+			if math.Abs(got[i]-w[i]) > 0.05 {
+				t.Errorf("%s column %d: slowdown = %.3f, want %.2f ±0.05", name, i, got[i], w[i])
+			}
+		}
+		if gen3 := ThroughputSlowdown(a, hw.BaselineGen3(), false); math.Abs(gen3-1) > 1e-9 {
+			t.Errorf("%s vs Gen3 = %v, want exactly 1", name, gen3)
+		}
+	}
+}
+
+func TestServiceTimeReference(t *testing.T) {
+	// On the Gen3 reference profile the service time equals the base,
+	// except for apps whose bandwidth demand exceeds even Gen3's
+	// 5.75 GB/s per core (Masstree), which pay a small penalty there
+	// too.
+	for _, a := range apps.All() {
+		got := ServiceTime(a, ProfileOf(hw.BaselineGen3(), false))
+		want := a.BaseServiceMS / 1000
+		if a.BWDemandGBs > 5.75 {
+			if got <= want || got > want*1.05 {
+				t.Errorf("%s: service time on Gen3 = %v, want slightly above base %v", a.Name, got, want)
+			}
+			continue
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("%s: service time on Gen3 = %v, want base %v", a.Name, got, want)
+		}
+	}
+}
+
+func TestCXLDoublesLatencyPenalty(t *testing.T) {
+	moses, err := apps.ByName("Moses")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sku := hw.GreenSKUCXL()
+	local := ServiceTime(moses, ProfileOf(sku, false))
+	cxl := ServiceTime(moses, ProfileOf(sku, true))
+	// Multiplier is 1 + MemLatSens*(280/140 - 1) = 1 + 0.5 = 1.5.
+	if math.Abs(cxl/local-1.5) > 1e-9 {
+		t.Errorf("Moses CXL multiplier = %v, want 1.5", cxl/local)
+	}
+
+	hap, err := apps.ByName("HAProxy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hl := ServiceTime(hap, ProfileOf(sku, false))
+	hc := ServiceTime(hap, ProfileOf(sku, true))
+	// HAProxy: 1.12 multiplier -> ~11% peak-throughput reduction (Fig 8).
+	if math.Abs(hc/hl-1.12) > 1e-9 {
+		t.Errorf("HAProxy CXL multiplier = %v, want 1.12", hc/hl)
+	}
+}
+
+func TestSLOErrorsForThroughputApp(t *testing.T) {
+	a, err := apps.ByName("Build-PHP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SLO(a, hw.BaselineGen3(), DefaultOptions()); err == nil {
+		t.Fatal("SLO should reject a non-latency-critical app")
+	}
+}
+
+func TestFactorString(t *testing.T) {
+	cases := []struct {
+		f    Factor
+		want string
+	}{
+		{Factor{Value: 1, Adoptable: true}, "1"},
+		{Factor{Value: 1.25, Adoptable: true}, "1.25"},
+		{Factor{Value: 1.5, Adoptable: true}, "1.50"},
+		{Factor{Value: math.Inf(1)}, ">1.5"},
+	}
+	for _, c := range cases {
+		if got := c.f.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestLowLoadLatencyOrdering(t *testing.T) {
+	// §VI: GreenSKU-Efficient's low-load latency is lower than Gen1's
+	// (median across apps, -8.3%) and higher than Gen3's (+16%).
+	var green, gen1, gen3 []float64
+	opt := DefaultOptions()
+	for _, a := range apps.All() {
+		if !a.LatencyCritical {
+			continue
+		}
+		g, err := LowLoadLatency(a, hw.GreenSKUEfficient(), 10, false, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b1, err := LowLoadLatency(a, hw.BaselineGen1(), 8, false, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b3, err := LowLoadLatency(a, hw.BaselineGen3(), 8, false, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		green = append(green, g)
+		gen1 = append(gen1, b1)
+		gen3 = append(gen3, b3)
+	}
+	var vsGen1, vsGen3 []float64
+	for i := range green {
+		vsGen1 = append(vsGen1, green[i]/gen1[i])
+		vsGen3 = append(vsGen3, green[i]/gen3[i])
+	}
+	medianOf := func(v []float64) float64 {
+		s := append([]float64(nil), v...)
+		for i := range s {
+			for j := i + 1; j < len(s); j++ {
+				if s[j] < s[i] {
+					s[i], s[j] = s[j], s[i]
+				}
+			}
+		}
+		return s[len(s)/2]
+	}
+	if m := medianOf(vsGen1); m >= 1.0 {
+		t.Errorf("median low-load latency vs Gen1 = %v, want < 1 (paper: -8.3%%)", m)
+	}
+	if m := medianOf(vsGen3); m <= 1.0 || m > 1.4 {
+		t.Errorf("median low-load latency vs Gen3 = %v, want moderately above 1 (paper: +16%%)", m)
+	}
+}
+
+func TestScalingFactorMonotoneInCores(t *testing.T) {
+	// If an app meets the SLO at 8 cores it must also meet it at 10
+	// and 12 (sanity of the search's early return).
+	a, err := apps.ByName("Xapian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.CoreSteps = []int{12}
+	f, err := ScalingFactor(a, hw.GreenSKUEfficient(), hw.BaselineGen3(), false, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Adoptable {
+		t.Error("Xapian should meet Gen3 SLO at 12 cores")
+	}
+}

@@ -1,0 +1,135 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/greensku/gsf/internal/stats"
+)
+
+func TestDefaultCalibration(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Table VI: derate factor 0.44 at 40% SPEC rate.
+	if got := c.Derate(0.40); math.Abs(got-DerateAt40) > 1e-12 {
+		t.Fatalf("Derate(0.4) = %v, want 0.44 exactly", got)
+	}
+	if got := c.Derate(0); got != 0.2 {
+		t.Fatalf("idle derate = %v, want 0.2", got)
+	}
+	if got := c.Derate(1); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("full-load derate = %v, want 0.75", got)
+	}
+}
+
+func TestDerateClamping(t *testing.T) {
+	c := Default()
+	if c.Derate(-1) != c.Derate(0) || c.Derate(2) != c.Derate(1) {
+		t.Fatal("loads outside [0,1] should clamp")
+	}
+}
+
+func TestDerateMonotone(t *testing.T) {
+	c := Default()
+	f := func(a, b float64) bool {
+		a = math.Mod(math.Abs(a), 1)
+		b = math.Mod(math.Abs(b), 1)
+		if a > b {
+			a, b = b, a
+		}
+		return c.Derate(a) <= c.Derate(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDraw(t *testing.T) {
+	c := Default()
+	// 400 W TDP at 40% load: 0.44 * 400 = 176 W (the worked example's
+	// Bergamo CPU before VR loss).
+	if got := c.Draw(400, 0.4); math.Abs(float64(got)-176) > 1e-9 {
+		t.Fatalf("Draw = %v, want 176 W", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Curve{
+		{Idle: -0.1, Span: 0.5, Shape: 1},
+		{Idle: 0.6, Span: 0.6, Shape: 1},
+		{Idle: 0.2, Span: 0.5, Shape: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: accepted invalid curve", i)
+		}
+	}
+}
+
+func TestAzureLikeUnderutilization(t *testing.T) {
+	// §II: cloud servers are severely underutilized; most samples sit
+	// well below 70% load.
+	d := AzureLike()
+	r := stats.NewRNG(4)
+	low := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if d.Sample(r) < 0.7 {
+			low++
+		}
+	}
+	if frac := float64(low) / n; frac < 0.9 {
+		t.Fatalf("only %.2f of loads below 70%%; distribution not underutilized", frac)
+	}
+}
+
+func TestSampleBounds(t *testing.T) {
+	d := LoadDist{Mean: 0.5, StdDev: 0.8}
+	r := stats.NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		u := d.Sample(r)
+		if u < 0 || u > 1 {
+			t.Fatalf("load %v out of [0,1]", u)
+		}
+	}
+}
+
+func TestOversubscription(t *testing.T) {
+	// 35 servers of 400 W TDP would nameplate to 14 kW; with the
+	// derating curve they draw far less, so a 15 kW rack holds ~35
+	// GreenSKU-class servers with negligible breach probability —
+	// §V's power-limit arithmetic (floor((15000-500)/403) = 35).
+	res, err := Oversubscription(Default(), AzureLike(), 850, 35, 14500, 4000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BreachProb > 0.02 {
+		t.Fatalf("breach probability = %v, want ~0", res.BreachProb)
+	}
+	if res.MeanPower <= 0 || res.P99Power < res.MeanPower {
+		t.Fatalf("implausible power stats: %+v", res)
+	}
+}
+
+func TestOversubscriptionBreaches(t *testing.T) {
+	// Cap below the mean draw must breach almost always.
+	res, err := Oversubscription(Default(), AzureLike(), 900, 35, 8000, 1000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BreachProb < 0.99 {
+		t.Fatalf("breach probability = %v, want ~1", res.BreachProb)
+	}
+}
+
+func TestOversubscriptionValidation(t *testing.T) {
+	if _, err := Oversubscription(Curve{Idle: -1, Span: 0.2, Shape: 1}, AzureLike(), 400, 16, 15000, 10, 1); err == nil {
+		t.Error("accepted invalid curve")
+	}
+	if _, err := Oversubscription(Default(), AzureLike(), 400, 0, 15000, 10, 1); err == nil {
+		t.Error("accepted zero servers")
+	}
+}

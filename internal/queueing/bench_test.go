@@ -1,0 +1,43 @@
+package queueing
+
+import "testing"
+
+func BenchmarkRunMMk(b *testing.B) {
+	cfg := Config{
+		Servers:     8,
+		ArrivalRate: 1800,
+		Service:     Exponential{MeanSeconds: 0.004},
+		Requests:    20000,
+		Seed:        1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunLogNormal(b *testing.B) {
+	cfg := Config{
+		Servers:     12,
+		ArrivalRate: 2500,
+		Service:     LogNormal{MeanSeconds: 0.004, CV: 1},
+		Requests:    20000,
+		Seed:        2,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCurve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Curve(8, LogNormal{0.004, 1}, 0.1, 1.0, 12, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

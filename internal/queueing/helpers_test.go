@@ -1,0 +1,6 @@
+package queueing
+
+import "github.com/greensku/gsf/internal/stats"
+
+func newTestRNG() *stats.RNG                { return stats.NewRNG(12345) }
+func newTestRNGSeed(seed uint64) *stats.RNG { return stats.NewRNG(seed) }

@@ -1,0 +1,212 @@
+// Package queueing implements the discrete-event simulation substrate
+// behind GSF's performance component: an open-loop, FCFS, k-server queue
+// with Poisson arrivals and a pluggable service-time distribution.
+//
+// The paper measures 95th-percentile tail latency versus offered load
+// (QPS) on physical servers (Figs. 7–8); this simulator reproduces the
+// same measurement protocol — sweep offered load, record latency
+// percentiles, find the saturation knee — against modelled service
+// times. A VM with k cores serving a request-parallel application maps
+// onto a k-server queue.
+package queueing
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"github.com/greensku/gsf/internal/stats"
+)
+
+// ServiceDist samples request service times in seconds.
+type ServiceDist interface {
+	Sample(r *stats.RNG) float64
+	Mean() float64
+}
+
+// LogNormal is a log-normal service-time distribution specified by its
+// mean and coefficient of variation, the common model for request
+// service times in interactive cloud services.
+type LogNormal struct {
+	MeanSeconds float64
+	CV          float64 // stddev / mean of the service time
+}
+
+// Mean returns the distribution mean in seconds.
+func (l LogNormal) Mean() float64 { return l.MeanSeconds }
+
+// Sample draws one service time.
+func (l LogNormal) Sample(r *stats.RNG) float64 {
+	if l.CV <= 0 {
+		return l.MeanSeconds
+	}
+	sigma2 := math.Log(1 + l.CV*l.CV)
+	mu := math.Log(l.MeanSeconds) - sigma2/2
+	return r.LogNormal(mu, math.Sqrt(sigma2))
+}
+
+// Exponential is an exponential (M/M/k) service-time distribution.
+type Exponential struct{ MeanSeconds float64 }
+
+// Mean returns the distribution mean in seconds.
+func (e Exponential) Mean() float64 { return e.MeanSeconds }
+
+// Sample draws one service time.
+func (e Exponential) Sample(r *stats.RNG) float64 { return r.Exp(e.MeanSeconds) }
+
+// Config describes one simulation run.
+type Config struct {
+	Servers     int     // parallel servers (VM cores)
+	ArrivalRate float64 // offered load in requests/second
+	Service     ServiceDist
+	Warmup      int // requests discarded before measurement
+	Requests    int // measured requests
+	Seed        uint64
+}
+
+// Result summarises one simulation run.
+type Result struct {
+	Offered     float64 // configured arrival rate
+	P50         float64 // seconds
+	P95         float64
+	P99         float64
+	Mean        float64
+	Utilization float64 // offered * E[S] / k
+	// Saturated reports that the queue was unstable: offered load at
+	// or above capacity, detected by latency growth across the run.
+	Saturated bool
+}
+
+type serverHeap []float64
+
+func (h serverHeap) Len() int            { return len(h) }
+func (h serverHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h serverHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *serverHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *serverHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run simulates the configured queue and returns latency statistics.
+// FCFS dispatch to the earliest-free server is exact for G/G/k: each
+// arrival waits until the server that frees first is idle.
+func Run(cfg Config) (Result, error) {
+	if cfg.Servers <= 0 {
+		return Result{}, fmt.Errorf("queueing: servers must be positive, got %d", cfg.Servers)
+	}
+	if cfg.ArrivalRate <= 0 {
+		return Result{}, fmt.Errorf("queueing: arrival rate must be positive, got %v", cfg.ArrivalRate)
+	}
+	if cfg.Service == nil {
+		return Result{}, fmt.Errorf("queueing: no service distribution")
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 20000
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = cfg.Requests / 10
+	}
+	r := stats.NewRNG(cfg.Seed)
+
+	free := make(serverHeap, cfg.Servers)
+	heap.Init(&free)
+
+	total := cfg.Warmup + cfg.Requests
+	latencies := make([]float64, 0, cfg.Requests)
+	now := 0.0
+	meanIA := 1 / cfg.ArrivalRate
+	for i := 0; i < total; i++ {
+		now += r.Exp(meanIA)
+		s := cfg.Service.Sample(r)
+		freeAt := free[0]
+		start := now
+		if freeAt > start {
+			start = freeAt
+		}
+		done := start + s
+		free[0] = done
+		heap.Fix(&free, 0)
+		if i >= cfg.Warmup {
+			latencies = append(latencies, done-now)
+		}
+	}
+
+	res := Result{
+		Offered:     cfg.ArrivalRate,
+		P50:         stats.Percentile(latencies, 50),
+		P95:         stats.Percentile(latencies, 95),
+		P99:         stats.Percentile(latencies, 99),
+		Mean:        stats.Mean(latencies),
+		Utilization: cfg.ArrivalRate * cfg.Service.Mean() / float64(cfg.Servers),
+	}
+	// Saturation: the measured window's tail grows relative to its
+	// head, the signature of an unstable queue in a finite run.
+	q := len(latencies) / 4
+	if q > 0 {
+		head := stats.Mean(latencies[:q])
+		tail := stats.Mean(latencies[len(latencies)-q:])
+		if res.Utilization >= 1 || tail > 3*head {
+			res.Saturated = true
+		}
+	}
+	return res, nil
+}
+
+// Capacity returns the theoretical peak throughput of k servers with
+// the given service distribution: k / E[S].
+func Capacity(servers int, s ServiceDist) float64 {
+	return float64(servers) / s.Mean()
+}
+
+// Trials runs n independent simulations differing only in seed and
+// returns the per-trial P95 values, mirroring the paper's protocol of
+// three trials with 99% confidence intervals.
+func Trials(cfg Config, n int) ([]float64, error) {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)*0x9e37
+		res, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res.P95)
+	}
+	return out, nil
+}
+
+// CurvePoint is one point of a latency-versus-load curve.
+type CurvePoint struct {
+	QPS       float64
+	P95       float64
+	Saturated bool
+}
+
+// Curve sweeps offered load from loFrac to hiFrac of the queue's
+// theoretical capacity in the given number of steps and records P95 at
+// each point — the measurement behind Figs. 7 and 8.
+func Curve(servers int, s ServiceDist, loFrac, hiFrac float64, steps int, seed uint64) ([]CurvePoint, error) {
+	if steps < 2 {
+		return nil, fmt.Errorf("queueing: curve needs at least 2 steps")
+	}
+	cap := Capacity(servers, s)
+	pts := make([]CurvePoint, 0, steps)
+	for i := 0; i < steps; i++ {
+		frac := loFrac + (hiFrac-loFrac)*float64(i)/float64(steps-1)
+		res, err := Run(Config{
+			Servers:     servers,
+			ArrivalRate: frac * cap,
+			Service:     s,
+			Seed:        seed + uint64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, CurvePoint{QPS: res.Offered, P95: res.P95, Saturated: res.Saturated})
+	}
+	return pts, nil
+}

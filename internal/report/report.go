@@ -1,0 +1,161 @@
+// Package report renders experiment outputs: aligned ASCII tables,
+// CSV files, and text-mode series ("figures"). The cmd/gsf tool and the
+// benchmark harness use it to print the reproduced tables and figures
+// in a shape directly comparable to the paper.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		_, err := fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(t.Header); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(rule); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// WriteCSV writes a header and rows in CSV form, quoting cells that
+// need it.
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	write := func(cells []string) error {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			out[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(out, ","))
+		return err
+	}
+	if err := write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := write(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is one line of a text figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// RenderSeries writes series as aligned columns sharing the X axis of
+// the first series; series with differing X are printed separately.
+func RenderSeries(w io.Writer, title, xlabel, ylabel string, series []Series) error {
+	if _, err := fmt.Fprintf(w, "%s  (%s vs %s)\n", title, ylabel, xlabel); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("report: series %s has %d x values but %d y values", s.Name, len(s.X), len(s.Y))
+		}
+	}
+	shared := len(series) > 0
+	for _, s := range series[1:] {
+		if len(s.X) != len(series[0].X) {
+			shared = false
+			break
+		}
+		for i := range s.X {
+			if s.X[i] != series[0].X[i] {
+				shared = false
+				break
+			}
+		}
+	}
+	if shared && len(series) > 0 {
+		t := Table{Header: []string{xlabel}}
+		for _, s := range series {
+			t.Header = append(t.Header, s.Name)
+		}
+		for i := range series[0].X {
+			row := []string{fmt.Sprintf("%.4g", series[0].X[i])}
+			for _, s := range series {
+				row = append(row, fmt.Sprintf("%.4g", s.Y[i]))
+			}
+			t.AddRow(row...)
+		}
+		return t.Render(w)
+	}
+	for _, s := range series {
+		t := Table{Title: s.Name, Header: []string{xlabel, ylabel}}
+		for i := range s.X {
+			t.AddRow(fmt.Sprintf("%.4g", s.X[i]), fmt.Sprintf("%.4g", s.Y[i]))
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }

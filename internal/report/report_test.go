@@ -1,0 +1,91 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := Table{Title: "Demo", Header: []string{"SKU", "Savings"}}
+	tab.AddRow("GreenSKU-Full", "28%")
+	tab.AddRow("Baseline", "-")
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Demo", "SKU", "GreenSKU-Full", "28%", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5 (title, header, rule, 2 rows)", len(lines))
+	}
+	// Column alignment: "Savings" starts at the same offset in header
+	// and rows.
+	hdr := lines[1]
+	row := lines[3]
+	if strings.Index(hdr, "Savings") != strings.Index(row, "28%") {
+		t.Errorf("columns not aligned:\n%s", out)
+	}
+}
+
+func TestWriteCSVQuoting(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b, []string{"a", "b"}, [][]string{{"plain", `has "quote", comma`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nplain,\"has \"\"quote\"\", comma\"\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestRenderSeriesShared(t *testing.T) {
+	var b strings.Builder
+	err := RenderSeries(&b, "Fig", "qps", "p95", []Series{
+		{Name: "gen3", X: []float64{1, 2}, Y: []float64{10, 20}},
+		{Name: "green", X: []float64{1, 2}, Y: []float64{12, 25}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Fig", "gen3", "green", "12", "25"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderSeriesUnshared(t *testing.T) {
+	var b strings.Builder
+	err := RenderSeries(&b, "Fig", "x", "y", []Series{
+		{Name: "a", X: []float64{1}, Y: []float64{10}},
+		{Name: "b", X: []float64{9, 10}, Y: []float64{1, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Errorf("unshared series missing names:\n%s", out)
+	}
+}
+
+func TestRenderSeriesLengthMismatch(t *testing.T) {
+	var b strings.Builder
+	err := RenderSeries(&b, "Fig", "x", "y", []Series{{Name: "bad", X: []float64{1, 2}, Y: []float64{1}}})
+	if err == nil {
+		t.Fatal("accepted mismatched series")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.281); got != "28.1%" {
+		t.Fatalf("Pct = %q", got)
+	}
+}

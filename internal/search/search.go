@@ -1,0 +1,335 @@
+// Package search implements the SKU design-space exploration the paper
+// leaves as future work (§VIII: "we expect that a future search
+// framework could consider such interactions and repeatedly run GSF to
+// evaluate emissions"). It enumerates or locally searches the discrete
+// component space — CPU choice, DIMM population, reused-CXL memory,
+// new and reused SSDs — under platform constraints (PCIe lanes, memory
+// ratio, storage floor) and ranks designs by the carbon model's
+// per-core emissions.
+package search
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/greensku/gsf/internal/carbon"
+	"github.com/greensku/gsf/internal/carbondata"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/stats"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// Space is the discrete design space.
+type Space struct {
+	CPUs            []hw.CPUSpec
+	LocalDIMMCounts []int
+	LocalDIMMGBs    []units.GB
+	// CXLDIMMCounts are reused 32 GB DDR4 DIMMs, four per CXL card.
+	CXLDIMMCounts []int
+	// NewSSDCounts are 4 TB E1.S drives; ReusedSSDCounts are 1 TB
+	// m.2 drives (striped per the storage plan).
+	NewSSDCounts    []int
+	ReusedSSDCounts []int
+}
+
+// DefaultSpace spans the paper's design neighbourhood.
+func DefaultSpace() Space {
+	return Space{
+		CPUs:            []hw.CPUSpec{hw.Genoa, hw.Bergamo},
+		LocalDIMMCounts: []int{8, 10, 12},
+		LocalDIMMGBs:    []units.GB{32, 64, 96},
+		CXLDIMMCounts:   []int{0, 4, 8, 12},
+		NewSSDCounts:    []int{0, 2, 3, 5},
+		ReusedSSDCounts: []int{0, 6, 12},
+	}
+}
+
+// Constraints are the platform and product requirements a design must
+// meet.
+type Constraints struct {
+	// MinMemPerCore/MaxMemPerCore bound the DRAM:core ratio in GB.
+	MinMemPerCore, MaxMemPerCore float64
+	// MinSSDTB is the storage floor.
+	MinSSDTB float64
+	// PCIeLanes is the platform budget; the NIC reserves NICLanes,
+	// each CXL card takes 16, each SSD 4.
+	PCIeLanes, NICLanes int
+}
+
+// DefaultConstraints mirror the GreenSKU platform: 128 lanes with a
+// 16-lane NIC, 6-10 GB of DRAM per core, at least 12 TB of SSD.
+func DefaultConstraints() Constraints {
+	return Constraints{
+		MinMemPerCore: 6,
+		MaxMemPerCore: 10,
+		MinSSDTB:      12,
+		PCIeLanes:     128,
+		NICLanes:      16,
+	}
+}
+
+// Design is one point in the space (indices into Space slices).
+type Design struct {
+	CPU, DIMMCount, DIMMGB, CXL, NewSSD, ReusedSSD int
+}
+
+// SKU materialises the design.
+func (s Space) SKU(d Design) hw.SKU {
+	cpu := s.CPUs[d.CPU]
+	sku := hw.SKU{
+		Name: fmt.Sprintf("%s-%dx%.0fG-%dcxl-%dssd-%drssd",
+			cpu.Name, s.LocalDIMMCounts[d.DIMMCount], float64(s.LocalDIMMGBs[d.DIMMGB]),
+			s.CXLDIMMCounts[d.CXL], s.NewSSDCounts[d.NewSSD], s.ReusedSSDCounts[d.ReusedSSD]),
+		CPU:         cpu,
+		Sockets:     1,
+		FormFactorU: 2,
+		DIMMs: []hw.DIMMGroup{
+			{Count: s.LocalDIMMCounts[d.DIMMCount], CapacityGB: s.LocalDIMMGBs[d.DIMMGB], Kind: hw.MemLocal},
+		},
+	}
+	if n := s.CXLDIMMCounts[d.CXL]; n > 0 {
+		sku.DIMMs = append(sku.DIMMs, hw.DIMMGroup{Count: n, CapacityGB: 32, Kind: hw.MemCXL, Reused: true})
+		sku.CXLControllers = (n + 3) / 4
+		sku.CXLBWGBs = 50 * float64(sku.CXLControllers)
+	}
+	if n := s.NewSSDCounts[d.NewSSD]; n > 0 {
+		sku.SSDs = append(sku.SSDs, hw.SSDGroup{Count: n, CapacityTB: 4})
+	}
+	if n := s.ReusedSSDCounts[d.ReusedSSD]; n > 0 {
+		sku.SSDs = append(sku.SSDs, hw.SSDGroup{Count: n, CapacityTB: 1, Reused: true})
+	}
+	return sku
+}
+
+// Lanes returns the design's PCIe lane consumption.
+func Lanes(sku hw.SKU, c Constraints) int {
+	return c.NICLanes + 16*sku.CXLControllers + 4*sku.SSDCount()
+}
+
+// Feasible reports whether the design satisfies the constraints.
+func (s Space) Feasible(d Design, c Constraints) bool {
+	sku := s.SKU(d)
+	ratio := sku.MemoryCoreRatio()
+	if ratio < c.MinMemPerCore || ratio > c.MaxMemPerCore {
+		return false
+	}
+	if sku.TotalSSDTB() < c.MinSSDTB {
+		return false
+	}
+	if Lanes(sku, c) > c.PCIeLanes {
+		return false
+	}
+	return sku.Validate() == nil
+}
+
+// Result is a ranked design.
+type Result struct {
+	SKU       hw.SKU
+	PerCore   units.KgCO2e
+	Savings   float64 // vs the Gen3 baseline
+	Evaluated int     // designs evaluated to find it
+}
+
+type evaluator struct {
+	model *carbon.Model
+	ci    units.CarbonIntensity
+	base  units.KgCO2e
+	count int
+}
+
+func newEvaluator(dataset string, ci units.CarbonIntensity) (*evaluator, error) {
+	d, ok := carbondata.Datasets()[dataset]
+	if !ok {
+		return nil, fmt.Errorf("search: unknown dataset %q", dataset)
+	}
+	m, err := carbon.New(d)
+	if err != nil {
+		return nil, err
+	}
+	if ci == 0 {
+		ci = d.DefaultCI
+	}
+	basePC, err := m.PerCore(hw.BaselineGen3(), ci)
+	if err != nil {
+		return nil, err
+	}
+	return &evaluator{model: m, ci: ci, base: basePC.Total()}, nil
+}
+
+func (e *evaluator) perCore(sku hw.SKU) (units.KgCO2e, error) {
+	e.count++
+	pc, err := e.model.PerCore(sku, e.ci)
+	if err != nil {
+		return 0, err
+	}
+	return pc.Total(), nil
+}
+
+// Exhaustive enumerates the whole space and returns the carbon-optimal
+// feasible design.
+func Exhaustive(s Space, c Constraints, dataset string, ci units.CarbonIntensity) (Result, error) {
+	ev, err := newEvaluator(dataset, ci)
+	if err != nil {
+		return Result{}, err
+	}
+	best := Result{PerCore: units.KgCO2e(math.Inf(1))}
+	found := false
+	var d Design
+	for d.CPU = range s.CPUs {
+		for d.DIMMCount = range s.LocalDIMMCounts {
+			for d.DIMMGB = range s.LocalDIMMGBs {
+				for d.CXL = range s.CXLDIMMCounts {
+					for d.NewSSD = range s.NewSSDCounts {
+						for d.ReusedSSD = range s.ReusedSSDCounts {
+							if !s.Feasible(d, c) {
+								continue
+							}
+							sku := s.SKU(d)
+							pc, err := ev.perCore(sku)
+							if err != nil {
+								return Result{}, err
+							}
+							if pc < best.PerCore {
+								best = Result{SKU: sku, PerCore: pc}
+								found = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		return Result{}, fmt.Errorf("search: no feasible design in the space")
+	}
+	best.Savings = 1 - float64(best.PerCore)/float64(ev.base)
+	best.Evaluated = ev.count
+	return best, nil
+}
+
+// HillClimb runs restarts of greedy coordinate descent: from a random
+// feasible design, move one component dimension at a time to the best
+// feasible neighbour until no move improves. Far fewer evaluations than
+// Exhaustive on large spaces.
+func HillClimb(s Space, c Constraints, dataset string, ci units.CarbonIntensity, restarts int, seed uint64) (Result, error) {
+	if restarts <= 0 {
+		return Result{}, fmt.Errorf("search: restarts must be positive")
+	}
+	ev, err := newEvaluator(dataset, ci)
+	if err != nil {
+		return Result{}, err
+	}
+	r := stats.NewRNG(seed)
+	dims := []int{len(s.CPUs), len(s.LocalDIMMCounts), len(s.LocalDIMMGBs), len(s.CXLDIMMCounts), len(s.NewSSDCounts), len(s.ReusedSSDCounts)}
+	get := func(d *Design, i int) *int {
+		switch i {
+		case 0:
+			return &d.CPU
+		case 1:
+			return &d.DIMMCount
+		case 2:
+			return &d.DIMMGB
+		case 3:
+			return &d.CXL
+		case 4:
+			return &d.NewSSD
+		default:
+			return &d.ReusedSSD
+		}
+	}
+	randomFeasible := func() (Design, bool) {
+		for tries := 0; tries < 500; tries++ {
+			var d Design
+			for i, n := range dims {
+				*get(&d, i) = r.Intn(n)
+			}
+			if s.Feasible(d, c) {
+				return d, true
+			}
+		}
+		return Design{}, false
+	}
+
+	best := Result{PerCore: units.KgCO2e(math.Inf(1))}
+	found := false
+	for restart := 0; restart < restarts; restart++ {
+		d, ok := randomFeasible()
+		if !ok {
+			continue
+		}
+		cur, err := ev.perCore(s.SKU(d))
+		if err != nil {
+			return Result{}, err
+		}
+		improved := true
+		for improved {
+			improved = false
+			// Single-coordinate moves.
+			for i, n := range dims {
+				orig := *get(&d, i)
+				for v := 0; v < n; v++ {
+					if v == orig {
+						continue
+					}
+					*get(&d, i) = v
+					if !s.Feasible(d, c) {
+						continue
+					}
+					pc, err := ev.perCore(s.SKU(d))
+					if err != nil {
+						return Result{}, err
+					}
+					if pc < cur {
+						cur = pc
+						orig = v
+						improved = true
+					}
+				}
+				*get(&d, i) = orig
+			}
+			if improved {
+				continue
+			}
+			// Pairwise moves: constraints couple dimensions (PCIe
+			// lanes tie CXL cards to SSD counts), so some improving
+			// moves only exist as coordinated changes of two
+			// components.
+			for i := 0; i < len(dims) && !improved; i++ {
+				for j := i + 1; j < len(dims) && !improved; j++ {
+					oi, oj := *get(&d, i), *get(&d, j)
+					for vi := 0; vi < dims[i] && !improved; vi++ {
+						for vj := 0; vj < dims[j] && !improved; vj++ {
+							if vi == oi && vj == oj {
+								continue
+							}
+							*get(&d, i), *get(&d, j) = vi, vj
+							if !s.Feasible(d, c) {
+								continue
+							}
+							pc, err := ev.perCore(s.SKU(d))
+							if err != nil {
+								return Result{}, err
+							}
+							if pc < cur {
+								cur = pc
+								oi, oj = vi, vj
+								improved = true
+							}
+						}
+					}
+					*get(&d, i), *get(&d, j) = oi, oj
+				}
+			}
+		}
+		if cur < best.PerCore {
+			best = Result{SKU: s.SKU(d), PerCore: cur}
+			found = true
+		}
+	}
+	if !found {
+		return Result{}, fmt.Errorf("search: no feasible design found in %d restarts", restarts)
+	}
+	best.Savings = 1 - float64(best.PerCore)/float64(ev.base)
+	best.Evaluated = ev.count
+	return best, nil
+}

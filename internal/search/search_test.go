@@ -1,0 +1,138 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"github.com/greensku/gsf/internal/hw"
+)
+
+func TestExhaustiveBeatsHandDesign(t *testing.T) {
+	best, err := Exhaustive(DefaultSpace(), DefaultConstraints(), "open-source", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Evaluated == 0 {
+		t.Fatal("nothing evaluated")
+	}
+	// GreenSKU-Full-like configurations are in the space, so the
+	// optimum must match or beat the hand design's 26.8% savings.
+	if best.Savings < 0.26 {
+		t.Fatalf("optimal savings = %.3f, want >= 0.26 (GreenSKU-Full's)", best.Savings)
+	}
+	// The optimum uses the efficient CPU and reuses components.
+	if best.SKU.CPU.Name != "Bergamo" {
+		t.Errorf("optimal CPU = %s, want Bergamo", best.SKU.CPU.Name)
+	}
+	if best.SKU.CXLDRAMGB() == 0 && best.SKU.ReusedSSDTB() == 0 {
+		t.Error("optimum should reuse DRAM and/or SSDs at low carbon intensity")
+	}
+}
+
+func TestOptimumShiftsWithCarbonIntensity(t *testing.T) {
+	// At very high carbon intensity, operational emissions dominate
+	// and reused (power-hungrier) components lose their edge.
+	low, err := Exhaustive(DefaultSpace(), DefaultConstraints(), "paper-calibrated", 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Exhaustive(DefaultSpace(), DefaultConstraints(), "paper-calibrated", 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowReuse := low.SKU.ReusedSSDTB() + float64(low.SKU.CXLDRAMGB())
+	highReuse := high.SKU.ReusedSSDTB() + float64(high.SKU.CXLDRAMGB())
+	if lowReuse <= highReuse {
+		t.Fatalf("reuse should shrink as carbon intensity rises: low-CI %v vs high-CI %v", lowReuse, highReuse)
+	}
+}
+
+func TestHillClimbNearOptimal(t *testing.T) {
+	space := DefaultSpace()
+	cons := DefaultConstraints()
+	ex, err := Exhaustive(space, cons, "open-source", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := HillClimb(space, cons, "open-source", 0, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coordinate descent is a heuristic; constraint coupling (PCIe
+	// lanes tie CXL cards to SSD counts) leaves local optima, so allow
+	// a few percent. (On this paper-sized space exhaustive search is
+	// cheap; HillClimb exists for the combinatorially larger spaces
+	// §VIII anticipates, where enumeration is impossible.)
+	if float64(hc.PerCore) > float64(ex.PerCore)*1.03 {
+		t.Fatalf("hill climb per-core %v more than 3%% above optimum %v", hc.PerCore, ex.PerCore)
+	}
+	if hc.Evaluated <= 0 {
+		t.Fatal("hill climb did not report evaluations")
+	}
+}
+
+func TestConstraintsEnforced(t *testing.T) {
+	s := DefaultSpace()
+	c := DefaultConstraints()
+	// A design with 12 CXL DIMMs (3 cards), 5 new + 12 reused SSDs:
+	// lanes = 16 + 48 + 68 = 132 > 128.
+	d := Design{CPU: 1, DIMMCount: 2, DIMMGB: 1, CXL: 3, NewSSD: 3, ReusedSSD: 2}
+	sku := s.SKU(d)
+	if got := Lanes(sku, c); got <= c.PCIeLanes {
+		t.Fatalf("lane count = %d, expected to exceed %d for this design", got, c.PCIeLanes)
+	}
+	if s.Feasible(d, c) {
+		t.Fatal("lane-violating design reported feasible")
+	}
+	// Memory ratio floor: 8 x 32 GB on 128 cores = 2 GB/core.
+	d = Design{CPU: 1, DIMMCount: 0, DIMMGB: 0, CXL: 0, NewSSD: 3, ReusedSSD: 0}
+	if s.Feasible(d, c) {
+		t.Fatal("memory-starved design reported feasible")
+	}
+}
+
+func TestGreenSKUFullFeasible(t *testing.T) {
+	// The paper's shipped design must be inside the constraint set.
+	c := DefaultConstraints()
+	sku := hw.GreenSKUFull()
+	if got := Lanes(sku, c); got > c.PCIeLanes {
+		t.Fatalf("GreenSKU-Full uses %d lanes, budget %d", got, c.PCIeLanes)
+	}
+	ratio := sku.MemoryCoreRatio()
+	if ratio < c.MinMemPerCore || ratio > c.MaxMemPerCore {
+		t.Fatalf("GreenSKU-Full memory ratio %v outside [%v, %v]", ratio, c.MinMemPerCore, c.MaxMemPerCore)
+	}
+}
+
+func TestNoFeasibleDesign(t *testing.T) {
+	c := DefaultConstraints()
+	c.MinSSDTB = 1e9
+	if _, err := Exhaustive(DefaultSpace(), c, "open-source", 0); err == nil {
+		t.Fatal("accepted an unsatisfiable constraint set")
+	}
+	if _, err := HillClimb(DefaultSpace(), c, "open-source", 0, 3, 1); err == nil {
+		t.Fatal("hill climb accepted an unsatisfiable constraint set")
+	}
+}
+
+func TestUnknownDataset(t *testing.T) {
+	if _, err := Exhaustive(DefaultSpace(), DefaultConstraints(), "nope", 0); err == nil {
+		t.Fatal("accepted unknown dataset")
+	}
+}
+
+func TestHillClimbValidation(t *testing.T) {
+	if _, err := HillClimb(DefaultSpace(), DefaultConstraints(), "open-source", 0, 0, 1); err == nil {
+		t.Fatal("accepted zero restarts")
+	}
+}
+
+func TestSavingsConsistent(t *testing.T) {
+	best, err := Exhaustive(DefaultSpace(), DefaultConstraints(), "open-source", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Savings <= 0 || best.Savings >= 1 || math.IsNaN(best.Savings) {
+		t.Fatalf("savings = %v out of (0,1)", best.Savings)
+	}
+}

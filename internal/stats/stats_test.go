@@ -1,0 +1,217 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGDistinctSeeds(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("distinct seeds produced %d identical draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(3)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(5)
+	}
+	mean := sum / n
+	if math.Abs(mean-5) > 0.1 {
+		t.Fatalf("Exp mean = %v, want ~5", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(9)
+	var sum, ss float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 2)
+		sum += v
+		ss += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(ss/n - mean*mean)
+	if math.Abs(mean-10) > 0.05 || math.Abs(sd-2) > 0.05 {
+		t.Fatalf("Normal moments = (%v, %v), want (10, 2)", mean, sd)
+	}
+}
+
+func TestBoundedParetoRange(t *testing.T) {
+	r := NewRNG(11)
+	for i := 0; i < 10000; i++ {
+		v := r.BoundedPareto(1.2, 1, 1000)
+		if v < 1 || v > 1000 {
+			t.Fatalf("BoundedPareto out of range: %v", v)
+		}
+	}
+}
+
+func TestPickWeights(t *testing.T) {
+	r := NewRNG(13)
+	counts := [3]int{}
+	w := []float64{1, 2, 7}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Pick(w)]++
+	}
+	for i, want := range []float64{0.1, 0.2, 0.7} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("Pick index %d frequency = %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestPickPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pick with zero weights did not panic")
+		}
+	}()
+	NewRNG(1).Pick([]float64{0, 0})
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {95, 4.8},
+	}
+	for _, c := range cases {
+		if got := Percentile(vals, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile(nil) should be NaN")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	Percentile(vals, 50)
+	if vals[0] != 3 || vals[1] != 1 || vals[2] != 2 {
+		t.Fatalf("input mutated: %v", vals)
+	}
+}
+
+func TestMeanMedianStdDev(t *testing.T) {
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(vals); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := Median(vals); math.Abs(got-4.5) > 1e-9 {
+		t.Fatalf("Median = %v, want 4.5", got)
+	}
+	if got := StdDev(vals); math.Abs(got-2.138) > 0.001 {
+		t.Fatalf("StdDev = %v, want ~2.138", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2})
+	want := []CDFPoint{{1, 1.0 / 3}, {2, 2.0 / 3}, {3, 1}}
+	for i, p := range pts {
+		if p.Value != want[i].Value || math.Abs(p.Fraction-want[i].Fraction) > 1e-9 {
+			t.Fatalf("CDF[%d] = %+v, want %+v", i, p, want[i])
+		}
+	}
+	if got := CDFAt([]float64{1, 2, 3, 4}, 2.5); got != 0.5 {
+		t.Fatalf("CDFAt = %v, want 0.5", got)
+	}
+}
+
+func TestMovingAverageFlattens(t *testing.T) {
+	in := []float64{10, 0, 10, 0, 10, 0, 10, 0}
+	out := MovingAverage(in, 4)
+	for i := 2; i < len(out)-2; i++ {
+		if math.Abs(out[i]-5) > 2.5 {
+			t.Fatalf("MovingAverage[%d] = %v, want near 5", i, out[i])
+		}
+	}
+	if len(out) != len(in) {
+		t.Fatalf("length changed: %d != %d", len(out), len(in))
+	}
+}
+
+func TestConfidenceInterval(t *testing.T) {
+	if got := ConfidenceInterval99([]float64{5}); got != 0 {
+		t.Fatalf("CI of single value = %v, want 0", got)
+	}
+	ci := ConfidenceInterval99([]float64{10, 12, 11})
+	if ci <= 0 || ci > 3 {
+		t.Fatalf("CI = %v, want small positive", ci)
+	}
+}
+
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		vals := make([]float64, 50)
+		for i := range vals {
+			vals[i] = r.Float64() * 100
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(vals, p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCDFBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		vals := make([]float64, 20)
+		for i := range vals {
+			vals[i] = r.Normal(0, 10)
+		}
+		pts := CDF(vals)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Value < pts[i-1].Value || pts[i].Fraction <= pts[i-1].Fraction {
+				return false
+			}
+		}
+		return pts[len(pts)-1].Fraction == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

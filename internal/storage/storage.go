@@ -1,0 +1,189 @@
+// Package storage models the SSD-reuse substrate of GreenSKU-Full:
+// drive performance envelopes, flash wear accounting, and the striped
+// RAID mitigation the paper applies so reused m.2 drives match new
+// E1.S drives ("we mitigate lower SSD performance using multiple
+// striped RAID sets that each offer more bandwidth and IOPS than the
+// FSP configurations; due to this mitigation, old SSDs have no adoption
+// side effects").
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Drive is one SSD's performance and wear envelope.
+type Drive struct {
+	Name       string
+	CapacityTB float64
+	// Random-write envelope (the paper's measurement: old drives
+	// offer 1 GB/s and 250 IOPS; new drives 2.3 GB/s and 600 IOPS, in
+	// the paper's reported units).
+	WriteGBs float64
+	IOPS     float64
+	// Flash wear: erase cycles guaranteed and consumed.
+	RatedCycles float64
+	UsedCycles  float64
+}
+
+// OldM2 returns a 2015-era 1 TB m.2 drive after seven years of cloud
+// service: the paper observes such drives retain more than half their
+// rated erase cycles.
+func OldM2() Drive {
+	return Drive{Name: "m.2-2015", CapacityTB: 1, WriteGBs: 1.0, IOPS: 250, RatedCycles: 3000, UsedCycles: 1350}
+}
+
+// NewE1S returns a current 4 TB E1.S drive.
+func NewE1S() Drive {
+	return Drive{Name: "e1.s", CapacityTB: 4, WriteGBs: 2.3, IOPS: 600, RatedCycles: 3000, UsedCycles: 0}
+}
+
+// LifeLeft returns the fraction of rated erase cycles remaining.
+func (d Drive) LifeLeft() float64 {
+	if d.RatedCycles <= 0 {
+		return 0
+	}
+	left := 1 - d.UsedCycles/d.RatedCycles
+	if left < 0 {
+		return 0
+	}
+	return left
+}
+
+// YearsLeft estimates remaining service years if the drive keeps
+// consuming cycles at the rate implied by priorYears of service.
+func (d Drive) YearsLeft(priorYears float64) float64 {
+	if priorYears <= 0 || d.UsedCycles <= 0 {
+		return d.LifeLeft() * 1e9 // effectively unlimited at zero wear rate
+	}
+	perYear := d.UsedCycles / priorYears
+	return (d.RatedCycles - d.UsedCycles) / perYear
+}
+
+// Validate rejects impossible drives.
+func (d Drive) Validate() error {
+	if d.CapacityTB <= 0 || d.WriteGBs <= 0 || d.IOPS <= 0 {
+		return fmt.Errorf("storage: drive %s has a non-positive envelope", d.Name)
+	}
+	if d.RatedCycles < 0 || d.UsedCycles < 0 || d.UsedCycles > d.RatedCycles {
+		return fmt.Errorf("storage: drive %s has invalid wear state", d.Name)
+	}
+	return nil
+}
+
+// StripeSet is a RAID-0 stripe over member drives: bandwidth, IOPS, and
+// capacity aggregate; the weakest member bounds per-drive contribution
+// (homogeneous sets avoid that here).
+type StripeSet struct {
+	Members []Drive
+}
+
+// CapacityTB returns the set's capacity.
+func (s StripeSet) CapacityTB() float64 {
+	var sum float64
+	for _, d := range s.Members {
+		sum += d.CapacityTB
+	}
+	return sum
+}
+
+// WriteGBs returns aggregate sequential-write bandwidth: striping
+// parallelises writes across members, bounded by the slowest member
+// times the member count.
+func (s StripeSet) WriteGBs() float64 {
+	if len(s.Members) == 0 {
+		return 0
+	}
+	slowest := s.Members[0].WriteGBs
+	for _, d := range s.Members[1:] {
+		if d.WriteGBs < slowest {
+			slowest = d.WriteGBs
+		}
+	}
+	return slowest * float64(len(s.Members))
+}
+
+// IOPS returns aggregate IOPS under the same striping rule.
+func (s StripeSet) IOPS() float64 {
+	if len(s.Members) == 0 {
+		return 0
+	}
+	slowest := s.Members[0].IOPS
+	for _, d := range s.Members[1:] {
+		if d.IOPS < slowest {
+			slowest = d.IOPS
+		}
+	}
+	return slowest * float64(len(s.Members))
+}
+
+// Meets reports whether the set's envelope covers the target drive's.
+func (s StripeSet) Meets(target Drive) bool {
+	return s.WriteGBs() >= target.WriteGBs && s.IOPS() >= target.IOPS
+}
+
+// Plan partitions a pool of reused drives into the fewest equal-size
+// stripe sets such that every set meets the target envelope. It returns
+// an error when even one set over the whole pool cannot.
+func Plan(pool []Drive, target Drive) ([]StripeSet, error) {
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("storage: empty drive pool")
+	}
+	for _, d := range pool {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if err := target.Validate(); err != nil {
+		return nil, err
+	}
+	// Sort descending by bandwidth so mixed pools stripe the weakest
+	// drives together deterministically.
+	sorted := append([]Drive(nil), pool...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].WriteGBs > sorted[j].WriteGBs })
+
+	// Find the smallest per-set width that meets the target, then cut
+	// the pool into as many full sets as possible.
+	width := 0
+	for w := 1; w <= len(sorted); w++ {
+		set := StripeSet{Members: sorted[len(sorted)-w:]} // weakest w drives
+		if set.Meets(target) {
+			width = w
+			break
+		}
+	}
+	if width == 0 {
+		return nil, fmt.Errorf("storage: pool of %d drives cannot meet %s (%.1f GB/s, %.0f IOPS)",
+			len(pool), target.Name, target.WriteGBs, target.IOPS)
+	}
+	var sets []StripeSet
+	for i := 0; i+width <= len(sorted); i += width {
+		sets = append(sets, StripeSet{Members: sorted[i : i+width]})
+	}
+	return sets, nil
+}
+
+// ReusePlan summarises the GreenSKU-Full storage layout.
+type ReusePlan struct {
+	Sets []StripeSet
+	// Leftover drives did not fill a complete set.
+	Leftover int
+}
+
+// PlanGreenSKUFull stripes the paper's 12 reused m.2 drives against the
+// new-E1.S envelope.
+func PlanGreenSKUFull() (ReusePlan, error) {
+	pool := make([]Drive, 12)
+	for i := range pool {
+		pool[i] = OldM2()
+	}
+	sets, err := Plan(pool, NewE1S())
+	if err != nil {
+		return ReusePlan{}, err
+	}
+	used := 0
+	for _, s := range sets {
+		used += len(s.Members)
+	}
+	return ReusePlan{Sets: sets, Leftover: len(pool) - used}, nil
+}

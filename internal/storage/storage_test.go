@@ -1,0 +1,163 @@
+package storage
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperEnvelopes(t *testing.T) {
+	// §III: "old SSDs offer 1 GB/s and 250 IOPS, whereas new SSDs
+	// offer 2.3 GB/s and 600 IOPS".
+	old := OldM2()
+	if old.WriteGBs != 1.0 || old.IOPS != 250 {
+		t.Fatalf("old drive envelope = %+v", old)
+	}
+	nw := NewE1S()
+	if nw.WriteGBs != 2.3 || nw.IOPS != 600 {
+		t.Fatalf("new drive envelope = %+v", nw)
+	}
+}
+
+func TestSevenYearLifeLeft(t *testing.T) {
+	// §III: "after seven years, most SSDs offer more than half of the
+	// guaranteed erasure cycles".
+	old := OldM2()
+	if old.LifeLeft() <= 0.5 {
+		t.Fatalf("life left = %v, want > 0.5", old.LifeLeft())
+	}
+	// And at the observed wear rate they survive a second 6-year
+	// deployment.
+	if years := old.YearsLeft(7); years < 6 {
+		t.Fatalf("years left = %v, want >= 6 (a second deployment)", years)
+	}
+}
+
+func TestStripeAggregation(t *testing.T) {
+	set := StripeSet{Members: []Drive{OldM2(), OldM2(), OldM2()}}
+	if got := set.WriteGBs(); got != 3.0 {
+		t.Fatalf("3-wide stripe bandwidth = %v, want 3.0", got)
+	}
+	if got := set.IOPS(); got != 750 {
+		t.Fatalf("3-wide stripe IOPS = %v, want 750", got)
+	}
+	if got := set.CapacityTB(); got != 3 {
+		t.Fatalf("capacity = %v, want 3", got)
+	}
+	if !set.Meets(NewE1S()) {
+		t.Fatal("3 old drives should beat one new drive's envelope")
+	}
+}
+
+func TestStripeSlowestMemberBounds(t *testing.T) {
+	slow := OldM2()
+	slow.WriteGBs = 0.5
+	set := StripeSet{Members: []Drive{OldM2(), slow}}
+	if got := set.WriteGBs(); got != 1.0 {
+		t.Fatalf("mixed stripe bandwidth = %v, want 2 x slowest = 1.0", got)
+	}
+}
+
+func TestPlanGreenSKUFull(t *testing.T) {
+	// 12 old m.2 drives, target = new E1.S: minimal width is 3
+	// (3 GB/s >= 2.3, 750 >= 600), so 4 sets with nothing left over —
+	// "old SSDs have no adoption side effects".
+	plan, err := PlanGreenSKUFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Sets) != 4 {
+		t.Fatalf("got %d stripe sets, want 4", len(plan.Sets))
+	}
+	if plan.Leftover != 0 {
+		t.Fatalf("leftover drives = %d, want 0", plan.Leftover)
+	}
+	for i, s := range plan.Sets {
+		if len(s.Members) != 3 {
+			t.Fatalf("set %d has %d members, want 3", i, len(s.Members))
+		}
+		if !s.Meets(NewE1S()) {
+			t.Fatalf("set %d does not meet the new-drive envelope", i)
+		}
+	}
+}
+
+func TestPlanImpossible(t *testing.T) {
+	weak := Drive{Name: "tiny", CapacityTB: 1, WriteGBs: 0.1, IOPS: 10, RatedCycles: 100}
+	if _, err := Plan([]Drive{weak, weak}, NewE1S()); err == nil {
+		t.Fatal("Plan accepted an unreachable target")
+	}
+	if _, err := Plan(nil, NewE1S()); err == nil {
+		t.Fatal("Plan accepted an empty pool")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Drive{
+		{Name: "x", CapacityTB: 0, WriteGBs: 1, IOPS: 1},
+		{Name: "x", CapacityTB: 1, WriteGBs: 1, IOPS: 1, RatedCycles: 100, UsedCycles: 200},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: accepted invalid drive", i)
+		}
+	}
+}
+
+func TestLifeLeftBounds(t *testing.T) {
+	d := Drive{RatedCycles: 0}
+	if d.LifeLeft() != 0 {
+		t.Fatal("zero-rated drive should report no life")
+	}
+	d = Drive{RatedCycles: 100, UsedCycles: 100}
+	if d.LifeLeft() != 0 {
+		t.Fatal("fully worn drive should report no life")
+	}
+}
+
+func TestPropertyPlanSetsAlwaysMeetTarget(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n%20) + 1
+		pool := make([]Drive, count)
+		for i := range pool {
+			pool[i] = OldM2()
+		}
+		sets, err := Plan(pool, NewE1S())
+		if err != nil {
+			// Pools smaller than the minimal width legitimately fail.
+			return count < 3
+		}
+		used := 0
+		for _, s := range sets {
+			if !s.Meets(NewE1S()) {
+				return false
+			}
+			used += len(s.Members)
+		}
+		return used <= count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyStripeMonotone(t *testing.T) {
+	// Adding a drive never reduces the stripe's envelope when drives
+	// are homogeneous.
+	f := func(n uint8) bool {
+		w := int(n%10) + 1
+		a := StripeSet{Members: make([]Drive, w)}
+		b := StripeSet{Members: make([]Drive, w+1)}
+		for i := range a.Members {
+			a.Members[i] = OldM2()
+		}
+		for i := range b.Members {
+			b.Members[i] = OldM2()
+		}
+		return b.WriteGBs() > a.WriteGBs() && b.IOPS() > a.IOPS() &&
+			math.Abs(b.WriteGBs()-a.WriteGBs()-1.0) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/greensku/gsf/internal/units"
+)
+
+// CSVHeader is the column layout used by WriteCSV/ReadCSV and the
+// tracegen tool: one VM per row.
+var CSVHeader = []string{
+	"id", "arrive_h", "depart_h", "cores", "memory_gb", "gen", "full_node", "app", "max_mem_frac",
+}
+
+// WriteCSV serialises the trace.
+func WriteCSV(w io.Writer, t Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(CSVHeader); err != nil {
+		return err
+	}
+	for _, v := range t.VMs {
+		rec := []string{
+			strconv.Itoa(v.ID),
+			strconv.FormatFloat(v.Arrive, 'f', 3, 64),
+			strconv.FormatFloat(v.Depart, 'f', 3, 64),
+			strconv.Itoa(v.Cores),
+			strconv.FormatFloat(float64(v.Memory), 'f', 0, 64),
+			strconv.Itoa(v.Gen),
+			strconv.FormatBool(v.FullNode),
+			v.App,
+			strconv.FormatFloat(v.MaxMemFrac, 'f', 3, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace in the WriteCSV layout, so providers can feed
+// GSF their own VM traces instead of the synthetic generator. The
+// horizon is the latest departure.
+func ReadCSV(r io.Reader, name string) (Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(CSVHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return Trace{}, fmt.Errorf("trace: reading CSV header: %w", err)
+	}
+	for i, want := range CSVHeader {
+		if header[i] != want {
+			return Trace{}, fmt.Errorf("trace: CSV column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	var t Trace
+	t.Name = name
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Trace{}, fmt.Errorf("trace: CSV line %d: %w", line, err)
+		}
+		line++
+		vm, err := parseVM(rec)
+		if err != nil {
+			return Trace{}, fmt.Errorf("trace: CSV line %d: %w", line, err)
+		}
+		t.VMs = append(t.VMs, vm)
+		if vm.Depart > t.Horizon {
+			t.Horizon = vm.Depart
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return Trace{}, err
+	}
+	return t, nil
+}
+
+func parseVM(rec []string) (VM, error) {
+	var vm VM
+	var err error
+	if vm.ID, err = strconv.Atoi(rec[0]); err != nil {
+		return vm, fmt.Errorf("id: %w", err)
+	}
+	if vm.Arrive, err = strconv.ParseFloat(rec[1], 64); err != nil {
+		return vm, fmt.Errorf("arrive_h: %w", err)
+	}
+	if vm.Depart, err = strconv.ParseFloat(rec[2], 64); err != nil {
+		return vm, fmt.Errorf("depart_h: %w", err)
+	}
+	if vm.Cores, err = strconv.Atoi(rec[3]); err != nil {
+		return vm, fmt.Errorf("cores: %w", err)
+	}
+	mem, err := strconv.ParseFloat(rec[4], 64)
+	if err != nil {
+		return vm, fmt.Errorf("memory_gb: %w", err)
+	}
+	vm.Memory = units.GB(mem)
+	if vm.Gen, err = strconv.Atoi(rec[5]); err != nil {
+		return vm, fmt.Errorf("gen: %w", err)
+	}
+	if vm.FullNode, err = strconv.ParseBool(rec[6]); err != nil {
+		return vm, fmt.Errorf("full_node: %w", err)
+	}
+	vm.App = rec[7]
+	if vm.MaxMemFrac, err = strconv.ParseFloat(rec[8], 64); err != nil {
+		return vm, fmt.Errorf("max_mem_frac: %w", err)
+	}
+	return vm, nil
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	p := DefaultParams("roundtrip", 21)
+	p.HorizonHours = 48
+	orig, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteCSV(&b, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(b.String()), "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.VMs) != len(orig.VMs) {
+		t.Fatalf("round trip lost VMs: %d != %d", len(got.VMs), len(orig.VMs))
+	}
+	for i := range got.VMs {
+		g, o := got.VMs[i], orig.VMs[i]
+		if g.ID != o.ID || g.Cores != o.Cores || g.Gen != o.Gen ||
+			g.FullNode != o.FullNode || g.App != o.App {
+			t.Fatalf("VM %d fields changed: %+v vs %+v", i, g, o)
+		}
+		// Floats round-trip at the CSV's printed precision.
+		if diff := g.Arrive - o.Arrive; diff > 0.001 || diff < -0.001 {
+			t.Fatalf("VM %d arrive drifted: %v vs %v", i, g.Arrive, o.Arrive)
+		}
+	}
+	if got.Horizon <= 0 {
+		t.Fatal("horizon not recovered")
+	}
+}
+
+func TestReadCSVRejectsBadHeader(t *testing.T) {
+	in := "id,arrive_h,depart_h,cores,memory_gb,gen,full_node,application,max_mem_frac\n"
+	if _, err := ReadCSV(strings.NewReader(in), "x"); err == nil {
+		t.Fatal("accepted wrong header")
+	}
+}
+
+func TestReadCSVRejectsBadRows(t *testing.T) {
+	header := strings.Join(CSVHeader, ",") + "\n"
+	bad := []string{
+		"x,1.0,2.0,4,16,3,false,Redis,0.5\n",    // non-numeric id
+		"0,1.0,2.0,four,16,3,false,Redis,0.5\n", // non-numeric cores
+		"0,1.0,2.0,4,16,3,maybe,Redis,0.5\n",    // bad bool
+		"0,2.0,1.0,4,16,3,false,Redis,0.5\n",    // departs before arrival
+	}
+	for i, row := range bad {
+		if _, err := ReadCSV(strings.NewReader(header+row), "x"); err == nil {
+			t.Errorf("case %d: accepted invalid row %q", i, row)
+		}
+	}
+}
+
+func TestReadCSVEmptyTrace(t *testing.T) {
+	header := strings.Join(CSVHeader, ",") + "\n"
+	tr, err := ReadCSV(strings.NewReader(header), "empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.VMs) != 0 {
+		t.Fatal("expected empty trace")
+	}
+}

@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/greensku/gsf/internal/apps"
+)
+
+func gen(t *testing.T, p GenParams) Trace {
+	t.Helper()
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestGenerateValidates(t *testing.T) {
+	tr := gen(t, DefaultParams("t", 1))
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.VMs) < 1000 {
+		t.Fatalf("trace has only %d VMs", len(tr.VMs))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := gen(t, DefaultParams("t", 9))
+	b := gen(t, DefaultParams("t", 9))
+	if len(a.VMs) != len(b.VMs) {
+		t.Fatal("same seed produced different VM counts")
+	}
+	for i := range a.VMs {
+		if a.VMs[i] != b.VMs[i] {
+			t.Fatalf("VM %d differs between identical generations", i)
+		}
+	}
+}
+
+func TestSizeMix(t *testing.T) {
+	tr := gen(t, DefaultParams("t", 2))
+	counts := map[int]int{}
+	for _, v := range tr.VMs {
+		if !v.FullNode {
+			counts[v.Cores]++
+		}
+	}
+	// Small VMs dominate (the documented Azure skew).
+	if counts[2] < counts[16] || counts[4] < counts[32] {
+		t.Fatalf("size mix not small-VM-heavy: %v", counts)
+	}
+}
+
+func TestMaxMemFracAveragesNearHalf(t *testing.T) {
+	// Pond: "untouched memory is almost half of a VM's memory".
+	tr := gen(t, DefaultParams("t", 3))
+	s := Summarise(tr)
+	if math.Abs(s.MeanMaxMem-0.52) > 0.05 {
+		t.Fatalf("mean max-memory fraction = %v, want ~0.52", s.MeanMaxMem)
+	}
+}
+
+func TestFullNodeVMs(t *testing.T) {
+	tr := gen(t, DefaultParams("t", 4))
+	s := Summarise(tr)
+	frac := float64(s.FullNodeVMs) / float64(s.VMs)
+	if frac < 0.001 || frac > 0.02 {
+		t.Fatalf("full-node fraction = %v, want ~0.004", frac)
+	}
+	for _, v := range tr.VMs {
+		if v.FullNode && (v.Cores != 80 || v.Memory != 768) {
+			t.Fatalf("full-node VM should request a whole baseline server, got %d cores / %v", v.Cores, v.Memory)
+		}
+	}
+}
+
+func TestAppAssignmentFollowsClassShares(t *testing.T) {
+	tr := gen(t, DefaultParams("t", 5))
+	classCores := map[apps.Class]float64{}
+	var total float64
+	for _, v := range tr.VMs {
+		a, err := apps.ByName(v.App)
+		if err != nil {
+			t.Fatalf("VM assigned unknown app %q", v.App)
+		}
+		w := float64(v.Cores) * v.Lifetime()
+		classCores[a.Class] += w
+		total += w
+	}
+	// Class shares steer VM counts, not core-hours directly, so allow
+	// wide bands; big data must far exceed devops.
+	if classCores[apps.BigData] < 4*classCores[apps.DevOps] {
+		t.Fatalf("class shares not respected: big-data %v vs devops %v",
+			classCores[apps.BigData]/total, classCores[apps.DevOps]/total)
+	}
+}
+
+func TestGenerationsSpan(t *testing.T) {
+	tr := gen(t, DefaultParams("t", 6))
+	seen := map[int]int{}
+	for _, v := range tr.VMs {
+		seen[v.Gen]++
+	}
+	for gen := 1; gen <= 3; gen++ {
+		if seen[gen] == 0 {
+			t.Fatalf("no VMs on generation %d", gen)
+		}
+	}
+}
+
+func TestProductionSuite(t *testing.T) {
+	suite, err := ProductionSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 35 {
+		t.Fatalf("suite has %d traces, want 35 (as in §VI)", len(suite))
+	}
+	names := map[string]bool{}
+	var sizes []int
+	for _, tr := range suite {
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if names[tr.Name] {
+			t.Fatalf("duplicate trace name %s", tr.Name)
+		}
+		names[tr.Name] = true
+		sizes = append(sizes, len(tr.VMs))
+	}
+	// Traces must differ (varied operating points).
+	allSame := true
+	for _, n := range sizes {
+		if n != sizes[0] {
+			allSame = false
+		}
+	}
+	if allSame {
+		t.Fatal("all traces have identical VM counts; suite is not varied")
+	}
+}
+
+func TestSummarisePeakDemand(t *testing.T) {
+	tr := Trace{Name: "manual", Horizon: 10, VMs: []VM{
+		{ID: 0, Arrive: 0, Depart: 5, Cores: 4, Memory: 16, Gen: 1, MaxMemFrac: 0.5},
+		{ID: 1, Arrive: 1, Depart: 6, Cores: 8, Memory: 32, Gen: 2, MaxMemFrac: 0.5},
+		{ID: 2, Arrive: 5, Depart: 9, Cores: 2, Memory: 8, Gen: 3, MaxMemFrac: 0.5},
+	}}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := Summarise(tr)
+	// At t=5 VM0 departs exactly as VM2 arrives; departures first, so
+	// the peak is VM0+VM1 = 12 cores.
+	if s.PeakCoreDmd != 12 {
+		t.Fatalf("peak core demand = %d, want 12", s.PeakCoreDmd)
+	}
+	if s.PeakMemoryDmd != 48 {
+		t.Fatalf("peak memory demand = %v, want 48", s.PeakMemoryDmd)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := []Trace{
+		{VMs: []VM{{Arrive: 2, Depart: 1, Cores: 2, Memory: 8, Gen: 1}}},
+		{VMs: []VM{{Arrive: 0, Depart: 1, Cores: 0, Memory: 8, Gen: 1}}},
+		{VMs: []VM{{Arrive: 0, Depart: 1, Cores: 2, Memory: 8, Gen: 9}}},
+		{VMs: []VM{{Arrive: 0, Depart: 1, Cores: 2, Memory: 8, Gen: 1, MaxMemFrac: 2}}},
+		{VMs: []VM{
+			{Arrive: 5, Depart: 6, Cores: 2, Memory: 8, Gen: 1},
+			{Arrive: 1, Depart: 2, Cores: 2, Memory: 8, Gen: 1},
+		}},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted a broken trace", i)
+		}
+	}
+}
+
+func TestGenerateParamValidation(t *testing.T) {
+	p := DefaultParams("x", 1)
+	p.ArrivalsPerHour = 0
+	if _, err := Generate(p); err == nil {
+		t.Error("Generate accepted zero arrival rate")
+	}
+	p = DefaultParams("x", 1)
+	p.CoreWeights = []float64{1}
+	if _, err := Generate(p); err == nil {
+		t.Error("Generate accepted mismatched size/weight lists")
+	}
+}
+
+func TestPropertyLifetimesPositive(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := DefaultParams("q", seed)
+		p.HorizonHours = 100
+		tr, err := Generate(p)
+		if err != nil {
+			return false
+		}
+		for _, v := range tr.VMs {
+			if v.Lifetime() <= 0 || v.Arrive < 0 || v.Arrive > p.HorizonHours {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

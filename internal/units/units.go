@@ -1,0 +1,79 @@
+// Package units defines the typed physical quantities used throughout GSF:
+// power, energy, carbon mass, carbon intensity, and storage capacity.
+//
+// All quantities are float64 wrappers. The wrappers exist to keep unit
+// mistakes (watts vs kilowatts, GB vs GiB, kg vs g of CO2e) out of the
+// carbon model, where such mistakes silently corrupt results.
+package units
+
+import "fmt"
+
+// Watts is electrical power.
+type Watts float64
+
+// Kilowatts converts to kW.
+func (w Watts) Kilowatts() float64 { return float64(w) / 1000 }
+
+func (w Watts) String() string { return fmt.Sprintf("%.1f W", float64(w)) }
+
+// KilowattHours is electrical energy.
+type KilowattHours float64
+
+func (e KilowattHours) String() string { return fmt.Sprintf("%.1f kWh", float64(e)) }
+
+// KgCO2e is a mass of carbon-dioxide equivalent, the common unit for
+// global-warming potential used by the paper's carbon model.
+type KgCO2e float64
+
+func (c KgCO2e) String() string { return fmt.Sprintf("%.1f kgCO2e", float64(c)) }
+
+// CarbonIntensity is the carbon intensity of consumed energy in
+// kgCO2e per kWh. Azure's large-region average in the paper is 0.1.
+type CarbonIntensity float64
+
+// Emissions returns the carbon emitted by consuming the given energy.
+func (ci CarbonIntensity) Emissions(e KilowattHours) KgCO2e {
+	return KgCO2e(float64(ci) * float64(e))
+}
+
+func (ci CarbonIntensity) String() string {
+	return fmt.Sprintf("%.3f kgCO2e/kWh", float64(ci))
+}
+
+// GB is storage or memory capacity in gigabytes. The paper's carbon data
+// is expressed per GB (DRAM) and per TB (SSD); both map onto GB here.
+type GB float64
+
+// TB returns the capacity in terabytes.
+func (g GB) TB() float64 { return float64(g) / 1000 }
+
+// TBToGB converts a terabyte quantity to GB.
+func TBToGB(tb float64) GB { return GB(tb * 1000) }
+
+func (g GB) String() string {
+	if g >= 1000 {
+		return fmt.Sprintf("%.1f TB", g.TB())
+	}
+	return fmt.Sprintf("%.0f GB", float64(g))
+}
+
+// Hours is a duration in hours. Server lifetimes are long enough that
+// time.Duration (max ~292 years in ns) would work, but every formula in
+// the paper is written in hours, so we keep that unit.
+type Hours float64
+
+// HoursPerYear is the paper's year length: 365 days.
+const HoursPerYear Hours = 8760
+
+// Years converts a year count to Hours.
+func Years(y float64) Hours { return Hours(y) * HoursPerYear }
+
+// YearsValue reports the duration in years.
+func (h Hours) YearsValue() float64 { return float64(h) / float64(HoursPerYear) }
+
+func (h Hours) String() string { return fmt.Sprintf("%.0f h", float64(h)) }
+
+// Energy returns the energy consumed by drawing p for the duration h.
+func (h Hours) Energy(p Watts) KilowattHours {
+	return KilowattHours(p.Kilowatts() * float64(h))
+}

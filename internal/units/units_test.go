@@ -1,0 +1,94 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWattsKilowatts(t *testing.T) {
+	if got := Watts(1500).Kilowatts(); got != 1.5 {
+		t.Fatalf("Kilowatts = %v, want 1.5", got)
+	}
+}
+
+func TestCarbonIntensityEmissions(t *testing.T) {
+	// 0.1 kgCO2e/kWh * 52560 kWh = 5256 kgCO2e.
+	got := CarbonIntensity(0.1).Emissions(52560)
+	if !almost(float64(got), 5256, 1e-9) {
+		t.Fatalf("Emissions = %v, want 5256", got)
+	}
+}
+
+func TestHoursEnergy(t *testing.T) {
+	// 403 W over 6 years: 0.403 kW * 52560 h = 21181.68 kWh.
+	e := Years(6).Energy(Watts(403))
+	if !almost(float64(e), 21181.68, 1e-6) {
+		t.Fatalf("Energy = %v, want 21181.68", e)
+	}
+}
+
+func TestYearsRoundTrip(t *testing.T) {
+	if got := Years(6); got != 52560 {
+		t.Fatalf("Years(6) = %v, want 52560", got)
+	}
+	if got := Hours(52560).YearsValue(); !almost(got, 6, 1e-12) {
+		t.Fatalf("YearsValue = %v, want 6", got)
+	}
+}
+
+func TestGBConversions(t *testing.T) {
+	if got := TBToGB(2); got != 2000 {
+		t.Fatalf("TBToGB(2) = %v, want 2000", got)
+	}
+	if got := GB(768).TB(); !almost(got, 0.768, 1e-12) {
+		t.Fatalf("TB = %v, want 0.768", got)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Watts(403.4).String(), "403.4 W"},
+		{KgCO2e(1644).String(), "1644.0 kgCO2e"},
+		{GB(500).String(), "500 GB"},
+		{GB(2000).String(), "2.0 TB"},
+		{CarbonIntensity(0.1).String(), "0.100 kgCO2e/kWh"},
+		{Hours(52560).String(), "52560 h"},
+		{KilowattHours(12.34).String(), "12.3 kWh"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestPropertyEnergyLinearity(t *testing.T) {
+	// Energy is linear in both power and duration.
+	f := func(p, h float64) bool {
+		p = math.Mod(math.Abs(p), 1e6)
+		h = math.Mod(math.Abs(h), 1e6)
+		e1 := Hours(h).Energy(Watts(p))
+		e2 := Hours(2 * h).Energy(Watts(p))
+		e3 := Hours(h).Energy(Watts(2 * p))
+		return almost(float64(e2), 2*float64(e1), 1e-6*math.Max(1, float64(e2))) &&
+			almost(float64(e3), 2*float64(e1), 1e-6*math.Max(1, float64(e3)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyYearsInverse(t *testing.T) {
+	f := func(y float64) bool {
+		y = math.Mod(math.Abs(y), 1e4)
+		return almost(Years(y).YearsValue(), y, 1e-9*math.Max(1, y))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
