@@ -1,0 +1,123 @@
+// Command gsfd serves GSF evaluations over HTTP: per-core emissions,
+// Table IV/VIII savings rows, and full framework evaluations, answered
+// online from a worker pool with request deduplication and an exact
+// result cache, and scraped through an OpenMetrics /metrics endpoint.
+//
+// Usage:
+//
+//	gsfd                              # listen on :8080
+//	gsfd -addr :9090 -workers 8 -queue 128 -cache-ttl 5m
+//
+// Endpoints:
+//
+//	POST /v1/percore    per-core emissions for a SKU at a carbon intensity
+//	POST /v1/savings    per-core savings of a SKU vs a baseline
+//	POST /v1/evaluate   full framework evaluation over a synthetic workload
+//	GET  /v1/skus       SKU catalog
+//	GET  /v1/datasets   dataset catalog
+//	GET  /metrics       OpenMetrics scrape
+//	GET  /healthz       liveness
+//	GET  /readyz        readiness (503 while draining)
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: /readyz flips to 503,
+// the listener stops accepting connections, and in-flight evaluations
+// get -drain (default 30s) to finish.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/greensku/gsf/internal/server"
+)
+
+// options is the parsed command line.
+type options struct {
+	addr  string
+	drain time.Duration
+	cfg   server.Config
+}
+
+// parseFlags builds the daemon options from argv (split out of main for
+// testing).
+func parseFlags(args []string) (options, error) {
+	fs := flag.NewFlagSet("gsfd", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.DurationVar(&o.drain, "drain", 30*time.Second, "graceful shutdown timeout")
+	fs.IntVar(&o.cfg.Workers, "workers", 0, "evaluation workers (0 = GOMAXPROCS)")
+	fs.IntVar(&o.cfg.QueueDepth, "queue", 0, "request queue capacity (0 = default 64)")
+	fs.IntVar(&o.cfg.CacheEntries, "cache-entries", 0, "result cache capacity (0 = default 1024)")
+	fs.DurationVar(&o.cfg.CacheTTL, "cache-ttl", 0, "result cache TTL (0 = default 15m)")
+	fs.DurationVar(&o.cfg.RequestTimeout, "timeout", 0, "per-request deadline (0 = default 30s)")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if fs.NArg() > 0 {
+		return o, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return o, nil
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	o.cfg.Logger = log
+	if err := run(o, log); err != nil {
+		log.Error("gsfd failed", "err", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options, log *slog.Logger) error {
+	s, err := server.New(o.cfg)
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              o.addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Info("gsfd listening", "addr", o.addr)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop advertising readiness, stop the listener,
+	// let in-flight requests finish, then drain the worker pool.
+	log.Info("draining", "timeout", o.drain)
+	s.SetReady(false)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), o.drain)
+	defer cancel()
+	err = httpSrv.Shutdown(shutdownCtx)
+	s.Close()
+	log.Info("gsfd stopped")
+	return err
+}

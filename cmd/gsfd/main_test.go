@@ -1,0 +1,48 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":8080" {
+		t.Errorf("addr %q", o.addr)
+	}
+	if o.drain != 30*time.Second {
+		t.Errorf("drain %v", o.drain)
+	}
+	// Zero values defer to server.Config defaults.
+	if o.cfg.Workers != 0 || o.cfg.QueueDepth != 0 {
+		t.Errorf("pool flags not zero: %+v", o.cfg)
+	}
+}
+
+func TestParseFlagsOverrides(t *testing.T) {
+	o, err := parseFlags([]string{
+		"-addr", ":9090", "-workers", "8", "-queue", "128",
+		"-cache-entries", "64", "-cache-ttl", "5m", "-timeout", "10s", "-drain", "1m",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":9090" || o.cfg.Workers != 8 || o.cfg.QueueDepth != 128 {
+		t.Errorf("parsed %+v", o)
+	}
+	if o.cfg.CacheEntries != 64 || o.cfg.CacheTTL != 5*time.Minute {
+		t.Errorf("cache flags %+v", o.cfg)
+	}
+	if o.cfg.RequestTimeout != 10*time.Second || o.drain != time.Minute {
+		t.Errorf("timeouts %+v", o)
+	}
+}
+
+func TestParseFlagsRejectsPositionalArgs(t *testing.T) {
+	if _, err := parseFlags([]string{"serve"}); err == nil {
+		t.Error("positional argument accepted")
+	}
+}

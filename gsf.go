@@ -102,7 +102,24 @@ var (
 	GreenSKUCXL = hw.GreenSKUCXL
 	// GreenSKUFull adds reused SSDs.
 	GreenSKUFull = hw.GreenSKUFull
+	// BaselineGen1 is the oldest deployed baseline generation (Rome).
+	BaselineGen1 = hw.BaselineGen1
+	// BaselineGen2 is the second deployed generation (Milan).
+	BaselineGen2 = hw.BaselineGen2
 )
+
+// SKUCatalog returns every named SKU the framework ships: the five
+// Table IV/VIII configurations followed by the Gen1/Gen2 baselines.
+// Services use it for catalog discovery (gsfd's GET /v1/skus).
+func SKUCatalog() []SKU {
+	return append(hw.TableIVConfigs(), hw.BaselineGen1(), hw.BaselineGen2())
+}
+
+// DatasetCatalog returns the three shipped carbon datasets:
+// open-source, paper-calibrated, and worked-example.
+func DatasetCatalog() []Dataset {
+	return []Dataset{OpenSourceData(), PaperCalibratedData(), WorkedExampleData()}
+}
 
 // OpenSourceData returns the Appendix A open dataset (Table V/VI plus
 // fitted fill-ins); it reproduces Table VIII and Fig. 12.
@@ -118,11 +135,11 @@ func WorkedExampleData() Dataset { return carbondata.WorkedExample() }
 // NewFramework builds a GSF instance over a carbon dataset with the
 // paper's default component settings.
 func NewFramework(d Dataset) (*Framework, error) {
-	m, err := carbon.New(d)
+	m, err := NewModel(d)
 	if err != nil {
 		return nil, err
 	}
-	return core.New(m), nil
+	return m.Framework(), nil
 }
 
 // SyntheticWorkload generates an Azure-like VM trace (the stand-in for
@@ -131,30 +148,71 @@ func SyntheticWorkload(name string, seed uint64) (Trace, error) {
 	return trace.Generate(trace.DefaultParams(name, seed))
 }
 
+// Model is a validated carbon model over one dataset: construct it once
+// with NewModel, then query it many times. Long-running callers (such
+// as cmd/gsfd) should hold a Model per dataset instead of paying dataset
+// validation on every query via PerCoreEmissions/PerCoreSavings.
+// A Model is immutable after construction and safe for concurrent use.
+type Model struct {
+	m *carbon.Model
+}
+
+// NewModel validates the dataset and returns a reusable carbon model.
+func NewModel(d Dataset) (*Model, error) {
+	m, err := carbon.New(d)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{m: m}, nil
+}
+
+// Data returns the dataset the model was built over.
+func (m *Model) Data() Dataset { return m.m.Data }
+
+// defaultCI substitutes the dataset default for a zero carbon intensity.
+func (m *Model) defaultCI(ci CarbonIntensity) CarbonIntensity {
+	if ci == 0 {
+		return m.m.Data.DefaultCI
+	}
+	return ci
+}
+
+// PerCore evaluates a SKU's rack-amortised lifetime emissions per core
+// at the given carbon intensity (zero uses the dataset default).
+func (m *Model) PerCore(sku SKU, ci CarbonIntensity) (PerCore, error) {
+	return m.m.PerCore(sku, m.defaultCI(ci))
+}
+
+// Savings compares a SKU's per-core emissions against a baseline
+// (a Table IV/VIII row) at the given carbon intensity.
+func (m *Model) Savings(sku, baseline SKU, ci CarbonIntensity) (Savings, error) {
+	return m.m.SavingsVs(sku, baseline, m.defaultCI(ci))
+}
+
+// Framework builds a GSF instance over this model with the paper's
+// default component settings. Frameworks from the same Model share the
+// underlying carbon model.
+func (m *Model) Framework() *Framework { return core.New(m.m) }
+
 // PerCoreEmissions evaluates a SKU's rack-amortised lifetime emissions
 // per core under a dataset at the given carbon intensity (zero uses the
 // dataset default). This is the carbon-model component on its own,
-// without the full framework.
+// without the full framework. One-shot convenience over NewModel:
+// it revalidates the dataset on every call.
 func PerCoreEmissions(d Dataset, sku SKU, ci CarbonIntensity) (PerCore, error) {
-	m, err := carbon.New(d)
+	m, err := NewModel(d)
 	if err != nil {
 		return PerCore{}, err
-	}
-	if ci == 0 {
-		ci = d.DefaultCI
 	}
 	return m.PerCore(sku, ci)
 }
 
 // PerCoreSavings compares a SKU's per-core emissions against a baseline
-// (a Table IV/VIII row).
+// (a Table IV/VIII row). One-shot convenience over NewModel.
 func PerCoreSavings(d Dataset, sku, baseline SKU, ci CarbonIntensity) (Savings, error) {
-	m, err := carbon.New(d)
+	m, err := NewModel(d)
 	if err != nil {
 		return Savings{}, err
 	}
-	if ci == 0 {
-		ci = d.DefaultCI
-	}
-	return m.SavingsVs(sku, baseline, ci)
+	return m.Savings(sku, baseline, ci)
 }

@@ -54,3 +54,64 @@ func TestSKUConstructors(t *testing.T) {
 		}
 	}
 }
+
+func TestModelHandle(t *testing.T) {
+	m, err := gsf.NewModel(gsf.OpenSourceData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Data().Name != "open-source" {
+		t.Errorf("dataset name %q", m.Data().Name)
+	}
+
+	// The handle must answer exactly like the one-shot helpers.
+	pcWant, err := gsf.PerCoreEmissions(gsf.OpenSourceData(), gsf.GreenSKUFull(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcGot, err := m.PerCore(gsf.GreenSKUFull(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pcGot != pcWant {
+		t.Errorf("Model.PerCore %+v != PerCoreEmissions %+v", pcGot, pcWant)
+	}
+
+	svWant, err := gsf.PerCoreSavings(gsf.OpenSourceData(), gsf.GreenSKUCXL(), gsf.BaselineGen3(), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svGot, err := m.Savings(gsf.GreenSKUCXL(), gsf.BaselineGen3(), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svGot != svWant {
+		t.Errorf("Model.Savings %+v != PerCoreSavings %+v", svGot, svWant)
+	}
+
+	// A framework built from the handle evaluates like NewFramework.
+	if m.Framework() == nil || m.Framework().Carbon == nil {
+		t.Error("Model.Framework missing carbon model")
+	}
+}
+
+func TestCatalogs(t *testing.T) {
+	skus := gsf.SKUCatalog()
+	if len(skus) != 7 {
+		t.Fatalf("SKU catalog has %d entries, want 7", len(skus))
+	}
+	for _, sku := range skus {
+		if err := sku.Validate(); err != nil {
+			t.Errorf("catalog SKU %s invalid: %v", sku.Name, err)
+		}
+	}
+	datasets := gsf.DatasetCatalog()
+	if len(datasets) != 3 {
+		t.Fatalf("dataset catalog has %d entries, want 3", len(datasets))
+	}
+	for _, d := range datasets {
+		if _, err := gsf.NewModel(d); err != nil {
+			t.Errorf("catalog dataset %s invalid: %v", d.Name, err)
+		}
+	}
+}

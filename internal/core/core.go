@@ -105,12 +105,9 @@ type Evaluation struct {
 func (f *Framework) Evaluate(in Input) (Evaluation, error) {
 	var ev Evaluation
 	if f.Carbon == nil {
-		return ev, fmt.Errorf("core: framework has no carbon model")
+		return ev, fmt.Errorf("%w: no carbon model", ErrNotConfigured)
 	}
-	if err := in.Green.Validate(); err != nil {
-		return ev, err
-	}
-	if err := in.Baseline.Validate(); err != nil {
+	if err := in.Validate(); err != nil {
 		return ev, err
 	}
 	ci := in.CI

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"github.com/greensku/gsf/internal/carbon"
@@ -114,5 +115,44 @@ func TestDefaultCIUsed(t *testing.T) {
 	}
 	if a.PerCoreSavings.Total != b.PerCoreSavings.Total {
 		t.Error("zero CI should default to the dataset's 0.1")
+	}
+}
+
+func TestValidateSentinelErrors(t *testing.T) {
+	f := framework(t, "open-source")
+	w := workload(t, 9)
+
+	cases := []struct {
+		name string
+		in   Input
+	}{
+		{"missing green SKU", Input{Baseline: hw.BaselineGen3(), Workload: w}},
+		{"missing baseline SKU", Input{Green: hw.GreenSKUFull(), Workload: w}},
+		{"empty workload", Input{Green: hw.GreenSKUFull(), Baseline: hw.BaselineGen3()}},
+		{"negative CI", Input{Green: hw.GreenSKUFull(), Baseline: hw.BaselineGen3(), Workload: w, CI: -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := f.Evaluate(tc.in)
+			if err == nil {
+				t.Fatal("Evaluate accepted invalid input")
+			}
+			if !errors.Is(err, ErrBadInput) {
+				t.Errorf("error %v does not wrap ErrBadInput", err)
+			}
+			if errors.Is(err, ErrNotConfigured) {
+				t.Errorf("input error %v should not wrap ErrNotConfigured", err)
+			}
+		})
+	}
+}
+
+func TestNotConfiguredSentinel(t *testing.T) {
+	_, err := (&Framework{}).Evaluate(Input{})
+	if !errors.Is(err, ErrNotConfigured) {
+		t.Errorf("zero framework error %v does not wrap ErrNotConfigured", err)
+	}
+	if errors.Is(err, ErrBadInput) {
+		t.Errorf("configuration error %v should not wrap ErrBadInput", err)
 	}
 }

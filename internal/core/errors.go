@@ -1,0 +1,42 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors returned by the framework. Callers serving GSF over a
+// network boundary (cmd/gsfd) use errors.Is against these to decide
+// whether a failure was caused by the request (client error, HTTP 4xx)
+// or by the framework itself (internal error, HTTP 5xx).
+var (
+	// ErrBadInput marks an Input that fails validation: malformed
+	// SKUs, an invalid workload trace, or out-of-range parameters.
+	ErrBadInput = errors.New("core: bad input")
+
+	// ErrNotConfigured marks a Framework that is missing a required
+	// component (e.g. the zero value, which has no carbon model).
+	ErrNotConfigured = errors.New("core: framework not configured")
+)
+
+// Validate checks the evaluation request up front, before any component
+// runs. All failures wrap ErrBadInput so callers can classify them with
+// errors.Is without string matching.
+func (in Input) Validate() error {
+	if err := in.Green.Validate(); err != nil {
+		return fmt.Errorf("%w: green SKU: %v", ErrBadInput, err)
+	}
+	if err := in.Baseline.Validate(); err != nil {
+		return fmt.Errorf("%w: baseline SKU: %v", ErrBadInput, err)
+	}
+	if len(in.Workload.VMs) == 0 {
+		return fmt.Errorf("%w: workload trace is empty", ErrBadInput)
+	}
+	if err := in.Workload.Validate(); err != nil {
+		return fmt.Errorf("%w: workload: %v", ErrBadInput, err)
+	}
+	if in.CI < 0 {
+		return fmt.Errorf("%w: negative carbon intensity %v", ErrBadInput, in.CI)
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// resultCache is an LRU cache with per-entry TTL for rendered response
+// bodies. Evaluations are deterministic functions of the canonical
+// request key, so a hit can be served as the exact bytes of the first
+// response. Safe for concurrent use.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int           // entry capacity; <= 0 disables the cache
+	ttl     time.Duration // per-entry lifetime; <= 0 means no expiry
+	now     func() time.Time
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key    string
+	body   []byte
+	stored time.Time
+}
+
+func newResultCache(maxEntries int, ttl time.Duration) *resultCache {
+	return &resultCache{
+		max:     maxEntries,
+		ttl:     ttl,
+		now:     time.Now,
+		order:   list.New(),
+		entries: map[string]*list.Element{},
+	}
+}
+
+// get returns the cached body for key, promoting the entry to most
+// recently used. Expired entries are dropped on access.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if c.ttl > 0 && c.now().Sub(e.stored) > c.ttl {
+		c.order.Remove(el)
+		delete(c.entries, key)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return e.body, true
+}
+
+// put stores body under key, evicting the least recently used entry
+// when over capacity. Callers must not mutate body afterwards.
+func (c *resultCache) put(key string, body []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.body = body
+		e.stored = c.now()
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, body: body, stored: c.now()})
+	c.entries[key] = el
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the live entry count (including not-yet-collected expired
+// entries).
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2, 0)
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	if _, ok := c.get("a"); !ok { // promotes a
+		t.Fatal("a missing")
+	}
+	c.put("c", []byte("C")) // evicts b, the least recently used
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if v, ok := c.get("a"); !ok || !bytes.Equal(v, []byte("A")) {
+		t.Error("a should have survived")
+	}
+	if v, ok := c.get("c"); !ok || !bytes.Equal(v, []byte("C")) {
+		t.Error("c should be present")
+	}
+	if c.len() != 2 {
+		t.Errorf("len %d, want 2", c.len())
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := newResultCache(8, time.Minute)
+	c.now = func() time.Time { return now }
+
+	c.put("k", []byte("V"))
+	if _, ok := c.get("k"); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	now = now.Add(59 * time.Second)
+	if _, ok := c.get("k"); !ok {
+		t.Error("entry expired early")
+	}
+	now = now.Add(2 * time.Second)
+	if _, ok := c.get("k"); ok {
+		t.Error("entry should have expired")
+	}
+	if c.len() != 0 {
+		t.Errorf("expired entry not collected: len %d", c.len())
+	}
+}
+
+func TestCacheOverwriteRefreshes(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := newResultCache(8, time.Minute)
+	c.now = func() time.Time { return now }
+
+	c.put("k", []byte("old"))
+	now = now.Add(50 * time.Second)
+	c.put("k", []byte("new"))
+	now = now.Add(30 * time.Second) // 80s after first put, 30s after second
+	v, ok := c.get("k")
+	if !ok || !bytes.Equal(v, []byte("new")) {
+		t.Errorf("overwritten entry: %q ok=%v", v, ok)
+	}
+	if c.len() != 1 {
+		t.Errorf("len %d, want 1", c.len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(0, 0)
+	c.put("k", []byte("V"))
+	if _, ok := c.get("k"); ok {
+		t.Error("disabled cache stored an entry")
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := newResultCache(16, time.Minute)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%32)
+				c.put(key, []byte(key))
+				if v, ok := c.get(key); ok && !bytes.Equal(v, []byte(key)) {
+					t.Errorf("corrupt read for %s: %q", key, v)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -1,0 +1,469 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"github.com/greensku/gsf"
+	"github.com/greensku/gsf/internal/trace"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// errBadRequest marks a client-side mistake — malformed JSON, an
+// unknown SKU or dataset name, an out-of-range parameter — and maps to
+// HTTP 400.
+var errBadRequest = errors.New("server: bad request")
+
+// maxBodyBytes bounds request bodies; every request here is a few
+// hundred bytes of JSON.
+const maxBodyBytes = 1 << 20
+
+// decodeJSON strictly parses the request body into dst.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("%w: malformed request body: %v", errBadRequest, err)
+	}
+	return nil
+}
+
+func (s *Server) lookupDataset(name string) (*dataset, error) {
+	if name == "" {
+		name = s.datasetOrder[0] // open-source
+	}
+	d, ok := s.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: dataset %q (see GET /v1/datasets)", errBadRequest, name)
+	}
+	return d, nil
+}
+
+func (s *Server) lookupSKU(field, name string) (gsf.SKU, error) {
+	sku, ok := s.skus[name]
+	if !ok {
+		return gsf.SKU{}, fmt.Errorf("%w: %s SKU %q (see GET /v1/skus)", errBadRequest, field, name)
+	}
+	return sku, nil
+}
+
+// writeError sends a JSON error body with the status mapped from err.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := httpStatus(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// writeComputed sends a compute result with its cache disposition.
+func writeComputed(w http.ResponseWriter, body []byte, cached bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Write(body)
+}
+
+func marshalBody(v any) ([]byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
+
+// fmtCI renders a carbon intensity for the canonical cache key.
+func fmtCI(ci units.CarbonIntensity) string {
+	return strconv.FormatFloat(float64(ci), 'g', -1, 64)
+}
+
+// --- POST /v1/percore -------------------------------------------------
+
+type perCoreRequest struct {
+	// Dataset names the carbon dataset; empty selects open-source.
+	Dataset string `json:"dataset"`
+	// SKU names a catalog SKU (GET /v1/skus).
+	SKU string `json:"sku"`
+	// CI is the grid carbon intensity in kgCO2e/kWh; zero or omitted
+	// uses the dataset default.
+	CI float64 `json:"ci"`
+}
+
+type perCoreResponse struct {
+	Dataset     string                `json:"dataset"`
+	SKU         string                `json:"sku"`
+	CI          units.CarbonIntensity `json:"ci"`
+	Operational units.KgCO2e          `json:"operational_per_core"`
+	Embodied    units.KgCO2e          `json:"embodied_per_core"`
+	Total       units.KgCO2e          `json:"total_per_core"`
+}
+
+func (s *Server) handlePerCore(w http.ResponseWriter, r *http.Request) {
+	var req perCoreRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	d, err := s.lookupDataset(req.Dataset)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	sku, err := s.lookupSKU("target", req.SKU)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ci, err := normalizeCI(req.CI, d)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	key := cacheKey("percore", d.name, sku.Name, fmtCI(ci))
+	body, cached, err := s.compute(ctx, key, func() ([]byte, error) {
+		pc, err := d.model.PerCore(sku, ci)
+		if err != nil {
+			return nil, err
+		}
+		return marshalBody(perCoreResponse{
+			Dataset:     d.name,
+			SKU:         pc.SKU,
+			CI:          ci,
+			Operational: pc.Operational,
+			Embodied:    pc.Embodied,
+			Total:       pc.Total(),
+		})
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeComputed(w, body, cached)
+}
+
+func normalizeCI(ci float64, d *dataset) (units.CarbonIntensity, error) {
+	if ci < 0 {
+		return 0, fmt.Errorf("%w: negative carbon intensity %v", errBadRequest, ci)
+	}
+	if ci == 0 {
+		return d.model.Data().DefaultCI, nil
+	}
+	return units.CarbonIntensity(ci), nil
+}
+
+// --- POST /v1/savings -------------------------------------------------
+
+type savingsRequest struct {
+	Dataset string `json:"dataset"`
+	// SKU is the candidate (typically a GreenSKU).
+	SKU string `json:"sku"`
+	// Baseline is the comparison SKU; empty selects "Baseline" (Gen3).
+	Baseline string  `json:"baseline"`
+	CI       float64 `json:"ci"`
+}
+
+type savingsResponse struct {
+	Dataset  string                `json:"dataset"`
+	SKU      string                `json:"sku"`
+	Baseline string                `json:"baseline"`
+	CI       units.CarbonIntensity `json:"ci"`
+	// Fractions, e.g. 0.28 means the candidate saves 28% (Table
+	// IV/VIII rows).
+	Operational float64 `json:"operational_savings"`
+	Embodied    float64 `json:"embodied_savings"`
+	Total       float64 `json:"total_savings"`
+}
+
+func (s *Server) handleSavings(w http.ResponseWriter, r *http.Request) {
+	var req savingsRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if req.Baseline == "" {
+		req.Baseline = "Baseline"
+	}
+	d, err := s.lookupDataset(req.Dataset)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	sku, err := s.lookupSKU("target", req.SKU)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	baseline, err := s.lookupSKU("baseline", req.Baseline)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ci, err := normalizeCI(req.CI, d)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	key := cacheKey("savings", d.name, sku.Name, baseline.Name, fmtCI(ci))
+	body, cached, err := s.compute(ctx, key, func() ([]byte, error) {
+		sv, err := d.model.Savings(sku, baseline, ci)
+		if err != nil {
+			return nil, err
+		}
+		return marshalBody(savingsResponse{
+			Dataset:     d.name,
+			SKU:         sv.SKU,
+			Baseline:    baseline.Name,
+			CI:          ci,
+			Operational: sv.Operational,
+			Embodied:    sv.Embodied,
+			Total:       sv.Total,
+		})
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeComputed(w, body, cached)
+}
+
+// --- POST /v1/evaluate ------------------------------------------------
+
+type workloadSpec struct {
+	// Name labels the synthetic trace; it also seeds the app-class
+	// assignment, so it is part of the cache key. Empty means "gsfd".
+	Name string `json:"name"`
+	// Seed makes the trace deterministic; identical specs produce
+	// identical traces, which is what makes evaluate cacheable.
+	Seed uint64 `json:"seed"`
+	// ArrivalsPerHour and HorizonHours override the production-like
+	// defaults (24/h over 14 days); use smaller values for cheap
+	// queries.
+	ArrivalsPerHour float64 `json:"arrivals_per_hour"`
+	HorizonHours    float64 `json:"horizon_hours"`
+}
+
+type evaluateRequest struct {
+	Dataset string `json:"dataset"`
+	// Green names the candidate GreenSKU; empty selects GreenSKU-Full.
+	Green string `json:"green"`
+	// Baseline defaults to "Baseline" (Gen3).
+	Baseline string  `json:"baseline"`
+	CI       float64 `json:"ci"`
+	// CXLBacked evaluates performance as if VM memory were CXL-served.
+	CXLBacked bool         `json:"cxl_backed"`
+	Workload  workloadSpec `json:"workload"`
+}
+
+type evaluateResponse struct {
+	Dataset  string                `json:"dataset"`
+	Green    string                `json:"green"`
+	Baseline string                `json:"baseline"`
+	CI       units.CarbonIntensity `json:"ci"`
+	Workload struct {
+		Name string `json:"name"`
+		Seed uint64 `json:"seed"`
+		VMs  int    `json:"vms"`
+	} `json:"workload"`
+	PerCoreGreen   units.KgCO2e `json:"per_core_green"`
+	PerCoreBase    units.KgCO2e `json:"per_core_baseline"`
+	PerCoreSavings float64      `json:"per_core_savings"`
+	Cluster        struct {
+		BaselineOnly  int `json:"baseline_only_servers"`
+		BaseServers   int `json:"base_servers"`
+		GreenServers  int `json:"green_servers"`
+		BufferServers int `json:"buffer_servers"`
+	} `json:"cluster"`
+	ClusterSavings float64 `json:"cluster_savings"`
+	DCSavings      float64 `json:"dc_savings"`
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req evaluateRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if req.Green == "" {
+		req.Green = "GreenSKU-Full"
+	}
+	if req.Baseline == "" {
+		req.Baseline = "Baseline"
+	}
+	d, err := s.lookupDataset(req.Dataset)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	green, err := s.lookupSKU("green", req.Green)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	baseline, err := s.lookupSKU("baseline", req.Baseline)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ci, err := normalizeCI(req.CI, d)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	params, err := s.traceParams(req.Workload)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	key := cacheKey("evaluate", d.name, green.Name, baseline.Name, fmtCI(ci),
+		fmt.Sprintf("%t", req.CXLBacked), params.Name,
+		strconv.FormatUint(params.Seed, 10),
+		strconv.FormatFloat(params.ArrivalsPerHour, 'g', -1, 64),
+		strconv.FormatFloat(params.HorizonHours, 'g', -1, 64))
+	body, cached, err := s.compute(ctx, key, func() ([]byte, error) {
+		tr, err := trace.Generate(params)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := d.fw.Evaluate(gsf.Input{
+			Green:     green,
+			Baseline:  baseline,
+			Workload:  tr,
+			CI:        ci,
+			CXLBacked: req.CXLBacked,
+		})
+		if err != nil {
+			return nil, err
+		}
+		resp := evaluateResponse{
+			Dataset:        d.name,
+			Green:          green.Name,
+			Baseline:       baseline.Name,
+			CI:             ci,
+			PerCoreGreen:   ev.PerCoreGreen.Total(),
+			PerCoreBase:    ev.PerCoreBase.Total(),
+			PerCoreSavings: ev.PerCoreSavings.Total,
+			ClusterSavings: ev.ClusterSavings,
+			DCSavings:      ev.DCSavings,
+		}
+		resp.Workload.Name = params.Name
+		resp.Workload.Seed = params.Seed
+		resp.Workload.VMs = len(tr.VMs)
+		resp.Cluster.BaselineOnly = ev.Mix.BaselineOnly
+		resp.Cluster.BaseServers = ev.Buffered.Mix.NBase
+		resp.Cluster.GreenServers = ev.Buffered.Mix.NGreen
+		resp.Cluster.BufferServers = ev.Buffered.BufferServers
+		return marshalBody(resp)
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeComputed(w, body, cached)
+}
+
+// traceParams resolves a workload spec against the generator defaults
+// and bounds its cost.
+func (s *Server) traceParams(spec workloadSpec) (trace.GenParams, error) {
+	if spec.Name == "" {
+		spec.Name = "gsfd"
+	}
+	p := trace.DefaultParams(spec.Name, spec.Seed)
+	if spec.ArrivalsPerHour < 0 || spec.HorizonHours < 0 {
+		return p, fmt.Errorf("%w: workload rates must be non-negative", errBadRequest)
+	}
+	if spec.ArrivalsPerHour > 0 {
+		p.ArrivalsPerHour = spec.ArrivalsPerHour
+	}
+	if spec.HorizonHours > 0 {
+		p.HorizonHours = spec.HorizonHours
+	}
+	if expected := p.ArrivalsPerHour * p.HorizonHours; expected > float64(s.cfg.MaxTraceVMs) {
+		return p, fmt.Errorf("%w: workload of ~%.0f VMs exceeds the per-request limit of %d",
+			errBadRequest, expected, s.cfg.MaxTraceVMs)
+	}
+	return p, nil
+}
+
+// --- GET /v1/skus and /v1/datasets -----------------------------------
+
+type skuInfo struct {
+	Name            string   `json:"name"`
+	CPU             string   `json:"cpu"`
+	Cores           int      `json:"cores"`
+	LocalDRAM       units.GB `json:"local_dram"`
+	CXLDRAM         units.GB `json:"cxl_dram"`
+	SSDTB           float64  `json:"ssd_tb"`
+	ReusedSSDTB     float64  `json:"reused_ssd_tb"`
+	MemoryCoreRatio float64  `json:"memory_core_ratio"`
+	HasCXL          bool     `json:"has_cxl"`
+}
+
+func (s *Server) handleSKUs(w http.ResponseWriter, r *http.Request) {
+	out := make([]skuInfo, 0, len(s.skuOrder))
+	for _, name := range s.skuOrder {
+		sku := s.skus[name]
+		out = append(out, skuInfo{
+			Name:            sku.Name,
+			CPU:             sku.CPU.Name,
+			Cores:           sku.Cores(),
+			LocalDRAM:       sku.LocalDRAMGB(),
+			CXLDRAM:         sku.CXLDRAMGB(),
+			SSDTB:           sku.TotalSSDTB(),
+			ReusedSSDTB:     sku.ReusedSSDTB(),
+			MemoryCoreRatio: sku.MemoryCoreRatio(),
+			HasCXL:          sku.HasCXL(),
+		})
+	}
+	s.writeJSON(w, map[string]any{"skus": out})
+}
+
+type datasetInfo struct {
+	Name         string                `json:"name"`
+	DefaultCI    units.CarbonIntensity `json:"default_ci"`
+	Lifetime     units.Hours           `json:"lifetime"`
+	DerateFactor float64               `json:"derate_factor"`
+	PUE          float64               `json:"pue"`
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	out := make([]datasetInfo, 0, len(s.datasetOrder))
+	for _, name := range s.datasetOrder {
+		data := s.datasets[name].model.Data()
+		out = append(out, datasetInfo{
+			Name:         data.Name,
+			DefaultCI:    data.DefaultCI,
+			Lifetime:     data.Lifetime,
+			DerateFactor: data.DerateFactor,
+			PUE:          data.PUE,
+		})
+	}
+	s.writeJSON(w, map[string]any{"datasets": out})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	body, err := marshalBody(v)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}

@@ -1,0 +1,284 @@
+// OpenMetrics instrumentation for gsfd, hand-rolled on the standard
+// library. The registry knows three instrument kinds — monotonic
+// counters, histograms, and gauges read at scrape time — and renders
+// them in the OpenMetrics text format:
+//
+//	# TYPE gsfd_http_requests counter
+//	# HELP gsfd_http_requests Completed HTTP requests.
+//	gsfd_http_requests_total{code="200",endpoint="/v1/percore"} 12
+//	...
+//	# EOF
+//
+// Rendering is deterministic: families appear in registration order and
+// label sets are sorted, so scrapes diff cleanly.
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// OpenMetricsContentType is the content type of a /metrics response
+// (OpenMetrics text format 1.0.0).
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// counter is a monotonically increasing integer.
+type counter struct {
+	v atomic.Uint64
+}
+
+func (c *counter) inc()          { c.v.Add(1) }
+func (c *counter) value() uint64 { return c.v.Load() }
+
+// counterVec is a family of counters keyed by label values.
+type counterVec struct {
+	name   string
+	help   string
+	labels []string // label names, in declaration order
+
+	mu   sync.Mutex
+	vals map[string]*counter // joined label values -> counter
+}
+
+func newCounterVec(name, help string, labels ...string) *counterVec {
+	return &counterVec{name: name, help: help, labels: labels, vals: map[string]*counter{}}
+}
+
+// with returns the counter for the given label values (one per label
+// name, in order), creating it on first use.
+func (v *counterVec) with(labelValues ...string) *counter {
+	key := strings.Join(labelValues, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.vals[key]
+	if !ok {
+		c = &counter{}
+		v.vals[key] = c
+	}
+	return c
+}
+
+// defaultBuckets are latency histogram bucket bounds in seconds, spaced
+// for a service whose cheap queries take microseconds and whose full
+// evaluations take seconds.
+var defaultBuckets = []float64{0.0001, 0.001, 0.01, 0.1, 0.5, 1, 5, 30}
+
+// histogram is a cumulative-bucket latency histogram.
+type histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // upper bounds, ascending; +Inf implied
+	counts  []uint64  // non-cumulative per-bucket counts; len(bounds)+1
+	sum     float64
+	samples uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.samples++
+}
+
+// histogramVec is a family of histograms keyed by one label.
+type histogramVec struct {
+	name   string
+	help   string
+	label  string
+	bounds []float64
+
+	mu   sync.Mutex
+	vals map[string]*histogram
+}
+
+func newHistogramVec(name, help, label string, bounds []float64) *histogramVec {
+	return &histogramVec{name: name, help: help, label: label, bounds: bounds, vals: map[string]*histogram{}}
+}
+
+func (v *histogramVec) with(labelValue string) *histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.vals[labelValue]
+	if !ok {
+		h = newHistogram(v.bounds)
+		v.vals[labelValue] = h
+	}
+	return h
+}
+
+// gauge is an instantaneous value sampled at scrape time.
+type gauge struct {
+	name string
+	help string
+	fn   func() float64
+}
+
+// Metrics is gsfd's instrument registry.
+type Metrics struct {
+	// Requests counts completed HTTP requests by endpoint and status
+	// code.
+	Requests *counterVec
+	// Latency tracks request latency in seconds per endpoint.
+	Latency *histogramVec
+	// CacheHits / CacheMisses count result-cache lookups on the
+	// compute endpoints.
+	CacheHits   counter
+	CacheMisses counter
+	// Deduplicated counts requests that piggybacked on an identical
+	// in-flight evaluation instead of enqueueing their own.
+	Deduplicated counter
+	// Shed counts requests rejected with 429 because the queue was
+	// full.
+	Shed counter
+
+	gauges []gauge
+}
+
+// NewMetrics builds the registry. The gauge callbacks sample live
+// server state (queue depth, busy workers) at scrape time.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		Requests: newCounterVec("gsfd_http_requests",
+			"Completed HTTP requests.", "endpoint", "code"),
+		Latency: newHistogramVec("gsfd_http_request_seconds",
+			"HTTP request latency in seconds.", "endpoint", defaultBuckets),
+	}
+}
+
+// RegisterGauge adds a gauge sampled at every scrape.
+func (m *Metrics) RegisterGauge(name, help string, fn func() float64) {
+	m.gauges = append(m.gauges, gauge{name: name, help: help, fn: fn})
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// escapeLabel escapes a label value per the OpenMetrics ABNF.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// WriteOpenMetrics renders every family in the OpenMetrics text format,
+// terminated by the mandatory "# EOF" line.
+func (m *Metrics) WriteOpenMetrics(w io.Writer) error {
+	if err := m.writeCounterVec(w, m.Requests); err != nil {
+		return err
+	}
+	if err := m.writeHistogramVec(w, m.Latency); err != nil {
+		return err
+	}
+	scalars := []struct {
+		name, help string
+		c          *counter
+	}{
+		{"gsfd_cache_hits", "Result-cache hits on compute endpoints.", &m.CacheHits},
+		{"gsfd_cache_misses", "Result-cache misses on compute endpoints.", &m.CacheMisses},
+		{"gsfd_dedup_requests", "Requests coalesced onto an identical in-flight evaluation.", &m.Deduplicated},
+		{"gsfd_shed_requests", "Requests rejected with 429 because the queue was full.", &m.Shed},
+	}
+	for _, s := range scalars {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n# HELP %s %s\n%s_total %d\n",
+			s.name, s.name, s.help, s.name, s.c.value()); err != nil {
+			return err
+		}
+	}
+	for _, g := range m.gauges {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n# HELP %s %s\n%s %s\n",
+			g.name, g.name, g.help, g.name, formatFloat(g.fn())); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func (m *Metrics) writeCounterVec(w io.Writer, v *counterVec) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s counter\n# HELP %s %s\n", v.name, v.name, v.help); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.vals))
+	for k := range v.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lines := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts := strings.Split(k, "\x00")
+		labels := make([]string, len(v.labels))
+		for i, name := range v.labels {
+			labels[i] = fmt.Sprintf("%s=%q", name, escapeLabel(parts[i]))
+		}
+		sort.Strings(labels)
+		lines = append(lines, fmt.Sprintf("%s_total{%s} %d",
+			v.name, strings.Join(labels, ","), v.vals[k].value()))
+	}
+	v.mu.Unlock()
+	for _, line := range lines {
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Metrics) writeHistogramVec(w io.Writer, v *histogramVec) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n# HELP %s %s\n", v.name, v.name, v.help); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.vals))
+	for k := range v.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var lines []string
+	for _, k := range keys {
+		h := v.vals[k]
+		label := fmt.Sprintf("%s=%q", v.label, escapeLabel(k))
+		h.mu.Lock()
+		cum := uint64(0)
+		for i, bound := range h.bounds {
+			cum += h.counts[i]
+			lines = append(lines, fmt.Sprintf("%s_bucket{%s,le=%q} %d",
+				v.name, label, formatFloat(bound), cum))
+		}
+		cum += h.counts[len(h.bounds)]
+		lines = append(lines,
+			fmt.Sprintf("%s_bucket{%s,le=\"+Inf\"} %d", v.name, label, cum),
+			fmt.Sprintf("%s_count{%s} %d", v.name, label, h.samples),
+			fmt.Sprintf("%s_sum{%s} %s", v.name, label, formatFloat(h.sum)))
+		h.mu.Unlock()
+	}
+	v.mu.Unlock()
+	for _, line := range lines {
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handler serves the registry as an OpenMetrics scrape endpoint.
+func (m *Metrics) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var b strings.Builder
+		if err := m.WriteOpenMetrics(&b); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", OpenMetricsContentType)
+		io.WriteString(w, b.String())
+	})
+}

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by pool.submit when the request queue is at
+// capacity; the HTTP layer maps it to 429 with a Retry-After header.
+var ErrQueueFull = errors.New("server: evaluation queue full")
+
+// pool is a bounded worker pool with a fixed-capacity FIFO queue.
+// Submissions never block: when every worker is busy and the queue is
+// full, submit sheds load by returning ErrQueueFull immediately.
+type pool struct {
+	queue   chan func()
+	workers int
+	busy    atomic.Int64
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+func newPool(workers, queueDepth int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	p := &pool{queue: make(chan func(), queueDepth), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.work()
+	}
+	return p
+}
+
+func (p *pool) work() {
+	defer p.wg.Done()
+	for fn := range p.queue {
+		p.busy.Add(1)
+		fn()
+		p.busy.Add(-1)
+	}
+}
+
+// submit enqueues fn without blocking. It fails with ErrQueueFull when
+// the queue is at capacity and with the context error when ctx is
+// already done.
+func (p *pool) submit(ctx context.Context, fn func()) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case p.queue <- fn:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// close stops accepting work and waits for queued work to drain.
+func (p *pool) close() {
+	p.closeOnce.Do(func() { close(p.queue) })
+	p.wg.Wait()
+}
+
+// depth reports the number of queued (not yet running) tasks.
+func (p *pool) depth() int { return len(p.queue) }
+
+// busyWorkers reports the number of workers currently running a task.
+func (p *pool) busyWorkers() int64 { return p.busy.Load() }
+
+// utilization reports busy workers as a fraction of the pool size.
+func (p *pool) utilization() float64 {
+	return float64(p.busy.Load()) / float64(p.workers)
+}
+
+// flightCall is one in-flight computation shared by every request that
+// arrived with the same canonical key while it ran.
+type flightCall struct {
+	done chan struct{} // closed when body/err are set
+	body []byte
+	err  error
+}
+
+// flightGroup deduplicates concurrent identical requests
+// singleflight-style: the first caller for a key becomes the leader and
+// runs the computation; followers wait on the same call.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: map[string]*flightCall{}}
+}
+
+// join returns the in-flight call for key, creating it if absent. The
+// second result is true for the leader, who must complete the call via
+// finish exactly once.
+func (g *flightGroup) join(key string) (*flightCall, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// finish publishes the result to every waiter and retires the key so
+// later requests start fresh (a completed result is served from the
+// cache instead).
+func (g *flightGroup) finish(key string, c *flightCall, body []byte, err error) {
+	c.body, c.err = body, err
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+}
+
+// wait blocks until the call completes or ctx is done.
+func (c *flightCall) wait(ctx context.Context) ([]byte, error) {
+	select {
+	case <-c.done:
+		return c.body, c.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

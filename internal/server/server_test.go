@@ -1,0 +1,534 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/greensku/gsf"
+)
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func post(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+	return w
+}
+
+// smallWorkload is an evaluate body cheap enough for unit tests.
+const smallWorkload = `"workload":{"name":"t","seed":7,"arrivals_per_hour":3,"horizon_hours":48}`
+
+func TestPerCoreEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := post(t, s.Handler(), "/v1/percore", `{"sku":"GreenSKU-Full","ci":0.1}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get("Content-Type"); got != "application/json" {
+		t.Errorf("content type %q", got)
+	}
+	var resp struct {
+		Dataset string `json:"dataset"`
+		SKU     string `json:"sku"`
+		Total   struct {
+			Value float64 `json:"value"`
+			Unit  string  `json:"unit"`
+		} `json:"total_per_core"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Dataset != "open-source" || resp.SKU != "GreenSKU-Full" {
+		t.Errorf("unexpected identity: %+v", resp)
+	}
+	if resp.Total.Unit != "kgCO2e" {
+		t.Errorf("total unit %q, want kgCO2e", resp.Total.Unit)
+	}
+	// Must match the library answer exactly.
+	pc, err := gsf.PerCoreEmissions(gsf.OpenSourceData(), gsf.GreenSKUFull(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := resp.Total.Value, float64(pc.Total()); got != want {
+		t.Errorf("total %v, want %v", got, want)
+	}
+}
+
+func TestSavingsEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := post(t, s.Handler(), "/v1/savings", `{"sku":"GreenSKU-Full"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp savingsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	sv, err := gsf.PerCoreSavings(gsf.OpenSourceData(), gsf.GreenSKUFull(), gsf.BaselineGen3(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total != sv.Total || resp.Baseline != "Baseline" {
+		t.Errorf("got %+v, want total %v vs Baseline", resp, sv.Total)
+	}
+	if resp.Total <= 0 {
+		t.Errorf("GreenSKU-Full should save carbon, got %v", resp.Total)
+	}
+}
+
+func TestEvaluateEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := post(t, s.Handler(), "/v1/evaluate",
+		`{"green":"GreenSKU-Full","baseline":"Baseline",`+smallWorkload+`}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Workload struct {
+			VMs int `json:"vms"`
+		} `json:"workload"`
+		Cluster struct {
+			GreenServers int `json:"green_servers"`
+		} `json:"cluster"`
+		ClusterSavings float64 `json:"cluster_savings"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Workload.VMs == 0 {
+		t.Error("evaluate reported an empty workload")
+	}
+	if resp.Cluster.GreenServers == 0 {
+		t.Error("expected some GreenSKU servers in the mix")
+	}
+	if resp.ClusterSavings <= 0 {
+		t.Errorf("cluster savings %v, want > 0", resp.ClusterSavings)
+	}
+}
+
+func TestCatalogEndpoints(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	w := get(t, s.Handler(), "/v1/skus")
+	if w.Code != http.StatusOK {
+		t.Fatalf("skus status %d", w.Code)
+	}
+	var skus map[string][]skuInfo
+	if err := json.Unmarshal(w.Body.Bytes(), &skus); err != nil {
+		t.Fatal(err)
+	}
+	if len(skus["skus"]) != 7 {
+		t.Errorf("got %d SKUs, want 7", len(skus["skus"]))
+	}
+	names := map[string]bool{}
+	for _, sku := range skus["skus"] {
+		names[sku.Name] = true
+	}
+	for _, want := range []string{"Baseline", "GreenSKU-Full", "Gen1", "Gen2"} {
+		if !names[want] {
+			t.Errorf("SKU catalog missing %q", want)
+		}
+	}
+
+	w = get(t, s.Handler(), "/v1/datasets")
+	if w.Code != http.StatusOK {
+		t.Fatalf("datasets status %d", w.Code)
+	}
+	var ds map[string][]datasetInfo
+	if err := json.Unmarshal(w.Body.Bytes(), &ds); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds["datasets"]) != 3 || ds["datasets"][0].Name != "open-source" {
+		t.Errorf("unexpected dataset catalog: %+v", ds)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := []struct {
+		name, path, body string
+	}{
+		{"malformed JSON", "/v1/percore", `{"sku":`},
+		{"unknown field", "/v1/percore", `{"skew":"Baseline"}`},
+		{"unknown SKU", "/v1/percore", `{"sku":"MegaSKU"}`},
+		{"unknown dataset", "/v1/percore", `{"sku":"Baseline","dataset":"secret"}`},
+		{"negative CI", "/v1/percore", `{"sku":"Baseline","ci":-1}`},
+		{"unknown baseline", "/v1/savings", `{"sku":"Baseline","baseline":"nope"}`},
+		{"unknown green", "/v1/evaluate", `{"green":"nope",` + smallWorkload + `}`},
+		{"oversized workload", "/v1/evaluate", `{"workload":{"arrivals_per_hour":1e6,"horizon_hours":1e6}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := post(t, s.Handler(), tc.path, tc.body)
+			if w.Code != http.StatusBadRequest {
+				t.Errorf("status %d, want 400 (body %s)", w.Code, w.Body)
+			}
+			var e map[string]string
+			if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e["error"] == "" {
+				t.Errorf("error body %q not structured", w.Body)
+			}
+		})
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := get(t, s.Handler(), "/v1/percore")
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET on POST endpoint: status %d, want 405", w.Code)
+	}
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if w := get(t, s.Handler(), "/healthz"); w.Code != http.StatusOK {
+		t.Errorf("healthz %d", w.Code)
+	}
+	if w := get(t, s.Handler(), "/readyz"); w.Code != http.StatusOK {
+		t.Errorf("readyz %d", w.Code)
+	}
+	s.SetReady(false)
+	if w := get(t, s.Handler(), "/readyz"); w.Code != http.StatusServiceUnavailable {
+		t.Errorf("draining readyz %d, want 503", w.Code)
+	}
+	if w := get(t, s.Handler(), "/healthz"); w.Code != http.StatusOK {
+		t.Errorf("healthz during drain %d, want 200", w.Code)
+	}
+}
+
+func TestCacheHitReturnsIdenticalBytes(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := `{"sku":"GreenSKU-CXL","ci":0.25}`
+	first := post(t, s.Handler(), "/v1/percore", body)
+	if first.Code != http.StatusOK {
+		t.Fatalf("first status %d", first.Code)
+	}
+	if got := first.Header().Get("X-Cache"); got != "miss" {
+		t.Errorf("first X-Cache %q, want miss", got)
+	}
+	second := post(t, s.Handler(), "/v1/percore", body)
+	if second.Code != http.StatusOK {
+		t.Fatalf("second status %d", second.Code)
+	}
+	if got := second.Header().Get("X-Cache"); got != "hit" {
+		t.Errorf("second X-Cache %q, want hit", got)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Error("cache hit returned different bytes")
+	}
+	if s.metrics.CacheHits.value() == 0 {
+		t.Error("cache hit counter is zero")
+	}
+	// An explicit CI equal to the dataset default shares the implicit
+	// default's cache entry (canonical key).
+	w := post(t, s.Handler(), "/v1/percore", `{"sku":"Baseline"}`)
+	if w.Code != http.StatusOK {
+		t.Fatal(w.Code)
+	}
+	w = post(t, s.Handler(), "/v1/percore", `{"sku":"Baseline","ci":0.1}`)
+	if got := w.Header().Get("X-Cache"); got != "hit" {
+		t.Errorf("explicit-default CI X-Cache %q, want hit", got)
+	}
+}
+
+func TestQueueFullSheds429(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	s.testHook = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	defer func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+	}()
+
+	codes := make(chan int, 2)
+	do := func(sku string) {
+		w := post(t, s.Handler(), "/v1/percore", fmt.Sprintf(`{"sku":%q}`, sku))
+		codes <- w.Code
+	}
+
+	go do("GreenSKU-Full") // occupies the only worker
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first request never reached a worker")
+	}
+	go do("Baseline") // sits in the queue
+	deadline := time.Now().Add(5 * time.Second)
+	for s.pool.depth() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue full: a third distinct request must be shed.
+	w := post(t, s.Handler(), "/v1/percore", `{"sku":"Gen1"}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (body %s)", w.Code, w.Body)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if s.metrics.Shed.value() == 0 {
+		t.Error("shed counter is zero")
+	}
+
+	// But an identical in-flight request coalesces instead of
+	// shedding. The leader is still blocked, so the duplicate cannot
+	// be served from the cache; it must join the in-flight call.
+	go do("GreenSKU-Full")
+	for s.metrics.Deduplicated.value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("identical request never coalesced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(release)
+	for i := 0; i < 3; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Errorf("held request finished with %d", code)
+		}
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, RequestTimeout: 30 * time.Millisecond})
+	release := make(chan struct{})
+	s.testHook = func() { <-release }
+	defer close(release)
+
+	w := post(t, s.Handler(), "/v1/percore", `{"sku":"Baseline"}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Errorf("status %d, want 503 on deadline", w.Code)
+	}
+}
+
+// --- OpenMetrics validation ------------------------------------------
+
+var (
+	omComment = regexp.MustCompile(`^# (TYPE|HELP|UNIT) [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+	omSample  = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (\S+)$`)
+	omLabels  = regexp.MustCompile(`^\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\}$`)
+)
+
+// parseOpenMetrics validates the scrape body against the OpenMetrics
+// text format and returns every sample as "name{labels}" -> value.
+func parseOpenMetrics(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(body, "\n"), "\n")
+	if len(lines) == 0 || lines[len(lines)-1] != "# EOF" {
+		t.Fatalf("OpenMetrics body must end with # EOF, got %q", lines[len(lines)-1])
+	}
+	types := map[string]string{}
+	samples := map[string]float64{}
+	for _, line := range lines[:len(lines)-1] {
+		if strings.HasPrefix(line, "#") {
+			if !omComment.MatchString(line) {
+				t.Errorf("bad metadata line %q", line)
+			}
+			if fields := strings.Fields(line); fields[1] == "TYPE" {
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		m := omSample.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("bad sample line %q", line)
+			continue
+		}
+		name, labels, value := m[1], m[2], m[3]
+		if labels != "" && !omLabels.MatchString(labels) {
+			t.Errorf("bad label set %q in %q", labels, line)
+		}
+		if value != "+Inf" && value != "-Inf" && value != "NaN" {
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				t.Errorf("unparsable value in %q: %v", line, err)
+			}
+		}
+		family := name
+		for _, suffix := range []string{"_total", "_bucket", "_count", "_sum"} {
+			family = strings.TrimSuffix(family, suffix)
+		}
+		if _, ok := types[family]; !ok {
+			t.Errorf("sample %q has no TYPE metadata for family %q", line, family)
+		}
+		samples[name+labels] += mustFloat(value)
+	}
+	return samples
+}
+
+func mustFloat(s string) float64 {
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+// sumSamples adds every sample whose key matches all substrings.
+func sumSamples(samples map[string]float64, substrings ...string) float64 {
+	var total float64
+outer:
+	for key, v := range samples {
+		for _, sub := range substrings {
+			if !strings.Contains(key, sub) {
+				continue outer
+			}
+		}
+		total += v
+	}
+	return total
+}
+
+func TestMetricsEndpointValidOpenMetrics(t *testing.T) {
+	s := newTestServer(t, Config{})
+	post(t, s.Handler(), "/v1/percore", `{"sku":"Baseline"}`)
+	w := get(t, s.Handler(), "/metrics")
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", w.Code)
+	}
+	if got := w.Header().Get("Content-Type"); got != OpenMetricsContentType {
+		t.Errorf("content type %q", got)
+	}
+	samples := parseOpenMetrics(t, w.Body.String())
+	if sumSamples(samples, "gsfd_http_requests_total") == 0 {
+		t.Error("no request samples after a request")
+	}
+	if sumSamples(samples, "gsfd_http_request_seconds_count") == 0 {
+		t.Error("no latency samples after a request")
+	}
+}
+
+// TestConcurrentClients drives 32 concurrent clients through cached and
+// uncached paths of every endpoint (run under -race), then checks the
+// scrape is valid OpenMetrics with nonzero request and cache-hit
+// counters.
+func TestConcurrentClients(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 4, QueueDepth: 1024})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Prime the shared keys so the concurrent phase sees real cache
+	// hits, not just singleflight coalescing.
+	mustPost := func(path, body string) {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	mustPost("/v1/percore", `{"sku":"GreenSKU-Full"}`)
+	mustPost("/v1/evaluate", `{`+smallWorkload+`}`)
+
+	const clients = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*4)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			requests := []struct {
+				method, path, body string
+			}{
+				// Cached: identical across all clients.
+				{http.MethodPost, "/v1/percore", `{"sku":"GreenSKU-Full"}`},
+				// Uncached: distinct CI per client.
+				{http.MethodPost, "/v1/percore",
+					fmt.Sprintf(`{"sku":"GreenSKU-CXL","ci":%g}`, 0.05+float64(i)*0.01)},
+				{http.MethodPost, "/v1/savings",
+					fmt.Sprintf(`{"sku":"GreenSKU-Efficient","ci":%g}`, 0.05+float64(i%4)*0.1)},
+				// Evaluate: half share the primed key, half split
+				// across two more seeds.
+				{http.MethodPost, "/v1/evaluate", func() string {
+					if i%2 == 0 {
+						return `{` + smallWorkload + `}`
+					}
+					return fmt.Sprintf(`{"workload":{"name":"t","seed":%d,"arrivals_per_hour":3,"horizon_hours":48}}`, 100+i%2)
+				}()},
+				{http.MethodGet, "/v1/skus", ""},
+			}
+			for _, r := range requests {
+				var resp *http.Response
+				var err error
+				if r.method == http.MethodGet {
+					resp, err = http.Get(ts.URL + r.path)
+				} else {
+					resp, err = http.Post(ts.URL+r.path, "application/json", strings.NewReader(r.body))
+				}
+				if err != nil {
+					errs <- err
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					b, _ := io.ReadAll(resp.Body)
+					errs <- fmt.Errorf("%s %s: %d (%s)", r.method, r.path, resp.StatusCode, b)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := parseOpenMetrics(t, string(raw))
+	if n := sumSamples(samples, "gsfd_http_requests_total", `code="200"`); n < clients*4 {
+		t.Errorf("request counter %v, want >= %d", n, clients*4)
+	}
+	if n := sumSamples(samples, "gsfd_cache_hits_total"); n == 0 {
+		t.Error("no cache hits after concurrent identical requests")
+	}
+	if n := sumSamples(samples, "gsfd_http_request_seconds_count"); n == 0 {
+		t.Error("no latency observations")
+	}
+}

@@ -1,0 +1,73 @@
+package units
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// JSON encoding for the typed quantities. Each marshals as an object
+// carrying both the numeric value and its unit symbol, e.g.
+//
+//	{"value":403.2,"unit":"W"}
+//
+// so API responses and structured logs are self-describing instead of
+// bare floats. The value keeps full float64 precision (strconv 'g' with
+// precision -1), unlike the display-oriented String methods which round.
+
+func marshalUnit(v float64, unit string) ([]byte, error) {
+	return []byte(fmt.Sprintf(`{"value":%s,"unit":%q}`,
+		strconv.FormatFloat(v, 'g', -1, 64), unit)), nil
+}
+
+// unmarshalUnit accepts either the {"value":...,"unit":"..."} object
+// form or a bare number, so clients can round-trip API responses and
+// hand-written configs alike.
+func unmarshalUnit(b []byte, dst *float64) error {
+	var obj struct {
+		Value float64 `json:"value"`
+	}
+	if err := json.Unmarshal(b, &obj); err == nil && len(b) > 0 && b[0] == '{' {
+		*dst = obj.Value
+		return nil
+	}
+	return json.Unmarshal(b, dst)
+}
+
+// MarshalJSON encodes the power as {"value":...,"unit":"W"}.
+func (w Watts) MarshalJSON() ([]byte, error) { return marshalUnit(float64(w), "W") }
+
+// MarshalJSON encodes the energy as {"value":...,"unit":"kWh"}.
+func (e KilowattHours) MarshalJSON() ([]byte, error) { return marshalUnit(float64(e), "kWh") }
+
+// MarshalJSON encodes the carbon mass as {"value":...,"unit":"kgCO2e"}.
+func (c KgCO2e) MarshalJSON() ([]byte, error) { return marshalUnit(float64(c), "kgCO2e") }
+
+// MarshalJSON encodes the intensity as {"value":...,"unit":"kgCO2e/kWh"}.
+func (ci CarbonIntensity) MarshalJSON() ([]byte, error) {
+	return marshalUnit(float64(ci), "kgCO2e/kWh")
+}
+
+// MarshalJSON encodes the capacity as {"value":...,"unit":"GB"}.
+func (g GB) MarshalJSON() ([]byte, error) { return marshalUnit(float64(g), "GB") }
+
+// MarshalJSON encodes the duration as {"value":...,"unit":"h"}.
+func (h Hours) MarshalJSON() ([]byte, error) { return marshalUnit(float64(h), "h") }
+
+// UnmarshalJSON accepts the object form or a bare number.
+func (w *Watts) UnmarshalJSON(b []byte) error { return unmarshalUnit(b, (*float64)(w)) }
+
+// UnmarshalJSON accepts the object form or a bare number.
+func (e *KilowattHours) UnmarshalJSON(b []byte) error { return unmarshalUnit(b, (*float64)(e)) }
+
+// UnmarshalJSON accepts the object form or a bare number.
+func (c *KgCO2e) UnmarshalJSON(b []byte) error { return unmarshalUnit(b, (*float64)(c)) }
+
+// UnmarshalJSON accepts the object form or a bare number.
+func (ci *CarbonIntensity) UnmarshalJSON(b []byte) error { return unmarshalUnit(b, (*float64)(ci)) }
+
+// UnmarshalJSON accepts the object form or a bare number.
+func (g *GB) UnmarshalJSON(b []byte) error { return unmarshalUnit(b, (*float64)(g)) }
+
+// UnmarshalJSON accepts the object form or a bare number.
+func (h *Hours) UnmarshalJSON(b []byte) error { return unmarshalUnit(b, (*float64)(h)) }

@@ -1,0 +1,83 @@
+package units
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestMarshalWithUnits(t *testing.T) {
+	cases := []struct {
+		v    any
+		want string
+	}{
+		{Watts(403.2), `{"value":403.2,"unit":"W"}`},
+		{KilowattHours(12), `{"value":12,"unit":"kWh"}`},
+		{KgCO2e(1644), `{"value":1644,"unit":"kgCO2e"}`},
+		{CarbonIntensity(0.1), `{"value":0.1,"unit":"kgCO2e/kWh"}`},
+		{GB(768), `{"value":768,"unit":"GB"}`},
+		{Hours(52560), `{"value":52560,"unit":"h"}`},
+	}
+	for _, tc := range cases {
+		got, err := json.Marshal(tc.v)
+		if err != nil {
+			t.Fatalf("%T: %v", tc.v, err)
+		}
+		if string(got) != tc.want {
+			t.Errorf("%T: got %s, want %s", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestMarshalKeepsFullPrecision(t *testing.T) {
+	v := KgCO2e(31.415926535897932)
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		Value float64 `json:"value"`
+	}
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if KgCO2e(back.Value) != v {
+		t.Errorf("round trip lost precision: %v != %v", back.Value, v)
+	}
+}
+
+func TestUnmarshalObjectAndBareNumber(t *testing.T) {
+	var w Watts
+	if err := json.Unmarshal([]byte(`{"value":350,"unit":"W"}`), &w); err != nil || w != 350 {
+		t.Errorf("object form: %v %v", w, err)
+	}
+	var ci CarbonIntensity
+	if err := json.Unmarshal([]byte(`0.25`), &ci); err != nil || ci != 0.25 {
+		t.Errorf("bare number: %v %v", ci, err)
+	}
+	var g GB
+	if err := json.Unmarshal([]byte(`"not a number"`), &g); err == nil {
+		t.Error("string should not unmarshal into GB")
+	}
+}
+
+func TestMarshalInsideStruct(t *testing.T) {
+	type row struct {
+		Power    Watts  `json:"power"`
+		Embodied KgCO2e `json:"embodied"`
+	}
+	b, err := json.Marshal(row{Power: 403, Embodied: 1644})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"power":{"value":403,"unit":"W"},"embodied":{"value":1644,"unit":"kgCO2e"}}`
+	if string(b) != want {
+		t.Errorf("got %s, want %s", b, want)
+	}
+	var back row
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Power != 403 || back.Embodied != 1644 {
+		t.Errorf("round trip: %+v", back)
+	}
+}
