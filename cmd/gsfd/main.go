@@ -13,6 +13,7 @@
 //	POST /v1/percore    per-core emissions for a SKU at a carbon intensity
 //	POST /v1/savings    per-core savings of a SKU vs a baseline
 //	POST /v1/evaluate   full framework evaluation over a synthetic workload
+//	POST /v1/batch      many percore/savings/evaluate items, one response
 //	GET  /v1/skus       SKU catalog
 //	GET  /v1/datasets   dataset catalog
 //	GET  /metrics       OpenMetrics scrape
@@ -58,6 +59,7 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.cfg.CacheEntries, "cache-entries", 0, "result cache capacity (0 = default 1024)")
 	fs.DurationVar(&o.cfg.CacheTTL, "cache-ttl", 0, "result cache TTL (0 = default 15m)")
 	fs.DurationVar(&o.cfg.RequestTimeout, "timeout", 0, "per-request deadline (0 = default 30s)")
+	fs.IntVar(&o.cfg.MaxBatchItems, "batch-max", 0, "max items per /v1/batch request (0 = default 256)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}

@@ -3,7 +3,9 @@
 //
 //  1. search the SKU design space for the carbon-optimal feasible
 //     design at the region's carbon intensity (§VIII),
-//  2. right-size a mixed cluster for a production-like workload,
+//  2. right-size a mixed cluster for a production-like workload —
+//     evaluating the optimal design and the catalog GreenSKUs in one
+//     fan-out on the evaluation engine,
 //  3. plan the donor harvest that supplies the reused components (§III),
 //  4. size the growth buffer (§IV-D),
 //
@@ -13,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,7 +46,9 @@ func main() {
 	fmt.Printf("[design]  %s: optimal SKU %s (%.1f kgCO2e/core, %.1f%% savings over %d candidates)\n",
 		region, best.SKU.Name, float64(best.PerCore), best.Savings*100, best.Evaluated)
 
-	// 2. Cluster: size a mixed fleet for a two-week workload.
+	// 2. Cluster: size a mixed fleet for a two-week workload. The
+	// optimal design and the catalog GreenSKUs are evaluated in one
+	// engine fan-out; each SKU's performance profile is computed once.
 	m, err := carbon.New(data)
 	if err != nil {
 		log.Fatal(err)
@@ -53,19 +58,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ev, err := fw.Evaluate(core.Input{
-		Green:    best.SKU,
-		Baseline: hw.BaselineGen3(),
-		Workload: workload,
-		CI:       regionCI,
-	})
+	candidates := []hw.SKU{best.SKU, hw.GreenSKUEfficient(), hw.GreenSKUCXL()}
+	evs, err := evaluateFleet(context.Background(), fw, candidates, workload, regionCI)
 	if err != nil {
 		log.Fatal(err)
 	}
+	ev := evs[0] // the optimal design drives the rest of the plan
 	fmt.Printf("[cluster] %d all-baseline servers -> %d baseline + %d green\n",
 		ev.Mix.BaselineOnly, ev.Mix.NBase, ev.Mix.NGreen)
 	fmt.Printf("[cluster] savings %.1f%% cluster-level, %.1f%% datacenter-level\n",
 		ev.ClusterSavings*100, ev.DCSavings*100)
+	for i, sku := range candidates[1:] {
+		alt := evs[i+1]
+		fmt.Printf("[cluster] alternative %-18s would save %.1f%% cluster-level\n",
+			sku.Name, alt.ClusterSavings*100)
+	}
 
 	// 3. Supply: harvest donors for the reused components.
 	demand := harvest.DemandFor(best.SKU)
@@ -96,6 +103,30 @@ func main() {
 	greenIn := cluster.SavingsInput{Class: classOf(best.SKU, true), PerCore: ev.PerCoreGreen}
 	fmt.Printf("[buffer]  %.0f%% buffer (%d baseline servers) keeps stockouts <2%%; buffered savings %.1f%%\n",
 		minBuf*100, buf.BufferServers, policy.Savings(buf, baseIn, greenIn)*100)
+}
+
+// evaluateFleet evaluates every candidate against the same baseline
+// and workload in one engine fan-out, returning evaluations in
+// candidate order.
+func evaluateFleet(ctx context.Context, fw *core.Framework, skus []hw.SKU, workload trace.Trace, ci units.CarbonIntensity) ([]core.Evaluation, error) {
+	inputs := make([]core.Input, len(skus))
+	for i, sku := range skus {
+		inputs[i] = core.Input{
+			Green:    sku,
+			Baseline: hw.BaselineGen3(),
+			Workload: workload,
+			CI:       ci,
+		}
+	}
+	results := fw.EvaluateAll(ctx, inputs)
+	evs := make([]core.Evaluation, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("evaluate %s: %w", skus[i].Name, r.Err)
+		}
+		evs[i] = r.Eval
+	}
+	return evs, nil
 }
 
 func classOf(sku hw.SKU, green bool) alloc.ServerClass {

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/greensku/gsf/internal/carbon"
+	"github.com/greensku/gsf/internal/carbondata"
+	"github.com/greensku/gsf/internal/core"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/trace"
+	"github.com/greensku/gsf/internal/units"
+)
+
+func testWorkload(t *testing.T) trace.Trace {
+	t.Helper()
+	p := trace.DefaultParams("fleetplanner-test", 42)
+	p.ArrivalsPerHour = 3
+	p.HorizonHours = 48
+	tr, err := trace.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestEvaluateFleetMatchesSerial asserts the engine fan-out returns
+// exactly what one-at-a-time Evaluate calls return, regardless of
+// worker count.
+func TestEvaluateFleetMatchesSerial(t *testing.T) {
+	const ci = units.CarbonIntensity(0.095)
+	m, err := carbon.New(carbondata.OpenSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload := testWorkload(t)
+	skus := []hw.SKU{hw.GreenSKUFull(), hw.GreenSKUEfficient(), hw.GreenSKUCXL()}
+
+	parallel := core.New(m)
+	parallel.Workers = 4
+	evs, err := evaluateFleet(context.Background(), parallel, skus, workload, ci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != len(skus) {
+		t.Fatalf("got %d evaluations, want %d", len(evs), len(skus))
+	}
+
+	// Serial reference on a fresh framework (separate profile cache).
+	serial := core.New(m)
+	serial.Workers = 1
+	for i, sku := range skus {
+		want, err := serial.Evaluate(core.Input{
+			Green:    sku,
+			Baseline: hw.BaselineGen3(),
+			Workload: workload,
+			CI:       ci,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(evs[i], want) {
+			t.Errorf("%s: engine evaluation differs from serial Evaluate", sku.Name)
+		}
+	}
+}

@@ -4,18 +4,80 @@
 //
 // High-carbon grids favour GreenSKU-Efficient (operational savings);
 // low-carbon grids favour GreenSKU-Full (embodied savings from reuse).
+// The per-region picks and the crossover table fan out on the
+// evaluation engine, one job per region or intensity, with results in
+// deterministic input order.
 //
 //	go run ./examples/regionplanner
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	gsf "github.com/greensku/gsf"
+	"github.com/greensku/gsf/internal/engine"
 )
 
+type region struct {
+	name string
+	ci   gsf.CarbonIntensity
+}
+
+// regionPick is one region's winning candidate.
+type regionPick struct {
+	Region string
+	CI     gsf.CarbonIntensity
+	Best   gsf.Savings
+}
+
+// pickBest evaluates every candidate in every region, one engine job
+// per region, and returns the winners in region order.
+func pickBest(ctx context.Context, workers int, data gsf.Dataset, baseline gsf.SKU, candidates []gsf.SKU, regions []region) ([]regionPick, error) {
+	return engine.Collect(engine.Map(ctx, workers, len(regions),
+		func(ctx context.Context, i int) (regionPick, error) {
+			var best gsf.Savings
+			for _, sku := range candidates {
+				s, err := gsf.PerCoreSavings(data, sku, baseline, regions[i].ci)
+				if err != nil {
+					return regionPick{}, err
+				}
+				if s.Total > best.Total {
+					best = s
+				}
+			}
+			return regionPick{Region: regions[i].name, CI: regions[i].ci, Best: best}, nil
+		}))
+}
+
+// crossoverRow compares the efficiency-first and reuse-first designs
+// at one carbon intensity.
+type crossoverRow struct {
+	CI        gsf.CarbonIntensity
+	Efficient gsf.Savings
+	Full      gsf.Savings
+}
+
+// crossover computes the Efficient-vs-Full comparison for every
+// intensity, one engine job per point.
+func crossover(ctx context.Context, workers int, data gsf.Dataset, baseline gsf.SKU, cis []gsf.CarbonIntensity) ([]crossoverRow, error) {
+	return engine.Collect(engine.Map(ctx, workers, len(cis),
+		func(ctx context.Context, i int) (crossoverRow, error) {
+			eff, err := gsf.PerCoreSavings(data, gsf.GreenSKUEfficient(), baseline, cis[i])
+			if err != nil {
+				return crossoverRow{}, err
+			}
+			full, err := gsf.PerCoreSavings(data, gsf.GreenSKUFull(), baseline, cis[i])
+			if err != nil {
+				return crossoverRow{}, err
+			}
+			return crossoverRow{CI: cis[i], Efficient: eff, Full: full}, nil
+		}))
+}
+
 func main() {
+	ctx := context.Background()
 	data := gsf.PaperCalibratedData()
 	baseline := gsf.BaselineGen3()
 	candidates := []gsf.SKU{
@@ -23,49 +85,38 @@ func main() {
 		gsf.GreenSKUCXL(),
 		gsf.GreenSKUFull(),
 	}
-	regions := []struct {
-		name string
-		ci   gsf.CarbonIntensity
-	}{
+	regions := []region{
 		{"Azure-us-south (hydro-heavy)", 0.035},
 		{"Azure-us-east", 0.095},
 		{"Azure-europe-north", 0.35},
 		{"coal-heavy grid", 0.7},
 	}
 
+	picks, err := pickBest(ctx, 0, data, baseline, candidates, regions)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("Best GreenSKU per region (per-core savings vs Gen3 baseline):")
-	for _, region := range regions {
-		var best gsf.Savings
-		for _, sku := range candidates {
-			s, err := gsf.PerCoreSavings(data, sku, baseline, region.ci)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if s.Total > best.Total {
-				best = s
-			}
-		}
+	for _, p := range picks {
 		fmt.Printf("  %-30s CI %.3f -> %-20s %.1f%% total (%.1f%% op, %.1f%% emb)\n",
-			region.name, float64(region.ci), best.SKU,
-			best.Total*100, best.Operational*100, best.Embodied*100)
+			p.Region, float64(p.CI), p.Best.SKU,
+			p.Best.Total*100, p.Best.Operational*100, p.Best.Embodied*100)
 	}
 
 	// Show the crossover explicitly.
+	rows, err := crossover(ctx, 0, data, baseline,
+		[]gsf.CarbonIntensity{0.01, 0.05, 0.1, 0.2, 0.35, 0.5, 0.7})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nSavings vs carbon intensity (per-core, paper-calibrated data):")
 	fmt.Printf("  %8s %20s %20s\n", "CI", "GreenSKU-Efficient", "GreenSKU-Full")
-	for _, ci := range []gsf.CarbonIntensity{0.01, 0.05, 0.1, 0.2, 0.35, 0.5, 0.7} {
-		eff, err := gsf.PerCoreSavings(data, gsf.GreenSKUEfficient(), baseline, ci)
-		if err != nil {
-			log.Fatal(err)
-		}
-		full, err := gsf.PerCoreSavings(data, gsf.GreenSKUFull(), baseline, ci)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, row := range rows {
 		marker := ""
-		if full.Total > eff.Total {
+		if row.Full.Total > row.Efficient.Total {
 			marker = "  <- reuse wins"
 		}
-		fmt.Printf("  %8.3f %19.1f%% %19.1f%%%s\n", float64(ci), eff.Total*100, full.Total*100, marker)
+		fmt.Printf("  %8.3f %19.1f%% %19.1f%%%s\n",
+			float64(row.CI), row.Efficient.Total*100, row.Full.Total*100, marker)
 	}
 }

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	gsf "github.com/greensku/gsf"
+)
+
+var testRegions = []region{
+	{"hydro", 0.035},
+	{"mixed", 0.095},
+	{"coal", 0.7},
+}
+
+var testCIs = []gsf.CarbonIntensity{0.01, 0.1, 0.35, 0.7}
+
+// TestEngineMatchesSerial asserts the planner's engine fan-out
+// produces exactly what the pre-engine serial loops produced.
+func TestEngineMatchesSerial(t *testing.T) {
+	ctx := context.Background()
+	data := gsf.PaperCalibratedData()
+	baseline := gsf.BaselineGen3()
+	candidates := []gsf.SKU{gsf.GreenSKUEfficient(), gsf.GreenSKUCXL(), gsf.GreenSKUFull()}
+
+	picks, err := pickBest(ctx, 4, data, baseline, candidates, testRegions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial reference: the loop the example ran before the engine.
+	for i, r := range testRegions {
+		var want gsf.Savings
+		for _, sku := range candidates {
+			s, err := gsf.PerCoreSavings(data, sku, baseline, r.ci)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Total > want.Total {
+				want = s
+			}
+		}
+		if !reflect.DeepEqual(picks[i].Best, want) {
+			t.Errorf("region %s: engine pick %+v, serial pick %+v", r.name, picks[i].Best, want)
+		}
+	}
+
+	rows, err := crossover(ctx, 4, data, baseline, testCIs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ci := range testCIs {
+		eff, err := gsf.PerCoreSavings(data, gsf.GreenSKUEfficient(), baseline, ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := gsf.PerCoreSavings(data, gsf.GreenSKUFull(), baseline, ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := crossoverRow{CI: ci, Efficient: eff, Full: full}
+		if !reflect.DeepEqual(rows[i], want) {
+			t.Errorf("ci %v: engine row %+v, serial row %+v", ci, rows[i], want)
+		}
+	}
+}
+
+// TestWorkerCountInvariance asserts one worker and many workers give
+// identical results.
+func TestWorkerCountInvariance(t *testing.T) {
+	ctx := context.Background()
+	data := gsf.PaperCalibratedData()
+	baseline := gsf.BaselineGen3()
+	candidates := []gsf.SKU{gsf.GreenSKUEfficient(), gsf.GreenSKUFull()}
+
+	serialPicks, err := pickBest(ctx, 1, data, baseline, candidates, testRegions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelPicks, err := pickBest(ctx, 8, data, baseline, candidates, testRegions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serialPicks, parallelPicks) {
+		t.Error("picks differ between 1 and 8 workers")
+	}
+
+	serialRows, err := crossover(ctx, 1, data, baseline, testCIs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelRows, err := crossover(ctx, 8, data, baseline, testCIs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serialRows, parallelRows) {
+		t.Error("crossover rows differ between 1 and 8 workers")
+	}
+}

@@ -190,9 +190,15 @@ func (m *Model) Savings(sku, baseline SKU, ci CarbonIntensity) (Savings, error) 
 }
 
 // Framework builds a GSF instance over this model with the paper's
-// default component settings. Frameworks from the same Model share the
-// underlying carbon model.
-func (m *Model) Framework() *Framework { return core.New(m.m) }
+// default component settings, then applies the options in order.
+// Frameworks from the same Model share the underlying carbon model.
+func (m *Model) Framework(opts ...Option) *Framework {
+	fw := core.New(m.m)
+	for _, opt := range opts {
+		opt(fw)
+	}
+	return fw
+}
 
 // PerCoreEmissions evaluates a SKU's rack-amortised lifetime emissions
 // per core under a dataset at the given carbon intensity (zero uses the

@@ -13,6 +13,7 @@ package alloc
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 
@@ -153,6 +154,12 @@ type Result struct {
 
 // Simulate replays the trace against the configured cluster.
 func Simulate(tr trace.Trace, cfg Config, decide Decider) (Result, error) {
+	return SimulateContext(context.Background(), tr, cfg, decide)
+}
+
+// SimulateContext is Simulate with cancellation: the arrival loop polls
+// ctx every 1024 VMs and returns the context error once observed.
+func SimulateContext(ctx context.Context, tr trace.Trace, cfg Config, decide Decider) (Result, error) {
 	if err := tr.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -193,7 +200,12 @@ func Simulate(tr trace.Trace, cfg Config, decide Decider) (Result, error) {
 		}
 	}
 
-	for _, vm := range tr.VMs {
+	for i, vm := range tr.VMs {
+		if i&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		// Take snapshots and release departed VMs up to this arrival.
 		for nextSnap <= vm.Arrive {
 			release(nextSnap)

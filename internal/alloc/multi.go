@@ -8,6 +8,7 @@ package alloc
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"github.com/greensku/gsf/internal/trace"
@@ -55,6 +56,12 @@ type MultiResult struct {
 // pools in order (scaled per the directive) and fall back to the
 // baseline.
 func SimulateMulti(tr trace.Trace, mc MultiConfig, decide MultiDecider) (MultiResult, error) {
+	return SimulateMultiContext(context.Background(), tr, mc, decide)
+}
+
+// SimulateMultiContext is SimulateMulti with cancellation, polled every
+// 1024 VMs like SimulateContext.
+func SimulateMultiContext(ctx context.Context, tr trace.Trace, mc MultiConfig, decide MultiDecider) (MultiResult, error) {
 	if err := tr.Validate(); err != nil {
 		return MultiResult{}, err
 	}
@@ -115,7 +122,12 @@ func SimulateMulti(tr trace.Trace, mc MultiConfig, decide MultiDecider) (MultiRe
 		res.Snapshots++
 	}
 
-	for _, vm := range tr.VMs {
+	for i, vm := range tr.VMs {
+		if i&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return MultiResult{}, err
+			}
+		}
 		for nextSnap <= vm.Arrive {
 			release(nextSnap)
 			observe()

@@ -6,6 +6,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -43,11 +44,11 @@ func (s *Sizer) maxServers(tr trace.Trace) int {
 	return 3*n + 8
 }
 
-func (s *Sizer) hosts(tr trace.Trace, nBase, nGreen int) (bool, error) {
+func (s *Sizer) hosts(ctx context.Context, tr trace.Trace, nBase, nGreen int) (bool, error) {
 	if nBase+nGreen == 0 {
 		return len(tr.VMs) == 0, nil
 	}
-	res, err := alloc.Simulate(tr, alloc.Config{
+	res, err := alloc.SimulateContext(ctx, tr, alloc.Config{
 		Base: s.Base, NBase: nBase,
 		Green: s.Green, NGreen: nGreen,
 		Policy: s.Policy, PreferNonEmpty: true,
@@ -86,11 +87,16 @@ func searchMin(hi int, ok func(int) (bool, error)) (int, error) {
 // RightSizeBaseline returns the minimum number of baseline servers that
 // host the trace with no rejections (the paper's first sizing step).
 func (s *Sizer) RightSizeBaseline(tr trace.Trace) (int, error) {
+	return s.RightSizeBaselineContext(context.Background(), tr)
+}
+
+// RightSizeBaselineContext is RightSizeBaseline with cancellation.
+func (s *Sizer) RightSizeBaselineContext(ctx context.Context, tr trace.Trace) (int, error) {
 	if err := tr.Validate(); err != nil {
 		return 0, err
 	}
 	return searchMin(s.maxServers(tr), func(n int) (bool, error) {
-		return s.hosts(tr, n, 0)
+		return s.hosts(ctx, tr, n, 0)
 	})
 }
 
@@ -106,8 +112,13 @@ type Mix struct {
 // servers that must remain (hosting non-adopting and full-node VMs) and
 // then the fewest GreenSKUs that, together with them, host everything.
 func (s *Sizer) MixedSize(tr trace.Trace) (Mix, error) {
+	return s.MixedSizeContext(context.Background(), tr)
+}
+
+// MixedSizeContext is MixedSize with cancellation.
+func (s *Sizer) MixedSizeContext(ctx context.Context, tr trace.Trace) (Mix, error) {
 	var m Mix
-	n0, err := s.RightSizeBaseline(tr)
+	n0, err := s.RightSizeBaselineContext(ctx, tr)
 	if err != nil {
 		return m, err
 	}
@@ -119,13 +130,13 @@ func (s *Sizer) MixedSize(tr trace.Trace) (Mix, error) {
 	// Plenty of green capacity while minimising baseline count.
 	greenCap := s.maxServers(tr)
 	m.NBase, err = searchMin(n0, func(n int) (bool, error) {
-		return s.hosts(tr, n, greenCap)
+		return s.hosts(ctx, tr, n, greenCap)
 	})
 	if err != nil {
 		return m, err
 	}
 	m.NGreen, err = searchMin(greenCap, func(n int) (bool, error) {
-		return s.hosts(tr, m.NBase, n)
+		return s.hosts(ctx, tr, m.NBase, n)
 	})
 	if err != nil {
 		return m, err
@@ -171,14 +182,19 @@ type PackingComparison struct {
 // ComparePacking right-sizes both cluster shapes for the trace and
 // returns their packing measurements.
 func (s *Sizer) ComparePacking(tr trace.Trace) (PackingComparison, error) {
+	return s.ComparePackingContext(context.Background(), tr)
+}
+
+// ComparePackingContext is ComparePacking with cancellation.
+func (s *Sizer) ComparePackingContext(ctx context.Context, tr trace.Trace) (PackingComparison, error) {
 	var pc PackingComparison
 	pc.Trace = tr.Name
-	m, err := s.MixedSize(tr)
+	m, err := s.MixedSizeContext(ctx, tr)
 	if err != nil {
 		return pc, err
 	}
 	pc.Mix = m
-	baseRes, err := alloc.Simulate(tr, alloc.Config{
+	baseRes, err := alloc.SimulateContext(ctx, tr, alloc.Config{
 		Base: s.Base, NBase: m.BaselineOnly,
 		Policy: s.Policy, PreferNonEmpty: true,
 	}, alloc.AdoptNone)
@@ -186,7 +202,7 @@ func (s *Sizer) ComparePacking(tr trace.Trace) (PackingComparison, error) {
 		return pc, err
 	}
 	pc.Baseline = baseRes.Base
-	mixRes, err := alloc.Simulate(tr, alloc.Config{
+	mixRes, err := alloc.SimulateContext(ctx, tr, alloc.Config{
 		Base: s.Base, NBase: m.NBase,
 		Green: s.Green, NGreen: m.NGreen,
 		Policy: s.Policy, PreferNonEmpty: true,

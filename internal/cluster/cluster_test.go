@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -40,12 +41,12 @@ func TestRightSizeBaselineHosts(t *testing.T) {
 		t.Fatal("right-sized cluster is empty")
 	}
 	// n hosts the trace; n-1 must not (minimality).
-	ok, err := s.hosts(tr, n, 0)
+	ok, err := s.hosts(context.Background(), tr, n, 0)
 	if err != nil || !ok {
 		t.Fatalf("right-sized cluster rejects VMs: %v", err)
 	}
 	if n > 1 {
-		ok, err = s.hosts(tr, n-1, 0)
+		ok, err = s.hosts(context.Background(), tr, n-1, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -79,7 +80,7 @@ func TestMixedSizeReplacesBaselines(t *testing.T) {
 		t.Fatal("full-node VMs require baseline servers")
 	}
 	// Verify the mix actually hosts the trace.
-	ok, err := s.hosts(tr, m.NBase, m.NGreen)
+	ok, err := s.hosts(context.Background(), tr, m.NBase, m.NGreen)
 	if err != nil || !ok {
 		t.Fatalf("mixed cluster rejects VMs: %v", err)
 	}

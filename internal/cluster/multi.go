@@ -6,6 +6,7 @@ package cluster
 // operational complexity — is the carbon worth it?).
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/greensku/gsf/internal/alloc"
@@ -37,7 +38,7 @@ func (s *MultiSizer) maxServers(tr trace.Trace) int {
 	return single.maxServers(tr)
 }
 
-func (s *MultiSizer) hosts(tr trace.Trace, nBase int, nGreens []int) (bool, error) {
+func (s *MultiSizer) hosts(ctx context.Context, tr trace.Trace, nBase int, nGreens []int) (bool, error) {
 	total := nBase
 	pools := make([]alloc.Pool, len(s.Greens))
 	for i, g := range s.Greens {
@@ -47,7 +48,7 @@ func (s *MultiSizer) hosts(tr trace.Trace, nBase int, nGreens []int) (bool, erro
 	if total == 0 {
 		return len(tr.VMs) == 0, nil
 	}
-	res, err := alloc.SimulateMulti(tr, alloc.MultiConfig{
+	res, err := alloc.SimulateMultiContext(ctx, tr, alloc.MultiConfig{
 		Base:           alloc.Pool{Class: s.Base, N: nBase},
 		Greens:         pools,
 		Policy:         s.Policy,
@@ -65,6 +66,11 @@ func (s *MultiSizer) hosts(tr trace.Trace, nBase int, nGreens []int) (bool, erro
 // the preference order the decider uses, so earlier pools absorb the
 // workload they are preferred for.
 func (s *MultiSizer) Size(tr trace.Trace) (MultiMix, error) {
+	return s.SizeContext(context.Background(), tr)
+}
+
+// SizeContext is Size with cancellation.
+func (s *MultiSizer) SizeContext(ctx context.Context, tr trace.Trace) (MultiMix, error) {
 	var m MultiMix
 	if len(s.Greens) == 0 {
 		return m, fmt.Errorf("cluster: MultiSizer needs at least one green class")
@@ -73,7 +79,7 @@ func (s *MultiSizer) Size(tr trace.Trace) (MultiMix, error) {
 		return m, err
 	}
 	single := &Sizer{Base: s.Base, Policy: s.Policy, Decide: alloc.AdoptNone, MaxServers: s.MaxServers}
-	n0, err := single.RightSizeBaseline(tr)
+	n0, err := single.RightSizeBaselineContext(ctx, tr)
 	if err != nil {
 		return m, err
 	}
@@ -85,7 +91,7 @@ func (s *MultiSizer) Size(tr trace.Trace) (MultiMix, error) {
 	}
 
 	m.NBase, err = searchMin(n0, func(n int) (bool, error) {
-		return s.hosts(tr, n, abundant)
+		return s.hosts(ctx, tr, n, abundant)
 	})
 	if err != nil {
 		return m, err
@@ -99,14 +105,14 @@ func (s *MultiSizer) Size(tr trace.Trace) (MultiMix, error) {
 			trial := make([]int, len(m.NGreens))
 			copy(trial, m.NGreens)
 			trial[idx] = n
-			return s.hosts(tr, m.NBase, trial)
+			return s.hosts(ctx, tr, m.NBase, trial)
 		})
 		if err != nil {
 			return m, err
 		}
 	}
 	// The sequential minimisation can strand capacity: verify.
-	ok, err := s.hosts(tr, m.NBase, m.NGreens)
+	ok, err := s.hosts(ctx, tr, m.NBase, m.NGreens)
 	if err != nil {
 		return m, err
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 
 	"github.com/greensku/gsf/internal/alloc"
@@ -37,7 +38,7 @@ func TestMultiSizeTwoGreens(t *testing.T) {
 	if m.NBase >= m.BaselineOnly {
 		t.Fatalf("mixed cluster keeps %d baselines, want fewer than %d", m.NBase, m.BaselineOnly)
 	}
-	ok, err := s.hosts(tr, m.NBase, m.NGreens)
+	ok, err := s.hosts(context.Background(), tr, m.NBase, m.NGreens)
 	if err != nil || !ok {
 		t.Fatalf("sized multi cluster rejects VMs: %v", err)
 	}

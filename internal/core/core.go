@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/greensku/gsf/internal/adoption"
@@ -22,6 +23,7 @@ import (
 	"github.com/greensku/gsf/internal/buffer"
 	"github.com/greensku/gsf/internal/carbon"
 	"github.com/greensku/gsf/internal/cluster"
+	"github.com/greensku/gsf/internal/engine"
 	"github.com/greensku/gsf/internal/fleet"
 	"github.com/greensku/gsf/internal/hw"
 	"github.com/greensku/gsf/internal/maintenance"
@@ -29,6 +31,10 @@ import (
 	"github.com/greensku/gsf/internal/trace"
 	"github.com/greensku/gsf/internal/units"
 )
+
+// DefaultProfileCacheEntries is the profile cache capacity New
+// configures: enough for every SKU in the catalog plus sweep variants.
+const DefaultProfileCacheEntries = 64
 
 // Framework bundles the component implementations. The zero value is
 // not usable; construct with New.
@@ -40,20 +46,63 @@ type Framework struct {
 	Buffer buffer.Params
 	Policy alloc.Policy
 	Fleet  fleet.Params
+	// Workers bounds the evaluation engine's parallelism for sweeps and
+	// batches; <= 0 means GOMAXPROCS.
+	Workers int
+
+	// profiles memoizes TableIII scaling-factor matrices keyed by
+	// perf.ProfileKey, so a sweep profiles each SKU once. Nil disables
+	// memoization (every evaluation profiles from scratch).
+	profiles *engine.Cache[map[string]map[int]perf.Factor]
 }
 
 // New assembles a framework over a carbon model with the paper's
 // default component settings.
 func New(m *carbon.Model) *Framework {
 	return &Framework{
-		Carbon: m,
-		Perf:   perf.DefaultOptions(),
-		AFRs:   maintenance.DefaultAFRs(),
-		FIP:    maintenance.FIP{Effectiveness: 0.75},
-		Buffer: buffer.DefaultParams(),
-		Policy: alloc.BestFit,
-		Fleet:  fleet.Default(),
+		Carbon:   m,
+		Perf:     perf.DefaultOptions(),
+		AFRs:     maintenance.DefaultAFRs(),
+		FIP:      maintenance.FIP{Effectiveness: 0.75},
+		Buffer:   buffer.DefaultParams(),
+		Policy:   alloc.BestFit,
+		Fleet:    fleet.Default(),
+		profiles: engine.NewCache[map[string]map[int]perf.Factor](DefaultProfileCacheEntries),
 	}
+}
+
+// SetProfileCacheSize resizes the profile memoization cache; n <= 0
+// disables memoization. The cache is replaced, dropping prior entries.
+func (f *Framework) SetProfileCacheSize(n int) {
+	if n <= 0 {
+		f.profiles = nil
+		return
+	}
+	f.profiles = engine.NewCache[map[string]map[int]perf.Factor](n)
+}
+
+// ProfileCacheStats reports cumulative profile-cache hits and misses;
+// zeros when memoization is disabled.
+func (f *Framework) ProfileCacheStats() (hits, misses int64) {
+	if f.profiles == nil {
+		return 0, 0
+	}
+	return f.profiles.Stats()
+}
+
+// profileFor returns the TableIII factor matrix for the green SKU,
+// memoized on (SKU fingerprint, measurement options, app set).
+//
+// The cached matrix is shared across evaluations without copying:
+// nothing in the pipeline mutates it (adoption.Build and Evaluate treat
+// factors as read-only).
+func (f *Framework) profileFor(ctx context.Context, green hw.SKU) (map[string]map[int]perf.Factor, error) {
+	if f.profiles == nil {
+		return perf.TableIIIContext(ctx, green, f.Perf)
+	}
+	return f.profiles.Do(perf.ProfileKey(green, f.Perf), func() (map[string]map[int]perf.Factor, error) {
+		return perf.TableIIIContext(ctx, green, f.Perf)
+	})
 }
 
 // Input is one GreenSKU evaluation request: the design, the baseline
@@ -103,6 +152,13 @@ type Evaluation struct {
 
 // Evaluate runs the full GSF pipeline for one design.
 func (f *Framework) Evaluate(in Input) (Evaluation, error) {
+	return f.EvaluateContext(context.Background(), in)
+}
+
+// EvaluateContext runs the full GSF pipeline for one design, honouring
+// cancellation and deadlines down into the allocation and queueing
+// simulators' inner loops.
+func (f *Framework) EvaluateContext(ctx context.Context, in Input) (Evaluation, error) {
 	var ev Evaluation
 	if f.Carbon == nil {
 		return ev, fmt.Errorf("%w: no carbon model", ErrNotConfigured)
@@ -115,11 +171,12 @@ func (f *Framework) Evaluate(in Input) (Evaluation, error) {
 		ci = f.Carbon.Data.DefaultCI
 	}
 
-	// Performance component: scaling factors per baseline generation.
+	// Performance component: scaling factors per baseline generation,
+	// memoized so sweeps profile each SKU once.
 	var err error
 	ev.Factors = in.Factors
 	if ev.Factors == nil {
-		ev.Factors, err = perf.TableIII(in.Green, f.Perf)
+		ev.Factors, err = f.profileFor(ctx, in.Green)
 		if err != nil {
 			return ev, err
 		}
@@ -175,7 +232,7 @@ func (f *Framework) Evaluate(in Input) (Evaluation, error) {
 		Policy: f.Policy,
 		Decide: ev.Adoption.Decider(),
 	}
-	ev.Mix, err = sizer.MixedSize(in.Workload)
+	ev.Mix, err = sizer.MixedSizeContext(ctx, in.Workload)
 	if err != nil {
 		return ev, err
 	}
@@ -211,20 +268,49 @@ func classOf(sku hw.SKU, green bool) alloc.ServerClass {
 // SweepCI evaluates the design across carbon intensities, reusing the
 // CI-independent scaling factors (Fig. 11/12).
 func (f *Framework) SweepCI(in Input, cis []units.CarbonIntensity) ([]Evaluation, error) {
-	factors, err := perf.TableIII(in.Green, f.Perf)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Evaluation, 0, len(cis))
-	for _, ci := range cis {
-		run := in
-		run.CI = ci
-		run.Factors = factors
-		ev, err := f.Evaluate(run)
+	return f.SweepContext(context.Background(), in, cis)
+}
+
+// SweepContext evaluates the design across carbon intensities on the
+// evaluation engine: the CI-independent scaling factors are profiled
+// once, then the per-CI evaluations fan across f.Workers workers with
+// results in cis order — identical to the serial path, since each
+// evaluation is a pure function of its input.
+func (f *Framework) SweepContext(ctx context.Context, in Input, cis []units.CarbonIntensity) ([]Evaluation, error) {
+	factors := in.Factors
+	if factors == nil {
+		var err error
+		factors, err = f.profileFor(ctx, in.Green)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, ev)
 	}
-	return out, nil
+	results := engine.Map(ctx, f.Workers, len(cis), func(ctx context.Context, i int) (Evaluation, error) {
+		run := in
+		run.CI = cis[i]
+		run.Factors = factors
+		return f.EvaluateContext(ctx, run)
+	})
+	return engine.Collect(results)
+}
+
+// JobResult is one outcome of an EvaluateAll batch.
+type JobResult struct {
+	Eval Evaluation
+	Err  error
+}
+
+// EvaluateAll fans independent evaluation jobs across the engine and
+// returns per-job outcomes slotted by input index: job i's result is
+// always at index i, and one job's failure (or panic) does not disturb
+// the others.
+func (f *Framework) EvaluateAll(ctx context.Context, inputs []Input) []JobResult {
+	results := engine.Map(ctx, f.Workers, len(inputs), func(ctx context.Context, i int) (Evaluation, error) {
+		return f.EvaluateContext(ctx, inputs[i])
+	})
+	out := make([]JobResult, len(results))
+	for i, r := range results {
+		out[i] = JobResult{Eval: r.Value, Err: r.Err}
+	}
+	return out
 }

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/greensku/gsf/internal/carbon"
+	"github.com/greensku/gsf/internal/carbondata"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/trace"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// sweepTraces generates n small, seeded, mutually distinct traces —
+// the determinism fixtures. Small horizons keep the full 2×35
+// evaluation matrix fast enough for -race runs.
+func sweepTraces(tb testing.TB, n int) []trace.Trace {
+	tb.Helper()
+	out := make([]trace.Trace, n)
+	for i := range out {
+		p := trace.DefaultParams(fmt.Sprintf("sweep-%02d", i), 1000+uint64(i)*7919)
+		p.HorizonHours = 48
+		p.ArrivalsPerHour = 3
+		tr, err := trace.Generate(p)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out[i] = tr
+	}
+	return out
+}
+
+func sweepInputs(tb testing.TB, n int) []Input {
+	tb.Helper()
+	traces := sweepTraces(tb, n)
+	inputs := make([]Input, n)
+	for i, tr := range traces {
+		inputs[i] = Input{
+			Green:    hw.GreenSKUFull(),
+			Baseline: hw.BaselineGen3(),
+			Workload: tr,
+		}
+	}
+	return inputs
+}
+
+// TestParallelMatchesSerial35Traces is the engine's core guarantee: a
+// parallel evaluation over the 35 seeded traces is byte-identical to
+// the serial path, because every evaluation is a pure function of its
+// input and results are slotted by job index.
+func TestParallelMatchesSerial35Traces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("35-trace determinism matrix is not short")
+	}
+	inputs := sweepInputs(t, 35)
+
+	serial := framework(t, "open-source")
+	serial.Workers = 1
+	want := serial.EvaluateAll(context.Background(), inputs)
+
+	parallel := framework(t, "open-source")
+	parallel.Workers = runtime.GOMAXPROCS(0)
+	got := parallel.EvaluateAll(context.Background(), inputs)
+
+	for i := range want {
+		if want[i].Err != nil || got[i].Err != nil {
+			t.Fatalf("job %d: errors (serial %v, parallel %v)", i, want[i].Err, got[i].Err)
+		}
+		if !reflect.DeepEqual(want[i].Eval, got[i].Eval) {
+			t.Fatalf("job %d (%s): parallel evaluation differs from serial",
+				i, inputs[i].Workload.Name)
+		}
+	}
+
+	// The memoization layer must have profiled the SKU exactly once.
+	hits, misses := parallel.ProfileCacheStats()
+	if misses != 1 {
+		t.Errorf("profile cache misses = %d, want 1 (one SKU, one profiling run)", misses)
+	}
+	if hits != int64(len(inputs)-1) {
+		t.Errorf("profile cache hits = %d, want %d", hits, len(inputs)-1)
+	}
+}
+
+func TestSweepContextMatchesSweepCI(t *testing.T) {
+	cis := []units.CarbonIntensity{0.02, 0.05, 0.1, 0.2, 0.4, 0.7}
+	in := Input{
+		Green:    hw.GreenSKUEfficient(),
+		Baseline: hw.BaselineGen3(),
+		Workload: sweepTraces(t, 1)[0],
+	}
+
+	serial := framework(t, "paper-calibrated")
+	serial.Workers = 1
+	want, err := serial.SweepCI(in, cis)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parallel := framework(t, "paper-calibrated")
+	parallel.Workers = runtime.GOMAXPROCS(0)
+	got, err := parallel.SweepContext(context.Background(), in, cis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("parallel SweepContext differs from serial SweepCI")
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	f := framework(t, "open-source")
+	f.SetProfileCacheSize(0) // force profiling inside the cancelled ctx
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := f.SweepContext(ctx, Input{
+		Green:    hw.GreenSKUFull(),
+		Baseline: hw.BaselineGen3(),
+		Workload: sweepTraces(t, 1)[0],
+	}, []units.CarbonIntensity{0.02, 0.1, 0.4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled sweep took %v to return, want prompt exit", elapsed)
+	}
+}
+
+func TestEvaluateAllIsolatesFailures(t *testing.T) {
+	good := Input{
+		Green:    hw.GreenSKUEfficient(),
+		Baseline: hw.BaselineGen3(),
+		Workload: sweepTraces(t, 1)[0],
+	}
+	bad := good
+	bad.Workload = trace.Trace{} // fails validation
+	f := framework(t, "open-source")
+	results := f.EvaluateAll(context.Background(), []Input{good, bad, good})
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("good jobs failed: %v, %v", results[0].Err, results[2].Err)
+	}
+	if !errors.Is(results[1].Err, ErrBadInput) {
+		t.Fatalf("bad job error = %v, want ErrBadInput", results[1].Err)
+	}
+	if !reflect.DeepEqual(results[0].Eval, results[2].Eval) {
+		t.Fatal("identical inputs produced different evaluations")
+	}
+}
+
+// BenchmarkSweep35 measures the 35-trace evaluation matrix at 1 worker
+// versus GOMAXPROCS — the perf-trajectory number published by CI. The
+// SKU profile is pre-warmed so the benchmark isolates the fan-out.
+func BenchmarkSweep35(b *testing.B) {
+	m, err := carbon.New(carbondata.Datasets()["open-source"])
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := sweepInputs(b, 35)
+	counts := []int{1}
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		if w > counts[len(counts)-1] {
+			counts = append(counts, w)
+		}
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			f := New(m)
+			f.Workers = workers
+			if _, err := f.EvaluateContext(context.Background(), inputs[0]); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results := f.EvaluateAll(context.Background(), inputs)
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,115 @@
+// Package engine is GSF's shared parallel evaluation engine: a bounded
+// worker pool that fans independent (SKU design x trace x carbon
+// intensity) jobs across CPUs with deterministic result ordering, plus
+// a memoization cache for repeated profiling work.
+//
+// The engine exists because every heavy path in the repository — the
+// 35-trace packing study, the Fig. 11/12 carbon-intensity sweeps, the
+// gsfd batch endpoint — is embarrassingly parallel over deterministic
+// jobs. Map gives all of them the same guarantees:
+//
+//   - results are slotted by job index, independent of completion
+//     order, so a parallel run is byte-identical to a serial one;
+//   - a panicking job becomes that job's error (*PanicError), never a
+//     crashed sweep;
+//   - context cancellation stops dispatch immediately and marks every
+//     unfinished job with the context error.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Result is the outcome of one job: a value or an error, never both.
+type Result[T any] struct {
+	Value T
+	Err   error
+}
+
+// PanicError wraps a panic recovered from a job so one bad input
+// cannot take down a whole sweep.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: job %d panicked: %v", e.Index, e.Value)
+}
+
+// Workers resolves a configured worker count: values <= 0 select
+// GOMAXPROCS, the default parallelism of the engine.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(ctx, i) for i in [0, n) across a bounded worker pool and
+// returns the results slotted by job index. workers <= 0 uses
+// GOMAXPROCS; the pool never exceeds n goroutines. Map always returns
+// a full n-length slice: jobs that never ran because ctx was cancelled
+// carry the context error in their slot.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) []Result[T] {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	results := make([]Result[T], n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					results[i] = Result[T]{Err: err}
+					continue
+				}
+				results[i] = runJob(ctx, i, fn)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// runJob executes one job with panic isolation.
+func runJob[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (res Result[T]) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result[T]{Err: &PanicError{Index: i, Value: r, Stack: debug.Stack()}}
+		}
+	}()
+	v, err := fn(ctx, i)
+	return Result[T]{Value: v, Err: err}
+}
+
+// Collect unwraps a result slice into plain values, failing with the
+// lowest-indexed error — the same error a serial loop would have
+// stopped on, which keeps parallel and serial error behaviour aligned.
+func Collect[T any](results []Result[T]) ([]T, error) {
+	out := make([]T, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("engine: job %d: %w", i, r.Err)
+		}
+		out[i] = r.Value
+	}
+	return out, nil
+}

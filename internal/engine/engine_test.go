@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapDeterministicOrdering(t *testing.T) {
+	const n = 100
+	results := Map(context.Background(), 8, n, func(_ context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: unexpected error %v", i, r.Err)
+		}
+		if r.Value != i*i {
+			t.Fatalf("job %d: got %d, want %d (results not slotted by index)", i, r.Value, i*i)
+		}
+	}
+}
+
+func TestMapWorkerBound(t *testing.T) {
+	var cur, peak atomic.Int64
+	const workers = 3
+	Map(context.Background(), workers, 64, func(_ context.Context, i int) (int, error) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return 0, nil
+	})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent jobs, want <= %d", p, workers)
+	}
+}
+
+func TestMapPanicIsolation(t *testing.T) {
+	results := Map(context.Background(), 4, 10, func(_ context.Context, i int) (int, error) {
+		if i == 3 {
+			panic("boom")
+		}
+		return i, nil
+	})
+	for i, r := range results {
+		if i == 3 {
+			var pe *PanicError
+			if !errors.As(r.Err, &pe) {
+				t.Fatalf("job 3: got %v, want *PanicError", r.Err)
+			}
+			if pe.Index != 3 || pe.Value != "boom" || len(pe.Stack) == 0 {
+				t.Fatalf("PanicError = %+v, want index 3 / boom / non-empty stack", pe)
+			}
+			continue
+		}
+		if r.Err != nil || r.Value != i {
+			t.Fatalf("job %d: got (%d, %v), want (%d, nil)", i, r.Value, r.Err, i)
+		}
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	results := Map(ctx, 2, 50, func(ctx context.Context, i int) (int, error) {
+		once.Do(func() { close(started); cancel() })
+		<-ctx.Done()
+		return 0, ctx.Err()
+	})
+	<-started
+	var cancelled int
+	for _, r := range results {
+		if errors.Is(r.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled != 50 {
+		t.Fatalf("%d of 50 jobs report context.Canceled, want all", cancelled)
+	}
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	if got := Map(context.Background(), 4, 0, func(context.Context, int) (int, error) { return 0, nil }); got != nil {
+		t.Fatalf("Map with n=0 = %v, want nil", got)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	vals, err := Collect([]Result[int]{{Value: 1}, {Value: 2}})
+	if err != nil || len(vals) != 2 || vals[0] != 1 || vals[1] != 2 {
+		t.Fatalf("Collect = (%v, %v)", vals, err)
+	}
+	sentinel := errors.New("nope")
+	_, err = Collect([]Result[int]{{Value: 1}, {Err: errors.New("late")}, {Err: sentinel}})
+	if err == nil || !errors.Is(err, errors.Unwrap(err)) {
+		t.Fatalf("Collect error = %v", err)
+	}
+	if want := "engine: job 1: late"; err.Error() != want {
+		t.Fatalf("Collect error = %q, want lowest-indexed %q", err, want)
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache[int](8)
+	var calls atomic.Int64
+	const goroutines = 16
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			v, err := c.Do("k", func() (int, error) {
+				calls.Add(1)
+				time.Sleep(5 * time.Millisecond)
+				return 42, nil
+			})
+			if v != 42 || err != nil {
+				t.Errorf("Do = (%d, %v), want (42, nil)", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times for one key, want 1", n)
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != goroutines-1 {
+		t.Fatalf("stats = (%d hits, %d misses), want (%d, 1)", hits, misses, goroutines-1)
+	}
+}
+
+func TestCacheErrorNotRetained(t *testing.T) {
+	c := NewCache[int](8)
+	var calls atomic.Int64
+	fail := errors.New("transient")
+	_, err := c.Do("k", func() (int, error) { calls.Add(1); return 0, fail })
+	if !errors.Is(err, fail) {
+		t.Fatalf("first Do error = %v, want %v", err, fail)
+	}
+	v, err := c.Do("k", func() (int, error) { calls.Add(1); return 7, nil })
+	if v != 7 || err != nil {
+		t.Fatalf("retry Do = (%d, %v), want (7, nil)", v, err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("fn ran %d times, want 2 (error must not be cached)", n)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache[int](2)
+	var calls atomic.Int64
+	get := func(k string) {
+		t.Helper()
+		if _, err := c.Do(k, func() (int, error) { calls.Add(1); return 0, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("a")
+	get("b")
+	get("a") // refresh a; b is now LRU
+	get("c") // evicts b
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	before := calls.Load()
+	get("a")
+	get("c")
+	if calls.Load() != before {
+		t.Fatalf("a or c recomputed after eviction round, want both retained")
+	}
+	get("b")
+	if calls.Load() != before+1 {
+		t.Fatalf("b not recomputed, want it evicted")
+	}
+}
+
+func TestCacheZeroCapacity(t *testing.T) {
+	c := NewCache[int](0)
+	var calls atomic.Int64
+	for i := 0; i < 3; i++ {
+		if v, err := c.Do("k", func() (int, error) { calls.Add(1); return 5, nil }); v != 5 || err != nil {
+			t.Fatalf("Do = (%d, %v)", v, err)
+		}
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("fn ran %d times with capacity 0, want 3 (nothing retained)", n)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", c.Len())
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("Workers must resolve non-positive values to >= 1")
+	}
+	if Workers(7) != 7 {
+		t.Fatal("Workers must pass through positive values")
+	}
+}
+
+func ExampleMap() {
+	results := Map(context.Background(), 4, 3, func(_ context.Context, i int) (string, error) {
+		return fmt.Sprintf("job-%d", i), nil
+	})
+	vals, _ := Collect(results)
+	fmt.Println(vals)
+	// Output: [job-0 job-1 job-2]
+}

@@ -7,6 +7,7 @@ package experiments
 // this reproduction.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -25,6 +26,12 @@ var ArtifactFiles = []string{
 // WriteArtifacts regenerates the artifact's output files into dir and
 // returns the paths written. quick trims the carbon-intensity sweep.
 func WriteArtifacts(dir string, quick bool) ([]string, error) {
+	return WriteArtifactsContext(context.Background(), dir, quick)
+}
+
+// WriteArtifactsContext is WriteArtifacts with cancellation; the
+// underlying carbon-intensity sweep runs on the evaluation engine.
+func WriteArtifactsContext(ctx context.Context, dir string, quick bool) ([]string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -63,7 +70,7 @@ func WriteArtifacts(dir string, quick bool) ([]string, error) {
 	if quick {
 		opt.CIs = opt.CIs[:4]
 	}
-	sweep, err := CISweep(opt)
+	sweep, err := CISweepContext(ctx, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -11,6 +12,7 @@ import (
 	"github.com/greensku/gsf/internal/carbondata"
 	"github.com/greensku/gsf/internal/cluster"
 	"github.com/greensku/gsf/internal/core"
+	"github.com/greensku/gsf/internal/engine"
 	"github.com/greensku/gsf/internal/fleet"
 	"github.com/greensku/gsf/internal/hw"
 	"github.com/greensku/gsf/internal/perf"
@@ -105,6 +107,13 @@ type PackingResult struct {
 
 // Packing runs the packing study.
 func Packing(opt PackingOptions) (PackingResult, error) {
+	return PackingContext(context.Background(), opt)
+}
+
+// PackingContext runs the packing study on the evaluation engine: the
+// per-trace comparisons are independent, so they fan across GOMAXPROCS
+// workers with results in suite order — identical to the serial loop.
+func PackingContext(ctx context.Context, opt PackingOptions) (PackingResult, error) {
 	var out PackingResult
 	suite, err := trace.ProductionSuite()
 	if err != nil {
@@ -113,16 +122,19 @@ func Packing(opt PackingOptions) (PackingResult, error) {
 	if opt.Traces > 0 && opt.Traces < len(suite) {
 		suite = suite[:opt.Traces]
 	}
-	sizer, err := NewSizer(opt.Dataset, opt.Green)
+	sizer, err := NewSizerContext(ctx, opt.Dataset, opt.Green)
+	if err != nil {
+		return out, err
+	}
+	pcs, err := engine.Collect(engine.Map(ctx, 0, len(suite),
+		func(ctx context.Context, i int) (cluster.PackingComparison, error) {
+			return sizer.ComparePackingContext(ctx, suite[i])
+		}))
 	if err != nil {
 		return out, err
 	}
 	var localFit, observed float64
-	for _, tr := range suite {
-		pc, err := sizer.ComparePacking(tr)
-		if err != nil {
-			return out, err
-		}
+	for _, pc := range pcs {
 		out.PerTrace = append(out.PerTrace, pc)
 		out.BaseCore = append(out.BaseCore, pc.Baseline.CorePacking)
 		out.BaseMem = append(out.BaseMem, pc.Baseline.MemPacking)
@@ -145,6 +157,11 @@ func Packing(opt PackingOptions) (PackingResult, error) {
 // carbon model per-core emissions, and the adoption component the
 // per-VM directives.
 func NewSizer(dataset string, green hw.SKU) (*cluster.Sizer, error) {
+	return NewSizerContext(context.Background(), dataset, green)
+}
+
+// NewSizerContext is NewSizer with cancellation of the profiling runs.
+func NewSizerContext(ctx context.Context, dataset string, green hw.SKU) (*cluster.Sizer, error) {
 	d, ok := carbondata.Datasets()[dataset]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown dataset %q", dataset)
@@ -153,7 +170,7 @@ func NewSizer(dataset string, green hw.SKU) (*cluster.Sizer, error) {
 	if err != nil {
 		return nil, err
 	}
-	factors, err := perf.TableIII(green, perf.DefaultOptions())
+	factors, err := perf.TableIIIContext(ctx, green, perf.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -276,6 +293,14 @@ type CISweepResult struct {
 // CISweep evaluates the three GreenSKUs across carbon intensities on a
 // synthetic production trace.
 func CISweep(opt CISweepOptions) (CISweepResult, error) {
+	return CISweepContext(context.Background(), opt)
+}
+
+// CISweepContext runs the sweep on the evaluation engine: the three
+// GreenSKU designs fan out in parallel, and each design's per-CI
+// evaluations fan again inside Framework.SweepContext, sharing one
+// profile cache so each SKU is profiled exactly once.
+func CISweepContext(ctx context.Context, opt CISweepOptions) (CISweepResult, error) {
 	var out CISweepResult
 	d, ok := carbondata.Datasets()[opt.Dataset]
 	if !ok {
@@ -294,20 +319,28 @@ func CISweep(opt CISweepOptions) (CISweepResult, error) {
 	}
 	out.CIs = opt.CIs
 	out.Savings = map[string][]float64{}
-	for _, green := range []hw.SKU{hw.GreenSKUEfficient(), hw.GreenSKUCXL(), hw.GreenSKUFull()} {
-		evs, err := fw.SweepCI(core.Input{
-			Green:    green,
-			Baseline: hw.BaselineGen3(),
-			Workload: tr,
-		}, opt.CIs)
-		if err != nil {
-			return out, err
-		}
-		vals := make([]float64, len(evs))
-		for i, ev := range evs {
-			vals[i] = ev.ClusterSavings
-		}
-		out.Savings[green.Name] = vals
+	greens := []hw.SKU{hw.GreenSKUEfficient(), hw.GreenSKUCXL(), hw.GreenSKUFull()}
+	perGreen, err := engine.Collect(engine.Map(ctx, 0, len(greens),
+		func(ctx context.Context, i int) ([]float64, error) {
+			evs, err := fw.SweepContext(ctx, core.Input{
+				Green:    greens[i],
+				Baseline: hw.BaselineGen3(),
+				Workload: tr,
+			}, opt.CIs)
+			if err != nil {
+				return nil, err
+			}
+			vals := make([]float64, len(evs))
+			for j, ev := range evs {
+				vals[j] = ev.ClusterSavings
+			}
+			return vals, nil
+		}))
+	if err != nil {
+		return out, err
+	}
+	for i, green := range greens {
+		out.Savings[green.Name] = perGreen[i]
 	}
 	out.Regions = carbondata.RegionCI
 
@@ -387,6 +420,12 @@ type Sec7Result struct {
 // Sec7 computes what each alternative strategy must deliver to match
 // GreenSKU-Full's savings.
 func Sec7() (Sec7Result, error) {
+	return Sec7Context(context.Background())
+}
+
+// Sec7Context is Sec7 with cancellation; the per-SKU TCO evaluations
+// run on the evaluation engine.
+func Sec7Context(ctx context.Context) (Sec7Result, error) {
 	var out Sec7Result
 	var err error
 	// Datacenter-wide GreenSKU-Full savings of ~8% at Azure's
@@ -409,14 +448,22 @@ func Sec7() (Sec7Result, error) {
 	if err != nil {
 		return out, err
 	}
+	skus := hw.TableIVConfigs()
+	totals, err := engine.Collect(engine.Map(ctx, 0, len(skus),
+		func(_ context.Context, i int) (float64, error) {
+			pc, err := m.PerCore(skus[i], m.Data.DefaultCI)
+			if err != nil {
+				return 0, err
+			}
+			return float64(pc.Total()), nil
+		}))
+	if err != nil {
+		return out, err
+	}
 	costOpt := 0.0
-	for _, sku := range hw.TableIVConfigs() {
-		pc, err := m.PerCore(sku, m.Data.DefaultCI)
-		if err != nil {
-			return out, err
-		}
-		if costOpt == 0 || float64(pc.Total()) < costOpt {
-			costOpt = float64(pc.Total())
+	for _, total := range totals {
+		if costOpt == 0 || total < costOpt {
+			costOpt = total
 		}
 	}
 	full, err := m.PerCore(hw.GreenSKUFull(), m.Data.DefaultCI)

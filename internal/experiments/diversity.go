@@ -9,6 +9,7 @@ package experiments
 // SKU that adopts it, and compares the savings.
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -17,6 +18,7 @@ import (
 	"github.com/greensku/gsf/internal/carbon"
 	"github.com/greensku/gsf/internal/carbondata"
 	"github.com/greensku/gsf/internal/cluster"
+	"github.com/greensku/gsf/internal/engine"
 	"github.com/greensku/gsf/internal/hw"
 	"github.com/greensku/gsf/internal/perf"
 	"github.com/greensku/gsf/internal/report"
@@ -36,6 +38,13 @@ type DiversityResult struct {
 // Diversity runs the study on a production-like trace under the open
 // dataset.
 func Diversity() (DiversityResult, error) {
+	return DiversityContext(context.Background())
+}
+
+// DiversityContext runs the study on the evaluation engine: the two
+// GreenSKUs' performance profiles are computed in parallel, and the
+// sizing searches honour cancellation.
+func DiversityContext(ctx context.Context) (DiversityResult, error) {
 	var out DiversityResult
 	d := carbondata.OpenSource()
 	m, err := carbon.New(d)
@@ -54,21 +63,21 @@ func Diversity() (DiversityResult, error) {
 		}
 		basePC[gen] = pc
 	}
-	tables := make([]adoption.Table, 2)
 	greens := []hw.SKU{full, eff} // ordered by per-core carbon: Full is greener
-	for i, green := range greens {
-		factors, err := perf.TableIII(green, perf.DefaultOptions())
-		if err != nil {
-			return out, err
-		}
-		greenPC, err := m.PerCore(green, d.DefaultCI)
-		if err != nil {
-			return out, err
-		}
-		tables[i], err = adoption.Build(factors, greenPC, basePC)
-		if err != nil {
-			return out, err
-		}
+	tables, err := engine.Collect(engine.Map(ctx, 0, len(greens),
+		func(ctx context.Context, i int) (adoption.Table, error) {
+			factors, err := perf.TableIIIContext(ctx, greens[i], perf.DefaultOptions())
+			if err != nil {
+				return adoption.Table{}, err
+			}
+			greenPC, err := m.PerCore(greens[i], d.DefaultCI)
+			if err != nil {
+				return adoption.Table{}, err
+			}
+			return adoption.Build(factors, greenPC, basePC)
+		}))
+	if err != nil {
+		return out, err
 	}
 
 	p := trace.DefaultParams("diversity", 20240408)
@@ -86,7 +95,7 @@ func Diversity() (DiversityResult, error) {
 
 	// (a) single-SKU cluster: GreenSKU-Full only.
 	single := &cluster.Sizer{Base: baseClass, Green: greenClasses[0], Policy: alloc.BestFit, Decide: tables[0].Decider()}
-	out.SingleMix, err = single.MixedSize(tr)
+	out.SingleMix, err = single.MixedSizeContext(ctx, tr)
 	if err != nil {
 		return out, err
 	}
@@ -104,7 +113,7 @@ func Diversity() (DiversityResult, error) {
 		return alloc.MultiDecision{Scales: scales}
 	}
 	multi := &cluster.MultiSizer{Base: baseClass, Greens: greenClasses, Policy: alloc.BestFit, Decide: multiDecide}
-	out.MultiMix, err = multi.Size(tr)
+	out.MultiMix, err = multi.SizeContext(ctx, tr)
 	if err != nil {
 		return out, err
 	}

@@ -16,6 +16,7 @@
 package perf
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -141,12 +142,17 @@ func DefaultOptions() Options {
 // the p95 latency at LoadFraction of the baseline's peak throughput,
 // plus the offered load it was measured at.
 func SLO(a apps.App, baseline hw.SKU, opt Options) (p95 float64, load float64, err error) {
+	return SLOContext(context.Background(), a, baseline, opt)
+}
+
+// SLOContext is SLO with cancellation.
+func SLOContext(ctx context.Context, a apps.App, baseline hw.SKU, opt Options) (p95 float64, load float64, err error) {
 	if !a.LatencyCritical {
 		return 0, 0, fmt.Errorf("perf: %s is not latency-critical; use ThroughputSlowdown", a.Name)
 	}
 	s := queueing.LogNormal{MeanSeconds: ServiceTime(a, ProfileOf(baseline, false)), CV: a.CV}
 	load = opt.LoadFraction * queueing.Capacity(opt.BaselineCores, s)
-	res, err := queueing.Run(queueing.Config{
+	res, err := queueing.RunContext(ctx, queueing.Config{
 		Servers:     opt.BaselineCores,
 		ArrivalRate: load,
 		Service:     s,
@@ -163,6 +169,11 @@ func SLO(a apps.App, baseline hw.SKU, opt Options) (p95 float64, load float64, e
 // smallest GreenSKU VM size in opt.CoreSteps whose p95 at the
 // baseline's SLO load stays within the SLO.
 func ScalingFactor(a apps.App, green, baseline hw.SKU, cxlBacked bool, opt Options) (Factor, error) {
+	return ScalingFactorContext(context.Background(), a, green, baseline, cxlBacked, opt)
+}
+
+// ScalingFactorContext is ScalingFactor with cancellation.
+func ScalingFactorContext(ctx context.Context, a apps.App, green, baseline hw.SKU, cxlBacked bool, opt Options) (Factor, error) {
 	f := Factor{App: a.Name, Baseline: baseline.Name}
 	if !a.LatencyCritical {
 		// Throughput apps scale linearly with cores: bin the
@@ -170,7 +181,7 @@ func ScalingFactor(a apps.App, green, baseline hw.SKU, cxlBacked bool, opt Optio
 		slow := Slowdown(a, ProfileOf(green, cxlBacked), ProfileOf(baseline, false))
 		return binSlowdown(f, slow, opt), nil
 	}
-	slo, load, err := SLO(a, baseline, opt)
+	slo, load, err := SLOContext(ctx, a, baseline, opt)
 	if err != nil {
 		return Factor{}, err
 	}
@@ -186,7 +197,7 @@ func ScalingFactor(a apps.App, green, baseline hw.SKU, cxlBacked bool, opt Optio
 		}
 		// Latency criterion: the simulated p95 at the SLO load must
 		// not blow past the knee.
-		res, err := queueing.Run(queueing.Config{
+		res, err := queueing.RunContext(ctx, queueing.Config{
 			Servers:     cores,
 			ArrivalRate: load,
 			Service:     s,
@@ -225,11 +236,16 @@ func binSlowdown(f Factor, slow float64, opt Options) Factor {
 // TableIII computes the full scaling-factor matrix: every app against
 // every baseline generation (Gen1, Gen2, Gen3), as in Table III.
 func TableIII(green hw.SKU, opt Options) (map[string]map[int]Factor, error) {
+	return TableIIIContext(context.Background(), green, opt)
+}
+
+// TableIIIContext is TableIII with cancellation.
+func TableIIIContext(ctx context.Context, green hw.SKU, opt Options) (map[string]map[int]Factor, error) {
 	out := map[string]map[int]Factor{}
 	for _, a := range apps.All() {
 		out[a.Name] = map[int]Factor{}
 		for gen := 1; gen <= 3; gen++ {
-			f, err := ScalingFactor(a, green, hw.BaselineForGeneration(gen), false, opt)
+			f, err := ScalingFactorContext(ctx, a, green, hw.BaselineForGeneration(gen), false, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -237,6 +253,19 @@ func TableIII(green hw.SKU, opt Options) (map[string]map[int]Factor, error) {
 		}
 	}
 	return out, nil
+}
+
+// ProfileKey fingerprints a TableIII computation: the green SKU's full
+// hardware description, the measurement options, and the app set. Two
+// identical keys are guaranteed to produce identical factor matrices
+// (the simulators are seeded), which is what makes profiling safe to
+// memoize across a sweep.
+func ProfileKey(green hw.SKU, opt Options) string {
+	names := make([]string, 0, len(apps.All()))
+	for _, a := range apps.All() {
+		names = append(names, a.Name)
+	}
+	return fmt.Sprintf("%#v|%#v|%v", green, opt, names)
 }
 
 // ThroughputSlowdown returns the normalised completion-time ratio of a

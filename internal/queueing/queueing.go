@@ -12,6 +12,7 @@ package queueing
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 
@@ -95,6 +96,13 @@ func (h *serverHeap) Pop() interface{} {
 // FCFS dispatch to the earliest-free server is exact for G/G/k: each
 // arrival waits until the server that frees first is idle.
 func Run(cfg Config) (Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: the event loop polls ctx every
+// 4096 requests — cheap enough to be invisible in profiles — and
+// returns the context error once observed.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.Servers <= 0 {
 		return Result{}, fmt.Errorf("queueing: servers must be positive, got %d", cfg.Servers)
 	}
@@ -120,6 +128,11 @@ func Run(cfg Config) (Result, error) {
 	now := 0.0
 	meanIA := 1 / cfg.ArrivalRate
 	for i := 0; i < total; i++ {
+		if i&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		now += r.Exp(meanIA)
 		s := cfg.Service.Sample(r)
 		freeAt := free[0]

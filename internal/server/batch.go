@@ -1,0 +1,154 @@
+package server
+
+// POST /v1/batch: many evaluation requests in one round trip. Each
+// item names the single-request endpoint it targets ("percore",
+// "savings", "evaluate") and carries that endpoint's fields. Items
+// run on the evaluation engine bounded by the server's worker count,
+// share the result cache and singleflight with the single endpoints
+// (a batch item and a single request for the same computation hit the
+// same cache entry), and fail independently: the response carries one
+// in-band result per item, in request order, with the same status
+// mapping the single endpoints use.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"github.com/greensku/gsf/internal/engine"
+)
+
+// batchHeader is the response header carrying the item count;
+// instrument buckets it into the "batch" metric label.
+const batchHeader = "X-Batch-Size"
+
+type batchRequest struct {
+	Items []batchItem `json:"items"`
+}
+
+// batchItem is the union of the three single-endpoint request shapes
+// plus a kind discriminator. Fields irrelevant to the kind are
+// ignored, mirroring how the single endpoints treat their own
+// requests.
+type batchItem struct {
+	// Kind selects the computation: "percore", "savings", or
+	// "evaluate".
+	Kind string `json:"kind"`
+
+	Dataset  string  `json:"dataset"`
+	SKU      string  `json:"sku"`
+	Green    string  `json:"green"`
+	Baseline string  `json:"baseline"`
+	CI       float64 `json:"ci"`
+
+	CXLBacked bool         `json:"cxl_backed"`
+	Workload  workloadSpec `json:"workload"`
+}
+
+// batchResult is one item's in-band outcome: either OK holds the
+// exact body the single endpoint would have returned, or Error/Status
+// hold the message and HTTP status the single endpoint would have
+// answered with.
+type batchResult struct {
+	OK     json.RawMessage `json:"ok,omitempty"`
+	Cached bool            `json:"cached,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Status int             `json:"status,omitempty"`
+}
+
+type batchResponse struct {
+	Results []batchResult `json:"results"`
+}
+
+// itemJob dispatches a batch item to the shared job builder for its
+// kind.
+func (s *Server) itemJob(it batchItem) (string, func() ([]byte, error), error) {
+	switch it.Kind {
+	case "percore":
+		return s.perCoreJob(perCoreRequest{Dataset: it.Dataset, SKU: it.SKU, CI: it.CI})
+	case "savings":
+		return s.savingsJob(savingsRequest{Dataset: it.Dataset, SKU: it.SKU, Baseline: it.Baseline, CI: it.CI})
+	case "evaluate":
+		return s.evaluateJob(evaluateRequest{
+			Dataset: it.Dataset, Green: it.Green, Baseline: it.Baseline,
+			CI: it.CI, CXLBacked: it.CXLBacked, Workload: it.Workload,
+		})
+	default:
+		return "", nil, fmt.Errorf("%w: item kind %q (want percore, savings, or evaluate)", errBadRequest, it.Kind)
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	n := len(req.Items)
+	if n == 0 {
+		s.writeError(w, fmt.Errorf("%w: batch needs at least one item", errBadRequest))
+		return
+	}
+	if n > s.cfg.MaxBatchItems {
+		s.writeError(w, fmt.Errorf("%w: batch of %d items exceeds the limit of %d",
+			errBadRequest, n, s.cfg.MaxBatchItems))
+		return
+	}
+	s.metrics.BatchItems.add(uint64(n))
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	results := engine.Map(ctx, s.cfg.Workers, n,
+		func(ctx context.Context, i int) (batchResult, error) {
+			key, fn, err := s.itemJob(req.Items[i])
+			if err != nil {
+				return batchResult{Error: err.Error(), Status: httpStatus(err)}, nil
+			}
+			body, cached, err := s.compute(ctx, key, fn)
+			if err != nil {
+				return batchResult{Error: err.Error(), Status: httpStatus(err)}, nil
+			}
+			// Single-endpoint bodies end in a newline; strip it so the
+			// embedded JSON value stays clean.
+			return batchResult{OK: json.RawMessage(bytes.TrimSuffix(body, []byte("\n"))), Cached: cached}, nil
+		})
+
+	out := batchResponse{Results: make([]batchResult, n)}
+	for i, res := range results {
+		if res.Err != nil {
+			// Cancellation before dispatch or a panic in the item; fold
+			// it in-band like any other per-item failure.
+			out.Results[i] = batchResult{Error: res.Err.Error(), Status: httpStatus(res.Err)}
+			continue
+		}
+		out.Results[i] = res.Value
+	}
+	w.Header().Set(batchHeader, strconv.Itoa(n))
+	s.writeJSON(w, out)
+}
+
+// batchBucket folds an item count into a low-cardinality label value
+// for the requests counter: "" (not a batch), "1", "2-8", "9-64",
+// "65+".
+func batchBucket(header string) string {
+	if header == "" {
+		return ""
+	}
+	n, err := strconv.Atoi(header)
+	if err != nil {
+		return ""
+	}
+	switch {
+	case n <= 1:
+		return "1"
+	case n <= 8:
+		return "2-8"
+	case n <= 64:
+		return "9-64"
+	default:
+		return "65+"
+	}
+}

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// decodeBatch parses a /v1/batch response body.
+func decodeBatch(t *testing.T, body []byte) []batchResult {
+	t.Helper()
+	var resp batchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("batch response: %v: %s", err, body)
+	}
+	return resp.Results
+}
+
+func TestBatchMixedKinds(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := `{"items":[
+		{"kind":"percore","sku":"GreenSKU-Full","ci":0.1},
+		{"kind":"savings","sku":"GreenSKU-CXL"},
+		{"kind":"evaluate","green":"GreenSKU-Full",` + smallWorkload + `}
+	]}`
+	w := post(t, s.Handler(), "/v1/batch", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get("X-Batch-Size"); got != "3" {
+		t.Errorf("X-Batch-Size = %q, want 3", got)
+	}
+	results := decodeBatch(t, w.Body.Bytes())
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for i, res := range results {
+		if res.Error != "" || len(res.OK) == 0 {
+			t.Fatalf("item %d: error %q, ok %q", i, res.Error, res.OK)
+		}
+	}
+
+	// Each embedded body must be byte-identical to what the single
+	// endpoint returns (modulo the trailing newline the single
+	// endpoints append).
+	singles := []struct{ path, body string }{
+		{"/v1/percore", `{"sku":"GreenSKU-Full","ci":0.1}`},
+		{"/v1/savings", `{"sku":"GreenSKU-CXL"}`},
+		{"/v1/evaluate", `{"green":"GreenSKU-Full",` + smallWorkload + `}`},
+	}
+	for i, single := range singles {
+		sw := post(t, s.Handler(), single.path, single.body)
+		if sw.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", single.path, sw.Code, sw.Body)
+		}
+		want := string(json.RawMessage(sw.Body.String()[:sw.Body.Len()-1]))
+		if string(results[i].OK) != want {
+			t.Errorf("item %d differs from %s:\n  batch:  %s\n  single: %s",
+				i, single.path, results[i].OK, want)
+		}
+	}
+}
+
+func TestBatchInBandErrors(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := `{"items":[
+		{"kind":"percore","sku":"GreenSKU-Full"},
+		{"kind":"percore","sku":"no-such-sku"},
+		{"kind":"teleport"}
+	]}`
+	w := post(t, s.Handler(), "/v1/batch", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	results := decodeBatch(t, w.Body.Bytes())
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	if results[0].Error != "" || len(results[0].OK) == 0 {
+		t.Errorf("good item failed: %+v", results[0])
+	}
+	for i := 1; i < 3; i++ {
+		if len(results[i].OK) != 0 {
+			t.Errorf("item %d: unexpected ok body %s", i, results[i].OK)
+		}
+		if results[i].Status != http.StatusBadRequest {
+			t.Errorf("item %d: status %d, want 400", i, results[i].Status)
+		}
+		if results[i].Error == "" {
+			t.Errorf("item %d: missing error message", i)
+		}
+	}
+}
+
+func TestBatchSharesCacheWithSingleEndpoints(t *testing.T) {
+	s := newTestServer(t, Config{})
+	single := `{"sku":"GreenSKU-Full","ci":0.1}`
+	if w := post(t, s.Handler(), "/v1/percore", single); w.Code != http.StatusOK {
+		t.Fatalf("single percore: status %d: %s", w.Code, w.Body)
+	}
+
+	// The batch item resolves to the same cache key, so it must be a
+	// hit.
+	w := post(t, s.Handler(), "/v1/batch", `{"items":[{"kind":"percore","sku":"GreenSKU-Full","ci":0.1}]}`)
+	results := decodeBatch(t, w.Body.Bytes())
+	if len(results) != 1 || !results[0].Cached {
+		t.Fatalf("batch after identical single request not cached: %s", w.Body)
+	}
+
+	// And the other way: a fresh computation done by the batch is a
+	// cache hit for the single endpoint.
+	w = post(t, s.Handler(), "/v1/batch", `{"items":[{"kind":"savings","sku":"GreenSKU-Efficient"}]}`)
+	if results = decodeBatch(t, w.Body.Bytes()); results[0].Error != "" {
+		t.Fatalf("batch savings failed: %+v", results[0])
+	}
+	sw := post(t, s.Handler(), "/v1/savings", `{"sku":"GreenSKU-Efficient"}`)
+	if got := sw.Header().Get("X-Cache"); got != "hit" {
+		t.Errorf("single savings after batch: X-Cache = %q, want hit", got)
+	}
+}
+
+func TestBatchSizeLimits(t *testing.T) {
+	s := newTestServer(t, Config{MaxBatchItems: 2})
+	if w := post(t, s.Handler(), "/v1/batch", `{"items":[]}`); w.Code != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", w.Code)
+	}
+	over := `{"items":[{"kind":"percore","sku":"GreenSKU-Full"},{"kind":"percore","sku":"GreenSKU-CXL"},{"kind":"percore","sku":"GreenSKU-Efficient"}]}`
+	if w := post(t, s.Handler(), "/v1/batch", over); w.Code != http.StatusBadRequest {
+		t.Errorf("oversized batch: status %d, want 400", w.Code)
+	}
+}
+
+func TestBatchMetrics(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := `{"items":[
+		{"kind":"percore","sku":"GreenSKU-Full"},
+		{"kind":"percore","sku":"GreenSKU-CXL"},
+		{"kind":"percore","sku":"GreenSKU-Efficient"}
+	]}`
+	if w := post(t, s.Handler(), "/v1/batch", body); w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	samples := parseOpenMetrics(t, get(t, s.Handler(), "/metrics").Body.String())
+	if got := sumSamples(samples, "gsfd_batch_items_total"); got != 3 {
+		t.Errorf("gsfd_batch_items_total = %v, want 3", got)
+	}
+	if got := sumSamples(samples, "gsfd_http_requests_total",
+		`endpoint="/v1/batch"`, `batch="2-8"`, `code="200"`); got != 1 {
+		t.Errorf("batch-bucketed request count = %v, want 1", got)
+	}
+}
+
+func TestBatchBucket(t *testing.T) {
+	cases := map[string]string{
+		"": "", "bogus": "", "1": "1", "2": "2-8", "8": "2-8",
+		"9": "9-64", "64": "9-64", "65": "65+", "300": "65+",
+	}
+	for in, want := range cases {
+		if got := batchBucket(in); got != want {
+			t.Errorf("batchBucket(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

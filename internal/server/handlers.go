@@ -107,32 +107,24 @@ type perCoreResponse struct {
 	Total       units.KgCO2e          `json:"total_per_core"`
 }
 
-func (s *Server) handlePerCore(w http.ResponseWriter, r *http.Request) {
-	var req perCoreRequest
-	if err := decodeJSON(w, r, &req); err != nil {
-		s.writeError(w, err)
-		return
-	}
+// perCoreJob validates a percore request into its cache key and
+// computation; shared by the single endpoint and /v1/batch so both
+// populate the same cache entries.
+func (s *Server) perCoreJob(req perCoreRequest) (string, func() ([]byte, error), error) {
 	d, err := s.lookupDataset(req.Dataset)
 	if err != nil {
-		s.writeError(w, err)
-		return
+		return "", nil, err
 	}
 	sku, err := s.lookupSKU("target", req.SKU)
 	if err != nil {
-		s.writeError(w, err)
-		return
+		return "", nil, err
 	}
 	ci, err := normalizeCI(req.CI, d)
 	if err != nil {
-		s.writeError(w, err)
-		return
+		return "", nil, err
 	}
-
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-	defer cancel()
 	key := cacheKey("percore", d.name, sku.Name, fmtCI(ci))
-	body, cached, err := s.compute(ctx, key, func() ([]byte, error) {
+	return key, func() ([]byte, error) {
 		pc, err := d.model.PerCore(sku, ci)
 		if err != nil {
 			return nil, err
@@ -145,7 +137,23 @@ func (s *Server) handlePerCore(w http.ResponseWriter, r *http.Request) {
 			Embodied:    pc.Embodied,
 			Total:       pc.Total(),
 		})
-	})
+	}, nil
+}
+
+func (s *Server) handlePerCore(w http.ResponseWriter, r *http.Request) {
+	var req perCoreRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	key, fn, err := s.perCoreJob(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	body, cached, err := s.compute(ctx, key, fn)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -186,40 +194,30 @@ type savingsResponse struct {
 	Total       float64 `json:"total_savings"`
 }
 
-func (s *Server) handleSavings(w http.ResponseWriter, r *http.Request) {
-	var req savingsRequest
-	if err := decodeJSON(w, r, &req); err != nil {
-		s.writeError(w, err)
-		return
-	}
+// savingsJob validates a savings request into its cache key and
+// computation; shared with /v1/batch.
+func (s *Server) savingsJob(req savingsRequest) (string, func() ([]byte, error), error) {
 	if req.Baseline == "" {
 		req.Baseline = "Baseline"
 	}
 	d, err := s.lookupDataset(req.Dataset)
 	if err != nil {
-		s.writeError(w, err)
-		return
+		return "", nil, err
 	}
 	sku, err := s.lookupSKU("target", req.SKU)
 	if err != nil {
-		s.writeError(w, err)
-		return
+		return "", nil, err
 	}
 	baseline, err := s.lookupSKU("baseline", req.Baseline)
 	if err != nil {
-		s.writeError(w, err)
-		return
+		return "", nil, err
 	}
 	ci, err := normalizeCI(req.CI, d)
 	if err != nil {
-		s.writeError(w, err)
-		return
+		return "", nil, err
 	}
-
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-	defer cancel()
 	key := cacheKey("savings", d.name, sku.Name, baseline.Name, fmtCI(ci))
-	body, cached, err := s.compute(ctx, key, func() ([]byte, error) {
+	return key, func() ([]byte, error) {
 		sv, err := d.model.Savings(sku, baseline, ci)
 		if err != nil {
 			return nil, err
@@ -233,7 +231,23 @@ func (s *Server) handleSavings(w http.ResponseWriter, r *http.Request) {
 			Embodied:    sv.Embodied,
 			Total:       sv.Total,
 		})
-	})
+	}, nil
+}
+
+func (s *Server) handleSavings(w http.ResponseWriter, r *http.Request) {
+	var req savingsRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	key, fn, err := s.savingsJob(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	body, cached, err := s.compute(ctx, key, fn)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -292,12 +306,9 @@ type evaluateResponse struct {
 	DCSavings      float64 `json:"dc_savings"`
 }
 
-func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
-	var req evaluateRequest
-	if err := decodeJSON(w, r, &req); err != nil {
-		s.writeError(w, err)
-		return
-	}
+// evaluateJob validates an evaluate request into its cache key and
+// computation; shared with /v1/batch.
+func (s *Server) evaluateJob(req evaluateRequest) (string, func() ([]byte, error), error) {
 	if req.Green == "" {
 		req.Green = "GreenSKU-Full"
 	}
@@ -306,38 +317,30 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	d, err := s.lookupDataset(req.Dataset)
 	if err != nil {
-		s.writeError(w, err)
-		return
+		return "", nil, err
 	}
 	green, err := s.lookupSKU("green", req.Green)
 	if err != nil {
-		s.writeError(w, err)
-		return
+		return "", nil, err
 	}
 	baseline, err := s.lookupSKU("baseline", req.Baseline)
 	if err != nil {
-		s.writeError(w, err)
-		return
+		return "", nil, err
 	}
 	ci, err := normalizeCI(req.CI, d)
 	if err != nil {
-		s.writeError(w, err)
-		return
+		return "", nil, err
 	}
 	params, err := s.traceParams(req.Workload)
 	if err != nil {
-		s.writeError(w, err)
-		return
+		return "", nil, err
 	}
-
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-	defer cancel()
 	key := cacheKey("evaluate", d.name, green.Name, baseline.Name, fmtCI(ci),
 		fmt.Sprintf("%t", req.CXLBacked), params.Name,
 		strconv.FormatUint(params.Seed, 10),
 		strconv.FormatFloat(params.ArrivalsPerHour, 'g', -1, 64),
 		strconv.FormatFloat(params.HorizonHours, 'g', -1, 64))
-	body, cached, err := s.compute(ctx, key, func() ([]byte, error) {
+	return key, func() ([]byte, error) {
 		tr, err := trace.Generate(params)
 		if err != nil {
 			return nil, err
@@ -371,7 +374,23 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		resp.Cluster.GreenServers = ev.Buffered.Mix.NGreen
 		resp.Cluster.BufferServers = ev.Buffered.BufferServers
 		return marshalBody(resp)
-	})
+	}, nil
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req evaluateRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	key, fn, err := s.evaluateJob(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	body, cached, err := s.compute(ctx, key, fn)
 	if err != nil {
 		s.writeError(w, err)
 		return

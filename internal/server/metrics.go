@@ -34,6 +34,7 @@ type counter struct {
 }
 
 func (c *counter) inc()          { c.v.Add(1) }
+func (c *counter) add(n uint64)  { c.v.Add(n) }
 func (c *counter) value() uint64 { return c.v.Load() }
 
 // counterVec is a family of counters keyed by label values.
@@ -126,8 +127,8 @@ type gauge struct {
 
 // Metrics is gsfd's instrument registry.
 type Metrics struct {
-	// Requests counts completed HTTP requests by endpoint and status
-	// code.
+	// Requests counts completed HTTP requests by endpoint, status
+	// code, and batch-size bucket (empty for non-batch requests).
 	Requests *counterVec
 	// Latency tracks request latency in seconds per endpoint.
 	Latency *histogramVec
@@ -141,6 +142,9 @@ type Metrics struct {
 	// Shed counts requests rejected with 429 because the queue was
 	// full.
 	Shed counter
+	// BatchItems counts individual items received across /v1/batch
+	// requests.
+	BatchItems counter
 
 	gauges []gauge
 }
@@ -150,7 +154,7 @@ type Metrics struct {
 func NewMetrics() *Metrics {
 	return &Metrics{
 		Requests: newCounterVec("gsfd_http_requests",
-			"Completed HTTP requests.", "endpoint", "code"),
+			"Completed HTTP requests.", "endpoint", "code", "batch"),
 		Latency: newHistogramVec("gsfd_http_request_seconds",
 			"HTTP request latency in seconds.", "endpoint", defaultBuckets),
 	}
@@ -186,6 +190,7 @@ func (m *Metrics) WriteOpenMetrics(w io.Writer) error {
 		{"gsfd_cache_misses", "Result-cache misses on compute endpoints.", &m.CacheMisses},
 		{"gsfd_dedup_requests", "Requests coalesced onto an identical in-flight evaluation.", &m.Deduplicated},
 		{"gsfd_shed_requests", "Requests rejected with 429 because the queue was full.", &m.Shed},
+		{"gsfd_batch_items", "Items received across /v1/batch requests.", &m.BatchItems},
 	}
 	for _, s := range scalars {
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n# HELP %s %s\n%s_total %d\n",

@@ -50,6 +50,9 @@ type Config struct {
 	// MaxTraceVMs bounds the expected VM count of a synthetic
 	// workload request (arrival rate x horizon). Default: 100000.
 	MaxTraceVMs int
+	// MaxBatchItems bounds the item count of one /v1/batch request.
+	// Default: 256.
+	MaxBatchItems int
 	// Logger receives structured request logs. Default: slog.Default.
 	Logger *slog.Logger
 }
@@ -72,6 +75,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTraceVMs <= 0 {
 		c.MaxTraceVMs = 100000
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 256
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -165,6 +171,7 @@ func (s *Server) routes() {
 	s.mux.Handle("POST /v1/percore", s.instrument("/v1/percore", s.handlePerCore))
 	s.mux.Handle("POST /v1/savings", s.instrument("/v1/savings", s.handleSavings))
 	s.mux.Handle("POST /v1/evaluate", s.instrument("/v1/evaluate", s.handleEvaluate))
+	s.mux.Handle("POST /v1/batch", s.instrument("/v1/batch", s.handleBatch))
 	s.mux.Handle("GET /v1/skus", s.instrument("/v1/skus", s.handleSKUs))
 	s.mux.Handle("GET /v1/datasets", s.instrument("/v1/datasets", s.handleDatasets))
 	s.mux.Handle("GET /metrics", s.metrics.handler())
@@ -221,7 +228,8 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r)
 		elapsed := time.Since(start)
-		s.metrics.Requests.with(endpoint, fmt.Sprintf("%d", rec.status)).inc()
+		batch := batchBucket(rec.Header().Get(batchHeader))
+		s.metrics.Requests.with(endpoint, fmt.Sprintf("%d", rec.status), batch).inc()
 		s.metrics.Latency.with(endpoint).observe(elapsed.Seconds())
 		s.log.Info("request",
 			"method", r.Method,

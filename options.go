@@ -1,0 +1,42 @@
+package gsf
+
+// Functional construction options. gsf.New is the preferred
+// constructor: it validates the dataset and applies options in order,
+// replacing post-hoc mutation of Framework fields.
+//
+//	fw, err := gsf.New(gsf.OpenSourceData(),
+//		gsf.WithWorkers(8),
+//		gsf.WithProfileCache(128))
+//
+// The Framework it returns also carries the context-aware evaluation
+// API — EvaluateContext, SweepContext, EvaluateAll — with Evaluate and
+// SweepCI retained as context.Background wrappers.
+
+// Option configures a Framework at construction time.
+type Option func(*Framework)
+
+// WithWorkers bounds the evaluation engine's parallelism for sweeps
+// and batches. n <= 0 (the default) selects GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(f *Framework) { f.Workers = n }
+}
+
+// WithProfileCache sizes the per-SKU performance-profile memoization
+// cache (default 64 entries). entries <= 0 disables memoization, so
+// every evaluation profiles its SKU from scratch.
+func WithProfileCache(entries int) Option {
+	return func(f *Framework) { f.SetProfileCacheSize(entries) }
+}
+
+// New builds a GSF instance over a carbon dataset with the paper's
+// default component settings, then applies the options in order.
+func New(d Dataset, opts ...Option) (*Framework, error) {
+	fw, err := NewFramework(d)
+	if err != nil {
+		return nil, err
+	}
+	for _, opt := range opts {
+		opt(fw)
+	}
+	return fw, nil
+}

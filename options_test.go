@@ -1,0 +1,99 @@
+package gsf_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	gsf "github.com/greensku/gsf"
+)
+
+func smallTrace(t *testing.T, seed uint64) gsf.Trace {
+	t.Helper()
+	tr, err := gsf.SyntheticWorkload("opt-test", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.VMs = tr.VMs[:400]
+	tr.Horizon = 48
+	for i := range tr.VMs {
+		if tr.VMs[i].Depart > tr.Horizon {
+			tr.VMs[i].Depart = tr.Horizon
+		}
+	}
+	return tr
+}
+
+func TestNewWithOptions(t *testing.T) {
+	fw, err := gsf.New(gsf.OpenSourceData(), gsf.WithWorkers(2), gsf.WithProfileCache(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.Workers != 2 {
+		t.Fatalf("Workers = %d, want 2", fw.Workers)
+	}
+	in := gsf.Input{
+		Green:    gsf.GreenSKUEfficient(),
+		Baseline: gsf.BaselineGen3(),
+		Workload: smallTrace(t, 11),
+	}
+	ev, err := fw.EvaluateContext(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.EvaluateContext(context.Background(), in); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := fw.ProfileCacheStats()
+	if misses != 1 || hits != 1 {
+		t.Fatalf("profile cache stats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+
+	// Same construction through the legacy path must agree.
+	legacy, err := gsf.NewFramework(gsf.OpenSourceData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := legacy.Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ev, ev2) {
+		t.Fatal("gsf.New evaluation differs from gsf.NewFramework")
+	}
+}
+
+func TestNewRejectsBadDataset(t *testing.T) {
+	if _, err := gsf.New(gsf.Dataset{}); err == nil {
+		t.Fatal("gsf.New accepted an empty dataset")
+	}
+}
+
+func TestModelFrameworkOptions(t *testing.T) {
+	m, err := gsf.NewModel(gsf.OpenSourceData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := m.Framework(gsf.WithWorkers(3))
+	if fw.Workers != 3 {
+		t.Fatalf("Workers = %d, want 3", fw.Workers)
+	}
+}
+
+func TestSweepContextCancelled(t *testing.T) {
+	fw, err := gsf.New(gsf.OpenSourceData(), gsf.WithProfileCache(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = fw.SweepContext(ctx, gsf.Input{
+		Green:    gsf.GreenSKUFull(),
+		Baseline: gsf.BaselineGen3(),
+		Workload: smallTrace(t, 12),
+	}, []gsf.CarbonIntensity{0.02, 0.1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("sweep with cancelled ctx returned %v, want context.Canceled", err)
+	}
+}
