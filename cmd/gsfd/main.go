@@ -7,6 +7,7 @@
 //
 //	gsfd                              # listen on :8080
 //	gsfd -addr :9090 -workers 8 -queue 128 -cache-ttl 5m
+//	gsfd -audit                       # audit invariants on every evaluation
 //
 // Endpoints:
 //
@@ -37,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/greensku/gsf/internal/audit"
 	"github.com/greensku/gsf/internal/server"
 )
 
@@ -44,6 +46,7 @@ import (
 type options struct {
 	addr  string
 	drain time.Duration
+	audit bool
 	cfg   server.Config
 }
 
@@ -60,6 +63,7 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&o.cfg.CacheTTL, "cache-ttl", 0, "result cache TTL (0 = default 15m)")
 	fs.DurationVar(&o.cfg.RequestTimeout, "timeout", 0, "per-request deadline (0 = default 30s)")
 	fs.IntVar(&o.cfg.MaxBatchItems, "batch-max", 0, "max items per /v1/batch request (0 = default 256)")
+	fs.BoolVar(&o.audit, "audit", false, "check runtime invariants on every evaluation; violations count in /metrics")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -83,6 +87,16 @@ func main() {
 }
 
 func run(o options, log *slog.Logger) error {
+	if o.audit {
+		// One recorder for the whole process: the server threads it
+		// through every framework, and installing it as the process
+		// default also audits paths no explicit checker reaches (the
+		// queueing runs inside memoized performance profiling).
+		rec := audit.NewRecorder()
+		audit.SetDefault(rec)
+		o.cfg.Audit = rec
+		log.Info("invariant auditing enabled")
+	}
 	s, err := server.New(o.cfg)
 	if err != nil {
 		return err

@@ -41,6 +41,23 @@ func TestParseFlagsOverrides(t *testing.T) {
 	}
 }
 
+func TestParseFlagsAudit(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.audit {
+		t.Error("auditing on by default")
+	}
+	o, err = parseFlags([]string{"-audit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.audit {
+		t.Error("-audit not parsed")
+	}
+}
+
 func TestParseFlagsRejectsPositionalArgs(t *testing.T) {
 	if _, err := parseFlags([]string{"serve"}); err == nil {
 		t.Error("positional argument accepted")

@@ -23,6 +23,7 @@
 package gsf
 
 import (
+	"github.com/greensku/gsf/internal/audit"
 	"github.com/greensku/gsf/internal/carbon"
 	"github.com/greensku/gsf/internal/carbondata"
 	"github.com/greensku/gsf/internal/core"
@@ -89,6 +90,21 @@ type (
 	// Savings is a per-core savings row (Tables IV/VIII).
 	Savings = carbon.Savings
 )
+
+// Invariant auditing (see WithAudit).
+type (
+	// AuditChecker receives invariant violations; implementations must
+	// be safe for concurrent use.
+	AuditChecker = audit.Checker
+	// AuditViolation is one observed invariant breach.
+	AuditViolation = audit.Violation
+	// AuditRecorder is the standard AuditChecker: it counts violations
+	// and retains the first records for diagnosis.
+	AuditRecorder = audit.Recorder
+)
+
+// NewAuditRecorder returns an empty recorder for WithAudit.
+func NewAuditRecorder() *AuditRecorder { return audit.NewRecorder() }
 
 // The paper's SKU configurations.
 var (

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/greensku/gsf/internal/audit"
 	"github.com/greensku/gsf/internal/trace"
 	"github.com/greensku/gsf/internal/units"
 )
@@ -89,6 +90,11 @@ type Config struct {
 	// SnapshotEvery controls how often (in trace hours) utilisation
 	// snapshots are taken. Zero defaults to 12h.
 	SnapshotEvery float64
+	// Audit receives invariant violations (core/memory conservation,
+	// placement admissibility, spurious rejections). Nil falls back to
+	// the process default (audit.SetDefault); if that is also nil,
+	// checking is disabled and costs nothing.
+	Audit audit.Checker
 }
 
 type server struct {
@@ -180,6 +186,8 @@ func SimulateContext(ctx context.Context, tr trace.Trace, cfg Config, decide Dec
 		snapEvery = 12
 	}
 
+	chk := audit.Resolve(cfg.Audit)
+
 	baseSrvs := makeServers(&cfg.Base, cfg.NBase)
 	greenSrvs := makeServers(&cfg.Green, cfg.NGreen)
 
@@ -197,6 +205,9 @@ func SimulateContext(ctx context.Context, tr trace.Trace, cfg Config, decide Dec
 			d.srv.memFree += d.mem
 			d.srv.vms--
 			d.srv.maxMemTouched -= d.touched
+			if chk != nil {
+				auditServerBounds(chk, d.srv, "release")
+			}
 		}
 	}
 
@@ -245,14 +256,33 @@ func SimulateContext(ctx context.Context, tr trace.Trace, cfg Config, decide Dec
 			}
 		}
 		if placedSrv == nil {
+			if chk != nil {
+				auditRejection(chk, vm, baseSrvs, greenSrvs, d, cfg)
+			}
 			res.Rejected++
 			continue
+		}
+		if chk != nil {
+			// Admissibility: the chosen server must actually fit the
+			// request, and the VM must not already have departed.
+			if !placedSrv.fits(cores, mem) {
+				audit.Failf(chk, "alloc", "admissibility",
+					"VM %d (%gc/%gGB) placed on %s with only %gc/%gGB free",
+					vm.ID, cores, mem, placedSrv.class.Name, placedSrv.coresFree, placedSrv.memFree)
+			}
+			if vm.Depart <= vm.Arrive {
+				audit.Failf(chk, "alloc", "placed-after-departure",
+					"VM %d placed at t=%g after its departure t=%g", vm.ID, vm.Arrive, vm.Depart)
+			}
 		}
 		touched := mem * vm.MaxMemFrac
 		placedSrv.coresFree -= cores
 		placedSrv.memFree -= mem
 		placedSrv.vms++
 		placedSrv.maxMemTouched += touched
+		if chk != nil {
+			auditServerBounds(chk, placedSrv, "place")
+		}
 		heap.Push(&deps, departure{at: vm.Depart, srv: placedSrv, cores: cores, mem: mem, touched: touched})
 		res.Placed++
 	}
@@ -270,9 +300,99 @@ func SimulateContext(ctx context.Context, tr trace.Trace, cfg Config, decide Dec
 	greenAgg.observe(greenSrvs)
 	res.Snapshots++
 
+	if chk != nil {
+		// Conservation: once every VM has departed (some depart after
+		// the horizon, so drain the heap completely), every server must
+		// be exactly full-capacity free again. Any drift means a
+		// placement and its release did not move the same resources.
+		release(math.Inf(1))
+		auditConservation(chk, baseSrvs)
+		auditConservation(chk, greenSrvs)
+	}
+
 	res.Base = baseAgg.stats()
 	res.Green = greenAgg.stats()
 	return res, nil
+}
+
+// auditServerBounds checks one mutated server's free capacity stays in
+// [0, capacity] (within audit.SimTol for accumulated rounding).
+func auditServerBounds(chk audit.Checker, s *server, op string) {
+	const tol = audit.SimTol
+	if s.coresFree < -tol || s.coresFree > float64(s.class.Cores)+tol {
+		audit.Failf(chk, "alloc", "core-conservation",
+			"%s on %s: free cores %g outside [0, %d]", op, s.class.Name, s.coresFree, s.class.Cores)
+	}
+	if s.memFree < -tol || s.memFree > float64(s.class.Memory)+tol {
+		audit.Failf(chk, "alloc", "memory-conservation",
+			"%s on %s: free memory %g outside [0, %g]", op, s.class.Name, s.memFree, float64(s.class.Memory))
+	}
+	if s.vms < 0 {
+		audit.Failf(chk, "alloc", "vm-count", "%s on %s: resident VM count %d < 0", op, s.class.Name, s.vms)
+	}
+	if s.maxMemTouched < -tol {
+		audit.Failf(chk, "alloc", "memory-conservation",
+			"%s on %s: touched memory %g < 0", op, s.class.Name, s.maxMemTouched)
+	}
+}
+
+// auditConservation checks a fully-drained server pool returned to its
+// initial state: free capacity equals class capacity and nothing is
+// resident.
+func auditConservation(chk audit.Checker, servers []*server) {
+	for i, s := range servers {
+		if !audit.Close(s.coresFree, float64(s.class.Cores), audit.SimTol) {
+			audit.Failf(chk, "alloc", "core-conservation",
+				"server %d (%s): %g cores free after drain, want %d", i, s.class.Name, s.coresFree, s.class.Cores)
+		}
+		if !audit.Close(s.memFree, float64(s.class.Memory), audit.SimTol) {
+			audit.Failf(chk, "alloc", "memory-conservation",
+				"server %d (%s): %g GB free after drain, want %g", i, s.class.Name, s.memFree, float64(s.class.Memory))
+		}
+		if s.vms != 0 {
+			audit.Failf(chk, "alloc", "vm-count",
+				"server %d (%s): %d VMs resident after drain", i, s.class.Name, s.vms)
+		}
+		if !audit.Close(s.maxMemTouched, 0, audit.SimTol) {
+			audit.Failf(chk, "alloc", "memory-conservation",
+				"server %d (%s): %g GB touched after drain", i, s.class.Name, s.maxMemTouched)
+		}
+	}
+}
+
+// auditRejection verifies a rejection was genuine: no feasible server
+// exists for the request. Runs only when auditing is enabled (it scans
+// the whole cluster).
+func auditRejection(chk audit.Checker, vm trace.VM, baseSrvs, greenSrvs []*server, d Decision, cfg Config) {
+	if vm.FullNode {
+		// Full-node VMs need an empty baseline server.
+		for _, s := range baseSrvs {
+			if s.vms == 0 && s.fits(float64(s.class.Cores), float64(s.class.Memory)) {
+				audit.Failf(chk, "alloc", "spurious-rejection",
+					"full-node VM %d rejected with an empty baseline server available", vm.ID)
+				return
+			}
+		}
+		return
+	}
+	for _, s := range baseSrvs {
+		if s.fits(float64(vm.Cores), float64(vm.Memory)) {
+			audit.Failf(chk, "alloc", "spurious-rejection",
+				"VM %d (%dc/%gGB) rejected with feasible baseline server", vm.ID, vm.Cores, float64(vm.Memory))
+			return
+		}
+	}
+	if d.Adopt && cfg.NGreen > 0 {
+		scaledCores := float64(vm.Cores) * d.Scale
+		scaledMem := float64(vm.Memory) * d.Scale
+		for _, s := range greenSrvs {
+			if s.fits(scaledCores, scaledMem) {
+				audit.Failf(chk, "alloc", "spurious-rejection",
+					"adopting VM %d (%gc/%gGB scaled) rejected with feasible green server", vm.ID, scaledCores, scaledMem)
+				return
+			}
+		}
+	}
 }
 
 func makeServers(class *ServerClass, n int) []*server {
@@ -286,6 +406,12 @@ func makeServers(class *ServerClass, n int) []*server {
 	}
 	return out
 }
+
+// testIgnoreCapacity, when true, makes pick skip the feasibility
+// check — a deliberately broken allocator. It exists only so tests can
+// prove the audit layer catches oversubscription; never set it outside
+// a test.
+var testIgnoreCapacity bool
 
 // pick selects a feasible server under the configured policy.
 func pick(servers []*server, cores, mem float64, cfg Config) *server {
@@ -311,7 +437,7 @@ func pick(servers []*server, cores, mem float64, cfg Config) *server {
 		}
 	}
 	for _, s := range servers {
-		if !s.fits(cores, mem) {
+		if !s.fits(cores, mem) && !testIgnoreCapacity {
 			continue
 		}
 		nonEmpty := s.vms > 0

@@ -1,0 +1,12 @@
+package alloc
+
+import (
+	"os"
+	"testing"
+
+	"github.com/greensku/gsf/internal/audit"
+)
+
+// TestMain runs the package under a process-default audit.Recorder, so
+// every simulation any test performs doubles as an invariant sweep.
+func TestMain(m *testing.M) { os.Exit(audit.SweepMain(m)) }

@@ -1,0 +1,13 @@
+package analysis
+
+import (
+	"os"
+	"testing"
+
+	"github.com/greensku/gsf/internal/audit"
+)
+
+// TestMain runs the package under a process-default audit.Recorder, so
+// every audited code path any test exercises doubles as an invariant
+// sweep; any recorded violation fails the run.
+func TestMain(m *testing.M) { os.Exit(audit.SweepMain(m)) }

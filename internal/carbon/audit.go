@@ -1,0 +1,105 @@
+package carbon
+
+import (
+	"github.com/greensku/gsf/internal/audit"
+	"github.com/greensku/gsf/internal/carbondata"
+)
+
+// checker resolves the model's audit target: the explicit Audit field
+// when set, otherwise the process default. Nil disables checking.
+func (m *Model) checker() audit.Checker { return audit.Resolve(m.Audit) }
+
+// CheckServer verifies the carbon-mass balance of a server evaluation:
+// power and embodied emissions equal the sum of their parts to
+// audit.CarbonTol, and every component contribution is non-negative.
+func CheckServer(chk audit.Checker, s Server) {
+	if chk == nil {
+		return
+	}
+	var power, emb float64
+	for _, p := range s.Parts {
+		if p.Power < 0 || p.Embodied < 0 {
+			audit.Failf(chk, "carbon", "negative-component",
+				"SKU %s part %s: power=%v embodied=%v", s.SKU.Name, p.Name, p.Power, p.Embodied)
+		}
+		power += float64(p.Power)
+		emb += float64(p.Embodied)
+	}
+	if !audit.Close(float64(s.Power), power, audit.CarbonTol) {
+		audit.Failf(chk, "carbon", "part-sum",
+			"SKU %s: server power %v != part sum %g", s.SKU.Name, s.Power, power)
+	}
+	if !audit.Close(float64(s.Embodied), emb, audit.CarbonTol) {
+		audit.Failf(chk, "carbon", "part-sum",
+			"SKU %s: server embodied %v != part sum %g", s.SKU.Name, s.Embodied, emb)
+	}
+}
+
+// CheckRack verifies a rack evaluation follows Eqs. 2-3: rack power and
+// embodied emissions derive from the server totals plus rack overhead,
+// rack power respects the rack power cap, and the core count matches
+// the server count.
+func CheckRack(chk audit.Checker, d carbondata.Dataset, r Rack) {
+	if chk == nil {
+		return
+	}
+	if r.ServersPerRack < 0 {
+		audit.Failf(chk, "carbon", "rack-consistency",
+			"SKU %s: %d servers per rack", r.Server.SKU.Name, r.ServersPerRack)
+		return
+	}
+	n := float64(r.ServersPerRack)
+	if want := n*float64(r.Server.Power) + float64(d.RackMisc.TDP); !audit.Close(float64(r.Power), want, audit.CarbonTol) {
+		audit.Failf(chk, "carbon", "rack-consistency",
+			"SKU %s: rack power %v != Eq.2 value %g", r.Server.SKU.Name, r.Power, want)
+	}
+	if want := n*float64(r.Server.Embodied) + float64(d.RackMisc.Embodied); !audit.Close(float64(r.Embodied), want, audit.CarbonTol) {
+		audit.Failf(chk, "carbon", "rack-consistency",
+			"SKU %s: rack embodied %v != Eq.3 value %g", r.Server.SKU.Name, r.Embodied, want)
+	}
+	if r.ServersPerRack > 0 && float64(r.Power) > float64(d.RackPowerCap)*(1+audit.CarbonTol) {
+		audit.Failf(chk, "carbon", "rack-power-cap",
+			"SKU %s: rack power %v exceeds cap %v", r.Server.SKU.Name, r.Power, d.RackPowerCap)
+	}
+	if want := r.ServersPerRack * r.Server.SKU.Cores(); r.Cores != want {
+		audit.Failf(chk, "carbon", "rack-consistency",
+			"SKU %s: rack cores %d != %d servers x %d cores", r.Server.SKU.Name, r.Cores, r.ServersPerRack, r.Server.SKU.Cores())
+	}
+}
+
+// CheckPerCore verifies per-core emissions are non-negative and that
+// total = operational + embodied.
+func CheckPerCore(chk audit.Checker, p PerCore) {
+	if chk == nil {
+		return
+	}
+	if p.Operational < 0 || p.Embodied < 0 {
+		audit.Failf(chk, "carbon", "negative-component",
+			"SKU %s: per-core operational=%v embodied=%v", p.SKU, p.Operational, p.Embodied)
+	}
+	if want := float64(p.Operational) + float64(p.Embodied); !audit.Close(float64(p.Total()), want, audit.CarbonTol) {
+		audit.Failf(chk, "carbon", "part-sum",
+			"SKU %s: per-core total %v != operational+embodied %g", p.SKU, p.Total(), want)
+	}
+}
+
+// CheckSavings verifies a savings row is consistent with the per-core
+// emissions it was derived from: each fraction equals 1 - green/base
+// and never exceeds 1 (no SKU saves more carbon than the baseline
+// emits).
+func CheckSavings(chk audit.Checker, s Savings, pc, base PerCore) {
+	if chk == nil {
+		return
+	}
+	want := savingsOf(s.SKU, pc, base)
+	if !audit.Close(s.Operational, want.Operational, audit.CarbonTol) ||
+		!audit.Close(s.Embodied, want.Embodied, audit.CarbonTol) ||
+		!audit.Close(s.Total, want.Total, audit.CarbonTol) {
+		audit.Failf(chk, "carbon", "savings-consistency",
+			"SKU %s: savings %+v inconsistent with per-core emissions (want %+v)", s.SKU, s, want)
+	}
+	if s.Operational > 1+audit.CarbonTol || s.Embodied > 1+audit.CarbonTol || s.Total > 1+audit.CarbonTol {
+		audit.Failf(chk, "carbon", "savings-bound",
+			"SKU %s: savings fraction above 1: %+v", s.SKU, s)
+	}
+}

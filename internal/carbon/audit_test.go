@@ -1,0 +1,105 @@
+package carbon
+
+import (
+	"testing"
+
+	"github.com/greensku/gsf/internal/audit"
+	"github.com/greensku/gsf/internal/carbondata"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/units"
+)
+
+func TestAuditCleanEvaluations(t *testing.T) {
+	rec := audit.NewRecorder()
+	m := mustModel(t, carbondata.OpenSource())
+	m.Audit = rec
+	for _, sku := range []hw.SKU{hw.BaselineGen3(), hw.GreenSKUCXL()} {
+		if _, err := m.Server(sku); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Rack(sku); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.PerCore(sku, 0.1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.PerCoreDC(sku, 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.SavingsVs(hw.GreenSKUCXL(), hw.BaselineGen3(), 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatalf("clean carbon evaluations recorded violations: %v\n%v", err, rec.Violations())
+	}
+}
+
+// TestAuditCatchesCorruptedResults feeds deliberately inconsistent
+// structures to the Check functions and asserts each fires.
+func TestAuditCatchesCorruptedResults(t *testing.T) {
+	m := mustModel(t, carbondata.OpenSource())
+
+	srv, err := m.Server(hw.BaselineGen3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := audit.NewRecorder()
+	bad := srv
+	bad.Power += 1 // breaks the part sum
+	CheckServer(rec, bad)
+	if rec.Counts()["carbon/part-sum"] == 0 {
+		t.Errorf("corrupted server power not caught: %v", rec.Counts())
+	}
+
+	rec = audit.NewRecorder()
+	bad = srv
+	bad.Parts = append([]Part(nil), srv.Parts...)
+	bad.Parts[0].Embodied = -5
+	CheckServer(rec, bad)
+	if rec.Counts()["carbon/negative-component"] == 0 {
+		t.Errorf("negative component not caught: %v", rec.Counts())
+	}
+
+	r, err := m.Rack(hw.BaselineGen3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = audit.NewRecorder()
+	badRack := r
+	badRack.Cores++ // breaks servers x cores
+	CheckRack(rec, m.Data, badRack)
+	if rec.Counts()["carbon/rack-consistency"] == 0 {
+		t.Errorf("corrupted rack cores not caught: %v", rec.Counts())
+	}
+
+	rec = audit.NewRecorder()
+	CheckPerCore(rec, PerCore{SKU: "x", Operational: -1, Embodied: 2})
+	if rec.Counts()["carbon/negative-component"] == 0 {
+		t.Errorf("negative per-core not caught: %v", rec.Counts())
+	}
+
+	pc := PerCore{SKU: "g", Operational: 1, Embodied: 1}
+	base := PerCore{SKU: "b", Operational: 2, Embodied: 2}
+	rec = audit.NewRecorder()
+	CheckSavings(rec, Savings{SKU: "g", Operational: 0.9, Embodied: 0.5, Total: 0.5}, pc, base)
+	if rec.Counts()["carbon/savings-consistency"] == 0 {
+		t.Errorf("inconsistent savings not caught: %v", rec.Counts())
+	}
+
+	rec = audit.NewRecorder()
+	CheckSavings(rec, Savings{SKU: "g", Operational: 1.5, Embodied: 1.5, Total: 1.5},
+		PerCore{SKU: "g", Operational: -1, Embodied: -1}, base)
+	if rec.Counts()["carbon/savings-bound"] == 0 {
+		t.Errorf("savings above 1 not caught: %v", rec.Counts())
+	}
+}
+
+func TestCheckersNilSafe(t *testing.T) {
+	// All Check functions must be no-ops on a nil checker.
+	CheckServer(nil, Server{})
+	CheckRack(nil, carbondata.Dataset{}, Rack{})
+	CheckPerCore(nil, PerCore{})
+	CheckSavings(nil, Savings{}, PerCore{}, PerCore{})
+	_ = units.KgCO2e(0)
+}

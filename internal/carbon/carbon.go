@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/greensku/gsf/internal/audit"
 	"github.com/greensku/gsf/internal/carbondata"
 	"github.com/greensku/gsf/internal/hw"
 	"github.com/greensku/gsf/internal/units"
@@ -27,6 +28,11 @@ import (
 // Model evaluates SKU emissions under one carbon dataset.
 type Model struct {
 	Data carbondata.Dataset
+	// Audit receives carbon-balance invariant violations (part sums,
+	// Eq. 2-3 consistency, non-negativity). Nil falls back to the
+	// process default (audit.SetDefault); if that is also nil, checking
+	// is disabled.
+	Audit audit.Checker
 }
 
 // New returns a model over the given dataset. It returns an error if the
@@ -118,6 +124,7 @@ func (m *Model) Server(sku hw.SKU) (Server, error) {
 		s.Power += p.Power
 		s.Embodied += p.Embodied
 	}
+	CheckServer(m.checker(), s)
 	return s, nil
 }
 
@@ -154,6 +161,7 @@ func (m *Model) Rack(sku hw.SKU) (Rack, error) {
 	r.Power = units.Watts(n*float64(srv.Power) + float64(m.Data.RackMisc.TDP))
 	r.Embodied = units.KgCO2e(n*float64(srv.Embodied) + float64(m.Data.RackMisc.Embodied))
 	r.Cores = r.ServersPerRack * sku.Cores()
+	CheckRack(m.checker(), m.Data, r)
 	return r, nil
 }
 
@@ -185,11 +193,13 @@ func (m *Model) PerCore(sku hw.SKU, ci units.CarbonIntensity) (PerCore, error) {
 		return PerCore{}, fmt.Errorf("carbon: SKU %s fits zero servers per rack", sku.Name)
 	}
 	n := float64(r.Cores)
-	return PerCore{
+	pc := PerCore{
 		SKU:         sku.Name,
 		Operational: units.KgCO2e(float64(m.Operational(r, ci)) / n),
 		Embodied:    units.KgCO2e(float64(r.Embodied) / n),
-	}, nil
+	}
+	CheckPerCore(m.checker(), pc)
+	return pc, nil
 }
 
 // PerCoreDC computes datacenter-level CO2e-per-core: rack-level plus
@@ -207,11 +217,13 @@ func (m *Model) PerCoreDC(sku hw.SKU, ci units.CarbonIntensity) (PerCore, error)
 	power := units.Watts((float64(r.Power) + float64(m.Data.DCPowerPerRack)) * m.Data.PUE)
 	op := ci.Emissions(m.Data.Lifetime.Energy(power))
 	emb := float64(r.Embodied) + float64(m.Data.DCEmbodiedPerRack)
-	return PerCore{
+	pc := PerCore{
 		SKU:         sku.Name,
 		Operational: units.KgCO2e(float64(op) / n),
 		Embodied:    units.KgCO2e(emb / n),
-	}, nil
+	}
+	CheckPerCore(m.checker(), pc)
+	return pc, nil
 }
 
 // Savings is the relative per-core emission reduction of a candidate
@@ -234,7 +246,9 @@ func (m *Model) SavingsVs(sku, baseline hw.SKU, ci units.CarbonIntensity) (Savin
 	if err != nil {
 		return Savings{}, err
 	}
-	return savingsOf(sku.Name, pc, base), nil
+	s := savingsOf(sku.Name, pc, base)
+	CheckSavings(m.checker(), s, pc, base)
+	return s, nil
 }
 
 func savingsOf(name string, pc, base PerCore) Savings {

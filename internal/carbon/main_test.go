@@ -1,0 +1,13 @@
+package carbon
+
+import (
+	"os"
+	"testing"
+
+	"github.com/greensku/gsf/internal/audit"
+)
+
+// TestMain runs the package under a process-default audit.Recorder, so
+// every model evaluation any test performs doubles as an invariant
+// sweep of the carbon-balance checks.
+func TestMain(m *testing.M) { os.Exit(audit.SweepMain(m)) }

@@ -1,0 +1,93 @@
+package carbon
+
+import (
+	"testing"
+
+	"github.com/greensku/gsf/internal/audit"
+	"github.com/greensku/gsf/internal/carbondata"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// Metamorphic properties of the carbon model: E_op = L * CI * P_r is
+// linear in both carbon intensity and lifetime, and embodied emissions
+// depend on neither.
+
+func TestOperationalLinearInCarbonIntensity(t *testing.T) {
+	m := mustModel(t, carbondata.OpenSource())
+	const ci = units.CarbonIntensity(0.11)
+	for _, sku := range []hw.SKU{hw.BaselineGen3(), hw.GreenSKUCXL(), hw.GreenSKUFull()} {
+		ref, err := m.PerCore(sku, ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alpha := range []float64{0.5, 2, 3.5, 10} {
+			got, err := m.PerCore(sku, units.CarbonIntensity(float64(ci)*alpha))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := float64(ref.Operational) * alpha; !audit.Close(float64(got.Operational), want, 1e-12) {
+				t.Errorf("%s: op(%g*CI) = %v, want exactly %g*op(CI) = %g",
+					sku.Name, alpha, got.Operational, alpha, want)
+			}
+			if got.Embodied != ref.Embodied {
+				t.Errorf("%s: embodied changed with CI: %v -> %v", sku.Name, ref.Embodied, got.Embodied)
+			}
+		}
+	}
+}
+
+func TestLifetimeDoublingHalvesAmortisedEmbodied(t *testing.T) {
+	d := carbondata.OpenSource()
+	m := mustModel(t, d)
+	d2 := d
+	d2.Lifetime *= 2
+	m2 := mustModel(t, d2)
+
+	const ci = units.CarbonIntensity(0.11)
+	for _, sku := range []hw.SKU{hw.BaselineGen3(), hw.GreenSKUCXL()} {
+		pc, err := m.PerCore(sku, ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc2, err := m2.PerCore(sku, ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Twice the lifetime: twice the lifetime operational energy...
+		if !audit.Close(float64(pc2.Operational), 2*float64(pc.Operational), 1e-12) {
+			t.Errorf("%s: op at 2L = %v, want 2*%v", sku.Name, pc2.Operational, pc.Operational)
+		}
+		// ...the same lifetime embodied mass...
+		if pc2.Embodied != pc.Embodied {
+			t.Errorf("%s: embodied changed with lifetime: %v -> %v", sku.Name, pc.Embodied, pc2.Embodied)
+		}
+		// ...and therefore half the amortised (per-year) embodied rate.
+		amort := float64(pc.Embodied) / d.Lifetime.YearsValue()
+		amort2 := float64(pc2.Embodied) / d2.Lifetime.YearsValue()
+		if !audit.Close(amort2, amort/2, 1e-12) {
+			t.Errorf("%s: amortised embodied at 2L = %g/yr, want half of %g/yr", sku.Name, amort2, amort)
+		}
+	}
+}
+
+func TestSavingsInvariantUnderCIScalingOfBothSides(t *testing.T) {
+	// Savings fractions are ratios of per-core emissions, so scaling CI
+	// (which multiplies every operational term by the same alpha)
+	// leaves the operational savings fraction unchanged.
+	m := mustModel(t, carbondata.OpenSource())
+	ref, err := m.SavingsVs(hw.GreenSKUCXL(), hw.BaselineGen3(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.SavingsVs(hw.GreenSKUCXL(), hw.BaselineGen3(), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !audit.Close(got.Operational, ref.Operational, 1e-12) {
+		t.Errorf("operational savings moved with CI: %g -> %g", ref.Operational, got.Operational)
+	}
+	if !audit.Close(got.Embodied, ref.Embodied, 1e-12) {
+		t.Errorf("embodied savings moved with CI: %g -> %g", ref.Embodied, got.Embodied)
+	}
+}

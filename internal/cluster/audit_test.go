@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/greensku/gsf/internal/alloc"
+	"github.com/greensku/gsf/internal/audit"
+)
+
+func TestAuditCleanMixedSize(t *testing.T) {
+	rec := audit.NewRecorder()
+	s := &Sizer{Base: baseClass(), Green: greenClass(), Policy: alloc.BestFit,
+		Decide: alloc.AdoptAll, Audit: rec}
+	if _, err := s.MixedSize(testTrace(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatalf("clean sizing recorded violations: %v\n%v", err, rec.Violations())
+	}
+}
+
+func TestAuditMixCatchesBadResults(t *testing.T) {
+	tr := testTrace(t, 4)
+	rec := audit.NewRecorder()
+	s := &Sizer{Base: baseClass(), Green: greenClass(), Audit: rec}
+
+	s.auditMix(tr, Mix{BaselineOnly: 3, NBase: 5, NGreen: 0})
+	if rec.Counts()["cluster/baseline-shrinks"] == 0 {
+		t.Errorf("baseline growth not caught: %v", rec.Counts())
+	}
+
+	rec.Reset()
+	s.auditMix(tr, Mix{BaselineOnly: 10, NBase: -1, NGreen: 2})
+	if rec.Counts()["cluster/negative-size"] == 0 {
+		t.Errorf("negative count not caught: %v", rec.Counts())
+	}
+
+	// An empty cluster cannot cover the trace's peak demand.
+	rec.Reset()
+	s.auditMix(tr, Mix{BaselineOnly: 10, NBase: 0, NGreen: 0})
+	if rec.Counts()["cluster/capacity-below-peak"] == 0 {
+		t.Errorf("under-capacity mix not caught: %v", rec.Counts())
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"github.com/greensku/gsf/internal/alloc"
+	"github.com/greensku/gsf/internal/audit"
 	"github.com/greensku/gsf/internal/carbon"
 	"github.com/greensku/gsf/internal/trace"
 	"github.com/greensku/gsf/internal/units"
@@ -26,6 +27,10 @@ type Sizer struct {
 	Decide alloc.Decider
 	// MaxServers caps the search (guards against unhostable traces).
 	MaxServers int
+	// Audit receives invariant violations from the sizing search and is
+	// forwarded to every allocation simulation it runs. Nil falls back
+	// to the process default (audit.SetDefault).
+	Audit audit.Checker
 }
 
 func (s *Sizer) maxServers(tr trace.Trace) int {
@@ -52,6 +57,7 @@ func (s *Sizer) hosts(ctx context.Context, tr trace.Trace, nBase, nGreen int) (b
 		Base: s.Base, NBase: nBase,
 		Green: s.Green, NGreen: nGreen,
 		Policy: s.Policy, PreferNonEmpty: true,
+		Audit: s.Audit,
 	}, s.Decide)
 	if err != nil {
 		return false, err
@@ -141,7 +147,48 @@ func (s *Sizer) MixedSizeContext(ctx context.Context, tr trace.Trace) (Mix, erro
 	if err != nil {
 		return m, err
 	}
+	s.auditMix(tr, m)
 	return m, nil
+}
+
+// auditMix verifies a sizing result: counts are non-negative, the mixed
+// cluster never keeps more baseline servers than the all-baseline
+// right-sizing, and (because it hosts the trace with zero rejections,
+// and GreenSKU placement only inflates requests) its core and memory
+// capacity cover the trace's peak concurrent demand.
+func (s *Sizer) auditMix(tr trace.Trace, m Mix) {
+	chk := audit.Resolve(s.Audit)
+	if chk == nil {
+		return
+	}
+	if m.BaselineOnly < 0 || m.NBase < 0 || m.NGreen < 0 {
+		audit.Failf(chk, "cluster", "negative-size", "mix %+v has a negative count", m)
+	}
+	if m.NBase > m.BaselineOnly {
+		audit.Failf(chk, "cluster", "baseline-shrinks",
+			"mixed cluster keeps %d baseline servers, more than the %d right-sized", m.NBase, m.BaselineOnly)
+	}
+	// A placed VM consumes at least its requested resources (GreenSKU
+	// placement scales requests up, never down), so a rejection-free
+	// cluster's capacity bounds the requested peak — except for
+	// full-node VMs requesting more than one baseline server, which
+	// consume only the server they pin.
+	for _, v := range tr.VMs {
+		if v.FullNode && (v.Cores > s.Base.Cores || float64(v.Memory) > float64(s.Base.Memory)) {
+			return
+		}
+	}
+	st := trace.Summarise(tr)
+	cores := m.NBase*s.Base.Cores + m.NGreen*s.Green.Cores
+	if cores < st.PeakCoreDmd {
+		audit.Failf(chk, "cluster", "capacity-below-peak",
+			"trace %s: mixed capacity %d cores below peak demand %d", tr.Name, cores, st.PeakCoreDmd)
+	}
+	mem := float64(m.NBase)*float64(s.Base.Memory) + float64(m.NGreen)*float64(s.Green.Memory)
+	if mem < float64(st.PeakMemoryDmd) {
+		audit.Failf(chk, "cluster", "capacity-below-peak",
+			"trace %s: mixed capacity %g GB below peak demand %g", tr.Name, mem, float64(st.PeakMemoryDmd))
+	}
 }
 
 // Emissions computes a cluster's lifetime carbon from per-core
@@ -197,6 +244,7 @@ func (s *Sizer) ComparePackingContext(ctx context.Context, tr trace.Trace) (Pack
 	baseRes, err := alloc.SimulateContext(ctx, tr, alloc.Config{
 		Base: s.Base, NBase: m.BaselineOnly,
 		Policy: s.Policy, PreferNonEmpty: true,
+		Audit: s.Audit,
 	}, alloc.AdoptNone)
 	if err != nil {
 		return pc, err
@@ -206,6 +254,7 @@ func (s *Sizer) ComparePackingContext(ctx context.Context, tr trace.Trace) (Pack
 		Base: s.Base, NBase: m.NBase,
 		Green: s.Green, NGreen: m.NGreen,
 		Policy: s.Policy, PreferNonEmpty: true,
+		Audit: s.Audit,
 	}, s.Decide)
 	if err != nil {
 		return pc, err

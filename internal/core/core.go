@@ -17,9 +17,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"github.com/greensku/gsf/internal/adoption"
 	"github.com/greensku/gsf/internal/alloc"
+	"github.com/greensku/gsf/internal/audit"
 	"github.com/greensku/gsf/internal/buffer"
 	"github.com/greensku/gsf/internal/carbon"
 	"github.com/greensku/gsf/internal/cluster"
@@ -49,6 +51,12 @@ type Framework struct {
 	// Workers bounds the evaluation engine's parallelism for sweeps and
 	// batches; <= 0 means GOMAXPROCS.
 	Workers int
+	// Audit receives invariant violations from every component the
+	// pipeline runs; install it with SetAudit (or gsf.WithAudit) so the
+	// carbon model is rewired too. Nil falls back to the process
+	// default (audit.SetDefault); if that is also nil, checking is
+	// disabled and costs nothing.
+	Audit audit.Checker
 
 	// profiles memoizes TableIII scaling-factor matrices keyed by
 	// perf.ProfileKey, so a sweep profiles each SKU once. Nil disables
@@ -68,6 +76,20 @@ func New(m *carbon.Model) *Framework {
 		Policy:   alloc.BestFit,
 		Fleet:    fleet.Default(),
 		profiles: engine.NewCache[map[string]map[int]perf.Factor](DefaultProfileCacheEntries),
+	}
+}
+
+// SetAudit threads an invariant checker through the framework: the
+// sizing and allocation layers receive it per evaluation, and the
+// carbon model is replaced by a shallow copy carrying it (models from
+// gsf.Model are shared across frameworks and documented immutable, so
+// the original is never mutated).
+func (f *Framework) SetAudit(c audit.Checker) {
+	f.Audit = c
+	if f.Carbon != nil {
+		cm := *f.Carbon
+		cm.Audit = c
+		f.Carbon = &cm
 	}
 }
 
@@ -231,6 +253,7 @@ func (f *Framework) EvaluateContext(ctx context.Context, in Input) (Evaluation, 
 		Green:  greenClass,
 		Policy: f.Policy,
 		Decide: ev.Adoption.Decider(),
+		Audit:  f.Audit,
 	}
 	ev.Mix, err = sizer.MixedSizeContext(ctx, in.Workload)
 	if err != nil {
@@ -252,7 +275,49 @@ func (f *Framework) EvaluateContext(ctx context.Context, in Input) (Evaluation, 
 		return ev, err
 	}
 	ev.DCSavings = fleet.DCSavings(ev.ClusterSavings, breakdown)
+
+	if chk := audit.Resolve(f.Audit); chk != nil {
+		f.auditEvaluation(chk, in, baseClass, greenClass, ev)
+	}
 	return ev, nil
+}
+
+// auditEvaluation checks the pipeline-level invariants that no single
+// component can see: the buffered cluster still covers the workload's
+// peak demand, and fleet attenuation never amplifies cluster savings.
+func (f *Framework) auditEvaluation(chk audit.Checker, in Input, baseClass, greenClass alloc.ServerClass, ev Evaluation) {
+	if ev.Buffered.BufferServers < 0 {
+		audit.Failf(chk, "core", "negative-buffer",
+			"trace %s: %d buffer servers", in.Workload.Name, ev.Buffered.BufferServers)
+	}
+	// Buffered capacity >= peak demand. Full-node VMs requesting more
+	// than one baseline server consume only the server they pin, so the
+	// requested peak is not a lower bound for them (mirrors the guard
+	// in cluster's sizing audit).
+	skipPeak := false
+	for _, v := range in.Workload.VMs {
+		if v.FullNode && (v.Cores > baseClass.Cores || float64(v.Memory) > float64(baseClass.Memory)) {
+			skipPeak = true
+			break
+		}
+	}
+	if !skipPeak {
+		st := trace.Summarise(in.Workload)
+		cores := (ev.Buffered.Mix.NBase+ev.Buffered.BufferServers)*baseClass.Cores +
+			ev.Buffered.Mix.NGreen*greenClass.Cores
+		if cores < st.PeakCoreDmd {
+			audit.Failf(chk, "core", "buffered-capacity-below-peak",
+				"trace %s: buffered capacity %d cores below peak demand %d",
+				in.Workload.Name, cores, st.PeakCoreDmd)
+		}
+	}
+	// DCSavings scales ClusterSavings by compute's share of datacenter
+	// emissions, a fraction in [0, 1]: attenuation only.
+	if math.Abs(ev.DCSavings) > math.Abs(ev.ClusterSavings)+audit.CarbonTol {
+		audit.Failf(chk, "core", "dc-savings-amplified",
+			"trace %s: |DC savings| %g exceeds |cluster savings| %g",
+			in.Workload.Name, ev.DCSavings, ev.ClusterSavings)
+	}
 }
 
 func classOf(sku hw.SKU, green bool) alloc.ServerClass {

@@ -1,0 +1,13 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"github.com/greensku/gsf/internal/audit"
+)
+
+// TestMain runs the package under a process-default audit.Recorder, so
+// every pipeline evaluation any test performs doubles as an invariant
+// sweep across all components.
+func TestMain(m *testing.M) { os.Exit(audit.SweepMain(m)) }

@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCacheStatsConcurrent pins the accounting contract under
+// contention: with no failing computations, every Do call is counted
+// exactly once — as the leader's miss or a follower's hit — even while
+// Stats and Len are read concurrently. Run under -race (CI does), this
+// also guards the atomic hit/miss counters against regressing to plain
+// fields.
+func TestCacheStatsConcurrent(t *testing.T) {
+	const (
+		goroutines = 16
+		iterations = 200
+		keys       = 7
+	)
+	c := NewCache[int](keys)
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%keys)
+				v, err := c.Do(key, func() (int, error) { return (g + i) % keys, nil })
+				if err != nil {
+					t.Errorf("Do(%s): %v", key, err)
+				}
+				if want := (g + i) % keys; v != want {
+					t.Errorf("Do(%s) = %d, want %d", key, v, want)
+				}
+				// Concurrent readers must be safe against in-flight Do calls.
+				c.Stats()
+				c.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	hits, misses := c.Stats()
+	if total := int64(goroutines * iterations); hits+misses != total {
+		t.Errorf("hits (%d) + misses (%d) = %d, want every Do counted once (%d)",
+			hits, misses, hits+misses, total)
+	}
+	if misses < keys {
+		t.Errorf("misses = %d, want at least one per key (%d)", misses, keys)
+	}
+	if c.Len() > keys {
+		t.Errorf("Len() = %d exceeds capacity %d", c.Len(), keys)
+	}
+}

@@ -1,0 +1,78 @@
+package perf
+
+import (
+	"testing"
+
+	"github.com/greensku/gsf/internal/apps"
+	"github.com/greensku/gsf/internal/audit"
+	"github.com/greensku/gsf/internal/hw"
+)
+
+// Metamorphic properties of the sensitivity model behind ServiceTime:
+// every profile-dependent term multiplies the app's base service time,
+// so scaling the base scales the result, ratios cancel it entirely,
+// and each sensitivity moves latency in its documented direction.
+
+func TestServiceTimeLinearInBaseService(t *testing.T) {
+	profiles := []Profile{
+		ProfileOf(hw.BaselineGen3(), false),
+		ProfileOf(hw.GreenSKUCXL(), true),
+		ProfileOf(hw.GreenSKUEfficient(), false),
+	}
+	for _, a := range apps.All() {
+		for _, p := range profiles {
+			ref := ServiceTime(a, p)
+			for _, alpha := range []float64{0.5, 2, 3.5, 10} {
+				scaled := a
+				scaled.BaseServiceMS = a.BaseServiceMS * alpha
+				if got, want := ServiceTime(scaled, p), ref*alpha; !audit.Close(got, want, 1e-12) {
+					t.Errorf("%s on %s: ServiceTime(%g*base) = %g, want exactly %g",
+						a.Name, p.SKU, alpha, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSlowdownInvariantUnderBaseServiceScaling(t *testing.T) {
+	green := ProfileOf(hw.GreenSKUCXL(), true)
+	base := ProfileOf(hw.BaselineGen3(), false)
+	for _, a := range apps.All() {
+		ref := Slowdown(a, green, base)
+		scaled := a
+		scaled.BaseServiceMS = a.BaseServiceMS * 7.5
+		if got := Slowdown(scaled, green, base); !audit.Close(got, ref, 1e-12) {
+			t.Errorf("%s: slowdown moved with base service time: %g -> %g", a.Name, ref, got)
+		}
+	}
+}
+
+func TestServiceTimeMonotoneInCPUScore(t *testing.T) {
+	// A strictly faster CPU (all else equal) never increases service
+	// time; with positive frequency sensitivity it strictly decreases.
+	base := ProfileOf(hw.BaselineGen3(), false)
+	faster := base
+	faster.CPUScore = base.CPUScore * 1.3
+	for _, a := range apps.All() {
+		s0, s1 := ServiceTime(a, base), ServiceTime(a, faster)
+		if s1 > s0 {
+			t.Errorf("%s: faster CPU increased service time: %g -> %g", a.Name, s0, s1)
+		}
+		if a.FreqSens > 0 && s1 >= s0 {
+			t.Errorf("%s (FreqSens=%g): faster CPU did not decrease service time", a.Name, a.FreqSens)
+		}
+	}
+}
+
+func TestCXLLatencyPenaltyMatchesSensitivity(t *testing.T) {
+	// CXL doubles memory latency, so the slowdown on an otherwise
+	// identical profile is exactly 1 + MemLatSens.
+	local := ProfileOf(hw.GreenSKUCXL(), false)
+	cxl := ProfileOf(hw.GreenSKUCXL(), true)
+	for _, a := range apps.All() {
+		got := ServiceTime(a, cxl) / ServiceTime(a, local)
+		if want := 1 + a.MemLatSens; !audit.Close(got, want, 1e-12) {
+			t.Errorf("%s: CXL slowdown = %g, want 1+MemLatSens = %g", a.Name, got, want)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package queueing
+
+import (
+	"testing"
+
+	"github.com/greensku/gsf/internal/audit"
+)
+
+func TestAuditCleanRun(t *testing.T) {
+	rec := audit.NewRecorder()
+	res, err := Run(Config{
+		Servers:     8,
+		ArrivalRate: 100,
+		Service:     LogNormal{MeanSeconds: 0.05, CV: 1.2},
+		Requests:    20000,
+		Seed:        7,
+		Audit:       rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P95 <= 0 {
+		t.Fatalf("P95 = %g, want > 0", res.P95)
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatalf("clean queueing run recorded violations: %v\n%v", err, rec.Violations())
+	}
+}
+
+func TestAuditCleanSaturatedRun(t *testing.T) {
+	// Overload the queue: saturation is a legal regime, not a violation.
+	rec := audit.NewRecorder()
+	res, err := Run(Config{
+		Servers:     2,
+		ArrivalRate: 2 * Capacity(2, Exponential{MeanSeconds: 0.1}),
+		Service:     Exponential{MeanSeconds: 0.1},
+		Requests:    5000,
+		Seed:        11,
+		Audit:       rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated {
+		t.Fatal("2x-capacity run not flagged saturated")
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatalf("saturated run recorded violations: %v\n%v", err, rec.Violations())
+	}
+}
+
+func TestAuditHeapDetectsDisorder(t *testing.T) {
+	rec := audit.NewRecorder()
+	auditHeap(rec, serverHeap{5, 1, 9}) // parent 5 > child 1
+	if rec.Counts()["queueing/heap-order"] == 0 {
+		t.Fatalf("broken heap not detected; counts = %v", rec.Counts())
+	}
+	rec.Reset()
+	auditHeap(rec, serverHeap{1, 5, 9, 6, 7})
+	if rec.Count() != 0 {
+		t.Fatalf("valid heap flagged: %v", rec.Violations())
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/greensku/gsf/internal/audit"
 	"github.com/greensku/gsf/internal/stats"
 )
 
@@ -63,6 +64,11 @@ type Config struct {
 	Warmup      int // requests discarded before measurement
 	Requests    int // measured requests
 	Seed        uint64
+	// Audit receives invariant violations (event-clock monotonicity,
+	// service ordering, heap integrity, percentile ordering). Nil falls
+	// back to the process default (audit.SetDefault); if that is also
+	// nil, checking is disabled and costs nothing.
+	Audit audit.Checker
 }
 
 // Result summarises one simulation run.
@@ -119,6 +125,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		cfg.Warmup = cfg.Requests / 10
 	}
 	r := stats.NewRNG(cfg.Seed)
+	chk := audit.Resolve(cfg.Audit)
 
 	free := make(serverHeap, cfg.Servers)
 	heap.Init(&free)
@@ -132,7 +139,11 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 			if err := ctx.Err(); err != nil {
 				return Result{}, err
 			}
+			if chk != nil {
+				auditHeap(chk, free)
+			}
 		}
+		prev := now
 		now += r.Exp(meanIA)
 		s := cfg.Service.Sample(r)
 		freeAt := free[0]
@@ -141,6 +152,27 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 			start = freeAt
 		}
 		done := start + s
+		if chk != nil {
+			// The event clock may only move forward, a request may not
+			// start before it arrives or complete before it starts, and
+			// its latency includes at least its own service time.
+			if now < prev {
+				audit.Failf(chk, "queueing", "clock-monotonicity",
+					"arrival clock moved backwards: %g -> %g at request %d", prev, now, i)
+			}
+			if start < now {
+				audit.Failf(chk, "queueing", "start-before-arrival",
+					"request %d started at %g before arrival %g", i, start, now)
+			}
+			if done < start {
+				audit.Failf(chk, "queueing", "completion-before-start",
+					"request %d completed at %g before start %g", i, done, start)
+			}
+			if lat := done - now; lat < s-audit.SimTol {
+				audit.Failf(chk, "queueing", "latency-below-service",
+					"request %d latency %g below service time %g", i, lat, s)
+			}
+		}
 		free[0] = done
 		heap.Fix(&free, 0)
 		if i >= cfg.Warmup {
@@ -166,7 +198,25 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 			res.Saturated = true
 		}
 	}
+	if chk != nil {
+		if !(res.P50 <= res.P95+audit.SimTol) || !(res.P95 <= res.P99+audit.SimTol) {
+			audit.Failf(chk, "queueing", "percentile-order",
+				"latency percentiles unordered: P50=%g P95=%g P99=%g", res.P50, res.P95, res.P99)
+		}
+	}
 	return res, nil
+}
+
+// auditHeap verifies the free-server heap still satisfies the min-heap
+// property; called periodically from the event loop when auditing is on.
+func auditHeap(chk audit.Checker, h serverHeap) {
+	for i := 1; i < len(h); i++ {
+		if parent := (i - 1) / 2; h[parent] > h[i] {
+			audit.Failf(chk, "queueing", "heap-order",
+				"free-server heap violated at index %d: parent %g > child %g", i, h[parent], h[i])
+			return
+		}
+	}
 }
 
 // Capacity returns the theoretical peak throughput of k servers with

@@ -1,0 +1,45 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/greensku/gsf/internal/audit"
+)
+
+func TestAuditGaugeExportedWhenEnabled(t *testing.T) {
+	rec := audit.NewRecorder()
+	s := newTestServer(t, Config{Audit: rec})
+
+	w := post(t, s.Handler(), "/v1/evaluate", `{`+smallWorkload+`}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("evaluate = %d: %s", w.Code, w.Body.String())
+	}
+	if n := s.AuditViolations(); n != 0 {
+		t.Fatalf("audited evaluation recorded %d violations: %v", n, rec.Violations())
+	}
+
+	m := get(t, s.Handler(), "/metrics")
+	body := m.Body.String()
+	if !strings.Contains(body, "gsfd_audit_violations 0") {
+		t.Fatalf("/metrics missing gsfd_audit_violations gauge:\n%s", body)
+	}
+
+	// The gauge tracks the recorder live.
+	audit.Failf(rec, "test", "synthetic", "injected")
+	m = get(t, s.Handler(), "/metrics")
+	if !strings.Contains(m.Body.String(), "gsfd_audit_violations 1") {
+		t.Fatalf("gauge did not follow the recorder:\n%s", m.Body.String())
+	}
+}
+
+func TestAuditGaugeAbsentWhenDisabled(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if strings.Contains(get(t, s.Handler(), "/metrics").Body.String(), "gsfd_audit_violations") {
+		t.Fatal("gsfd_audit_violations exported without -audit")
+	}
+	if s.AuditViolations() != 0 {
+		t.Fatal("AuditViolations non-zero without a recorder")
+	}
+}

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// FuzzBatchRequest throws arbitrary bytes at POST /v1/batch. The
+// handler must never panic, must answer only with the statuses the
+// endpoint documents (200, 400 bad request, 429 shed, 503 deadline),
+// and every 200 body must decode as a batchResponse with one result
+// per submitted item.
+func FuzzBatchRequest(f *testing.F) {
+	// One server for the whole run: building frameworks per input
+	// would dominate fuzzing time. MaxTraceVMs keeps any evaluate
+	// items the fuzzer discovers cheap.
+	s, err := New(Config{
+		MaxTraceVMs:    60,
+		RequestTimeout: 10 * time.Second,
+		Logger:         slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(s.Close)
+	h := s.Handler()
+
+	f.Add([]byte(`{"items":[{"kind":"percore","sku":"Baseline","ci":0.1}]}`))
+	f.Add([]byte(`{"items":[{"kind":"savings","sku":"GreenSKU-Full","baseline":"Baseline"}]}`))
+	f.Add([]byte(`{"items":[{"kind":"evaluate","workload":{"name":"t","seed":7,"arrivals_per_hour":1,"horizon_hours":24}}]}`))
+	f.Add([]byte(`{"items":[{"kind":"percore","sku":"Baseline"},{"kind":"nope"}]}`))
+	f.Add([]byte(`{"items":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte("\x00\xff{}"))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/batch", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+
+		switch w.Code {
+		case http.StatusOK:
+			var resp batchResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 body does not decode as batchResponse: %v\n%s", err, w.Body.Bytes())
+			}
+			if len(resp.Results) == 0 {
+				t.Fatalf("200 with no results:\n%s", w.Body.Bytes())
+			}
+			var in batchRequest
+			if err := json.Unmarshal(body, &in); err == nil && len(resp.Results) != len(in.Items) {
+				t.Fatalf("batch of %d items answered with %d results", len(in.Items), len(resp.Results))
+			}
+		case http.StatusBadRequest, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			// Documented rejections.
+		default:
+			t.Fatalf("undocumented status %d for body %q: %s", w.Code, body, w.Body.Bytes())
+		}
+	})
+}

@@ -1,0 +1,13 @@
+package server
+
+import (
+	"os"
+	"testing"
+
+	"github.com/greensku/gsf/internal/audit"
+)
+
+// TestMain runs the package under a process-default audit.Recorder, so
+// every evaluation the handler tests trigger doubles as an invariant
+// sweep.
+func TestMain(m *testing.M) { os.Exit(audit.SweepMain(m)) }

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"github.com/greensku/gsf"
+	"github.com/greensku/gsf/internal/audit"
 	"github.com/greensku/gsf/internal/core"
 )
 
@@ -55,6 +56,10 @@ type Config struct {
 	MaxBatchItems int
 	// Logger receives structured request logs. Default: slog.Default.
 	Logger *slog.Logger
+	// Audit, when set, threads runtime invariant checking through every
+	// framework the service builds; the violation count is exported as
+	// the gsfd_audit_violations gauge. Default: nil (auditing off).
+	Audit *audit.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -135,13 +140,17 @@ func New(cfg Config) (*Server, error) {
 		flight:   newFlightGroup(),
 	}
 
+	var fwOpts []gsf.Option
+	if cfg.Audit != nil {
+		fwOpts = append(fwOpts, gsf.WithAudit(cfg.Audit))
+	}
 	for _, d := range gsf.DatasetCatalog() {
 		m, err := gsf.NewModel(d)
 		if err != nil {
 			s.pool.close()
 			return nil, fmt.Errorf("server: dataset %s: %w", d.Name, err)
 		}
-		s.datasets[d.Name] = &dataset{name: d.Name, model: m, fw: m.Framework()}
+		s.datasets[d.Name] = &dataset{name: d.Name, model: m, fw: m.Framework(fwOpts...)}
 		s.datasetOrder = append(s.datasetOrder, d.Name)
 	}
 	for _, sku := range gsf.SKUCatalog() {
@@ -161,6 +170,11 @@ func New(cfg Config) (*Server, error) {
 		"Compute requests currently being served.", func() float64 { return float64(s.inflight.Load()) })
 	s.metrics.RegisterGauge("gsfd_cache_entries",
 		"Entries in the result cache.", func() float64 { return float64(s.cache.len()) })
+	if cfg.Audit != nil {
+		s.metrics.RegisterGauge("gsfd_audit_violations",
+			"Invariant violations recorded since start (0 when auditing is off).",
+			func() float64 { return float64(cfg.Audit.Count()) })
+	}
 
 	s.routes()
 	s.ready.Store(true)
@@ -191,6 +205,15 @@ func (s *Server) routes() {
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// AuditViolations reports the invariant violations recorded since
+// start; zero when auditing is not configured.
+func (s *Server) AuditViolations() int64 {
+	if s.cfg.Audit == nil {
+		return 0
+	}
+	return s.cfg.Audit.Count()
+}
 
 // SetReady flips the /readyz state; cmd/gsfd marks the server
 // not-ready at the start of a graceful drain so load balancers stop

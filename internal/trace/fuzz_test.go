@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzTraceCSV feeds arbitrary bytes to ReadCSV and, whenever the
+// input parses as a valid trace, checks the serialisation round trip:
+// WriteCSV must succeed, its output must re-read as an equivalent
+// trace (exact on integer/string fields, within the documented column
+// precision on floats), and the only acceptable re-read failures are
+// the rounding collapses the fixed-precision format allows (a VM
+// lifetime under the 3-decimal resolution, or a memory request that
+// rounds to zero GB).
+func FuzzTraceCSV(f *testing.F) {
+	f.Add([]byte("id,arrive_h,depart_h,cores,memory_gb,gen,full_node,app,max_mem_frac\n"))
+	f.Add([]byte("id,arrive_h,depart_h,cores,memory_gb,gen,full_node,app,max_mem_frac\n" +
+		"0,0.500,12.250,4,24,2,false,web-serve,0.410\n" +
+		"1,1.000,300.000,80,768,3,true,\"big,data\",0.900\n"))
+	f.Add([]byte("id,arrive_h,depart_h,cores\n0,1,2,4\n"))
+	f.Add([]byte("not a csv at all \x00\xff"))
+	f.Add([]byte("id,arrive_h,depart_h,cores,memory_gb,gen,full_node,app,max_mem_frac\n" +
+		"0,NaN,2.000,4,24,2,false,web-serve,0.500\n"))
+
+	// Seed with the generator's own output so the fuzzer starts from a
+	// fully realistic trace.
+	tr, err := Generate(DefaultParams("fuzz-seed", 7))
+	if err != nil {
+		f.Fatal(err)
+	}
+	tr.VMs = tr.VMs[:min(len(tr.VMs), 20)]
+	var seed bytes.Buffer
+	if err := WriteCSV(&seed, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadCSV(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			return // rejecting malformed input is the contract
+		}
+		var w1 bytes.Buffer
+		if err := WriteCSV(&w1, tr); err != nil {
+			t.Fatalf("WriteCSV failed on a valid trace: %v", err)
+		}
+		tr2, err := ReadCSV(bytes.NewReader(w1.Bytes()), "fuzz")
+		if err != nil {
+			// Our own output may only be rejected when fixed-precision
+			// rounding collapsed a field, never for structural reasons.
+			for _, v := range tr.VMs {
+				if v.Depart-v.Arrive <= 0.0011 || float64(v.Memory) <= 0.5011 {
+					return
+				}
+			}
+			t.Fatalf("re-read of own output failed without a rounding collapse: %v\n%s", err, w1.Bytes())
+		}
+		if len(tr2.VMs) != len(tr.VMs) {
+			t.Fatalf("round trip changed VM count: %d -> %d", len(tr.VMs), len(tr2.VMs))
+		}
+		for i, a := range tr.VMs {
+			b := tr2.VMs[i]
+			if a.ID != b.ID || a.Cores != b.Cores || a.Gen != b.Gen ||
+				a.FullNode != b.FullNode || a.App != b.App {
+				t.Fatalf("VM %d exact fields changed: %+v -> %+v", i, a, b)
+			}
+			// arrive_h/depart_h/max_mem_frac carry 3 decimals, memory_gb
+			// carries 0; allow half a unit in the last place plus float
+			// slack proportional to the magnitude.
+			checkClose(t, i, "arrive", a.Arrive, b.Arrive, 0.0005)
+			checkClose(t, i, "depart", a.Depart, b.Depart, 0.0005)
+			checkClose(t, i, "max_mem_frac", a.MaxMemFrac, b.MaxMemFrac, 0.0005)
+			checkClose(t, i, "memory", float64(a.Memory), float64(b.Memory), 0.5)
+		}
+	})
+}
+
+func checkClose(t *testing.T, i int, field string, a, b, unit float64) {
+	t.Helper()
+	if math.Abs(a-b) > unit+1e-9*math.Abs(a) {
+		t.Fatalf("VM %d %s drifted beyond column precision: %v -> %v", i, field, a, b)
+	}
+}

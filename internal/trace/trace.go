@@ -57,6 +57,13 @@ type Trace struct {
 func (t Trace) Validate() error {
 	prev := math.Inf(-1)
 	for i, v := range t.VMs {
+		// Reject non-finite fields first: NaN slips through every
+		// ordering comparison below (all NaN comparisons are false),
+		// and infinite times would stall the allocation simulator's
+		// snapshot clock.
+		if !finite(v.Arrive) || !finite(v.Depart) || !finite(float64(v.Memory)) || !finite(v.MaxMemFrac) {
+			return fmt.Errorf("trace %s: VM %d has a non-finite field", t.Name, i)
+		}
 		if v.Depart <= v.Arrive {
 			return fmt.Errorf("trace %s: VM %d departs before arriving", t.Name, i)
 		}
@@ -76,6 +83,8 @@ func (t Trace) Validate() error {
 	}
 	return nil
 }
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // GenParams parameterises the synthetic generator.
 type GenParams struct {

@@ -28,6 +28,17 @@ func WithProfileCache(entries int) Option {
 	return func(f *Framework) { f.SetProfileCacheSize(entries) }
 }
 
+// WithAudit threads a runtime invariant checker through every
+// component the framework runs: resource conservation in the
+// allocation simulator, event ordering in the queueing simulator,
+// carbon-mass balance in the carbon model, and capacity coverage in
+// cluster sizing. Violations accumulate in the checker (use
+// NewAuditRecorder) without altering any result. A nil checker leaves
+// auditing at the process default.
+func WithAudit(c AuditChecker) Option {
+	return func(f *Framework) { f.SetAudit(c) }
+}
+
 // New builds a GSF instance over a carbon dataset with the paper's
 // default component settings, then applies the options in order.
 func New(d Dataset, opts ...Option) (*Framework, error) {
