@@ -1,0 +1,97 @@
+// Command gsfbench measures the simulators' hot paths and emits a
+// machine-readable perf artifact (BENCH_alloc.json): the 35-trace
+// allocation sweep through the indexed allocator and the reference
+// linear scan, plus the queueing saturation curve. It verifies the two
+// allocators are decision-identical on every trace and can gate on a
+// minimum indexed-vs-reference speedup, which is how CI fails a PR
+// that regresses the placement index.
+//
+// Usage:
+//
+//	gsfbench                                    # full sweep, write BENCH_alloc.json
+//	gsfbench -servers 10000 -min-speedup 2      # CI gate
+//	gsfbench -quick                             # small smoke run
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/greensku/gsf/internal/experiments"
+)
+
+func main() {
+	servers := flag.Int("servers", 10000, "servers per class in the allocation sweep")
+	traces := flag.Int("traces", 35, "production-suite traces to replay (max 35)")
+	out := flag.String("out", "BENCH_alloc.json", "artifact path ('-' for stdout)")
+	minSpeedup := flag.Float64("min-speedup", 0, "exit non-zero unless indexed/reference speedup reaches this (0 disables)")
+	qServers := flag.Int("qservers", 64, "queueing benchmark parallelism")
+	qSteps := flag.Int("qsteps", 8, "queueing curve load points")
+	seed := flag.Uint64("seed", 42, "queueing benchmark seed")
+	quick := flag.Bool("quick", false, "small smoke run (4 traces, 500 servers, 4 curve points)")
+	flag.Parse()
+
+	if *quick {
+		*traces, *servers, *qSteps = 4, 500, 4
+	}
+	if err := run(*servers, *traces, *out, *minSpeedup, *qServers, *qSteps, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "gsfbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(servers, traces int, out string, minSpeedup float64, qServers, qSteps int, seed uint64) error {
+	ctx := context.Background()
+	alloc, err := experiments.AllocSweepBench(ctx, experiments.AllocBenchOptions{
+		Traces:          traces,
+		ServersPerClass: servers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("alloc sweep: %d traces, %d VMs, %d servers/class (%s)\n",
+		alloc.Traces, alloc.VMs, alloc.ServersPerClass, alloc.Policy)
+	fmt.Printf("  indexed   %8.3fs\n", alloc.IndexedSeconds)
+	fmt.Printf("  reference %8.3fs\n", alloc.ReferenceSeconds)
+	fmt.Printf("  speedup   %8.2fx   decision-identical: %v\n", alloc.Speedup, alloc.DecisionIdentical)
+
+	queue, err := experiments.QueueBench(experiments.QueueBenchOptions{
+		Servers: qServers, Steps: qSteps, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("queueing curve: %d servers, %d points in %.3fs\n", queue.Servers, queue.Steps, queue.Seconds)
+
+	art := experiments.BenchArtifact{Alloc: alloc, Queueing: queue}
+	if out == "-" {
+		err = experiments.WriteBenchArtifact(os.Stdout, art)
+	} else {
+		var f *os.File
+		f, err = os.Create(out)
+		if err != nil {
+			return err
+		}
+		werr := experiments.WriteBenchArtifact(f, art)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		err = werr
+		if err == nil {
+			fmt.Printf("wrote %s\n", out)
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	if !alloc.DecisionIdentical {
+		return fmt.Errorf("indexed and reference allocators diverged — the placement index is wrong")
+	}
+	if minSpeedup > 0 && alloc.Speedup < minSpeedup {
+		return fmt.Errorf("indexed path speedup %.2fx below the %.2fx gate", alloc.Speedup, minSpeedup)
+	}
+	return nil
+}

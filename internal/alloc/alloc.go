@@ -12,7 +12,6 @@
 package alloc
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
@@ -61,7 +60,8 @@ const (
 	BestFit Policy = iota
 	// FirstFit picks the lowest-indexed feasible server.
 	FirstFit
-	// WorstFit picks the feasible server with the most free cores.
+	// WorstFit picks the feasible server with the most free cores
+	// (ties: most free memory), the spreading counterpart of BestFit.
 	WorstFit
 )
 
@@ -95,6 +95,13 @@ type Config struct {
 	// the process default (audit.SetDefault); if that is also nil,
 	// checking is disabled and costs nothing.
 	Audit audit.Checker
+	// ReferenceScan disables the O(log S) placement index and selects
+	// servers with the original O(S) linear scan. The two paths are
+	// decision-identical (proven by the differential suite; audited
+	// runs additionally cross-check every indexed pick against the
+	// scan); the flag exists so the reference implementation stays
+	// executable for differential tests and benchmarks.
+	ReferenceScan bool
 }
 
 type server struct {
@@ -105,6 +112,12 @@ type server struct {
 	// maxMemTouched accumulates the resident VMs' maximum touched
 	// memory in GB (request * MaxMemFrac), the Fig. 10 metric.
 	maxMemTouched float64
+	// id is the server's index within its pool — the placement
+	// tie-break of last resort, and its node slot in the pool's index.
+	id int32
+	// ix is the pool's placement index, or nil when running the
+	// reference scan; mutations must detach from and re-attach to it.
+	ix *poolIndex
 }
 
 func (s *server) fits(cores, mem float64) bool {
@@ -118,18 +131,56 @@ type departure struct {
 	touched    float64
 }
 
+// depHeap is a min-heap of pending departures ordered by time. It uses
+// typed push/pop rather than container/heap: the interface-based API
+// boxes every departure through an interface{}, one heap allocation per
+// placement on the simulator's hot path. The sift directions mirror
+// container/heap's exactly, so equal-time departures pop in the same
+// order as before.
 type depHeap []departure
 
-func (h depHeap) Len() int            { return len(h) }
-func (h depHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h depHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *depHeap) Push(x interface{}) { *h = append(*h, x.(departure)) }
-func (h *depHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func depPush(h *depHeap, d departure) {
+	*h = append(*h, d)
+	hh := *h
+	i := len(hh) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if hh[parent].at <= hh[i].at {
+			break
+		}
+		hh[parent], hh[i] = hh[i], hh[parent]
+		i = parent
+	}
+}
+
+func depPop(h *depHeap) departure {
+	hh := *h
+	top := hh[0]
+	n := len(hh) - 1
+	hh[0] = hh[n]
+	hh[n] = departure{} // drop the server pointer for the collector
+	*h = hh[:n]
+	depSiftDown(hh[:n], 0)
+	return top
+}
+
+func depSiftDown(h depHeap, i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h[r].at < h[l].at {
+			m = r
+		}
+		if h[i].at <= h[m].at {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // ClassStats aggregates snapshot measurements for one server class.
@@ -191,8 +242,17 @@ func SimulateContext(ctx context.Context, tr trace.Trace, cfg Config, decide Dec
 	baseSrvs := makeServers(&cfg.Base, cfg.NBase)
 	greenSrvs := makeServers(&cfg.Green, cfg.NGreen)
 
+	// Build the placement index unless the caller asked for the
+	// reference scan. testIgnoreCapacity forces the scan too: it
+	// deliberately breaks feasibility so the audit canary tests can
+	// watch the scan path get caught.
+	var baseIx, greenIx *poolIndex
+	if !cfg.ReferenceScan && !testIgnoreCapacity {
+		baseIx = newPoolIndex(baseSrvs)
+		greenIx = newPoolIndex(greenSrvs)
+	}
+
 	var deps depHeap
-	heap.Init(&deps)
 	var res Result
 	baseAgg := newAggregator()
 	greenAgg := newAggregator()
@@ -200,13 +260,20 @@ func SimulateContext(ctx context.Context, tr trace.Trace, cfg Config, decide Dec
 
 	release := func(until float64) {
 		for len(deps) > 0 && deps[0].at <= until {
-			d := heap.Pop(&deps).(departure)
-			d.srv.coresFree += d.cores
-			d.srv.memFree += d.mem
-			d.srv.vms--
-			d.srv.maxMemTouched -= d.touched
+			d := depPop(&deps)
+			s := d.srv
+			if s.ix != nil {
+				s.ix.detach(s)
+			}
+			s.coresFree += d.cores
+			s.memFree += d.mem
+			s.vms--
+			s.maxMemTouched -= d.touched
+			if s.ix != nil {
+				s.ix.attach(s)
+			}
 			if chk != nil {
-				auditServerBounds(chk, d.srv, "release")
+				auditServerBounds(chk, s, "release")
 			}
 		}
 	}
@@ -233,31 +300,43 @@ func SimulateContext(ctx context.Context, tr trace.Trace, cfg Config, decide Dec
 		}
 		var placedSrv *server
 		var cores, mem float64
+		placedGreen := false
 		if vm.FullNode {
 			// Full-node VMs take a dedicated, empty baseline server.
-			for _, s := range baseSrvs {
-				if s.vms == 0 && s.fits(float64(s.class.Cores), float64(s.class.Memory)) {
-					placedSrv = s
-					cores = float64(s.class.Cores)
-					mem = float64(s.class.Memory)
-					break
+			full := float64(cfg.Base.Cores)
+			fullMem := float64(cfg.Base.Memory)
+			if baseIx != nil {
+				placedSrv = baseIx.firstEmptyFitting(full, fullMem)
+				if chk != nil {
+					auditFullNodePick(chk, baseSrvs, placedSrv, full, fullMem)
 				}
+			} else {
+				for _, s := range baseSrvs {
+					if s.vms == 0 && s.fits(full, fullMem) {
+						placedSrv = s
+						break
+					}
+				}
+			}
+			if placedSrv != nil {
+				cores, mem = full, fullMem
 			}
 		} else {
 			if d.Adopt && cfg.NGreen > 0 {
 				cores = float64(vm.Cores) * d.Scale
 				mem = float64(vm.Memory) * d.Scale
-				placedSrv = pick(greenSrvs, cores, mem, cfg)
+				placedSrv = pickFrom(chk, greenIx, greenSrvs, cores, mem, cfg)
+				placedGreen = placedSrv != nil
 			}
 			if placedSrv == nil {
 				cores = float64(vm.Cores)
 				mem = float64(vm.Memory)
-				placedSrv = pick(baseSrvs, cores, mem, cfg)
+				placedSrv = pickFrom(chk, baseIx, baseSrvs, cores, mem, cfg)
 			}
 		}
 		if placedSrv == nil {
 			if chk != nil {
-				auditRejection(chk, vm, baseSrvs, greenSrvs, d, cfg)
+				auditRejection(chk, vm, baseSrvs, greenSrvs, baseIx, greenIx, d, cfg)
 			}
 			res.Rejected++
 			continue
@@ -276,14 +355,23 @@ func SimulateContext(ctx context.Context, tr trace.Trace, cfg Config, decide Dec
 			}
 		}
 		touched := mem * vm.MaxMemFrac
+		if placedSrv.ix != nil {
+			placedSrv.ix.detach(placedSrv)
+		}
 		placedSrv.coresFree -= cores
 		placedSrv.memFree -= mem
 		placedSrv.vms++
 		placedSrv.maxMemTouched += touched
+		if placedSrv.ix != nil {
+			placedSrv.ix.attach(placedSrv)
+		}
 		if chk != nil {
 			auditServerBounds(chk, placedSrv, "place")
 		}
-		heap.Push(&deps, departure{at: vm.Depart, srv: placedSrv, cores: cores, mem: mem, touched: touched})
+		if testObserve != nil {
+			testObserve(vm.ID, placedGreen, placedSrv.id)
+		}
+		depPush(&deps, departure{at: vm.Depart, srv: placedSrv, cores: cores, mem: mem, touched: touched})
 		res.Placed++
 	}
 	// Keep snapshotting through the tail of the trace, then take a
@@ -308,6 +396,11 @@ func SimulateContext(ctx context.Context, tr trace.Trace, cfg Config, decide Dec
 		release(math.Inf(1))
 		auditConservation(chk, baseSrvs)
 		auditConservation(chk, greenSrvs)
+		// The index saw every mutation; verify it still mirrors the
+		// pools structurally (treap order, augmented maxima, segment
+		// maxima, occupancy classes).
+		baseIx.auditIntegrity(chk, "base")
+		greenIx.auditIntegrity(chk, "green")
 	}
 
 	res.Base = baseAgg.stats()
@@ -362,16 +455,23 @@ func auditConservation(chk audit.Checker, servers []*server) {
 
 // auditRejection verifies a rejection was genuine: no feasible server
 // exists for the request. Runs only when auditing is enabled (it scans
-// the whole cluster).
-func auditRejection(chk audit.Checker, vm trace.VM, baseSrvs, greenSrvs []*server, d Decision, cfg Config) {
+// the whole cluster), and when the placement index is live it probes
+// the index too — a rejection the index agrees with but the slice
+// refutes (or vice versa) is itself a violation.
+func auditRejection(chk audit.Checker, vm trace.VM, baseSrvs, greenSrvs []*server, baseIx, greenIx *poolIndex, d Decision, cfg Config) {
 	if vm.FullNode {
 		// Full-node VMs need an empty baseline server.
+		full, fullMem := float64(cfg.Base.Cores), float64(cfg.Base.Memory)
 		for _, s := range baseSrvs {
-			if s.vms == 0 && s.fits(float64(s.class.Cores), float64(s.class.Memory)) {
+			if s.vms == 0 && s.fits(full, fullMem) {
 				audit.Failf(chk, "alloc", "spurious-rejection",
 					"full-node VM %d rejected with an empty baseline server available", vm.ID)
 				return
 			}
+		}
+		if baseIx != nil && baseIx.firstEmptyFitting(full, fullMem) != nil {
+			audit.Failf(chk, "alloc", "index-divergence",
+				"full-node VM %d: index reports an empty baseline server the scan does not", vm.ID)
 		}
 		return
 	}
@@ -381,6 +481,10 @@ func auditRejection(chk audit.Checker, vm trace.VM, baseSrvs, greenSrvs []*serve
 				"VM %d (%dc/%gGB) rejected with feasible baseline server", vm.ID, vm.Cores, float64(vm.Memory))
 			return
 		}
+	}
+	if baseIx != nil && baseIx.pick(float64(vm.Cores), float64(vm.Memory), cfg.Policy, cfg.PreferNonEmpty) != nil {
+		audit.Failf(chk, "alloc", "index-divergence",
+			"VM %d: baseline index reports a feasible server the scan does not", vm.ID)
 	}
 	if d.Adopt && cfg.NGreen > 0 {
 		scaledCores := float64(vm.Cores) * d.Scale
@@ -392,7 +496,56 @@ func auditRejection(chk audit.Checker, vm trace.VM, baseSrvs, greenSrvs []*serve
 				return
 			}
 		}
+		if greenIx != nil && greenIx.pick(scaledCores, scaledMem, cfg.Policy, cfg.PreferNonEmpty) != nil {
+			audit.Failf(chk, "alloc", "index-divergence",
+				"adopting VM %d: green index reports a feasible server the scan does not", vm.ID)
+		}
 	}
+}
+
+// auditFullNodePick cross-checks the index's full-node selection (the
+// lowest-indexed empty server that fits a whole baseline node) against
+// the reference scan.
+func auditFullNodePick(chk audit.Checker, baseSrvs []*server, got *server, full, fullMem float64) {
+	var want *server
+	for _, s := range baseSrvs {
+		if s.vms == 0 && s.fits(full, fullMem) {
+			want = s
+			break
+		}
+	}
+	if got != want {
+		audit.Failf(chk, "alloc", "index-divergence",
+			"full-node pick: index chose server %d, scan chose %d", srvID(got), srvID(want))
+	}
+}
+
+// pickFrom selects a feasible server from one pool: through the
+// placement index when it is live, by reference scan otherwise. With
+// auditing on, every indexed decision is re-derived by the scan and
+// any disagreement is reported — the index's runtime equivalence
+// guarantee.
+func pickFrom(chk audit.Checker, ix *poolIndex, servers []*server, cores, mem float64, cfg Config) *server {
+	if ix == nil {
+		return pick(servers, cores, mem, cfg)
+	}
+	s := ix.pick(cores, mem, cfg.Policy, cfg.PreferNonEmpty)
+	if chk != nil {
+		if ref := pick(servers, cores, mem, cfg); ref != s {
+			audit.Failf(chk, "alloc", "index-divergence",
+				"pick(%gc/%gGB, %v, preferNonEmpty=%v): index chose server %d, scan chose %d",
+				cores, mem, cfg.Policy, cfg.PreferNonEmpty, srvID(s), srvID(ref))
+		}
+	}
+	return s
+}
+
+// srvID renders a possibly-nil server's pool index for audit messages.
+func srvID(s *server) int32 {
+	if s == nil {
+		return -1
+	}
+	return s.id
 }
 
 func makeServers(class *ServerClass, n int) []*server {
@@ -402,6 +555,7 @@ func makeServers(class *ServerClass, n int) []*server {
 			class:     class,
 			coresFree: float64(class.Cores),
 			memFree:   float64(class.Memory),
+			id:        int32(i),
 		}
 	}
 	return out
@@ -410,10 +564,22 @@ func makeServers(class *ServerClass, n int) []*server {
 // testIgnoreCapacity, when true, makes pick skip the feasibility
 // check — a deliberately broken allocator. It exists only so tests can
 // prove the audit layer catches oversubscription; never set it outside
-// a test.
+// a test. It also forces the reference-scan path: the index cannot
+// express "ignore feasibility".
 var testIgnoreCapacity bool
 
-// pick selects a feasible server under the configured policy.
+// testObserve, when non-nil, receives every successful placement
+// (VM ID, pool, server index) in decision order. The differential
+// suite uses it to compare the indexed and reference allocators'
+// placement sequences, not just their aggregate Results. Never set it
+// outside a test.
+var testObserve func(vmID int, green bool, serverID int32)
+
+// pick selects a feasible server under the configured policy by
+// linear scan — the reference implementation the placement index
+// (index.go) must match decision-for-decision. It stays the active
+// path when Config.ReferenceScan is set and defines the semantics the
+// differential and audit layers verify the index against.
 func pick(servers []*server, cores, mem float64, cfg Config) *server {
 	var best *server
 	bestNonEmpty := false
@@ -431,7 +597,12 @@ func pick(servers []*server, cores, mem float64, cfg Config) *server {
 			}
 			return cand.memFree < best.memFree
 		case WorstFit:
-			return cand.coresFree > best.coresFree
+			if cand.coresFree != best.coresFree {
+				return cand.coresFree > best.coresFree
+			}
+			// Symmetric with BestFit's two-level break: on equal free
+			// cores, prefer the server with more free memory.
+			return cand.memFree > best.memFree
 		default: // FirstFit: earlier index wins; iteration order handles it
 			return false
 		}

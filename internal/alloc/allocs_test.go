@@ -1,0 +1,75 @@
+package alloc
+
+// Steady-state allocation regressions: once a simulation's pools and
+// index are built, placing and releasing VMs must not touch the heap.
+// The index's treaps and segment tree are slice-backed and fixed-size,
+// and the departure heap reuses its backing array, so the simulator's
+// per-VM cost is pure CPU. testing.AllocsPerRun pins that at zero.
+
+import "testing"
+
+func TestIndexedPickZeroAllocs(t *testing.T) {
+	class := ServerClass{Name: "steady", Cores: 32, Memory: 256, LocalMemory: 256}
+	servers := makeServers(&class, 1024)
+	ix := newPoolIndex(servers)
+	// Mixed occupancy so queries traverse both treaps.
+	for i := 0; i < len(servers); i += 3 {
+		place(servers[i], 4, 32)
+	}
+	for _, pol := range []Policy{BestFit, FirstFit, WorstFit} {
+		avg := testing.AllocsPerRun(200, func() {
+			s := ix.pick(4, 32, pol, true)
+			if s == nil {
+				t.Fatal("no feasible server in a near-empty pool")
+			}
+			place(s, 4, 32)
+			unplace(s, 4, 32)
+		})
+		if avg != 0 {
+			t.Errorf("indexed pick+place+release under %v allocates %.1f times per op, want 0", pol, avg)
+		}
+	}
+}
+
+func TestDepartureHeapZeroAllocs(t *testing.T) {
+	var h depHeap
+	// One warm cycle establishes the backing array's capacity.
+	for i := 0; i < 128; i++ {
+		depPush(&h, departure{at: float64((i * 37) % 128)})
+	}
+	for len(h) > 0 {
+		depPop(&h)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 128; i++ {
+			depPush(&h, departure{at: float64((i * 53) % 128)})
+		}
+		for len(h) > 0 {
+			if d := depPop(&h); d.at < 0 {
+				t.Fatal("negative departure time")
+			}
+		}
+	})
+	if avg != 0 {
+		t.Errorf("departure heap churn allocates %.1f times per cycle, want 0", avg)
+	}
+}
+
+// TestDepartureHeapOrdering pins the typed heap to container/heap
+// semantics: pops come out in non-decreasing time order regardless of
+// push order.
+func TestDepartureHeapOrdering(t *testing.T) {
+	var h depHeap
+	times := []float64{5, 1, 9, 1, 7, 3, 3, 8, 0, 2, 6, 4}
+	for _, at := range times {
+		depPush(&h, departure{at: at})
+	}
+	prev := -1.0
+	for len(h) > 0 {
+		d := depPop(&h)
+		if d.at < prev {
+			t.Fatalf("heap popped %g after %g", d.at, prev)
+		}
+		prev = d.at
+	}
+}

@@ -1,0 +1,227 @@
+package alloc
+
+// Property tests for the placement index against two oracles: the
+// reference scan (pick equality on every query) and a naive recompute
+// of the index's own invariants (treap membership and ordering per
+// occupancy class, done by sorting the live servers). The fuzz harness
+// in index_fuzz_test.go drives the same checks from arbitrary byte
+// strings.
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/greensku/gsf/internal/audit"
+	"github.com/greensku/gsf/internal/stats"
+)
+
+// indexClass is a deliberately small SKU so random workloads collide
+// on free-capacity values and exercise every tie-break level.
+func indexClass() ServerClass {
+	return ServerClass{Name: "ix-test", Cores: 8, Memory: 64, LocalMemory: 64}
+}
+
+// opCores/opMem are the request quanta random and fuzzed workloads
+// draw from: small discrete values to force ties, plus fractional ones
+// (scaled requests) to force non-integral free capacities.
+var (
+	opCores = []float64{1, 2, 2.2, 3, 5.5}
+	opMem   = []float64{4, 8, 8.8, 16, 24}
+)
+
+// inOrder appends the subtree's node ids in key order.
+func inOrder(ix *poolIndex, n int32, out *[]int32) {
+	if n == nilNode {
+		return
+	}
+	inOrder(ix, ix.nodes[n].left, out)
+	*out = append(*out, n)
+	inOrder(ix, ix.nodes[n].right, out)
+}
+
+// checkOracle rebuilds the index's claims naively from the servers —
+// which server belongs to which occupancy treap, and in what order —
+// and verifies them, then runs the full structural integrity walk.
+func checkOracle(t *testing.T, ix *poolIndex, servers []*server) {
+	t.Helper()
+	want := map[bool][]int32{}
+	for _, s := range servers {
+		want[s.vms > 0] = append(want[s.vms > 0], s.id)
+	}
+	for _, ne := range []bool{true, false} {
+		ids := want[ne]
+		sort.Slice(ids, func(i, j int) bool {
+			a, b := servers[ids[i]], servers[ids[j]]
+			if a.coresFree != b.coresFree {
+				return a.coresFree < b.coresFree
+			}
+			if a.memFree != b.memFree {
+				return a.memFree < b.memFree
+			}
+			return a.id < b.id
+		})
+		root := ix.rootE
+		if ne {
+			root = ix.rootNE
+		}
+		var got []int32
+		inOrder(ix, root, &got)
+		if len(got) != len(ids) {
+			t.Fatalf("occupancy treap (ne=%v) holds %d servers, oracle says %d", ne, len(got), len(ids))
+		}
+		for i := range got {
+			if got[i] != ids[i] {
+				t.Fatalf("occupancy treap (ne=%v) order diverges at %d: index %v, oracle %v", ne, i, got, ids)
+			}
+		}
+	}
+	rec := audit.NewRecorder()
+	ix.auditIntegrity(rec, "oracle")
+	if rec.Count() > 0 {
+		t.Fatalf("index integrity violations: %v", rec.Violations())
+	}
+}
+
+// comparePicks checks every query the simulator issues — all policies,
+// both PreferNonEmpty settings, and the two full-node variants —
+// against the reference scan, for one request.
+func comparePicks(t *testing.T, ix *poolIndex, servers []*server, c, m float64) {
+	t.Helper()
+	for _, pol := range []Policy{BestFit, FirstFit, WorstFit} {
+		for _, prefer := range []bool{false, true} {
+			cfg := Config{Policy: pol, PreferNonEmpty: prefer}
+			got := ix.pick(c, m, pol, prefer)
+			want := pick(servers, c, m, cfg)
+			if got != want {
+				t.Fatalf("pick(%g, %g, %v, preferNonEmpty=%v): index chose %d, scan chose %d",
+					c, m, pol, prefer, srvID(got), srvID(want))
+			}
+		}
+	}
+	var wantFit, wantAny *server
+	for _, s := range servers {
+		if s.vms != 0 {
+			continue
+		}
+		if wantAny == nil {
+			wantAny = s
+		}
+		if wantFit == nil && s.fits(c, m) {
+			wantFit = s
+		}
+	}
+	if got := ix.firstEmptyFitting(c, m); got != wantFit {
+		t.Fatalf("firstEmptyFitting(%g, %g): index chose %d, scan chose %d", c, m, srvID(got), srvID(wantFit))
+	}
+	if got := ix.firstEmpty(); got != wantAny {
+		t.Fatalf("firstEmpty: index chose %d, scan chose %d", srvID(got), srvID(wantAny))
+	}
+}
+
+// place commits a placement on s through the detach/mutate/attach
+// protocol, exactly as the simulator does.
+func place(s *server, c, m float64) {
+	s.ix.detach(s)
+	s.coresFree -= c
+	s.memFree -= m
+	s.vms++
+	s.ix.attach(s)
+}
+
+func unplace(s *server, c, m float64) {
+	s.ix.detach(s)
+	s.coresFree += c
+	s.memFree += m
+	s.vms--
+	s.ix.attach(s)
+}
+
+// TestIndexMatchesOracleRandomOps drives random place/release
+// sequences and checks every index query against the scan after each
+// mutation, with periodic full-structure oracle checks.
+func TestIndexMatchesOracleRandomOps(t *testing.T) {
+	type placement struct {
+		s    *server
+		c, m float64
+	}
+	for seed := uint64(1); seed <= 6; seed++ {
+		r := stats.NewRNG(seed * 7919)
+		class := indexClass()
+		servers := makeServers(&class, 11)
+		ix := newPoolIndex(servers)
+		var live []placement
+		steps := 600
+		if testing.Short() {
+			steps = 150
+		}
+		for step := 0; step < steps; step++ {
+			if len(live) > 0 && r.Float64() < 0.45 {
+				k := r.Intn(len(live))
+				p := live[k]
+				unplace(p.s, p.c, p.m)
+				live[k] = live[len(live)-1]
+				live = live[:len(live)-1]
+			} else {
+				c := opCores[r.Intn(len(opCores))]
+				m := opMem[r.Intn(len(opMem))]
+				pol := Policy(r.Intn(3))
+				s := ix.pick(c, m, pol, r.Intn(2) == 0)
+				if s != nil {
+					place(s, c, m)
+					live = append(live, placement{s, c, m})
+				}
+			}
+			comparePicks(t, ix, servers, opCores[step%len(opCores)], opMem[step%len(opMem)])
+			if step%40 == 0 {
+				comparePicks(t, ix, servers, 0, 0)
+				comparePicks(t, ix, servers, 1e9, 1e9)
+				checkOracle(t, ix, servers)
+			}
+		}
+		checkOracle(t, ix, servers)
+	}
+}
+
+// TestAuditCatchesCorruptedIndex is the canary for the index's audit
+// hooks: mutating a server behind the index's back must surface both
+// as an integrity violation (stale key) and as a pick divergence.
+func TestAuditCatchesCorruptedIndex(t *testing.T) {
+	class := ServerClass{Name: "corrupt", Cores: 10, Memory: 100, LocalMemory: 100}
+	servers := makeServers(&class, 2)
+	ix := newPoolIndex(servers)
+	place(servers[0], 4, 40)
+
+	// Bypass the index: server 0 now has 1 core free, but the index
+	// still believes 6.
+	servers[0].coresFree -= 5
+
+	rec := audit.NewRecorder()
+	ix.auditIntegrity(rec, "canary")
+	if rec.Counts()["alloc/index-integrity"] == 0 {
+		t.Fatalf("stale index key not caught: %v", rec.Counts())
+	}
+
+	rec = audit.NewRecorder()
+	cfg := Config{Policy: BestFit}
+	got := pickFrom(rec, ix, servers, 6, 10, cfg)
+	if rec.Counts()["alloc/index-divergence"] == 0 {
+		t.Fatalf("index/scan divergence not caught (picked %d): %v", srvID(got), rec.Counts())
+	}
+}
+
+// TestIndexEmptyAndSinglePools covers the degenerate pool sizes the
+// simulator hands the index builder.
+func TestIndexEmptyAndSinglePools(t *testing.T) {
+	if ix := newPoolIndex(nil); ix != nil {
+		t.Fatal("empty pool should have no index")
+	}
+	class := indexClass()
+	servers := makeServers(&class, 1)
+	ix := newPoolIndex(servers)
+	comparePicks(t, ix, servers, 2, 8)
+	place(servers[0], 2, 8)
+	comparePicks(t, ix, servers, 2, 8)
+	comparePicks(t, ix, servers, 8, 64)
+	unplace(servers[0], 2, 8)
+	checkOracle(t, ix, servers)
+}

@@ -7,7 +7,6 @@ package alloc
 // pools, with per-VM, per-pool directives.
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 
@@ -40,6 +39,9 @@ type MultiConfig struct {
 	// SnapshotEvery controls utilisation snapshots (trace hours);
 	// zero defaults to 12h.
 	SnapshotEvery float64
+	// ReferenceScan selects the O(S) linear-scan reference allocator
+	// instead of the placement index, as in Config.ReferenceScan.
+	ReferenceScan bool
 }
 
 // MultiResult holds per-pool statistics.
@@ -95,8 +97,16 @@ func SimulateMultiContext(ctx context.Context, tr trace.Trace, mc MultiConfig, d
 		greenSrvs[i] = makeServers(&cls, greens[i].N)
 	}
 
+	var baseIx *poolIndex
+	greenIxs := make([]*poolIndex, len(greens))
+	if !mc.ReferenceScan && !testIgnoreCapacity {
+		baseIx = newPoolIndex(baseSrvs)
+		for i := range greens {
+			greenIxs[i] = newPoolIndex(greenSrvs[i])
+		}
+	}
+
 	var deps depHeap
-	heap.Init(&deps)
 	var res MultiResult
 	baseAgg := newAggregator()
 	greenAggs := make([]*aggregator, len(greens))
@@ -107,11 +117,18 @@ func SimulateMultiContext(ctx context.Context, tr trace.Trace, mc MultiConfig, d
 
 	release := func(until float64) {
 		for len(deps) > 0 && deps[0].at <= until {
-			d := heap.Pop(&deps).(departure)
-			d.srv.coresFree += d.cores
-			d.srv.memFree += d.mem
-			d.srv.vms--
-			d.srv.maxMemTouched -= d.touched
+			d := depPop(&deps)
+			s := d.srv
+			if s.ix != nil {
+				s.ix.detach(s)
+			}
+			s.coresFree += d.cores
+			s.memFree += d.mem
+			s.vms--
+			s.maxMemTouched -= d.touched
+			if s.ix != nil {
+				s.ix.attach(s)
+			}
 		}
 	}
 	observe := func() {
@@ -138,13 +155,21 @@ func SimulateMultiContext(ctx context.Context, tr trace.Trace, mc MultiConfig, d
 		var placedSrv *server
 		var cores, mem float64
 		if vm.FullNode {
-			for _, s := range baseSrvs {
-				if s.vms == 0 {
-					placedSrv = s
-					cores = float64(s.class.Cores)
-					mem = float64(s.class.Memory)
-					break
+			// The multi-pool full-node rule takes the first empty
+			// baseline server unconditionally (no capacity check).
+			if baseIx != nil {
+				placedSrv = baseIx.firstEmpty()
+			} else {
+				for _, s := range baseSrvs {
+					if s.vms == 0 {
+						placedSrv = s
+						break
+					}
 				}
+			}
+			if placedSrv != nil {
+				cores = float64(placedSrv.class.Cores)
+				mem = float64(placedSrv.class.Memory)
 			}
 		} else {
 			d := decide(vm)
@@ -158,7 +183,7 @@ func SimulateMultiContext(ctx context.Context, tr trace.Trace, mc MultiConfig, d
 				}
 				cores = float64(vm.Cores) * scale
 				mem = float64(vm.Memory) * scale
-				placedSrv = pick(greenSrvs[i], cores, mem, cfg)
+				placedSrv = pickFrom(nil, greenIxs[i], greenSrvs[i], cores, mem, cfg)
 				if placedSrv != nil {
 					break
 				}
@@ -166,7 +191,7 @@ func SimulateMultiContext(ctx context.Context, tr trace.Trace, mc MultiConfig, d
 			if placedSrv == nil {
 				cores = float64(vm.Cores)
 				mem = float64(vm.Memory)
-				placedSrv = pick(baseSrvs, cores, mem, cfg)
+				placedSrv = pickFrom(nil, baseIx, baseSrvs, cores, mem, cfg)
 			}
 		}
 		if placedSrv == nil {
@@ -174,11 +199,17 @@ func SimulateMultiContext(ctx context.Context, tr trace.Trace, mc MultiConfig, d
 			continue
 		}
 		touched := mem * vm.MaxMemFrac
+		if placedSrv.ix != nil {
+			placedSrv.ix.detach(placedSrv)
+		}
 		placedSrv.coresFree -= cores
 		placedSrv.memFree -= mem
 		placedSrv.vms++
 		placedSrv.maxMemTouched += touched
-		heap.Push(&deps, departure{at: vm.Depart, srv: placedSrv, cores: cores, mem: mem, touched: touched})
+		if placedSrv.ix != nil {
+			placedSrv.ix.attach(placedSrv)
+		}
+		depPush(&deps, departure{at: vm.Depart, srv: placedSrv, cores: cores, mem: mem, touched: touched})
 		res.Placed++
 	}
 	for nextSnap <= tr.Horizon {

@@ -1,0 +1,212 @@
+package experiments
+
+// Performance benchmarks with a machine-readable trajectory: the
+// ROADMAP's north star wants the hot paths to run as fast as the
+// hardware allows, which needs a recorded baseline to regress against.
+// AllocSweepBench times the 35-trace allocation sweep through the
+// placement index and through the reference linear scan — verifying
+// bit-identical Results while it is at it — and QueueBench times the
+// queueing saturation curve behind Figs. 7–8. cmd/gsfbench packages
+// both into BENCH_alloc.json so CI can archive the numbers and gate on
+// the index actually being faster.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"github.com/greensku/gsf/internal/alloc"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/queueing"
+	"github.com/greensku/gsf/internal/trace"
+)
+
+// AllocBenchOptions sizes the allocation sweep benchmark.
+type AllocBenchOptions struct {
+	// Traces caps how many of the 35 production-suite traces to
+	// replay; 0 or anything >= 35 runs the full suite.
+	Traces int
+	// ServersPerClass is the pool size for both the baseline and the
+	// GreenSKU class; 0 defaults to 10000, the scale the acceptance
+	// target is defined at.
+	ServersPerClass int
+	Policy          alloc.Policy
+}
+
+// AllocBenchResult is the allocation sweep's measurement.
+type AllocBenchResult struct {
+	Traces            int     `json:"traces"`
+	VMs               int     `json:"vms"`
+	ServersPerClass   int     `json:"servers_per_class"`
+	Policy            string  `json:"policy"`
+	IndexedSeconds    float64 `json:"indexed_seconds"`
+	ReferenceSeconds  float64 `json:"reference_seconds"`
+	Speedup           float64 `json:"speedup"`
+	DecisionIdentical bool    `json:"decision_identical"`
+	Placed            int     `json:"placed"`
+	Rejected          int     `json:"rejected"`
+}
+
+// benchDecider adopts most VMs with fractional scaling factors so the
+// sweep exercises both pools and non-integral free capacities — the
+// same shape the differential suite uses.
+func benchDecider(vm trace.VM) alloc.Decision {
+	return alloc.Decision{Adopt: vm.ID%10 < 7, Scale: 1 + 0.1*float64(vm.ID%3)}
+}
+
+// AllocSweepBench replays the production trace suite through the
+// indexed allocator and the reference scan, times both serially, and
+// checks the two produce bit-identical Results trace by trace.
+func AllocSweepBench(ctx context.Context, opt AllocBenchOptions) (AllocBenchResult, error) {
+	traces, err := trace.ProductionSuite()
+	if err != nil {
+		return AllocBenchResult{}, err
+	}
+	if opt.Traces > 0 && opt.Traces < len(traces) {
+		traces = traces[:opt.Traces]
+	}
+	n := opt.ServersPerClass
+	if n <= 0 {
+		n = 10000
+	}
+	base := hw.BaselineGen3()
+	green := hw.GreenSKUFull()
+	cfg := alloc.Config{
+		Base:   alloc.ServerClass{Name: base.Name, Cores: base.Cores(), Memory: base.TotalDRAMGB(), LocalMemory: base.LocalDRAMGB()},
+		NBase:  n,
+		Green:  alloc.ServerClass{Name: green.Name, Cores: green.Cores(), Memory: green.TotalDRAMGB(), LocalMemory: green.LocalDRAMGB(), Green: true},
+		NGreen: n,
+		Policy: opt.Policy, PreferNonEmpty: true,
+	}
+	run := func(reference bool) ([]alloc.Result, float64, error) {
+		c := cfg
+		c.ReferenceScan = reference
+		out := make([]alloc.Result, 0, len(traces))
+		start := time.Now()
+		for _, tr := range traces {
+			res, err := alloc.SimulateContext(ctx, tr, c, benchDecider)
+			if err != nil {
+				return nil, 0, err
+			}
+			out = append(out, res)
+		}
+		return out, time.Since(start).Seconds(), nil
+	}
+
+	indexed, indexedSec, err := run(false)
+	if err != nil {
+		return AllocBenchResult{}, err
+	}
+	reference, referenceSec, err := run(true)
+	if err != nil {
+		return AllocBenchResult{}, err
+	}
+
+	res := AllocBenchResult{
+		Traces:            len(traces),
+		ServersPerClass:   n,
+		Policy:            cfg.Policy.String(),
+		IndexedSeconds:    indexedSec,
+		ReferenceSeconds:  referenceSec,
+		DecisionIdentical: true,
+	}
+	if indexedSec > 0 {
+		res.Speedup = referenceSec / indexedSec
+	}
+	for i := range traces {
+		res.VMs += len(traces[i].VMs)
+		res.Placed += indexed[i].Placed
+		res.Rejected += indexed[i].Rejected
+		if !allocResultsIdentical(indexed[i], reference[i]) {
+			res.DecisionIdentical = false
+		}
+	}
+	return res, nil
+}
+
+// allocResultsIdentical compares two Results bit-for-bit (NaN equals
+// NaN; -0 differs from +0).
+func allocResultsIdentical(a, b alloc.Result) bool {
+	same := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	stats := func(x, y alloc.ClassStats) bool {
+		return same(x.CorePacking, y.CorePacking) && same(x.MemPacking, y.MemPacking) &&
+			same(x.MaxMemUtil, y.MaxMemUtil) && same(x.CXLServedFrac, y.CXLServedFrac) &&
+			same(x.LocalFitsFrac, y.LocalFitsFrac)
+	}
+	return a.Placed == b.Placed && a.Rejected == b.Rejected && a.Snapshots == b.Snapshots &&
+		stats(a.Base, b.Base) && stats(a.Green, b.Green)
+}
+
+// QueueBenchOptions sizes the queueing saturation-curve benchmark.
+type QueueBenchOptions struct {
+	Servers int // queue parallelism; 0 defaults to 64
+	Steps   int // load points; 0 defaults to 8
+	Seed    uint64
+}
+
+// QueuePoint is one measured point of the saturation curve.
+type QueuePoint struct {
+	QPS       float64 `json:"qps"`
+	P95       float64 `json:"p95_seconds"`
+	Saturated bool    `json:"saturated"`
+}
+
+// QueueBenchResult is the queueing benchmark's measurement.
+type QueueBenchResult struct {
+	Servers int          `json:"servers"`
+	Steps   int          `json:"steps"`
+	Seconds float64      `json:"seconds"`
+	Points  []QueuePoint `json:"points"`
+}
+
+// QueueBench sweeps offered load from half to past the queue's
+// theoretical capacity (the Fig. 7–8 protocol) and times the sweep.
+func QueueBench(opt QueueBenchOptions) (QueueBenchResult, error) {
+	servers := opt.Servers
+	if servers <= 0 {
+		servers = 64
+	}
+	steps := opt.Steps
+	if steps <= 0 {
+		steps = 8
+	}
+	dist := queueing.LogNormal{MeanSeconds: 0.005, CV: 1.5}
+	start := time.Now()
+	pts, err := queueing.Curve(servers, dist, 0.5, 1.1, steps, opt.Seed)
+	if err != nil {
+		return QueueBenchResult{}, err
+	}
+	res := QueueBenchResult{Servers: servers, Steps: steps, Seconds: time.Since(start).Seconds()}
+	for _, p := range pts {
+		res.Points = append(res.Points, QueuePoint{QPS: p.QPS, P95: p.P95, Saturated: p.Saturated})
+	}
+	return res, nil
+}
+
+// BenchArtifact is the BENCH_alloc.json schema: one allocation sweep
+// measurement plus one queueing curve, versioned so future PRs can
+// extend it without breaking readers.
+type BenchArtifact struct {
+	Schema   string           `json:"schema"`
+	Alloc    AllocBenchResult `json:"alloc"`
+	Queueing QueueBenchResult `json:"queueing"`
+}
+
+// BenchSchema is the current artifact schema identifier.
+const BenchSchema = "gsf-bench/v1"
+
+// WriteBenchArtifact encodes the artifact as indented JSON.
+func WriteBenchArtifact(w io.Writer, a BenchArtifact) error {
+	if a.Schema == "" {
+		a.Schema = BenchSchema
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(a); err != nil {
+		return fmt.Errorf("experiments: encoding bench artifact: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package experiments
+
+// Small-scale checks of the benchmark harness. Speedup magnitudes are
+// hardware-dependent (and under the test binary's audit recorder every
+// indexed pick is cross-checked against the scan), so these assert
+// structure and decision-identity, not timing; cmd/gsfbench enforces
+// the speedup gate in CI where auditing is off.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"github.com/greensku/gsf/internal/alloc"
+)
+
+func TestAllocSweepBenchSmall(t *testing.T) {
+	res, err := AllocSweepBench(context.Background(), AllocBenchOptions{
+		Traces:          2,
+		ServersPerClass: 40,
+		Policy:          alloc.BestFit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Traces != 2 || res.ServersPerClass != 40 {
+		t.Fatalf("options not honoured: %+v", res)
+	}
+	if !res.DecisionIdentical {
+		t.Fatal("indexed and reference allocators diverged")
+	}
+	if res.Placed == 0 || res.VMs == 0 {
+		t.Fatalf("degenerate sweep: %+v", res)
+	}
+	if res.IndexedSeconds <= 0 || res.ReferenceSeconds <= 0 || res.Speedup <= 0 {
+		t.Fatalf("timings not recorded: %+v", res)
+	}
+	if res.Policy != "best-fit" {
+		t.Fatalf("policy label %q", res.Policy)
+	}
+}
+
+func TestQueueBenchAndArtifactRoundTrip(t *testing.T) {
+	q, err := QueueBench(QueueBenchOptions{Servers: 8, Steps: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Points) != 3 {
+		t.Fatalf("want 3 curve points, got %d", len(q.Points))
+	}
+	for i := 1; i < len(q.Points); i++ {
+		if q.Points[i].QPS <= q.Points[i-1].QPS {
+			t.Fatalf("curve QPS not increasing: %+v", q.Points)
+		}
+	}
+
+	var buf bytes.Buffer
+	art := BenchArtifact{Alloc: AllocBenchResult{Traces: 1, DecisionIdentical: true}, Queueing: q}
+	if err := WriteBenchArtifact(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	var back BenchArtifact
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if back.Schema != BenchSchema {
+		t.Fatalf("schema %q, want %q", back.Schema, BenchSchema)
+	}
+	if len(back.Queueing.Points) != 3 || !back.Alloc.DecisionIdentical {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+}

@@ -11,7 +11,6 @@
 package queueing
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
@@ -84,18 +83,31 @@ type Result struct {
 	Saturated bool
 }
 
+// serverHeap is a min-heap over each server's next-free time. The heap
+// is fixed-size (one slot per server), so the only operation the event
+// loop needs is rewriting the root and sifting it down — done with a
+// typed loop rather than container/heap, whose interface-based Fix
+// boxes its arguments and allocates on the hot path. The sift mirrors
+// container/heap's down exactly, so equal free-times order as before.
 type serverHeap []float64
 
-func (h serverHeap) Len() int            { return len(h) }
-func (h serverHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h serverHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *serverHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
-func (h *serverHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h serverHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h[r] < h[l] {
+			m = r
+		}
+		if h[i] <= h[m] {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // Run simulates the configured queue and returns latency statistics.
@@ -127,8 +139,9 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	r := stats.NewRNG(cfg.Seed)
 	chk := audit.Resolve(cfg.Audit)
 
+	// All servers start free at t=0; an all-equal slice is already a
+	// valid min-heap.
 	free := make(serverHeap, cfg.Servers)
-	heap.Init(&free)
 
 	total := cfg.Warmup + cfg.Requests
 	latencies := make([]float64, 0, cfg.Requests)
@@ -174,7 +187,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 			}
 		}
 		free[0] = done
-		heap.Fix(&free, 0)
+		free.siftDown(0)
 		if i >= cfg.Warmup {
 			latencies = append(latencies, done-now)
 		}
