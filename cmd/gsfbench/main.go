@@ -1,15 +1,19 @@
-// Command gsfbench measures the simulators' hot paths and emits a
-// machine-readable perf artifact (BENCH_alloc.json): the 35-trace
-// allocation sweep through the indexed allocator and the reference
-// linear scan, plus the queueing saturation curve. It verifies the two
-// allocators are decision-identical on every trace and can gate on a
-// minimum indexed-vs-reference speedup, which is how CI fails a PR
-// that regresses the placement index.
+// Command gsfbench measures the simulators' hot paths and emits
+// machine-readable perf artifacts. The alloc suite (BENCH_alloc.json)
+// replays the 35-trace allocation sweep through the indexed allocator
+// and the reference linear scan, verifying they are decision-identical
+// and gating on a minimum speedup. The queue suite (BENCH_queue.json)
+// runs the Table III profiling sweep over the green-SKU catalog through
+// the fast queueing kernel (ziggurat sampling, single-sort statistics,
+// SLO memoization) and through a reference-shaped run approximating the
+// pre-optimization kernel, verifying the factor matrices are identical
+// and gating on the kernel speedup.
 //
 // Usage:
 //
-//	gsfbench                                    # full sweep, write BENCH_alloc.json
-//	gsfbench -servers 10000 -min-speedup 2      # CI gate
+//	gsfbench                                    # both suites, write artifacts
+//	gsfbench -suite alloc -min-speedup 2        # CI gate on the placement index
+//	gsfbench -suite queue -queue-min-speedup 2  # CI gate on the queueing kernel
 //	gsfbench -quick                             # small smoke run
 package main
 
@@ -23,27 +27,52 @@ import (
 )
 
 func main() {
+	suite := flag.String("suite", "all", "which benchmarks to run: all, alloc, or queue")
 	servers := flag.Int("servers", 10000, "servers per class in the allocation sweep")
 	traces := flag.Int("traces", 35, "production-suite traces to replay (max 35)")
-	out := flag.String("out", "BENCH_alloc.json", "artifact path ('-' for stdout)")
+	out := flag.String("out", "BENCH_alloc.json", "alloc artifact path ('-' for stdout)")
+	qout := flag.String("qout", "BENCH_queue.json", "queue artifact path ('-' for stdout)")
 	minSpeedup := flag.Float64("min-speedup", 0, "exit non-zero unless indexed/reference speedup reaches this (0 disables)")
-	qServers := flag.Int("qservers", 64, "queueing benchmark parallelism")
+	queueMinSpeedup := flag.Float64("queue-min-speedup", 0, "exit non-zero unless the queueing kernel speedup reaches this (0 disables)")
+	qServers := flag.Int("qservers", 64, "queueing curve benchmark parallelism")
 	qSteps := flag.Int("qsteps", 8, "queueing curve load points")
+	qRequests := flag.Int("qrequests", 0, "requests per simulation in the queue suite (0 = paper default)")
 	seed := flag.Uint64("seed", 42, "queueing benchmark seed")
-	quick := flag.Bool("quick", false, "small smoke run (4 traces, 500 servers, 4 curve points)")
+	quick := flag.Bool("quick", false, "small smoke run (4 traces, 500 servers, 4 curve points, short simulations)")
 	flag.Parse()
 
 	if *quick {
 		*traces, *servers, *qSteps = 4, 500, 4
+		if *qRequests == 0 {
+			*qRequests = 4000
+		}
 	}
-	if err := run(*servers, *traces, *out, *minSpeedup, *qServers, *qSteps, *seed); err != nil {
+	if *suite != "all" && *suite != "alloc" && *suite != "queue" {
+		fmt.Fprintf(os.Stderr, "gsfbench: unknown suite %q (want all, alloc, or queue)\n", *suite)
+		os.Exit(2)
+	}
+	if err := run(*suite, *servers, *traces, *out, *qout, *minSpeedup, *queueMinSpeedup, *qServers, *qSteps, *qRequests, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "gsfbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(servers, traces int, out string, minSpeedup float64, qServers, qSteps int, seed uint64) error {
+func run(suite string, servers, traces int, out, qout string, minSpeedup, queueMinSpeedup float64, qServers, qSteps, qRequests int, seed uint64) error {
 	ctx := context.Background()
+	if suite == "all" || suite == "alloc" {
+		if err := runAlloc(ctx, servers, traces, out, minSpeedup, qServers, qSteps, seed); err != nil {
+			return err
+		}
+	}
+	if suite == "all" || suite == "queue" {
+		if err := runQueue(ctx, qout, queueMinSpeedup, qRequests, seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runAlloc(ctx context.Context, servers, traces int, out string, minSpeedup float64, qServers, qSteps int, seed uint64) error {
 	alloc, err := experiments.AllocSweepBench(ctx, experiments.AllocBenchOptions{
 		Traces:          traces,
 		ServersPerClass: servers,
@@ -66,24 +95,7 @@ func run(servers, traces int, out string, minSpeedup float64, qServers, qSteps i
 	fmt.Printf("queueing curve: %d servers, %d points in %.3fs\n", queue.Servers, queue.Steps, queue.Seconds)
 
 	art := experiments.BenchArtifact{Alloc: alloc, Queueing: queue}
-	if out == "-" {
-		err = experiments.WriteBenchArtifact(os.Stdout, art)
-	} else {
-		var f *os.File
-		f, err = os.Create(out)
-		if err != nil {
-			return err
-		}
-		werr := experiments.WriteBenchArtifact(f, art)
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		err = werr
-		if err == nil {
-			fmt.Printf("wrote %s\n", out)
-		}
-	}
-	if err != nil {
+	if err := writeTo(out, func(f *os.File) error { return experiments.WriteBenchArtifact(f, art) }); err != nil {
 		return err
 	}
 
@@ -94,4 +106,54 @@ func run(servers, traces int, out string, minSpeedup float64, qServers, qSteps i
 		return fmt.Errorf("indexed path speedup %.2fx below the %.2fx gate", alloc.Speedup, minSpeedup)
 	}
 	return nil
+}
+
+func runQueue(ctx context.Context, qout string, queueMinSpeedup float64, qRequests int, seed uint64) error {
+	kernel, err := experiments.QueueKernelBench(ctx, experiments.QueueKernelBenchOptions{
+		Requests: qRequests,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("queue kernel: TableIII over %d SKUs, %d cells, %d requests/run\n",
+		len(kernel.SKUs), kernel.Cells, kernel.Requests)
+	fmt.Printf("  fast      %8.3fs   (SLO memo: %d hits / %d misses)\n",
+		kernel.FastSeconds, kernel.SLOCacheHits, kernel.SLOCacheMisses)
+	fmt.Printf("  reference %8.3fs\n", kernel.ReferenceSeconds)
+	fmt.Printf("  speedup   %8.2fx   factors-identical: %v\n", kernel.Speedup, kernel.FactorsIdentical)
+	fmt.Printf("  knee search: frac %.3f in %d evals (fixed-step: %d) %.3fs\n",
+		kernel.Knee.KneeFrac, kernel.Knee.Evals, kernel.Knee.FixedStepEvals, kernel.Knee.Seconds)
+
+	art := experiments.QueueArtifact{Kernel: kernel}
+	if err := writeTo(qout, func(f *os.File) error { return experiments.WriteQueueArtifact(f, art) }); err != nil {
+		return err
+	}
+
+	if !kernel.FactorsIdentical {
+		return fmt.Errorf("fast and reference kernels produced different scaling factors — the fast sampling path is wrong")
+	}
+	if queueMinSpeedup > 0 && kernel.Speedup < queueMinSpeedup {
+		return fmt.Errorf("queueing kernel speedup %.2fx below the %.2fx gate", kernel.Speedup, queueMinSpeedup)
+	}
+	return nil
+}
+
+// writeTo writes an artifact to path ('-' means stdout).
+func writeTo(path string, write func(*os.File) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		fmt.Printf("wrote %s\n", path)
+	}
+	return werr
 }

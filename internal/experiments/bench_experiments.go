@@ -20,6 +20,7 @@ import (
 
 	"github.com/greensku/gsf/internal/alloc"
 	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/perf"
 	"github.com/greensku/gsf/internal/queueing"
 	"github.com/greensku/gsf/internal/trace"
 )
@@ -184,6 +185,147 @@ func QueueBench(opt QueueBenchOptions) (QueueBenchResult, error) {
 		res.Points = append(res.Points, QueuePoint{QPS: p.QPS, P95: p.P95, Saturated: p.Saturated})
 	}
 	return res, nil
+}
+
+// QueueKernelBenchOptions sizes the queueing-kernel benchmark.
+type QueueKernelBenchOptions struct {
+	// Requests per simulation; 0 uses the paper protocol's default.
+	Requests int
+	Seed     uint64
+}
+
+// KneeBenchResult measures the adaptive knee search against the
+// fixed-step sweep it replaces.
+type KneeBenchResult struct {
+	Servers        int     `json:"servers"`
+	KneeFrac       float64 `json:"knee_frac"`
+	Evals          int     `json:"evals"`
+	FixedStepEvals int     `json:"fixed_step_evals"`
+	Seconds        float64 `json:"seconds"`
+}
+
+// QueueKernelBenchResult is the queueing-kernel benchmark's
+// measurement: the TableIII profiling sweep over the green-SKU catalog
+// through the fast kernel (ziggurat sampling, single-sort statistics,
+// SLO memoization) and through a reference-shaped run (bit-exact
+// samplers, no memo, serial) approximating the pre-optimization kernel.
+type QueueKernelBenchResult struct {
+	SKUs             []string        `json:"skus"`
+	Cells            int             `json:"cells"`
+	Requests         int             `json:"requests"`
+	FastSeconds      float64         `json:"fast_seconds"`
+	ReferenceSeconds float64         `json:"reference_seconds"`
+	Speedup          float64         `json:"speedup"`
+	FactorsIdentical bool            `json:"factors_identical"`
+	SLOCacheHits     int64           `json:"slo_cache_hits"`
+	SLOCacheMisses   int64           `json:"slo_cache_misses"`
+	Knee             KneeBenchResult `json:"knee"`
+}
+
+// QueueKernelBench profiles every green SKU in the catalog against all
+// three baseline generations (the Table III protocol), once through the
+// fast kernel and once through the reference-shaped configuration, and
+// verifies the two produce identical factor matrices — the fast path may
+// change latencies in distribution, but it must never flip a factor bin.
+func QueueKernelBench(ctx context.Context, opt QueueKernelBenchOptions) (QueueKernelBenchResult, error) {
+	greens := []hw.SKU{hw.GreenSKUEfficient(), hw.GreenSKUCXL(), hw.GreenSKUFull()}
+
+	popt := perf.DefaultOptions()
+	if opt.Requests > 0 {
+		popt.Requests = opt.Requests
+	}
+	if opt.Seed != 0 {
+		popt.Seed = opt.Seed
+	}
+
+	res := QueueKernelBenchResult{Requests: popt.Requests, FactorsIdentical: true}
+
+	sweep := func(o perf.Options) ([]map[string]map[int]perf.Factor, float64, error) {
+		out := make([]map[string]map[int]perf.Factor, 0, len(greens))
+		start := time.Now()
+		for _, g := range greens {
+			m, err := perf.TableIIIContext(ctx, g, o)
+			if err != nil {
+				return nil, 0, err
+			}
+			out = append(out, m)
+		}
+		return out, time.Since(start).Seconds(), nil
+	}
+
+	perf.ResetSLOCache()
+	fast, fastSec, err := sweep(popt)
+	if err != nil {
+		return QueueKernelBenchResult{}, err
+	}
+	res.SLOCacheHits, res.SLOCacheMisses = perf.SLOCacheStats()
+
+	ref := popt
+	ref.Workers = 1
+	ref.ReferenceSampling = true
+	ref.DisableSLOMemo = true
+	reference, refSec, err := sweep(ref)
+	if err != nil {
+		return QueueKernelBenchResult{}, err
+	}
+
+	res.FastSeconds, res.ReferenceSeconds = fastSec, refSec
+	if fastSec > 0 {
+		res.Speedup = refSec / fastSec
+	}
+	for i, g := range greens {
+		res.SKUs = append(res.SKUs, g.Name)
+		for app, gens := range fast[i] {
+			res.Cells += len(gens)
+			for gen, f := range gens {
+				if reference[i][app][gen] != f {
+					res.FactorsIdentical = false
+				}
+			}
+		}
+	}
+
+	// Knee search versus the fixed-step sweep at the same resolution.
+	const loFrac, hiFrac, tolFrac = 0.5, 1.2, 0.01
+	kcfg := queueing.Config{
+		Servers:  64,
+		Service:  queueing.LogNormal{MeanSeconds: 0.005, CV: 1.5},
+		Requests: popt.Requests,
+		Seed:     popt.Seed,
+	}
+	start := time.Now()
+	knee, err := queueing.KneeSearch(ctx, kcfg, loFrac, hiFrac, tolFrac)
+	if err != nil {
+		return QueueKernelBenchResult{}, err
+	}
+	res.Knee = KneeBenchResult{
+		Servers:        kcfg.Servers,
+		KneeFrac:       knee.KneeFrac,
+		Evals:          knee.Evals,
+		FixedStepEvals: int((hiFrac - loFrac) / tolFrac),
+		Seconds:        time.Since(start).Seconds(),
+	}
+	return res, nil
+}
+
+// QueueArtifact is the BENCH_queue.json schema: the queueing-kernel
+// sweep measurement, versioned like BenchArtifact.
+type QueueArtifact struct {
+	Schema string                 `json:"schema"`
+	Kernel QueueKernelBenchResult `json:"kernel"`
+}
+
+// WriteQueueArtifact encodes the artifact as indented JSON.
+func WriteQueueArtifact(w io.Writer, a QueueArtifact) error {
+	if a.Schema == "" {
+		a.Schema = BenchSchema
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(a); err != nil {
+		return fmt.Errorf("experiments: encoding queue artifact: %w", err)
+	}
+	return nil
 }
 
 // BenchArtifact is the BENCH_alloc.json schema: one allocation sweep

@@ -19,8 +19,10 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"github.com/greensku/gsf/internal/apps"
+	"github.com/greensku/gsf/internal/engine"
 	"github.com/greensku/gsf/internal/hw"
 	"github.com/greensku/gsf/internal/queueing"
 )
@@ -123,6 +125,22 @@ type Options struct {
 	SLOSlack float64
 	Requests int
 	Seed     uint64
+	// Workers bounds TableIIIContext's parallel fan-out over
+	// (app, generation) cells; <= 0 selects GOMAXPROCS, 1 forces the
+	// serial order. Results are index-slotted and deterministic either
+	// way, so Workers never changes an answer (and is excluded from
+	// ProfileKey and the SLO memo key).
+	Workers int
+	// ReferenceSampling forces the queueing simulator's bit-exact
+	// reference samplers (see queueing.Config.ReferenceSampling). It
+	// changes simulated latencies at the last few significant digits,
+	// so it is part of every memo key.
+	ReferenceSampling bool
+	// DisableSLOMemo bypasses the process-wide SLO memoization, forcing
+	// every ScalingFactor call to re-simulate its baseline SLO point.
+	// Benchmarks use it to measure the unmemoized kernel; results are
+	// identical either way.
+	DisableSLOMemo bool
 }
 
 // DefaultOptions returns the paper's measurement protocol.
@@ -138,6 +156,48 @@ func DefaultOptions() Options {
 	}
 }
 
+// DefaultSLOCacheEntries sizes the process-wide SLO memo: every
+// latency-critical app against every baseline generation and option
+// variant a sweep plausibly touches.
+const DefaultSLOCacheEntries = 512
+
+// sloPoint is one memoized SLO measurement.
+type sloPoint struct {
+	P95  float64
+	Load float64
+}
+
+// sloCache memoizes SLO runs process-wide (LRU + singleflight): a sweep
+// that profiles N green SKUs against the same baselines simulates each
+// (app, baseline, seed) SLO point once, not N times. The simulators are
+// seeded, so a cached point is bit-identical to a recomputed one.
+var sloCache atomic.Pointer[engine.Cache[sloPoint]]
+
+func init() { sloCache.Store(engine.NewCache[sloPoint](DefaultSLOCacheEntries)) }
+
+// ResetSLOCache drops every memoized SLO point. Benchmarks use it to
+// measure cold-start behaviour; production code never needs it.
+func ResetSLOCache() { sloCache.Store(engine.NewCache[sloPoint](DefaultSLOCacheEntries)) }
+
+// SLOCacheStats reports cumulative SLO-memo hits and misses.
+func SLOCacheStats() (hits, misses int64) { return sloCache.Load().Stats() }
+
+// sloKey fingerprints one SLO measurement: the app's full sensitivity
+// vector, the baseline SKU, and exactly the options that influence the
+// simulated run. Sweep-shape knobs (CoreSteps, CapacityBand, SLOSlack,
+// Workers, DisableSLOMemo) are excluded so option variants that differ
+// only in the green-side search share the same baseline point.
+func sloKey(a apps.App, baseline hw.SKU, opt Options) string {
+	k := Options{
+		BaselineCores:     opt.BaselineCores,
+		LoadFraction:      opt.LoadFraction,
+		Requests:          opt.Requests,
+		Seed:              opt.Seed,
+		ReferenceSampling: opt.ReferenceSampling,
+	}
+	return fmt.Sprintf("%#v|%#v|%#v", a, baseline, k)
+}
+
 // SLO computes the baseline SKU's service-level objective for the app:
 // the p95 latency at LoadFraction of the baseline's peak throughput,
 // plus the offered load it was measured at.
@@ -145,19 +205,38 @@ func SLO(a apps.App, baseline hw.SKU, opt Options) (p95 float64, load float64, e
 	return SLOContext(context.Background(), a, baseline, opt)
 }
 
-// SLOContext is SLO with cancellation.
+// SLOContext is SLO with cancellation. Measurements are memoized
+// process-wide unless opt.DisableSLOMemo is set; concurrent callers for
+// the same point share one simulation (singleflight), and errors are
+// never cached.
 func SLOContext(ctx context.Context, a apps.App, baseline hw.SKU, opt Options) (p95 float64, load float64, err error) {
 	if !a.LatencyCritical {
 		return 0, 0, fmt.Errorf("perf: %s is not latency-critical; use ThroughputSlowdown", a.Name)
 	}
+	if opt.DisableSLOMemo {
+		return sloRun(ctx, a, baseline, opt)
+	}
+	pt, err := sloCache.Load().Do(sloKey(a, baseline, opt), func() (sloPoint, error) {
+		p95, load, err := sloRun(ctx, a, baseline, opt)
+		return sloPoint{P95: p95, Load: load}, err
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return pt.P95, pt.Load, nil
+}
+
+// sloRun performs the actual baseline SLO simulation.
+func sloRun(ctx context.Context, a apps.App, baseline hw.SKU, opt Options) (p95 float64, load float64, err error) {
 	s := queueing.LogNormal{MeanSeconds: ServiceTime(a, ProfileOf(baseline, false)), CV: a.CV}
 	load = opt.LoadFraction * queueing.Capacity(opt.BaselineCores, s)
 	res, err := queueing.RunContext(ctx, queueing.Config{
-		Servers:     opt.BaselineCores,
-		ArrivalRate: load,
-		Service:     s,
-		Requests:    opt.Requests,
-		Seed:        opt.Seed,
+		Servers:           opt.BaselineCores,
+		ArrivalRate:       load,
+		Service:           s,
+		Requests:          opt.Requests,
+		Seed:              opt.Seed,
+		ReferenceSampling: opt.ReferenceSampling,
 	})
 	if err != nil {
 		return 0, 0, err
@@ -198,11 +277,12 @@ func ScalingFactorContext(ctx context.Context, a apps.App, green, baseline hw.SK
 		// Latency criterion: the simulated p95 at the SLO load must
 		// not blow past the knee.
 		res, err := queueing.RunContext(ctx, queueing.Config{
-			Servers:     cores,
-			ArrivalRate: load,
-			Service:     s,
-			Requests:    opt.Requests,
-			Seed:        opt.Seed,
+			Servers:           cores,
+			ArrivalRate:       load,
+			Service:           s,
+			Requests:          opt.Requests,
+			Seed:              opt.Seed,
+			ReferenceSampling: opt.ReferenceSampling,
 		})
 		if err != nil {
 			return Factor{}, err
@@ -239,18 +319,28 @@ func TableIII(green hw.SKU, opt Options) (map[string]map[int]Factor, error) {
 	return TableIIIContext(context.Background(), green, opt)
 }
 
-// TableIIIContext is TableIII with cancellation.
+// TableIIIContext is TableIII with cancellation. The (app, generation)
+// cells are independent seeded simulations, so they fan out across the
+// evaluation engine (opt.Workers bounds the pool); results are slotted
+// by cell index, making the parallel table identical to the serial one.
 func TableIIIContext(ctx context.Context, green hw.SKU, opt Options) (map[string]map[int]Factor, error) {
+	all := apps.All()
+	cells := engine.Map(ctx, opt.Workers, len(all)*3, func(ctx context.Context, i int) (Factor, error) {
+		a := all[i/3]
+		gen := i%3 + 1
+		return ScalingFactorContext(ctx, a, green, hw.BaselineForGeneration(gen), false, opt)
+	})
+	factors, err := engine.Collect(cells)
+	if err != nil {
+		return nil, err
+	}
 	out := map[string]map[int]Factor{}
-	for _, a := range apps.All() {
-		out[a.Name] = map[int]Factor{}
-		for gen := 1; gen <= 3; gen++ {
-			f, err := ScalingFactorContext(ctx, a, green, hw.BaselineForGeneration(gen), false, opt)
-			if err != nil {
-				return nil, err
-			}
-			out[a.Name][gen] = f
+	for i, f := range factors {
+		a := all[i/3]
+		if out[a.Name] == nil {
+			out[a.Name] = map[int]Factor{}
 		}
+		out[a.Name][i%3+1] = f
 	}
 	return out, nil
 }
@@ -259,8 +349,11 @@ func TableIIIContext(ctx context.Context, green hw.SKU, opt Options) (map[string
 // hardware description, the measurement options, and the app set. Two
 // identical keys are guaranteed to produce identical factor matrices
 // (the simulators are seeded), which is what makes profiling safe to
-// memoize across a sweep.
+// memoize across a sweep. Execution knobs that cannot change the
+// answer (Workers, DisableSLOMemo) are normalised out of the key.
 func ProfileKey(green hw.SKU, opt Options) string {
+	opt.Workers = 0
+	opt.DisableSLOMemo = false
 	names := make([]string, 0, len(apps.All()))
 	for _, a := range apps.All() {
 		names = append(names, a.Name)
@@ -280,11 +373,12 @@ func ThroughputSlowdown(a apps.App, sku hw.SKU, cxlBacked bool) float64 {
 func LowLoadLatency(a apps.App, sku hw.SKU, cores int, cxlBacked bool, opt Options) (float64, error) {
 	s := queueing.LogNormal{MeanSeconds: ServiceTime(a, ProfileOf(sku, cxlBacked)), CV: a.CV}
 	res, err := queueing.Run(queueing.Config{
-		Servers:     cores,
-		ArrivalRate: 0.3 * queueing.Capacity(cores, s),
-		Service:     s,
-		Requests:    opt.Requests,
-		Seed:        opt.Seed,
+		Servers:           cores,
+		ArrivalRate:       0.3 * queueing.Capacity(cores, s),
+		Service:           s,
+		Requests:          opt.Requests,
+		Seed:              opt.Seed,
+		ReferenceSampling: opt.ReferenceSampling,
 	})
 	if err != nil {
 		return 0, err

@@ -7,27 +7,70 @@ import (
 
 // Percentile returns the p-th percentile (0 <= p <= 100) of values using
 // linear interpolation between closest ranks. It returns NaN for an
-// empty input.
+// empty input. The input is copied and sorted per call; callers reading
+// several percentiles from one buffer should sort once and use
+// SortedPercentile (or Summarize).
 func Percentile(values []float64, p float64) float64 {
 	if len(values) == 0 {
 		return math.NaN()
 	}
 	s := append([]float64(nil), values...)
 	sort.Float64s(s)
+	return SortedPercentile(s, p)
+}
+
+// SortedPercentile returns the p-th percentile of an already-sorted
+// slice, with the same closest-rank interpolation as Percentile. It
+// returns NaN for an empty input.
+func SortedPercentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
 	if p <= 0 {
-		return s[0]
+		return sorted[0]
 	}
 	if p >= 100 {
-		return s[len(s)-1]
+		return sorted[len(sorted)-1]
 	}
-	rank := p / 100 * float64(len(s)-1)
+	rank := p / 100 * float64(len(sorted)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return s[lo]
+		return sorted[lo]
 	}
 	frac := rank - float64(lo)
-	return s[lo]*(1-frac) + s[hi]*frac
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary holds the order statistics the queueing simulator reports,
+// all derived from a single sort of the sample buffer.
+type Summary struct {
+	P50  float64
+	P95  float64
+	P99  float64
+	Mean float64
+}
+
+// Summarize computes a Summary from one sort of values, in place: the
+// mean is accumulated in the buffer's original order first (so it is
+// bit-identical to a pre-sort Mean call), then values is sorted and the
+// percentiles are read from the one sorted buffer. The zero-copy,
+// single-sort contract is what lets the simulator pool its latency
+// buffer across runs. Callers that need the original order must read it
+// before calling. Empty input yields all-NaN.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		n := math.NaN()
+		return Summary{P50: n, P95: n, P99: n, Mean: n}
+	}
+	m := Mean(values)
+	sort.Float64s(values)
+	return Summary{
+		P50:  SortedPercentile(values, 50),
+		P95:  SortedPercentile(values, 95),
+		P99:  SortedPercentile(values, 99),
+		Mean: m,
+	}
 }
 
 // Mean returns the arithmetic mean, or NaN for empty input.

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"github.com/greensku/gsf/internal/apps"
 	"github.com/greensku/gsf/internal/stats"
@@ -148,6 +149,12 @@ func Generate(p GenParams) (Trace, error) {
 	var tr Trace
 	tr.Name = p.Name
 	tr.Horizon = p.HorizonHours
+	// Poisson arrivals over the horizon average ArrivalsPerHour *
+	// HorizonHours VMs; pre-sizing to that expectation (plus a small
+	// margin for upward fluctuation) keeps the generator from growing
+	// the slice a dozen times per trace.
+	expected := p.ArrivalsPerHour * p.HorizonHours
+	tr.VMs = make([]VM, 0, int(expected+4*math.Sqrt(expected))+1)
 	now := 0.0
 	id := 0
 	// Pareto shape 1.2 over [0.5h, horizon]; rescale to the requested
@@ -242,17 +249,34 @@ type Stats struct {
 	PeakMemoryDmd units.GB
 }
 
+// demandEvent is one arrival (+cores/+mem) or departure (-cores/-mem)
+// edge of the concurrent-demand profile Summarise sweeps.
+type demandEvent struct {
+	at    float64
+	cores int
+	mem   float64
+}
+
+// eventPool recycles Summarise's event buffer: the 35-trace suite
+// summarises tens of thousands of VMs per call, and the 2-events-per-VM
+// scratch slice is pure garbage between calls.
+var eventPool sync.Pool
+
 // Summarise computes trace statistics, including peak concurrent
 // demand (the lower bound for any cluster that hosts the trace).
 func Summarise(t Trace) Stats {
 	var s Stats
 	s.VMs = len(t.VMs)
-	type ev struct {
-		at    float64
-		cores int
-		mem   float64
+	var events []demandEvent
+	if p, _ := eventPool.Get().(*[]demandEvent); p != nil && cap(*p) >= 2*len(t.VMs) {
+		events = (*p)[:0]
+	} else {
+		events = make([]demandEvent, 0, 2*len(t.VMs))
 	}
-	events := make([]ev, 0, 2*len(t.VMs))
+	defer func() {
+		events = events[:0]
+		eventPool.Put(&events)
+	}()
 	for _, v := range t.VMs {
 		s.MeanCores += float64(v.Cores)
 		s.MeanMemoryGB += float64(v.Memory)
@@ -261,8 +285,8 @@ func Summarise(t Trace) Stats {
 		if v.FullNode {
 			s.FullNodeVMs++
 		}
-		events = append(events, ev{v.Arrive, v.Cores, float64(v.Memory)},
-			ev{v.Depart, -v.Cores, -float64(v.Memory)})
+		events = append(events, demandEvent{v.Arrive, v.Cores, float64(v.Memory)},
+			demandEvent{v.Depart, -v.Cores, -float64(v.Memory)})
 	}
 	if s.VMs > 0 {
 		n := float64(s.VMs)
