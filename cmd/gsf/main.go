@@ -12,7 +12,7 @@
 // Paper experiments: fig1 fig2 fig7 fig8 fig9 fig10 fig11 fig12 table1
 // table2 table3 table4 table8 sec5 maintenance sec7 lowload.
 // Extension studies: memtier storage power growth lifetime harvest
-// diversity search.
+// diversity search dynci.
 package main
 
 import (
@@ -211,6 +211,17 @@ var registry = map[string]runner{
 			return err
 		}
 		return r.Render(w)
+	},
+	"dynci": func(w io.Writer, quick bool) error {
+		opt := experiments.DefaultDynCIOptions()
+		if quick {
+			opt.Traces = 6
+		}
+		r, err := experiments.DynCI(opt)
+		if err != nil {
+			return err
+		}
+		return r.Render(w, "Dynamic CI: carbon-aware temporal scheduling under a diurnal grid")
 	},
 }
 

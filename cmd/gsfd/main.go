@@ -14,9 +14,12 @@
 //	POST /v1/percore    per-core emissions for a SKU at a carbon intensity
 //	POST /v1/savings    per-core savings of a SKU vs a baseline
 //	POST /v1/evaluate   full framework evaluation over a synthetic workload
+//	                    (accepts ci_series for a time-varying grid)
 //	POST /v1/batch      many percore/savings/evaluate items, one response
-//	GET  /v1/skus       SKU catalog
-//	GET  /v1/datasets   dataset catalog
+//	POST /v1/ciseries   validate a carbon-intensity timeseries and report
+//	                    its statistics and effective CI
+//	GET  /v1/skus       SKU catalog (sorted by name)
+//	GET  /v1/datasets   dataset catalog (sorted by name)
 //	GET  /metrics       OpenMetrics scrape
 //	GET  /healthz       liveness
 //	GET  /readyz        readiness (503 while draining)

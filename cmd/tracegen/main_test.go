@@ -35,7 +35,7 @@ func TestCSVExport(t *testing.T) {
 	if len(lines) < 100 {
 		t.Fatalf("CSV has only %d lines", len(lines))
 	}
-	if lines[0] != "id,arrive_h,depart_h,cores,memory_gb,gen,full_node,app,max_mem_frac" {
+	if lines[0] != "id,arrive_h,depart_h,cores,memory_gb,gen,full_node,app,max_mem_frac,deferrable,slack_h" {
 		t.Fatalf("unexpected header: %s", lines[0])
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"github.com/greensku/gsf/internal/carbon"
 	"github.com/greensku/gsf/internal/carbondata"
 	"github.com/greensku/gsf/internal/core"
+	"github.com/greensku/gsf/internal/gridci"
 	"github.com/greensku/gsf/internal/hw"
 	"github.com/greensku/gsf/internal/trace"
 	"github.com/greensku/gsf/internal/units"
@@ -90,6 +91,28 @@ type (
 	// Savings is a per-core savings row (Tables IV/VIII).
 	Savings = carbon.Savings
 )
+
+// Time-varying grid carbon intensity (internal/gridci).
+type (
+	// CISignal is a piecewise-linear carbon-intensity timeseries; set
+	// Input.CISignal to evaluate under a time-varying grid.
+	CISignal = gridci.Signal
+	// CISample is one (time, intensity) knot of a CISignal.
+	CISample = gridci.Sample
+)
+
+// ConstantCI returns a flat signal — the bridge between the scalar and
+// time-varying APIs; evaluating under it is bit-identical to passing
+// the scalar intensity.
+func ConstantCI(name string, ci CarbonIntensity) *CISignal {
+	return gridci.Constant(name, ci)
+}
+
+// DiurnalCI returns a 24h-periodic sinusoidal signal with the given
+// mean intensity and relative swing (0..1, peak-to-mean).
+func DiurnalCI(name string, mean CarbonIntensity, swing float64) *CISignal {
+	return gridci.Diurnal(gridci.DiurnalOptions{Name: name, Mean: mean, Swing: swing})
+}
 
 // Invariant auditing (see WithAudit).
 type (
@@ -203,6 +226,14 @@ func (m *Model) PerCore(sku SKU, ci CarbonIntensity) (PerCore, error) {
 // (a Table IV/VIII row) at the given carbon intensity.
 func (m *Model) Savings(sku, baseline SKU, ci CarbonIntensity) (Savings, error) {
 	return m.m.SavingsVs(sku, baseline, m.defaultCI(ci))
+}
+
+// EffectiveCI collapses a time-varying signal to the scalar intensity
+// that yields identical lifetime-integrated operational emissions: the
+// signal's time average over one server lifetime starting at hour 0.
+// For a constant signal it returns the constant bit-for-bit.
+func (m *Model) EffectiveCI(sig *CISignal) (CarbonIntensity, error) {
+	return m.m.EffectiveCI(sig, 0)
 }
 
 // Framework builds a GSF instance over this model with the paper's

@@ -202,11 +202,16 @@ type ClassStats struct {
 
 // Result summarises one simulation.
 type Result struct {
-	Placed    int
-	Rejected  int
-	Base      ClassStats
-	Green     ClassStats
-	Snapshots int
+	Placed   int
+	Rejected int
+	// DeferrablePlaced/DeferrableRejected split the counts for
+	// delay-tolerant VMs, so carbon-aware re-timing experiments can
+	// see whether shifting starved the deferrable class specifically.
+	DeferrablePlaced   int
+	DeferrableRejected int
+	Base               ClassStats
+	Green              ClassStats
+	Snapshots          int
 }
 
 // Simulate replays the trace against the configured cluster.
@@ -339,6 +344,9 @@ func SimulateContext(ctx context.Context, tr trace.Trace, cfg Config, decide Dec
 				auditRejection(chk, vm, baseSrvs, greenSrvs, baseIx, greenIx, d, cfg)
 			}
 			res.Rejected++
+			if vm.Deferrable {
+				res.DeferrableRejected++
+			}
 			continue
 		}
 		if chk != nil {
@@ -373,6 +381,9 @@ func SimulateContext(ctx context.Context, tr trace.Trace, cfg Config, decide Dec
 		}
 		depPush(&deps, departure{at: vm.Depart, srv: placedSrv, cores: cores, mem: mem, touched: touched})
 		res.Placed++
+		if vm.Deferrable {
+			res.DeferrablePlaced++
+		}
 	}
 	// Keep snapshotting through the tail of the trace, then take a
 	// final observation at the horizon.

@@ -66,6 +66,8 @@ func sameClassStats(a, b ClassStats) bool {
 
 func sameResult(a, b Result) bool {
 	return a.Placed == b.Placed && a.Rejected == b.Rejected &&
+		a.DeferrablePlaced == b.DeferrablePlaced &&
+		a.DeferrableRejected == b.DeferrableRejected &&
 		a.Snapshots == b.Snapshots &&
 		sameClassStats(a.Base, b.Base) && sameClassStats(a.Green, b.Green)
 }

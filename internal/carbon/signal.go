@@ -1,0 +1,80 @@
+package carbon
+
+// Time-integrated operational emissions: the signal variants of the
+// scalar-CI entry points. A server's lifetime energy is fixed by its
+// power draw, so integrating CI(t) over the lifetime factors into the
+// lifetime mean intensity times the lifetime energy — the effective CI.
+// Every signal method therefore resolves the effective intensity once
+// and delegates to its scalar counterpart; with a constant signal the
+// effective CI IS the constant (gridci's fast path returns it
+// bit-for-bit), so the signal path is byte-identical to the scalar one.
+
+import (
+	"fmt"
+
+	"github.com/greensku/gsf/internal/audit"
+	"github.com/greensku/gsf/internal/gridci"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// EffectiveCI is the signal's time-averaged carbon intensity over one
+// server lifetime starting at start (hours into the signal). It is the
+// exact scalar substitute for the signal in every lifetime-integrated
+// operational formula.
+func (m *Model) EffectiveCI(sig *gridci.Signal, start units.Hours) (units.CarbonIntensity, error) {
+	if err := sig.Validate(); err != nil {
+		return 0, err
+	}
+	end := start + m.Data.Lifetime
+	eff := sig.MeanCI(start, end)
+	if chk := m.checker(); chk != nil {
+		// CI-integration: a time average must sit inside the window's
+		// range; anything else means the integrator lost carbon mass.
+		st := sig.Stats(start, end)
+		if float64(eff) < float64(st.Trough)-1e-9 || float64(eff) > float64(st.Peak)+1e-9 {
+			audit.Failf(chk, "carbon", "ci-integration",
+				"signal %s: effective CI %g outside window range [%g, %g]",
+				sig.Name, float64(eff), float64(st.Trough), float64(st.Peak))
+		}
+	}
+	return eff, nil
+}
+
+// OperationalSignal is Operational under a time-varying intensity:
+// E_op,r = ∫ CI(t) · P_r dt over the lifetime from start.
+func (m *Model) OperationalSignal(r Rack, sig *gridci.Signal, start units.Hours) (units.KgCO2e, error) {
+	eff, err := m.EffectiveCI(sig, start)
+	if err != nil {
+		return 0, err
+	}
+	return m.Operational(r, eff), nil
+}
+
+// PerCoreSignal is PerCore under a time-varying intensity.
+func (m *Model) PerCoreSignal(sku hw.SKU, sig *gridci.Signal, start units.Hours) (PerCore, error) {
+	eff, err := m.EffectiveCI(sig, start)
+	if err != nil {
+		return PerCore{}, fmt.Errorf("carbon: SKU %s: %w", sku.Name, err)
+	}
+	return m.PerCore(sku, eff)
+}
+
+// PerCoreDCSignal is PerCoreDC under a time-varying intensity.
+func (m *Model) PerCoreDCSignal(sku hw.SKU, sig *gridci.Signal, start units.Hours) (PerCore, error) {
+	eff, err := m.EffectiveCI(sig, start)
+	if err != nil {
+		return PerCore{}, fmt.Errorf("carbon: SKU %s: %w", sku.Name, err)
+	}
+	return m.PerCoreDC(sku, eff)
+}
+
+// SavingsVsSignal is SavingsVs under a time-varying intensity: both
+// sides see the same grid, so both use the same effective CI.
+func (m *Model) SavingsVsSignal(sku, baseline hw.SKU, sig *gridci.Signal, start units.Hours) (Savings, error) {
+	eff, err := m.EffectiveCI(sig, start)
+	if err != nil {
+		return Savings{}, err
+	}
+	return m.SavingsVs(sku, baseline, eff)
+}

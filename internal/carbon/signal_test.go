@@ -1,0 +1,107 @@
+package carbon
+
+import (
+	"testing"
+
+	"github.com/greensku/gsf/internal/audit"
+	"github.com/greensku/gsf/internal/carbondata"
+	"github.com/greensku/gsf/internal/gridci"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// Signal-path properties extending the metamorphic suite: a constant
+// signal must be byte-identical to the scalar-CI entry points (the
+// effective CI IS the constant, bit-for-bit), and the time-integrated
+// operational term inherits the scalar path's linearity in intensity.
+
+func TestConstantSignalBitIdenticalToScalar(t *testing.T) {
+	m := mustModel(t, carbondata.OpenSource())
+	const ci = units.CarbonIntensity(0.11)
+	sig := gridci.Constant("flat", ci)
+	for _, sku := range []hw.SKU{hw.BaselineGen3(), hw.GreenSKUCXL(), hw.GreenSKUFull()} {
+		want, err := m.PerCore(sku, ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.PerCoreSignal(sku, sig, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s: PerCoreSignal(const) = %+v, want exactly %+v", sku.Name, got, want)
+		}
+		// The start offset is irrelevant on a constant signal — same bits
+		// at any phase.
+		late, err := m.PerCoreSignal(sku, sig, 8760)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if late != want {
+			t.Errorf("%s: PerCoreSignal(const, late start) = %+v, want exactly %+v", sku.Name, late, want)
+		}
+
+		wantDC, err := m.PerCoreDC(sku, ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotDC, err := m.PerCoreDCSignal(sku, sig, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotDC != wantDC {
+			t.Errorf("%s: PerCoreDCSignal(const) = %+v, want exactly %+v", sku.Name, gotDC, wantDC)
+		}
+	}
+	wantS, err := m.SavingsVs(hw.GreenSKUCXL(), hw.BaselineGen3(), ci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotS, err := m.SavingsVsSignal(hw.GreenSKUCXL(), hw.BaselineGen3(), sig, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotS != wantS {
+		t.Errorf("SavingsVsSignal(const) = %+v, want exactly %+v", gotS, wantS)
+	}
+}
+
+func TestSignalOperationalLinearInScale(t *testing.T) {
+	m := mustModel(t, carbondata.OpenSource())
+	sig := gridci.Diurnal(gridci.DiurnalOptions{Name: "d", Mean: 0.11, Swing: 0.6})
+	for _, sku := range []hw.SKU{hw.BaselineGen3(), hw.GreenSKUCXL()} {
+		ref, err := m.PerCoreSignal(sku, sig, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alpha := range []float64{0.5, 2, 3.5, 10} {
+			got, err := m.PerCoreSignal(sku, sig.Scale(alpha), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := float64(ref.Operational) * alpha; !audit.Close(float64(got.Operational), want, 1e-12) {
+				t.Errorf("%s: op(%g*signal) = %v, want %g", sku.Name, alpha, got.Operational, want)
+			}
+			if got.Embodied != ref.Embodied {
+				t.Errorf("%s: embodied changed with signal scale: %v -> %v", sku.Name, ref.Embodied, got.Embodied)
+			}
+		}
+	}
+}
+
+func TestEffectiveCIWithinSignalRange(t *testing.T) {
+	m := mustModel(t, carbondata.OpenSource())
+	for _, sig := range gridci.RegionSignals() {
+		eff, err := m.EffectiveCI(sig, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := sig.Stats(0, units.Hours(sig.Period))
+		if float64(eff) < float64(st.Trough) || float64(eff) > float64(st.Peak) {
+			t.Errorf("%s: effective CI %v outside [%v, %v]", sig.Name, eff, st.Trough, st.Peak)
+		}
+	}
+	if _, err := m.EffectiveCI(&gridci.Signal{}, 0); err == nil {
+		t.Error("EffectiveCI accepted an invalid signal")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"github.com/greensku/gsf/internal/cluster"
 	"github.com/greensku/gsf/internal/engine"
 	"github.com/greensku/gsf/internal/fleet"
+	"github.com/greensku/gsf/internal/gridci"
 	"github.com/greensku/gsf/internal/hw"
 	"github.com/greensku/gsf/internal/maintenance"
 	"github.com/greensku/gsf/internal/perf"
@@ -138,6 +139,11 @@ type Input struct {
 	Workload trace.Trace
 	// CI is the grid carbon intensity; zero uses the dataset default.
 	CI units.CarbonIntensity
+	// CISignal, when set, replaces the scalar CI with a time-varying
+	// grid intensity: operational emissions integrate the signal over
+	// the server lifetime. Mutually exclusive with a non-zero CI. A
+	// constant signal is bit-identical to passing its value as CI.
+	CISignal *gridci.Signal
 	// CXLBacked evaluates the performance component as if VM memory
 	// were served from CXL (used for GreenSKU-CXL sensitivity runs).
 	CXLBacked bool
@@ -189,7 +195,16 @@ func (f *Framework) EvaluateContext(ctx context.Context, in Input) (Evaluation, 
 		return ev, err
 	}
 	ci := in.CI
-	if ci == 0 {
+	if in.CISignal != nil {
+		// The lifetime integral of the signal collapses to an exact
+		// effective scalar; a constant signal yields its constant
+		// bit-for-bit, keeping the two paths byte-identical.
+		eff, err := f.Carbon.EffectiveCI(in.CISignal, 0)
+		if err != nil {
+			return ev, fmt.Errorf("%w: CI signal: %v", ErrBadInput, err)
+		}
+		ci = eff
+	} else if ci == 0 {
 		ci = f.Carbon.Data.DefaultCI
 	}
 

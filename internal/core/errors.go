@@ -38,5 +38,13 @@ func (in Input) Validate() error {
 	if in.CI < 0 {
 		return fmt.Errorf("%w: negative carbon intensity %v", ErrBadInput, in.CI)
 	}
+	if in.CISignal != nil {
+		if in.CI != 0 {
+			return fmt.Errorf("%w: both a scalar CI and a CI signal were set", ErrBadInput)
+		}
+		if err := in.CISignal.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadInput, err)
+		}
+	}
 	return nil
 }

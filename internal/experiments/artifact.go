@@ -21,6 +21,7 @@ var ArtifactFiles = []string{
 	"Figure_12.csv",
 	"cluster_savings.txt",
 	"dc_savings.txt",
+	"Dynamic_CI.csv",
 }
 
 // WriteArtifacts regenerates the artifact's output files into dir and
@@ -113,5 +114,29 @@ func WriteArtifactsContext(ctx context.Context, dir string, quick bool) ([]strin
 		return nil, err
 	}
 	written = append(written, dcPath)
+
+	// Dynamic_CI.csv: the temporal-scheduling extension study.
+	dynOpt := DefaultDynCIOptions()
+	if quick {
+		dynOpt.Traces = 6
+	}
+	dyn, err := DynCIContext(ctx, dynOpt)
+	if err != nil {
+		return nil, err
+	}
+	dynPath := filepath.Join(dir, "Dynamic_CI.csv")
+	f, err = os.Create(dynPath)
+	if err != nil {
+		return nil, err
+	}
+	dynHeader, dynRows := dyn.CSVRows()
+	err = report.WriteCSV(f, dynHeader, dynRows)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	written = append(written, dynPath)
 	return written, nil
 }

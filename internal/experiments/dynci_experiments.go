@@ -1,0 +1,279 @@
+package experiments
+
+// Dynamic-CI study: the carbon-aware temporal-scheduling extension.
+// The paper evaluates GreenSKUs at fixed per-region carbon
+// intensities; real grids swing diurnally, and delay-tolerant VMs can
+// ride that swing. This family shifts (and optionally suspends)
+// deferrable VMs against a diurnal signal and reports the operational
+// emissions each policy buys, the re-timing it took, and whether the
+// demand concentration it causes stays inside the latency SLO budget.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/greensku/gsf/internal/carbon"
+	"github.com/greensku/gsf/internal/carbondata"
+	"github.com/greensku/gsf/internal/engine"
+	"github.com/greensku/gsf/internal/gridci"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/report"
+	"github.com/greensku/gsf/internal/trace"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// DynCIOptions sizes the dynamic-CI scheduling study.
+type DynCIOptions struct {
+	// Traces is how many deferrable-annotated production-like traces
+	// to run (the suite's 35 operating points, capped here).
+	Traces  int
+	Dataset string
+	// SKU supplies the per-core power draw attributed to the workload.
+	SKU hw.SKU
+	// DeferrableFrac and MeanSlackHours annotate the traces.
+	DeferrableFrac float64
+	MeanSlackHours float64
+	// Signal is the grid intensity; nil uses a diurnal cycle at the
+	// dataset's default CI with a 60% swing.
+	Signal *gridci.Signal
+	// StepHours is the scheduler granularity (default 1h).
+	StepHours float64
+	// SLOBudget is the tolerated fraction of the timeline above the
+	// queueing knee (default 0.05).
+	SLOBudget float64
+}
+
+// DefaultDynCIOptions runs all 35 operating points with GreenSKU-Full
+// under the open dataset.
+func DefaultDynCIOptions() DynCIOptions {
+	return DynCIOptions{
+		Traces:         35,
+		Dataset:        "open-source",
+		SKU:            hw.GreenSKUFull(),
+		DeferrableFrac: 0.35,
+		MeanSlackHours: 12,
+	}
+}
+
+// DynCIPolicyRow aggregates one scheduling policy across the suite.
+type DynCIPolicyRow struct {
+	Policy string
+	// Operational is the suite-total workload-attributed operational
+	// emissions under the signal.
+	Operational units.KgCO2e
+	// SavingsVsStatic is the fractional reduction against the static
+	// baseline.
+	SavingsVsStatic float64
+	// Shifted/Suspended count re-timed VMs; DelayHours/SuspendedHours
+	// total the re-timing applied.
+	Shifted, Suspended         int
+	DelayHours, SuspendedHours float64
+	// ViolationFrac is the mean fraction of the timeline the shifted
+	// demand spends above the queueing knee; WithinBudget requires
+	// every trace inside the budget.
+	ViolationFrac float64
+	WithinBudget  bool
+}
+
+// DynCIResult is the study output.
+type DynCIResult struct {
+	Signal   string
+	KneeFrac float64
+	PerCoreW float64
+	Rows     []DynCIPolicyRow
+}
+
+// DynCI runs the dynamic-CI scheduling study.
+func DynCI(opt DynCIOptions) (DynCIResult, error) {
+	return DynCIContext(context.Background(), opt)
+}
+
+// dynCITraceRun is one (trace, policy) cell.
+type dynCITraceRun struct {
+	op            float64
+	shifted       int
+	suspended     int
+	delayHours    float64
+	suspendHours  float64
+	violationFrac float64
+	withinBudget  bool
+}
+
+// DynCIContext runs the study on the evaluation engine: the queueing
+// knee is searched once and shared, then the per-trace schedules fan
+// across workers.
+func DynCIContext(ctx context.Context, opt DynCIOptions) (DynCIResult, error) {
+	var out DynCIResult
+	d, ok := carbondata.Datasets()[opt.Dataset]
+	if !ok {
+		return out, fmt.Errorf("experiments: unknown dataset %q", opt.Dataset)
+	}
+	m, err := carbon.New(d)
+	if err != nil {
+		return out, err
+	}
+	sig := opt.Signal
+	if sig == nil {
+		sig = gridci.Diurnal(gridci.DiurnalOptions{
+			Name: "diurnal-default", Mean: d.DefaultCI, Swing: 0.6,
+		})
+	}
+	if err := sig.Validate(); err != nil {
+		return out, err
+	}
+	out.Signal = sig.Name
+
+	// Workload-attributed per-core power: the SKU's rack power (server
+	// draw plus rack overheads) amortised over its cores.
+	rack, err := m.Rack(opt.SKU)
+	if err != nil {
+		return out, err
+	}
+	if rack.Cores == 0 {
+		return out, fmt.Errorf("experiments: SKU %s fits zero cores per rack", opt.SKU.Name)
+	}
+	perCore := units.Watts(float64(rack.Power) / float64(rack.Cores))
+	out.PerCoreW = float64(perCore)
+
+	// One knee search, shared by every SLO account.
+	knee, err := gridci.ResolveKnee(ctx, gridci.SLOConfig{Seed: 20240801})
+	if err != nil {
+		return out, err
+	}
+	out.KneeFrac = knee
+
+	n := opt.Traces
+	if n <= 0 || n > 35 {
+		n = 35
+	}
+	policies := []gridci.Policy{gridci.NoShift, gridci.ShiftToTrough, gridci.ShiftAndSuspend}
+	runs, err := engine.Collect(engine.Map(ctx, 0, n,
+		func(ctx context.Context, i int) ([]dynCITraceRun, error) {
+			tr, err := dynCITrace(i, opt)
+			if err != nil {
+				return nil, err
+			}
+			// Size the cluster so the static trace sits exactly at the
+			// knee: violations then measure only what the re-timing's
+			// demand concentration adds.
+			capacity := int(math.Ceil(float64(trace.Summarise(tr).PeakCoreDmd) / knee))
+			cells := make([]dynCITraceRun, len(policies))
+			for j, pol := range policies {
+				sch, err := gridci.Schedule(tr, gridci.ScheduleConfig{
+					Signal: sig, Policy: pol, StepHours: opt.StepHours,
+				})
+				if err != nil {
+					return nil, err
+				}
+				slo, err := gridci.AccountSLO(ctx, sch.Trace, capacity, gridci.SLOConfig{
+					KneeFrac: knee, Budget: opt.SLOBudget,
+				})
+				if err != nil {
+					return nil, err
+				}
+				cells[j] = dynCITraceRun{
+					op:            float64(gridci.OperationalEmissions(sch, sig, perCore)),
+					shifted:       sch.Report.Shifted,
+					suspended:     sch.Report.Suspended,
+					delayHours:    sch.Report.DelayHours,
+					suspendHours:  sch.Report.SuspendedHours,
+					violationFrac: slo.ViolationFrac,
+					withinBudget:  slo.WithinBudget,
+				}
+			}
+			return cells, nil
+		}))
+	if err != nil {
+		return out, err
+	}
+
+	out.Rows = make([]DynCIPolicyRow, len(policies))
+	for j, pol := range policies {
+		row := DynCIPolicyRow{Policy: pol.String(), WithinBudget: true}
+		for _, cells := range runs {
+			c := cells[j]
+			row.Operational += units.KgCO2e(c.op)
+			row.Shifted += c.shifted
+			row.Suspended += c.suspended
+			row.DelayHours += c.delayHours
+			row.SuspendedHours += c.suspendHours
+			row.ViolationFrac += c.violationFrac
+			row.WithinBudget = row.WithinBudget && c.withinBudget
+		}
+		row.ViolationFrac /= float64(len(runs))
+		out.Rows[j] = row
+	}
+	static := float64(out.Rows[0].Operational)
+	if static > 0 {
+		for j := range out.Rows {
+			out.Rows[j].SavingsVsStatic = 1 - float64(out.Rows[j].Operational)/static
+		}
+	}
+	return out, nil
+}
+
+// dynCITrace regenerates suite operating point i with deferrable
+// annotations switched on. Fresh seeds (distinct from the production
+// suite's) keep this family's traces independent of the paper-table
+// reproductions.
+func dynCITrace(i int, opt DynCIOptions) (trace.Trace, error) {
+	p := trace.DefaultParams(fmt.Sprintf("dynci-%02d", i), 20240800+uint64(i)*6151)
+	p.HorizonHours = 24 * 7
+	p.ArrivalsPerHour = 16 + float64(i%7)*4
+	p.MeanLifetimeHours = 20 + float64(i%5)*8
+	p.MeanMaxMemFrac = 0.42 + 0.02*float64(i%9)
+	p.DeferrableFrac = opt.DeferrableFrac
+	p.MeanSlackHours = opt.MeanSlackHours
+	return trace.Generate(p)
+}
+
+// Render writes the study as a policy table.
+func (r DynCIResult) Render(w io.Writer, title string) error {
+	t := report.Table{
+		Title: title,
+		Header: []string{"policy", "op kgCO2e", "vs static", "shifted", "suspended",
+			"delay h", "paused h", "SLO violation", "in budget"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Policy,
+			fmt.Sprintf("%.1f", float64(row.Operational)),
+			report.Pct(row.SavingsVsStatic),
+			fmt.Sprintf("%d", row.Shifted),
+			fmt.Sprintf("%d", row.Suspended),
+			fmt.Sprintf("%.0f", row.DelayHours),
+			fmt.Sprintf("%.0f", row.SuspendedHours),
+			report.Pct(row.ViolationFrac),
+			fmt.Sprintf("%v", row.WithinBudget),
+		)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "  signal %s, queueing knee at %.2f of capacity, %.1f W/core attributed\n",
+		r.Signal, r.KneeFrac, r.PerCoreW)
+	return err
+}
+
+// CSVRows renders the study for the artifact file.
+func (r DynCIResult) CSVRows() ([]string, [][]string) {
+	header := []string{"policy", "operational_kgco2e", "savings_vs_static",
+		"shifted_vms", "suspended_vms", "delay_hours", "suspended_hours",
+		"slo_violation_frac", "within_slo_budget"}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Policy,
+			fmt.Sprintf("%.3f", float64(row.Operational)),
+			fmt.Sprintf("%.4f", row.SavingsVsStatic),
+			fmt.Sprintf("%d", row.Shifted),
+			fmt.Sprintf("%d", row.Suspended),
+			fmt.Sprintf("%.2f", row.DelayHours),
+			fmt.Sprintf("%.2f", row.SuspendedHours),
+			fmt.Sprintf("%.4f", row.ViolationFrac),
+			fmt.Sprintf("%v", row.WithinBudget),
+		})
+	}
+	return header, rows
+}

@@ -1,0 +1,111 @@
+package gridci
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/greensku/gsf/internal/units"
+)
+
+// CSVHeader is the timeseries column layout: one sample per row.
+// Timestamps and intensities round-trip at full float64 precision.
+var CSVHeader = []string{"t_h", "ci_kg_per_kwh"}
+
+// periodComment is the optional first line carrying a periodic
+// signal's period, e.g. "# period_h=24".
+const periodComment = "# period_h="
+
+// WriteCSV serialises the signal: an optional period comment line,
+// the header, then one row per sample at full precision (the read side
+// reproduces the signal bit-for-bit).
+func WriteCSV(w io.Writer, s *Signal) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if s.Period > 0 {
+		if _, err := fmt.Fprintf(w, "%s%s\n", periodComment,
+			strconv.FormatFloat(float64(s.Period), 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(CSVHeader); err != nil {
+		return err
+	}
+	for _, smp := range s.Samples {
+		rec := []string{
+			strconv.FormatFloat(float64(smp.T), 'g', -1, 64),
+			strconv.FormatFloat(float64(smp.CI), 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a carbon-intensity timeseries in the WriteCSV layout
+// and validates it, so providers can feed measured grid data (e.g.
+// WattTime/electricityMaps exports reshaped to two columns) instead of
+// the synthetic generators.
+func ReadCSV(r io.Reader, name string) (*Signal, error) {
+	br := bufio.NewReader(r)
+	s := &Signal{Name: name}
+	// An optional leading comment line carries the period.
+	if peek, err := br.Peek(1); err == nil && peek[0] == '#' {
+		line, err := br.ReadString('\n')
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("gridci: reading CSV comment: %w", err)
+		}
+		line = strings.TrimSuffix(strings.TrimSuffix(line, "\n"), "\r")
+		raw, ok := strings.CutPrefix(line, periodComment)
+		if !ok {
+			return nil, fmt.Errorf("gridci: unrecognised CSV comment %q", line)
+		}
+		p, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, fmt.Errorf("gridci: CSV period: %w", err)
+		}
+		s.Period = units.Hours(p)
+	}
+	cr := csv.NewReader(br)
+	cr.FieldsPerRecord = len(CSVHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("gridci: reading CSV header: %w", err)
+	}
+	for i, want := range CSVHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("gridci: CSV column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("gridci: CSV line %d: %w", line, err)
+		}
+		line++
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("gridci: CSV line %d: t_h: %w", line, err)
+		}
+		ci, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("gridci: CSV line %d: ci_kg_per_kwh: %w", line, err)
+		}
+		s.Samples = append(s.Samples, Sample{T: units.Hours(t), CI: units.CarbonIntensity(ci)})
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,71 @@
+package gridci
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/greensku/gsf/internal/units"
+)
+
+func TestCSVRoundTripBitExact(t *testing.T) {
+	for _, s := range []*Signal{
+		Constant("flat", 0.1),
+		sawtooth(),
+		Diurnal(DiurnalOptions{Name: "diurnal", Mean: 0.1, Swing: 0.6}),
+		Seasonal(SeasonalOptions{Diurnal: DiurnalOptions{Name: "seasonal", Mean: 0.095, Swing: 0.3}, SeasonalSwing: 0.4}),
+	} {
+		var b bytes.Buffer
+		if err := WriteCSV(&b, s); err != nil {
+			t.Fatalf("%s: WriteCSV: %v", s.Name, err)
+		}
+		got, err := ReadCSV(bytes.NewReader(b.Bytes()), s.Name)
+		if err != nil {
+			t.Fatalf("%s: ReadCSV: %v", s.Name, err)
+		}
+		// Full-precision formatting makes the round trip exact, name
+		// included (passed through ReadCSV's argument).
+		if !reflect.DeepEqual(s, got) {
+			t.Errorf("%s: round trip changed the signal:\n%+v\n%+v", s.Name, s, got)
+		}
+	}
+}
+
+func TestReadCSVRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"bad-header":       "time,ci\n0,0.1\n",
+		"wrong-cols":       "t_h,ci_kg_per_kwh,extra\n0,0.1,x\n",
+		"non-numeric":      "t_h,ci_kg_per_kwh\nzero,0.1\n",
+		"nan":              "t_h,ci_kg_per_kwh\n0,NaN\n",
+		"inf":              "t_h,ci_kg_per_kwh\nInf,0.1\n",
+		"negative-ci":      "t_h,ci_kg_per_kwh\n0,-0.1\n",
+		"unsorted":         "t_h,ci_kg_per_kwh\n5,0.1\n2,0.2\n",
+		"duplicate-t":      "t_h,ci_kg_per_kwh\n5,0.1\n5,0.2\n",
+		"no-samples":       "t_h,ci_kg_per_kwh\n",
+		"bad-comment":      "# frequency=9\nt_h,ci_kg_per_kwh\n0,0.1\n",
+		"bad-period":       "# period_h=abc\nt_h,ci_kg_per_kwh\n0,0.1\n",
+		"negative-period":  "# period_h=-24\nt_h,ci_kg_per_kwh\n0,0.1\n",
+		"sample-past-per":  "# period_h=24\nt_h,ci_kg_per_kwh\n30,0.1\n",
+		"sample-at-period": "# period_h=24\nt_h,ci_kg_per_kwh\n24,0.1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in), name); err == nil {
+			t.Errorf("%s: ReadCSV accepted malformed input", name)
+		}
+	}
+}
+
+func TestReadCSVPeriodComment(t *testing.T) {
+	s, err := ReadCSV(strings.NewReader("# period_h=24\nt_h,ci_kg_per_kwh\n6,0.05\n18,0.2\n"), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Period != units.HoursPerDay {
+		t.Fatalf("period = %v, want 24", s.Period)
+	}
+	if got := float64(s.At(30)); got != 0.05 {
+		t.Errorf("wrapped At(30) = %g, want 0.05", got)
+	}
+}

@@ -1,0 +1,166 @@
+package gridci
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/greensku/gsf/internal/alloc"
+	"github.com/greensku/gsf/internal/trace"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// Differential suite: under a constant carbon signal, the scheduling
+// layer must be invisible. Every policy collapses to the static
+// baseline — the scheduled trace is deep-equal to the input, and
+// alloc.Simulate Results downstream are bit-identical to running the
+// original trace directly. The package TestMain wraps everything in
+// audit.SweepMain, so the sweep also proves zero invariant violations
+// across the whole 35-trace run.
+
+// deferrableSuite regenerates the production suite's 35 operating
+// points with deferrable annotations switched on.
+func deferrableSuite(t testing.TB) []trace.Trace {
+	t.Helper()
+	base, err := trace.ProductionSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]trace.Trace, 0, len(base))
+	for i := range base {
+		p := trace.DefaultParams(base[i].Name, 1000+uint64(i)*7919)
+		p.ArrivalsPerHour = 16 + float64(i%7)*4
+		p.MeanLifetimeHours = 20 + float64(i%5)*8
+		p.MeanMaxMemFrac = 0.42 + 0.02*float64(i%9)
+		p.FullNodeFrac = 0.002 + 0.002*float64(i%3)
+		if i%4 == 0 {
+			p.CoreWeights = []float64{0.25, 0.28, 0.25, 0.15, 0.07}
+		}
+		p.DeferrableFrac = 0.35
+		p.MeanSlackHours = 12
+		tr, err := trace.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+func assertSameTrace(t *testing.T, want, got trace.Trace) {
+	t.Helper()
+	if !reflect.DeepEqual(want, got) {
+		if len(want.VMs) == len(got.VMs) {
+			for i := range want.VMs {
+				if want.VMs[i] != got.VMs[i] {
+					t.Fatalf("%s: VM %d changed:\n%+v\n%+v", want.Name, i, want.VMs[i], got.VMs[i])
+				}
+			}
+		}
+		t.Fatalf("%s: scheduled trace differs from input", want.Name)
+	}
+}
+
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func sameClassStats(a, b alloc.ClassStats) bool {
+	return sameBits(a.CorePacking, b.CorePacking) &&
+		sameBits(a.MemPacking, b.MemPacking) &&
+		sameBits(a.MaxMemUtil, b.MaxMemUtil) &&
+		sameBits(a.CXLServedFrac, b.CXLServedFrac) &&
+		sameBits(a.LocalFitsFrac, b.LocalFitsFrac)
+}
+
+func sameResult(a, b alloc.Result) bool {
+	return a.Placed == b.Placed && a.Rejected == b.Rejected &&
+		a.DeferrablePlaced == b.DeferrablePlaced &&
+		a.DeferrableRejected == b.DeferrableRejected &&
+		a.Snapshots == b.Snapshots &&
+		sameClassStats(a.Base, b.Base) && sameClassStats(a.Green, b.Green)
+}
+
+func diffCluster() alloc.Config {
+	return alloc.Config{
+		Base:   alloc.ServerClass{Name: "base", Cores: 80, Memory: 768, LocalMemory: 768},
+		NBase:  40,
+		Green:  alloc.ServerClass{Name: "green", Cores: 128, Memory: 768, LocalMemory: 512, Green: true},
+		NGreen: 40,
+		Policy: alloc.BestFit,
+	}
+}
+
+// TestDifferentialConstantSignal35Traces is the acceptance-criteria
+// differential: with a constant CI signal, Schedule under every policy
+// returns the input trace unchanged (deep-equal, delays and suspends
+// all zero) and the allocation Results computed from its output are
+// bit-identical to simulating the original trace directly.
+func TestDifferentialConstantSignal35Traces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 35-trace differential sweep")
+	}
+	traces := deferrableSuite(t)
+	if len(traces) != 35 {
+		t.Fatalf("suite has %d traces, want 35", len(traces))
+	}
+	sig := Constant("flat", 0.123)
+	cfg := diffCluster()
+	decide := func(vm trace.VM) alloc.Decision {
+		return alloc.Decision{Adopt: vm.ID%10 < 7, Scale: 1 + 0.1*float64(vm.ID%3)}
+	}
+	deferrables := 0
+	for _, tr := range traces {
+		deferrables += trace.Summarise(tr).DeferrableVMs
+		want, err := alloc.Simulate(tr, cfg, decide)
+		if err != nil {
+			t.Fatalf("%s: direct simulate: %v", tr.Name, err)
+		}
+		for _, pol := range []Policy{NoShift, ShiftToTrough, ShiftAndSuspend} {
+			sch, err := Schedule(tr, ScheduleConfig{Signal: sig, Policy: pol})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", tr.Name, pol, err)
+			}
+			assertSameTrace(t, tr, sch.Trace)
+			if r := sch.Report; r.Shifted != 0 || r.Suspended != 0 || r.DelayHours != 0 || r.SuspendedHours != 0 {
+				t.Fatalf("%s/%v: constant signal moved work: %+v", tr.Name, pol, r)
+			}
+			if sch.Report.MeanCIAfter != sch.Report.MeanCIBefore {
+				t.Fatalf("%s/%v: mean CI changed under constant signal", tr.Name, pol)
+			}
+			got, err := alloc.Simulate(sch.Trace, cfg, decide)
+			if err != nil {
+				t.Fatalf("%s/%v: scheduled simulate: %v", tr.Name, pol, err)
+			}
+			if !sameResult(want, got) {
+				t.Fatalf("%s/%v: Results diverged:\n%+v\n%+v", tr.Name, pol, want, got)
+			}
+		}
+	}
+	if deferrables == 0 {
+		t.Fatal("suite carries no deferrable VMs — the differential is vacuous")
+	}
+}
+
+// TestConstantSignalEmissionsMatchScalar closes the loop on the carbon
+// side of the acceptance criteria at the scheduling layer: operational
+// emissions integrated through a constant signal equal the scalar
+// energy × CI product to full precision.
+func TestConstantSignalEmissionsMatchScalar(t *testing.T) {
+	tr := deferrableTrace(t, 99)
+	const ci = units.CarbonIntensity(0.123)
+	sig := Constant("flat", ci)
+	sch, err := Schedule(tr, ScheduleConfig{Signal: sig, Policy: ShiftAndSuspend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perCore = units.Watts(6)
+	got := float64(OperationalEmissions(sch, sig, perCore))
+	var want float64
+	for _, vm := range tr.VMs {
+		want += float64(vm.Cores) * perCore.Kilowatts() * vm.Lifetime() * float64(ci)
+	}
+	if math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("constant-signal emissions %g != scalar product %g", got, want)
+	}
+}

@@ -1,0 +1,69 @@
+package gridci
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzCISeriesCSV feeds arbitrary bytes to ReadCSV and, whenever the
+// input parses as a valid signal, demands a bit-exact serialisation
+// round trip: the writer formats at full float64 precision, so —
+// unlike the trace CSV's fixed-precision columns — there is no
+// acceptable drift at all. Rejecting malformed input (non-finite
+// values, negative intensities, unsorted or duplicated timestamps,
+// empty series, bad period comments) is the contract.
+func FuzzCISeriesCSV(f *testing.F) {
+	f.Add([]byte("t_h,ci_kg_per_kwh\n"))
+	f.Add([]byte("t_h,ci_kg_per_kwh\n0,0.1\n6,0.05\n18,0.22\n"))
+	f.Add([]byte("# period_h=24\nt_h,ci_kg_per_kwh\n0,0.08\n13,0.04\n"))
+	f.Add([]byte("# period_h=8760\nt_h,ci_kg_per_kwh\n0,0.14\n4380,0.06\n"))
+	f.Add([]byte("t_h,ci_kg_per_kwh\n0,NaN\n"))
+	f.Add([]byte("t_h,ci_kg_per_kwh\n5,0.1\n2,0.2\n"))
+	f.Add([]byte("not a csv at all \x00\xff"))
+	f.Add([]byte("# period_h=24\nt_h,ci_kg_per_kwh\n25,0.1\n"))
+
+	// Seed with the generators' own output so the fuzzer starts from
+	// realistic diurnal and seasonal series.
+	for _, s := range []*Signal{
+		Diurnal(DiurnalOptions{Name: "seed-diurnal", Mean: 0.1, Swing: 0.6}),
+		Seasonal(SeasonalOptions{Diurnal: DiurnalOptions{Name: "seed-seasonal", Mean: 0.095, Swing: 0.3}, SeasonalSwing: 0.4, DaysPerSample: 91}),
+	} {
+		var b bytes.Buffer
+		if err := WriteCSV(&b, s); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b.Bytes())
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadCSV(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			return // rejecting malformed input is the contract
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("ReadCSV returned an invalid signal: %v", err)
+		}
+		var w bytes.Buffer
+		if err := WriteCSV(&w, s); err != nil {
+			t.Fatalf("WriteCSV failed on a valid signal: %v", err)
+		}
+		s2, err := ReadCSV(bytes.NewReader(w.Bytes()), "fuzz")
+		if err != nil {
+			t.Fatalf("re-read of own output failed: %v\n%s", err, w.Bytes())
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip changed the signal:\n%+v\n%+v", s, s2)
+		}
+		// Sanity: the parsed signal's statistics machinery must not
+		// panic or produce non-finite nonsense on any accepted input.
+		span := s.Period
+		if span <= 0 {
+			span = s.Samples[len(s.Samples)-1].T + 1
+		}
+		st := s.Stats(0, span)
+		if !(st.Trough <= st.Mean && st.Mean <= st.Peak) {
+			t.Fatalf("window stats disordered: %+v", st)
+		}
+	})
+}

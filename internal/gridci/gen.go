@@ -1,0 +1,107 @@
+package gridci
+
+import (
+	"math"
+
+	"github.com/greensku/gsf/internal/carbondata"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// DiurnalOptions shapes a synthetic 24h carbon-intensity cycle.
+type DiurnalOptions struct {
+	Name string
+	// Mean is the cycle's time-averaged intensity (matches the scalar
+	// CI the signal replaces, so dynamic and static runs are
+	// comparable at equal average grid mix).
+	Mean units.CarbonIntensity
+	// Swing is the peak-to-mean amplitude as a fraction of Mean
+	// (0.6 means the peak sits 60% above the mean). Clamped to keep
+	// the trough non-negative.
+	Swing float64
+	// TroughHour is the hour of day with the cleanest grid (solar
+	// noon-ish, default 13h); the peak sits 12h opposite.
+	TroughHour float64
+	// SamplesPerDay is the sampling resolution (default 24).
+	SamplesPerDay int
+}
+
+// Diurnal builds a periodic 24h signal: a sinusoid around Mean dipping
+// at TroughHour, sampled piecewise-linearly. The sampled mean is exact
+// by symmetry for even SamplesPerDay.
+func Diurnal(opt DiurnalOptions) *Signal {
+	if opt.SamplesPerDay <= 1 {
+		opt.SamplesPerDay = 24
+	}
+	if opt.TroughHour == 0 {
+		opt.TroughHour = 13
+	}
+	swing := math.Min(math.Max(opt.Swing, 0), 1)
+	period := float64(units.HoursPerDay)
+	s := &Signal{Name: opt.Name, Period: units.HoursPerDay}
+	for i := 0; i < opt.SamplesPerDay; i++ {
+		t := period * float64(i) / float64(opt.SamplesPerDay)
+		phase := 2 * math.Pi * (t - opt.TroughHour) / period
+		ci := float64(opt.Mean) * (1 - swing*math.Cos(phase))
+		s.Samples = append(s.Samples, Sample{T: units.Hours(t), CI: units.CarbonIntensity(ci)})
+	}
+	return s
+}
+
+// SeasonalOptions shapes a yearly cycle layered over a diurnal one.
+type SeasonalOptions struct {
+	Diurnal DiurnalOptions
+	// SeasonalSwing scales the diurnal profile over the year: winter
+	// months run dirtier, summer cleaner (fraction of Mean, like
+	// Swing). Zero yields a plain diurnal signal.
+	SeasonalSwing float64
+	// DaysPerSample is the seasonal envelope resolution (default 7,
+	// i.e. weekly samples across the 8760h year).
+	DaysPerSample int
+}
+
+// Seasonal builds a periodic 8760h signal: the diurnal cycle modulated
+// by a yearly sinusoid peaking mid-winter (t=0 is January 1st).
+func Seasonal(opt SeasonalOptions) *Signal {
+	if opt.DaysPerSample <= 0 {
+		opt.DaysPerSample = 7
+	}
+	day := Diurnal(opt.Diurnal)
+	year := float64(units.HoursPerYear)
+	seasonal := math.Min(math.Max(opt.SeasonalSwing, 0), 1)
+	s := &Signal{Name: opt.Diurnal.Name, Period: units.HoursPerYear}
+	stepDays := opt.DaysPerSample
+	for d := 0; d*24 < int(year); d += stepDays {
+		envelope := 1 + seasonal*math.Cos(2*math.Pi*float64(d*24)/year)
+		for _, smp := range day.Samples {
+			t := float64(d*24) + float64(smp.T)
+			if t >= year {
+				break
+			}
+			s.Samples = append(s.Samples, Sample{
+				T:  units.Hours(t),
+				CI: units.CarbonIntensity(float64(smp.CI) * envelope),
+			})
+		}
+	}
+	return s
+}
+
+// RegionSignals builds one diurnal signal per paper-annotated Azure
+// region (Fig. 11/12), each averaging the region's scalar intensity.
+// Cleaner grids swing harder: low average intensity usually means a
+// large renewable share, whose availability is what moves intraday.
+func RegionSignals() []*Signal {
+	out := make([]*Signal, 0, len(carbondata.RegionCI))
+	for _, rc := range carbondata.RegionCI {
+		swing := 0.6
+		if rc.CI >= 0.2 {
+			swing = 0.25 // fossil-heavy grids barely move intraday
+		}
+		out = append(out, Diurnal(DiurnalOptions{
+			Name:  rc.Region,
+			Mean:  rc.CI,
+			Swing: swing,
+		}))
+	}
+	return out
+}

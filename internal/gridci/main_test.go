@@ -1,0 +1,13 @@
+package gridci
+
+import (
+	"os"
+	"testing"
+
+	"github.com/greensku/gsf/internal/audit"
+)
+
+// TestMain runs the package under a process-default audit.Recorder, so
+// every schedule any test computes doubles as an invariant sweep
+// (deadline-respected, work-conservation, ci-non-increasing).
+func TestMain(m *testing.M) { os.Exit(audit.SweepMain(m)) }

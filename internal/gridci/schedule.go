@@ -1,0 +1,309 @@
+package gridci
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/greensku/gsf/internal/audit"
+	"github.com/greensku/gsf/internal/trace"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// Policy selects the temporal-scheduling behaviour for deferrable VMs.
+type Policy int
+
+const (
+	// NoShift runs the trace as recorded — the static baseline.
+	NoShift Policy = iota
+	// ShiftToTrough delays each deferrable VM's start, within its
+	// slack, to the candidate window with the lowest mean carbon
+	// intensity (ties resolve to the smallest delay, so a constant
+	// signal shifts nothing).
+	ShiftToTrough
+	// ShiftAndSuspend additionally pauses a shifted VM during carbon
+	// peaks above the suspend threshold, resuming when the grid
+	// cleans up; paused time extends completion but never past the
+	// slack deadline.
+	ShiftAndSuspend
+)
+
+func (p Policy) String() string {
+	switch p {
+	case NoShift:
+		return "static"
+	case ShiftToTrough:
+		return "shift"
+	case ShiftAndSuspend:
+		return "shift+suspend"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ScheduleConfig parameterises the carbon-aware scheduler.
+type ScheduleConfig struct {
+	Signal *Signal
+	Policy Policy
+	// StepHours is the granularity of the delay search and of
+	// suspend/resume decisions. Zero defaults to 1h.
+	StepHours float64
+	// SuspendThreshold is the intensity above which ShiftAndSuspend
+	// pauses deferrable work (strictly above, so a constant signal
+	// never suspends). Zero derives the threshold as the signal's 80th
+	// time-percentile over one period.
+	SuspendThreshold units.CarbonIntensity
+	// Audit receives invariant violations (deadline-respected,
+	// work-conservation, ci-non-increasing). Nil falls back to the
+	// process default; if that is also nil, checking is disabled.
+	Audit audit.Checker
+}
+
+// Interval is a half-open span of trace time during which a VM
+// actively runs (and draws power).
+type Interval struct {
+	Start, End float64
+}
+
+// Scheduled is the scheduler's output: the re-timed trace (occupancy
+// intervals, ready for alloc.Simulate) plus the per-VM active
+// intervals that carry power. A suspended VM keeps occupying its
+// server — memory stays resident — but draws no compute power, so
+// Active is what emissions integrate over.
+type Scheduled struct {
+	Trace  trace.Trace
+	Active [][]Interval // parallel to Trace.VMs
+	Report Report
+}
+
+// Report aggregates what the scheduler did.
+type Report struct {
+	Deferrable     int // deferrable VMs seen
+	Shifted        int // VMs whose start moved
+	Suspended      int // VMs paused at least once
+	DelayHours     float64
+	SuspendedHours float64
+	// MeanCIBefore/After are core-hour-weighted mean intensities over
+	// the active intervals, before and after scheduling — the
+	// signal-level view of what the re-timing bought.
+	MeanCIBefore, MeanCIAfter units.CarbonIntensity
+}
+
+// Schedule re-times a trace's deferrable VMs against the carbon
+// signal. Non-deferrable VMs, and every VM under NoShift, pass through
+// untouched. The output trace keeps the input's horizon: departures
+// past the horizon are already normal in this codebase, and preserving
+// it keeps the snapshot clock — and therefore alloc Results — exactly
+// comparable between policies.
+//
+// With a constant signal the delay search ties at every candidate and
+// resolves to zero delay, the suspend threshold (a percentile of a
+// constant) is never strictly exceeded, and the returned trace is
+// deep-equal to the input — the differential suite holds Schedule to
+// that bit-for-bit.
+func Schedule(tr trace.Trace, cfg ScheduleConfig) (Scheduled, error) {
+	if err := tr.Validate(); err != nil {
+		return Scheduled{}, err
+	}
+	if err := cfg.Signal.Validate(); err != nil {
+		return Scheduled{}, err
+	}
+	step := cfg.StepHours
+	if step <= 0 {
+		step = 1
+	}
+	chk := audit.Resolve(cfg.Audit)
+	sig := cfg.Signal
+
+	threshold := cfg.SuspendThreshold
+	if cfg.Policy == ShiftAndSuspend && threshold == 0 {
+		span := sig.Period
+		if span <= 0 {
+			if n := len(sig.Samples); n > 0 {
+				span = sig.Samples[n-1].T
+			}
+		}
+		threshold = sig.Percentile(0.8, 0, span)
+	}
+
+	out := Scheduled{
+		Trace: trace.Trace{
+			Name:    tr.Name,
+			VMs:     append([]trace.VM(nil), tr.VMs...),
+			Horizon: tr.Horizon,
+		},
+		Active: make([][]Interval, len(tr.VMs)),
+	}
+	var wBefore, wAfter float64 // core-hour-weighted ∫CI over active time
+	var coreHours float64
+	for i := range out.Trace.VMs {
+		vm := &out.Trace.VMs[i]
+		cores := float64(vm.Cores)
+		wBefore += cores * sig.Integral(units.Hours(vm.Arrive), units.Hours(vm.Depart))
+		coreHours += cores * vm.Lifetime()
+
+		if !vm.Deferrable || cfg.Policy == NoShift || vm.SlackHours <= 0 {
+			out.Active[i] = []Interval{{vm.Arrive, vm.Depart}}
+			wAfter += cores * sig.Integral(units.Hours(vm.Arrive), units.Hours(vm.Depart))
+			if vm.Deferrable {
+				out.Report.Deferrable++
+			}
+			continue
+		}
+		out.Report.Deferrable++
+
+		delay := bestDelay(sig, vm.Arrive, vm.Depart, vm.SlackHours, step)
+		active := []Interval{{vm.Arrive + delay, vm.Depart + delay}}
+		suspended := 0.0
+		if cfg.Policy == ShiftAndSuspend {
+			// Whatever slack the shift left bounds how far suspension
+			// may push completion, keeping the deadline intact.
+			active, suspended = suspendAcrossPeaks(sig, vm.Arrive+delay, vm.Lifetime(),
+				vm.SlackHours-delay, step, threshold)
+		}
+
+		if delay > 0 {
+			out.Report.Shifted++
+			out.Report.DelayHours += delay
+		}
+		if suspended > 0 {
+			out.Report.Suspended++
+			out.Report.SuspendedHours += suspended
+		}
+		start := active[0].Start
+		end := active[len(active)-1].End
+		vm.Arrive = start
+		vm.Depart = end
+		out.Active[i] = active
+		var w, runtime float64
+		for _, iv := range active {
+			w += cores * sig.Integral(units.Hours(iv.Start), units.Hours(iv.End))
+			runtime += iv.End - iv.Start
+		}
+		wAfter += w
+
+		if chk != nil {
+			orig := tr.VMs[i]
+			// Deadline-respected: start and completion slip by at most
+			// the slack, and never run backwards.
+			if start < orig.Arrive-audit.SimTol || start > orig.Arrive+orig.SlackHours+audit.SimTol ||
+				end > orig.Depart+orig.SlackHours+audit.SimTol {
+				audit.Failf(chk, "gridci", "deadline-respected",
+					"VM %d moved to [%g,%g] outside [%g,%g]+slack %g",
+					orig.ID, start, end, orig.Arrive, orig.Depart, orig.SlackHours)
+			}
+			// Work-conservation: active runtime equals the traced
+			// lifetime; suspension defers work, it must not destroy it.
+			if !audit.Close(runtime, orig.Lifetime(), audit.SimTol) {
+				audit.Failf(chk, "gridci", "work-conservation",
+					"VM %d active runtime %g != lifetime %g", orig.ID, runtime, orig.Lifetime())
+			}
+		}
+	}
+	// Shifts reorder arrivals; a stable sort of the index permutation
+	// is the identity on an untouched trace and keeps the active
+	// intervals aligned with their VMs.
+	idx := make([]int, len(out.Trace.VMs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return out.Trace.VMs[idx[a]].Arrive < out.Trace.VMs[idx[b]].Arrive
+	})
+	vms := make([]trace.VM, len(idx))
+	act := make([][]Interval, len(idx))
+	for i, j := range idx {
+		vms[i] = out.Trace.VMs[j]
+		act[i] = out.Active[j]
+	}
+	out.Trace.VMs, out.Active = vms, act
+
+	if coreHours > 0 {
+		out.Report.MeanCIBefore = units.CarbonIntensity(wBefore / coreHours)
+		out.Report.MeanCIAfter = units.CarbonIntensity(wAfter / coreHours)
+		if chk != nil && float64(out.Report.MeanCIAfter) > float64(out.Report.MeanCIBefore)+audit.SimTol {
+			// CI-integration: every per-VM move minimises its own mean
+			// intensity, so the demand-weighted aggregate cannot rise.
+			audit.Failf(chk, "gridci", "ci-non-increasing",
+				"scheduling raised mean CI %g -> %g",
+				float64(out.Report.MeanCIBefore), float64(out.Report.MeanCIAfter))
+		}
+	}
+	if err := out.Trace.Validate(); err != nil {
+		return Scheduled{}, fmt.Errorf("gridci: scheduled trace invalid: %w", err)
+	}
+	return out, nil
+}
+
+// bestDelay grid-searches delays in [0, slack] at step granularity
+// (slack itself included) for the lowest mean intensity over the run
+// window. Strictly-better comparison keeps ties on the earliest
+// candidate, so a flat signal yields zero delay.
+func bestDelay(sig *Signal, arrive, depart, slack, step float64) float64 {
+	best, bestMean := 0.0, math.Inf(1)
+	for d := 0.0; ; d += step {
+		if d > slack {
+			d = slack
+		}
+		m := float64(sig.MeanCI(units.Hours(arrive+d), units.Hours(depart+d)))
+		if m < bestMean {
+			best, bestMean = d, m
+		}
+		if d >= slack {
+			break
+		}
+	}
+	return best
+}
+
+// suspendAcrossPeaks walks the run from start in step-sized slices,
+// pausing whenever the signal sits strictly above the threshold and
+// pause budget remains. It returns the active intervals (total length
+// exactly runtime) and the paused hours.
+func suspendAcrossPeaks(sig *Signal, start, runtime, budget, step float64, threshold units.CarbonIntensity) ([]Interval, float64) {
+	if budget <= 0 {
+		return []Interval{{start, start + runtime}}, 0
+	}
+	var ivs []Interval
+	t := start
+	remaining := runtime
+	paused := 0.0
+	for remaining > 0 {
+		dt := math.Min(step, remaining)
+		if budget > 0 && sig.At(units.Hours(t+dt/2)) > threshold {
+			pause := math.Min(step, budget)
+			t += pause
+			budget -= pause
+			paused += pause
+			continue
+		}
+		if n := len(ivs); n > 0 && ivs[n-1].End == t {
+			ivs[n-1].End = t + dt
+		} else {
+			ivs = append(ivs, Interval{t, t + dt})
+		}
+		t += dt
+		remaining -= dt
+	}
+	if paused == 0 {
+		// Nothing paused: return the exact contiguous span rather than
+		// the step-accumulated one, so the no-op case (and with it the
+		// constant-signal differential) is bit-identical to the input.
+		return []Interval{{start, start + runtime}}, 0
+	}
+	return ivs, paused
+}
+
+// OperationalEmissions integrates cores × power × CI over every active
+// interval: the workload-attributed operational emissions under the
+// signal, in kgCO2e. perCore is the average compute power one core
+// draws (derated server power over cores).
+func OperationalEmissions(sch Scheduled, sig *Signal, perCore units.Watts) units.KgCO2e {
+	var kg float64
+	for i, vm := range sch.Trace.VMs {
+		kw := float64(vm.Cores) * perCore.Kilowatts()
+		for _, iv := range sch.Active[i] {
+			kg += kw * sig.Integral(units.Hours(iv.Start), units.Hours(iv.End))
+		}
+	}
+	return units.KgCO2e(kg)
+}

@@ -1,0 +1,192 @@
+package gridci
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/greensku/gsf/internal/audit"
+	"github.com/greensku/gsf/internal/trace"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// deferrableTrace generates a production-like trace with a third of
+// its VMs delay-tolerant.
+func deferrableTrace(t testing.TB, seed uint64) trace.Trace {
+	t.Helper()
+	p := trace.DefaultParams("sched-test", seed)
+	p.HorizonHours = 24 * 7
+	p.ArrivalsPerHour = 8
+	p.DeferrableFrac = 0.35
+	p.MeanSlackHours = 12
+	tr, err := trace.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func diurnalTestSignal() *Signal {
+	return Diurnal(DiurnalOptions{Name: "sched", Mean: 0.1, Swing: 0.6})
+}
+
+func TestScheduleShiftsTowardTrough(t *testing.T) {
+	tr := deferrableTrace(t, 11)
+	sig := diurnalTestSignal()
+	sch, err := Schedule(tr, ScheduleConfig{Signal: sig, Policy: ShiftToTrough})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Report.Deferrable == 0 || sch.Report.Shifted == 0 {
+		t.Fatalf("nothing shifted: %+v", sch.Report)
+	}
+	if sch.Report.MeanCIAfter >= sch.Report.MeanCIBefore {
+		t.Errorf("shifting did not lower mean CI: %v -> %v",
+			sch.Report.MeanCIBefore, sch.Report.MeanCIAfter)
+	}
+	// Emissions follow the same direction at any fixed per-core power.
+	static, err := Schedule(tr, ScheduleConfig{Signal: sig, Policy: NoShift})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perCore = units.Watts(6)
+	if a, b := OperationalEmissions(sch, sig, perCore), OperationalEmissions(static, sig, perCore); a >= b {
+		t.Errorf("shifted emissions %v >= static %v", a, b)
+	}
+}
+
+func TestScheduleRespectsDeadlinesAndConservesWork(t *testing.T) {
+	tr := deferrableTrace(t, 12)
+	sig := diurnalTestSignal()
+	for _, pol := range []Policy{ShiftToTrough, ShiftAndSuspend} {
+		rec := audit.NewRecorder()
+		sch, err := Schedule(tr, ScheduleConfig{Signal: sig, Policy: pol, Audit: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := rec.Count(); n != 0 {
+			t.Fatalf("%v: %d audit violations: %v", pol, n, rec.Violations())
+		}
+		// Re-derive the invariants independently of the audit hooks.
+		orig := map[int]trace.VM{}
+		for _, vm := range tr.VMs {
+			orig[vm.ID] = vm
+		}
+		for i, vm := range sch.Trace.VMs {
+			o := orig[vm.ID]
+			if vm.Arrive < o.Arrive-1e-9 {
+				t.Fatalf("%v: VM %d started early: %g < %g", pol, vm.ID, vm.Arrive, o.Arrive)
+			}
+			if vm.Depart > o.Depart+o.SlackHours+1e-9 {
+				t.Fatalf("%v: VM %d missed its deadline: %g > %g+%g", pol, vm.ID, vm.Depart, o.Depart, o.SlackHours)
+			}
+			var active float64
+			for _, iv := range sch.Active[i] {
+				if iv.End <= iv.Start {
+					t.Fatalf("%v: VM %d empty active interval %+v", pol, vm.ID, iv)
+				}
+				active += iv.End - iv.Start
+			}
+			if math.Abs(active-o.Lifetime()) > 1e-9 {
+				t.Fatalf("%v: VM %d active %g != lifetime %g", pol, vm.ID, active, o.Lifetime())
+			}
+		}
+	}
+}
+
+func TestScheduleSuspendAvoidsPeaks(t *testing.T) {
+	tr := deferrableTrace(t, 13)
+	sig := diurnalTestSignal()
+	shift, err := Schedule(tr, ScheduleConfig{Signal: sig, Policy: ShiftToTrough})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := Schedule(tr, ScheduleConfig{Signal: sig, Policy: ShiftAndSuspend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Report.Suspended == 0 || both.Report.SuspendedHours <= 0 {
+		t.Fatalf("suspend policy paused nothing: %+v", both.Report)
+	}
+	if both.Report.MeanCIAfter > shift.Report.MeanCIAfter+1e-12 {
+		t.Errorf("suspend raised mean CI over shift-only: %v > %v",
+			both.Report.MeanCIAfter, shift.Report.MeanCIAfter)
+	}
+}
+
+func TestScheduleNoShiftIsIdentity(t *testing.T) {
+	tr := deferrableTrace(t, 14)
+	sch, err := Schedule(tr, ScheduleConfig{Signal: diurnalTestSignal(), Policy: NoShift})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameTrace(t, tr, sch.Trace)
+}
+
+func TestScheduleRejectsInvalidInput(t *testing.T) {
+	tr := deferrableTrace(t, 15)
+	if _, err := Schedule(tr, ScheduleConfig{Signal: &Signal{}, Policy: ShiftToTrough}); err == nil {
+		t.Error("Schedule accepted an invalid signal")
+	}
+	bad := tr
+	bad.VMs = append([]trace.VM(nil), tr.VMs...)
+	bad.VMs[0].Depart = bad.VMs[0].Arrive
+	if _, err := Schedule(bad, ScheduleConfig{Signal: diurnalTestSignal()}); err == nil {
+		t.Error("Schedule accepted an invalid trace")
+	}
+}
+
+func TestAccountSLO(t *testing.T) {
+	tr := deferrableTrace(t, 16)
+	st := trace.Summarise(tr)
+	ctx := context.Background()
+
+	// A capacity well above peak demand can never violate.
+	roomy, err := AccountSLO(ctx, tr, 4*st.PeakCoreDmd, SLOConfig{KneeFrac: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roomy.ViolationHours != 0 || !roomy.WithinBudget {
+		t.Errorf("roomy cluster violated: %+v", roomy)
+	}
+	// A capacity pinned at half the peak must violate for a while.
+	tight, err := AccountSLO(ctx, tr, st.PeakCoreDmd/2, SLOConfig{KneeFrac: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.ViolationHours <= 0 {
+		t.Errorf("tight cluster never violated: %+v", tight)
+	}
+	if tight.ViolationFrac <= roomy.ViolationFrac {
+		t.Errorf("violation fraction not monotone in capacity")
+	}
+	if _, err := AccountSLO(ctx, tr, 0, SLOConfig{KneeFrac: 0.9}); err == nil {
+		t.Error("AccountSLO accepted zero capacity")
+	}
+}
+
+func TestResolveKneeDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("knee search runs the queueing kernel")
+	}
+	ctx := context.Background()
+	cfg := SLOConfig{Requests: 4000, Seed: 42}
+	a, err := ResolveKnee(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ResolveKnee(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("knee search not deterministic: %v vs %v", a, b)
+	}
+	if a <= 0.5 || a > 1.2 {
+		t.Fatalf("knee fraction %v outside the search bracket", a)
+	}
+	// Explicit KneeFrac short-circuits the search.
+	if got, err := ResolveKnee(ctx, SLOConfig{KneeFrac: 0.87}); err != nil || got != 0.87 {
+		t.Fatalf("explicit knee: %v, %v", got, err)
+	}
+}

@@ -1,0 +1,146 @@
+package gridci
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/greensku/gsf/internal/queueing"
+	"github.com/greensku/gsf/internal/trace"
+)
+
+// SLOConfig parameterises the temporal-shifting SLO account. Shifting
+// deferrable work toward clean windows concentrates demand there; the
+// account asks how much of the timeline that concentration pushes the
+// cluster past its queueing knee — the load beyond which tail latency
+// explodes and the paper's p95 SLO (§IV-B) is lost.
+type SLOConfig struct {
+	// Service is the representative per-request service distribution
+	// for the knee model. Zero value defaults to the latency-critical
+	// profile used by the queueing suite (lognormal, 10ms mean,
+	// CV 1.2).
+	Service queueing.ServiceDist
+	// Servers is the queue-model width (default 8, a typical
+	// latency-critical VM's core count).
+	Servers int
+	// Requests per knee evaluation (default 20000, the kernel's own).
+	Requests int
+	// Seed keeps the knee search deterministic (common random
+	// numbers across its evaluations).
+	Seed uint64
+	// KneeFrac, when positive, skips the search and uses the given
+	// stable-load fraction directly — callers sweeping many traces
+	// search once and share the result.
+	KneeFrac float64
+	// Budget is the tolerated fraction of the timeline above the
+	// knee. Default 0.05.
+	Budget float64
+}
+
+// SLOReport is the temporal-shifting SLO account for one trace.
+type SLOReport struct {
+	// KneeFrac is the stable-load fraction of theoretical capacity
+	// beyond which the queue saturates.
+	KneeFrac float64
+	// CapacityCores is the cluster core capacity the demand was held
+	// against.
+	CapacityCores int
+	// ViolationHours is the time the concurrent core demand exceeded
+	// KneeFrac × capacity.
+	ViolationHours float64
+	// ViolationFrac is ViolationHours over the demand span.
+	ViolationFrac float64
+	// WithinBudget reports ViolationFrac <= the configured budget.
+	WithinBudget bool
+	Budget       float64
+}
+
+// ResolveKnee runs the queueing kernel's knee search once for the
+// configured service model and returns the stable-load fraction.
+func ResolveKnee(ctx context.Context, cfg SLOConfig) (float64, error) {
+	if cfg.KneeFrac > 0 {
+		return cfg.KneeFrac, nil
+	}
+	service := cfg.Service
+	if service == nil {
+		service = queueing.LogNormal{MeanSeconds: 0.010, CV: 1.2}
+	}
+	servers := cfg.Servers
+	if servers <= 0 {
+		servers = 8
+	}
+	const loFrac, hiFrac = 0.5, 1.2
+	knee, err := queueing.KneeSearch(ctx, queueing.Config{
+		Servers:  servers,
+		Service:  service,
+		Requests: cfg.Requests,
+		Seed:     cfg.Seed,
+	}, loFrac, hiFrac, 0.02)
+	if err != nil {
+		return 0, err
+	}
+	if !knee.Found {
+		// Stable through the whole bracket: the knee sits past hiFrac,
+		// treat the bracket top as the safe ceiling.
+		return hiFrac, nil
+	}
+	// The last stable point is the usable ceiling; the knee itself
+	// already saturates.
+	if knee.StableFrac > 0 {
+		return knee.StableFrac, nil
+	}
+	return knee.KneeFrac, nil
+}
+
+// AccountSLO sweeps the trace's concurrent core demand and reports how
+// long it exceeds the knee-derived safe load on a cluster of
+// capacityCores.
+func AccountSLO(ctx context.Context, tr trace.Trace, capacityCores int, cfg SLOConfig) (SLOReport, error) {
+	if capacityCores <= 0 {
+		return SLOReport{}, fmt.Errorf("gridci: SLO account needs positive capacity, got %d", capacityCores)
+	}
+	kneeFrac, err := ResolveKnee(ctx, cfg)
+	if err != nil {
+		return SLOReport{}, err
+	}
+	budget := cfg.Budget
+	if budget <= 0 {
+		budget = 0.05
+	}
+	rep := SLOReport{KneeFrac: kneeFrac, CapacityCores: capacityCores, Budget: budget}
+	safe := kneeFrac * float64(capacityCores)
+
+	// Sweep the arrival/departure edges of the concurrent-demand
+	// profile, accumulating time spent above the safe load.
+	type edge struct {
+		at    float64
+		cores int
+	}
+	edges := make([]edge, 0, 2*len(tr.VMs))
+	span := tr.Horizon
+	for _, vm := range tr.VMs {
+		edges = append(edges, edge{vm.Arrive, vm.Cores}, edge{vm.Depart, -vm.Cores})
+		span = math.Max(span, vm.Depart)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		return edges[i].cores < edges[j].cores // departures first
+	})
+	demand := 0
+	prev := 0.0
+	for _, e := range edges {
+		if float64(demand) > safe {
+			rep.ViolationHours += e.at - prev
+		}
+		demand += e.cores
+		prev = e.at
+	}
+	if span > 0 {
+		rep.ViolationFrac = rep.ViolationHours / span
+	}
+	rep.WithinBudget = rep.ViolationFrac <= budget
+	return rep, nil
+}

@@ -1,0 +1,185 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"testing"
+)
+
+// TestCatalogEndpointsSorted pins the deterministic ordering of the
+// discovery endpoints: both listings are sorted by name regardless of
+// catalog registration order.
+func TestCatalogEndpointsSorted(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	w := get(t, s.Handler(), "/v1/skus")
+	if w.Code != http.StatusOK {
+		t.Fatalf("skus status %d: %s", w.Code, w.Body)
+	}
+	var skus struct {
+		SKUs []struct {
+			Name string `json:"name"`
+		} `json:"skus"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &skus); err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(skus.SKUs))
+	for _, sku := range skus.SKUs {
+		names = append(names, sku.Name)
+	}
+	if len(names) < 5 {
+		t.Fatalf("suspiciously few SKUs: %v", names)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("/v1/skus not sorted: %v", names)
+	}
+
+	w = get(t, s.Handler(), "/v1/datasets")
+	if w.Code != http.StatusOK {
+		t.Fatalf("datasets status %d: %s", w.Code, w.Body)
+	}
+	var ds struct {
+		Datasets []struct {
+			Name string `json:"name"`
+		} `json:"datasets"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &ds); err != nil {
+		t.Fatal(err)
+	}
+	dnames := make([]string, 0, len(ds.Datasets))
+	for _, d := range ds.Datasets {
+		dnames = append(dnames, d.Name)
+	}
+	if len(dnames) != 3 {
+		t.Fatalf("got datasets %v, want 3", dnames)
+	}
+	if !sort.StringsAreSorted(dnames) {
+		t.Errorf("/v1/datasets not sorted: %v", dnames)
+	}
+
+	// Sorting the catalog must not have moved the default dataset: an
+	// empty dataset field still selects open-source.
+	wp := post(t, s.Handler(), "/v1/percore", `{"sku":"GreenSKU-Full"}`)
+	if wp.Code != http.StatusOK {
+		t.Fatalf("percore status %d: %s", wp.Code, wp.Body)
+	}
+	var resp struct {
+		Dataset string `json:"dataset"`
+	}
+	if err := json.Unmarshal(wp.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Dataset != "open-source" {
+		t.Errorf("default dataset = %q, want open-source", resp.Dataset)
+	}
+}
+
+func TestCISeriesEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := `{"name":"diurnal","period_h":24,"series":[
+		{"t_h":1,"ci":0.2},{"t_h":7,"ci":0.04},{"t_h":13,"ci":0.06},{"t_h":19,"ci":0.22}]}`
+	w := post(t, s.Handler(), "/v1/ciseries", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	type ciVal struct {
+		Value float64 `json:"value"`
+		Unit  string  `json:"unit"`
+	}
+	var resp struct {
+		Name        string  `json:"name"`
+		Samples     int     `json:"samples"`
+		PeriodH     float64 `json:"period_h"`
+		Constant    bool    `json:"constant"`
+		Mean        ciVal   `json:"mean"`
+		Peak        ciVal   `json:"peak"`
+		Trough      ciVal   `json:"trough"`
+		P10         ciVal   `json:"p10"`
+		P90         ciVal   `json:"p90"`
+		Dataset     string  `json:"dataset"`
+		EffectiveCI ciVal   `json:"effective_ci"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Name != "diurnal" || resp.Samples != 4 || resp.PeriodH != 24 || resp.Constant {
+		t.Errorf("identity fields: %+v", resp)
+	}
+	if resp.Dataset != "open-source" {
+		t.Errorf("dataset = %q", resp.Dataset)
+	}
+	if !(resp.Trough.Value <= resp.P10.Value && resp.P10.Value <= resp.Mean.Value &&
+		resp.Mean.Value <= resp.P90.Value && resp.P90.Value <= resp.Peak.Value) {
+		t.Errorf("statistics disordered: %+v", resp)
+	}
+	if resp.Trough.Value != 0.04 || resp.Peak.Value != 0.22 {
+		t.Errorf("extremes %g/%g, want 0.04/0.22", resp.Trough.Value, resp.Peak.Value)
+	}
+	// The lifetime covers many whole periods, so the effective CI sits
+	// inside the period range.
+	if resp.EffectiveCI.Value < resp.Trough.Value || resp.EffectiveCI.Value > resp.Peak.Value {
+		t.Errorf("effective CI %g outside range", resp.EffectiveCI.Value)
+	}
+
+	for name, bad := range map[string]string{
+		"no-samples": `{"series":[]}`,
+		"non-finite": `{"series":[{"t_h":0,"ci":1e999}]}`,
+		"negative":   `{"series":[{"t_h":0,"ci":-0.1}]}`,
+		"unsorted":   `{"series":[{"t_h":5,"ci":0.1},{"t_h":2,"ci":0.2}]}`,
+		"past-per":   `{"period_h":24,"series":[{"t_h":30,"ci":0.1}]}`,
+		"bad-ds":     `{"dataset":"nope","series":[{"t_h":0,"ci":0.1}]}`,
+	} {
+		w := post(t, s.Handler(), "/v1/ciseries", bad)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", name, w.Code, w.Body)
+		}
+	}
+}
+
+// TestEvaluateConstantSeriesMatchesScalar is the API-level face of the
+// constant-signal differential: an evaluate with a flat ci_series must
+// return a byte-identical body to the same evaluate with the scalar ci.
+func TestEvaluateConstantSeriesMatchesScalar(t *testing.T) {
+	s := newTestServer(t, Config{})
+	scalar := post(t, s.Handler(), "/v1/evaluate", `{"ci":0.11,`+smallWorkload+`}`)
+	if scalar.Code != http.StatusOK {
+		t.Fatalf("scalar status %d: %s", scalar.Code, scalar.Body)
+	}
+	series := post(t, s.Handler(), "/v1/evaluate",
+		`{"ci_series":[{"t_h":0,"ci":0.11}],`+smallWorkload+`}`)
+	if series.Code != http.StatusOK {
+		t.Fatalf("series status %d: %s", series.Code, series.Body)
+	}
+	if !bytes.Equal(scalar.Body.Bytes(), series.Body.Bytes()) {
+		t.Fatalf("constant series diverged from scalar:\n%s\n%s", scalar.Body, series.Body)
+	}
+	// Same effective computation — the series request must have hit the
+	// scalar request's cache entry.
+	if got := series.Header().Get("X-Cache"); got != "hit" {
+		t.Errorf("constant series missed the scalar cache entry (X-Cache=%q)", got)
+	}
+
+	// A genuinely varying series resolves to a different effective CI.
+	varying := post(t, s.Handler(), "/v1/evaluate",
+		`{"ci_series":[{"t_h":0,"ci":0.05},{"t_h":12,"ci":0.17}],"ci_period_h":24,`+smallWorkload+`}`)
+	if varying.Code != http.StatusOK {
+		t.Fatalf("varying status %d: %s", varying.Code, varying.Body)
+	}
+	if bytes.Equal(scalar.Body.Bytes(), varying.Body.Bytes()) {
+		t.Error("varying series produced the scalar response")
+	}
+
+	for name, bad := range map[string]string{
+		"both-set":       `{"ci":0.1,"ci_series":[{"t_h":0,"ci":0.1}],` + smallWorkload + `}`,
+		"orphan-period":  `{"ci_period_h":24,` + smallWorkload + `}`,
+		"invalid-series": `{"ci_series":[{"t_h":0,"ci":-1}],` + smallWorkload + `}`,
+	} {
+		w := post(t, s.Handler(), "/v1/evaluate", bad)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", name, w.Code, w.Body)
+		}
+	}
+}

@@ -34,7 +34,7 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
 
 func (s *Server) lookupDataset(name string) (*dataset, error) {
 	if name == "" {
-		name = s.datasetOrder[0] // open-source
+		name = s.defaultDataset // open-source
 	}
 	d, ok := s.datasets[name]
 	if !ok {
@@ -278,6 +278,13 @@ type evaluateRequest struct {
 	// Baseline defaults to "Baseline" (Gen3).
 	Baseline string  `json:"baseline"`
 	CI       float64 `json:"ci"`
+	// CISeries evaluates under a time-varying grid intensity: a
+	// piecewise-linear timeseries collapsed to its effective CI over
+	// one server lifetime. Mutually exclusive with a non-zero scalar
+	// ci; a constant series is byte-identical to the scalar path.
+	CISeries []ciSamplePayload `json:"ci_series"`
+	// CIPeriodH makes the series periodic (e.g. 24 for diurnal).
+	CIPeriodH float64 `json:"ci_period_h"`
 	// CXLBacked evaluates performance as if VM memory were CXL-served.
 	CXLBacked bool         `json:"cxl_backed"`
 	Workload  workloadSpec `json:"workload"`
@@ -330,6 +337,25 @@ func (s *Server) evaluateJob(req evaluateRequest) (string, func() ([]byte, error
 	ci, err := normalizeCI(req.CI, d)
 	if err != nil {
 		return "", nil, err
+	}
+	if len(req.CISeries) > 0 {
+		if req.CI != 0 {
+			return "", nil, fmt.Errorf("%w: both a scalar ci and a ci_series were set", errBadRequest)
+		}
+		sig, err := signalFromPayload("evaluate", req.CISeries, req.CIPeriodH)
+		if err != nil {
+			return "", nil, err
+		}
+		// The evaluation depends on the series only through its
+		// effective CI, so resolving it here keeps the cache exact: a
+		// constant series hits the same entry as its scalar twin.
+		eff, err := d.model.EffectiveCI(sig)
+		if err != nil {
+			return "", nil, fmt.Errorf("%w: ci_series: %v", errBadRequest, err)
+		}
+		ci = eff
+	} else if req.CIPeriodH != 0 {
+		return "", nil, fmt.Errorf("%w: ci_period_h without ci_series", errBadRequest)
 	}
 	params, err := s.traceParams(req.Workload)
 	if err != nil {
@@ -475,6 +501,109 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	s.writeJSON(w, map[string]any{"datasets": out})
+}
+
+// --- POST /v1/ciseries ------------------------------------------------
+
+// ciSamplePayload is one (time, intensity) knot of a request-supplied
+// carbon-intensity timeseries.
+type ciSamplePayload struct {
+	TH float64 `json:"t_h"`
+	CI float64 `json:"ci"`
+}
+
+// signalFromPayload builds and validates a gridci signal from request
+// JSON; validation failures map to HTTP 400.
+func signalFromPayload(name string, samples []ciSamplePayload, periodH float64) (*gsf.CISignal, error) {
+	sig := &gsf.CISignal{Name: name, Period: units.Hours(periodH)}
+	for _, p := range samples {
+		sig.Samples = append(sig.Samples, gsf.CISample{T: units.Hours(p.TH), CI: units.CarbonIntensity(p.CI)})
+	}
+	if err := sig.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	return sig, nil
+}
+
+type ciSeriesRequest struct {
+	// Name labels the series in the response (optional).
+	Name string `json:"name"`
+	// Series is the piecewise-linear timeseries; Period makes it wrap.
+	Series  []ciSamplePayload `json:"series"`
+	PeriodH float64           `json:"period_h"`
+	// Dataset selects the lifetime used for the effective CI; empty
+	// selects open-source.
+	Dataset string `json:"dataset"`
+}
+
+type ciSeriesResponse struct {
+	Name     string  `json:"name"`
+	Samples  int     `json:"samples"`
+	PeriodH  float64 `json:"period_h"`
+	Constant bool    `json:"constant"`
+	// Window statistics over one period (or the sampled span when
+	// aperiodic).
+	Mean   units.CarbonIntensity `json:"mean"`
+	Peak   units.CarbonIntensity `json:"peak"`
+	Trough units.CarbonIntensity `json:"trough"`
+	P10    units.CarbonIntensity `json:"p10"`
+	P50    units.CarbonIntensity `json:"p50"`
+	P90    units.CarbonIntensity `json:"p90"`
+	// EffectiveCI is the scalar that yields identical lifetime
+	// operational emissions under the selected dataset: the value
+	// /v1/evaluate substitutes when given this series.
+	Dataset     string                `json:"dataset"`
+	EffectiveCI units.CarbonIntensity `json:"effective_ci"`
+}
+
+// handleCISeries validates a carbon-intensity timeseries and returns
+// its summary statistics plus the effective CI an evaluation would
+// use. Validation and a handful of interpolations are far cheaper than
+// a request decode, so this runs inline, outside the worker pool.
+func (s *Server) handleCISeries(w http.ResponseWriter, r *http.Request) {
+	var req ciSeriesRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if req.Name == "" {
+		req.Name = "request"
+	}
+	d, err := s.lookupDataset(req.Dataset)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	sig, err := signalFromPayload(req.Name, req.Series, req.PeriodH)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	span := sig.Period
+	if span <= 0 {
+		span = sig.Samples[len(sig.Samples)-1].T
+	}
+	eff, err := d.model.EffectiveCI(sig)
+	if err != nil {
+		s.writeError(w, fmt.Errorf("%w: %v", errBadRequest, err))
+		return
+	}
+	st := sig.Stats(0, span)
+	resp := ciSeriesResponse{
+		Name:        sig.Name,
+		Samples:     len(sig.Samples),
+		PeriodH:     float64(sig.Period),
+		Constant:    sig.IsConstant(),
+		Mean:        st.Mean,
+		Peak:        st.Peak,
+		Trough:      st.Trough,
+		P10:         sig.Percentile(0.1, 0, span),
+		P50:         sig.Percentile(0.5, 0, span),
+		P90:         sig.Percentile(0.9, 0, span),
+		Dataset:     d.name,
+		EffectiveCI: eff,
+	}
+	s.writeJSON(w, resp)
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, v any) {

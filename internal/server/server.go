@@ -25,6 +25,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -107,10 +108,14 @@ type Server struct {
 	mux     *http.ServeMux
 	metrics *Metrics
 
-	datasets     map[string]*dataset
-	datasetOrder []string
-	skus         map[string]gsf.SKU
-	skuOrder     []string
+	datasets map[string]*dataset
+	// datasetOrder and skuOrder are sorted by name so catalog listings
+	// are deterministic; defaultDataset pins the catalog's first entry
+	// (open-source) independently of that ordering.
+	datasetOrder   []string
+	defaultDataset string
+	skus           map[string]gsf.SKU
+	skuOrder       []string
 
 	pool   *pool
 	cache  *resultCache
@@ -153,12 +158,15 @@ func New(cfg Config) (*Server, error) {
 		s.datasets[d.Name] = &dataset{name: d.Name, model: m, fw: m.Framework(fwOpts...)}
 		s.datasetOrder = append(s.datasetOrder, d.Name)
 	}
+	s.defaultDataset = s.datasetOrder[0]
+	sort.Strings(s.datasetOrder)
 	for _, sku := range gsf.SKUCatalog() {
 		if _, dup := s.skus[sku.Name]; !dup {
 			s.skus[sku.Name] = sku
 			s.skuOrder = append(s.skuOrder, sku.Name)
 		}
 	}
+	sort.Strings(s.skuOrder)
 
 	s.metrics.RegisterGauge("gsfd_queue_depth",
 		"Evaluations waiting for a worker.", func() float64 { return float64(s.pool.depth()) })
@@ -186,6 +194,7 @@ func (s *Server) routes() {
 	s.mux.Handle("POST /v1/savings", s.instrument("/v1/savings", s.handleSavings))
 	s.mux.Handle("POST /v1/evaluate", s.instrument("/v1/evaluate", s.handleEvaluate))
 	s.mux.Handle("POST /v1/batch", s.instrument("/v1/batch", s.handleBatch))
+	s.mux.Handle("POST /v1/ciseries", s.instrument("/v1/ciseries", s.handleCISeries))
 	s.mux.Handle("GET /v1/skus", s.instrument("/v1/skus", s.handleSKUs))
 	s.mux.Handle("GET /v1/datasets", s.instrument("/v1/datasets", s.handleDatasets))
 	s.mux.Handle("GET /metrics", s.metrics.handler())

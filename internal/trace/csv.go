@@ -10,10 +10,18 @@ import (
 )
 
 // CSVHeader is the column layout used by WriteCSV/ReadCSV and the
-// tracegen tool: one VM per row.
+// tracegen tool: one VM per row. The deferrable columns were added with
+// the carbon-aware scheduler; ReadCSV still accepts the original
+// 9-column layout (legacyCSVColumns) with both fields defaulting to
+// zero.
 var CSVHeader = []string{
 	"id", "arrive_h", "depart_h", "cores", "memory_gb", "gen", "full_node", "app", "max_mem_frac",
+	"deferrable", "slack_h",
 }
+
+// legacyCSVColumns is the pre-scheduler column count; traces written
+// before the deferrable annotation carry 9 columns.
+const legacyCSVColumns = 9
 
 // WriteCSV serialises the trace.
 func WriteCSV(w io.Writer, t Trace) error {
@@ -32,6 +40,8 @@ func WriteCSV(w io.Writer, t Trace) error {
 			strconv.FormatBool(v.FullNode),
 			v.App,
 			strconv.FormatFloat(v.MaxMemFrac, 'f', 3, 64),
+			strconv.FormatBool(v.Deferrable),
+			strconv.FormatFloat(v.SlackHours, 'f', 3, 64),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -46,16 +56,23 @@ func WriteCSV(w io.Writer, t Trace) error {
 // horizon is the latest departure.
 func ReadCSV(r io.Reader, name string) (Trace, error) {
 	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = len(CSVHeader)
+	cr.FieldsPerRecord = -1 // fixed per-row below, once the header picks a layout
 	header, err := cr.Read()
 	if err != nil {
 		return Trace{}, fmt.Errorf("trace: reading CSV header: %w", err)
 	}
-	for i, want := range CSVHeader {
+	switch len(header) {
+	case len(CSVHeader), legacyCSVColumns:
+	default:
+		return Trace{}, fmt.Errorf("trace: CSV header has %d columns, want %d (or the legacy %d)",
+			len(header), len(CSVHeader), legacyCSVColumns)
+	}
+	for i, want := range CSVHeader[:len(header)] {
 		if header[i] != want {
 			return Trace{}, fmt.Errorf("trace: CSV column %d is %q, want %q", i, header[i], want)
 		}
 	}
+	cr.FieldsPerRecord = len(header)
 	var t Trace
 	t.Name = name
 	line := 1
@@ -112,6 +129,15 @@ func parseVM(rec []string) (VM, error) {
 	vm.App = rec[7]
 	if vm.MaxMemFrac, err = strconv.ParseFloat(rec[8], 64); err != nil {
 		return vm, fmt.Errorf("max_mem_frac: %w", err)
+	}
+	if len(rec) == legacyCSVColumns {
+		return vm, nil
+	}
+	if vm.Deferrable, err = strconv.ParseBool(rec[9]); err != nil {
+		return vm, fmt.Errorf("deferrable: %w", err)
+	}
+	if vm.SlackHours, err = strconv.ParseFloat(rec[10], 64); err != nil {
+		return vm, fmt.Errorf("slack_h: %w", err)
 	}
 	return vm, nil
 }

@@ -19,6 +19,9 @@ func FuzzTraceCSV(f *testing.F) {
 	f.Add([]byte("id,arrive_h,depart_h,cores,memory_gb,gen,full_node,app,max_mem_frac\n" +
 		"0,0.500,12.250,4,24,2,false,web-serve,0.410\n" +
 		"1,1.000,300.000,80,768,3,true,\"big,data\",0.900\n"))
+	f.Add([]byte("id,arrive_h,depart_h,cores,memory_gb,gen,full_node,app,max_mem_frac,deferrable,slack_h\n" +
+		"0,0.500,12.250,4,24,2,false,web-serve,0.410,true,6.000\n" +
+		"1,1.000,300.000,80,768,3,true,\"big,data\",0.900,false,0.000\n"))
 	f.Add([]byte("id,arrive_h,depart_h,cores\n0,1,2,4\n"))
 	f.Add([]byte("not a csv at all \x00\xff"))
 	f.Add([]byte("id,arrive_h,depart_h,cores,memory_gb,gen,full_node,app,max_mem_frac\n" +
@@ -63,7 +66,7 @@ func FuzzTraceCSV(f *testing.F) {
 		for i, a := range tr.VMs {
 			b := tr2.VMs[i]
 			if a.ID != b.ID || a.Cores != b.Cores || a.Gen != b.Gen ||
-				a.FullNode != b.FullNode || a.App != b.App {
+				a.FullNode != b.FullNode || a.App != b.App || a.Deferrable != b.Deferrable {
 				t.Fatalf("VM %d exact fields changed: %+v -> %+v", i, a, b)
 			}
 			// arrive_h/depart_h/max_mem_frac carry 3 decimals, memory_gb
@@ -73,6 +76,7 @@ func FuzzTraceCSV(f *testing.F) {
 			checkClose(t, i, "depart", a.Depart, b.Depart, 0.0005)
 			checkClose(t, i, "max_mem_frac", a.MaxMemFrac, b.MaxMemFrac, 0.0005)
 			checkClose(t, i, "memory", float64(a.Memory), float64(b.Memory), 0.5)
+			checkClose(t, i, "slack_h", a.SlackHours, b.SlackHours, 0.0005)
 		}
 	})
 }

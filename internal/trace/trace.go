@@ -42,6 +42,14 @@ type VM struct {
 	// MaxMemFrac is the maximum fraction of allocated memory the VM
 	// touches over its lifetime, as reported in the paper's traces.
 	MaxMemFrac float64
+	// Deferrable marks delay-tolerant work (batch, dev/test, ML
+	// training): the carbon-aware scheduler may delay its start, or
+	// suspend and resume it, to chase low-carbon windows.
+	Deferrable bool
+	// SlackHours is the deferrable VM's scheduling deadline: its
+	// completion may slip by at most this many hours past the traced
+	// departure. Must be zero for non-deferrable VMs.
+	SlackHours float64
 }
 
 // Lifetime returns the VM's duration in hours.
@@ -62,7 +70,7 @@ func (t Trace) Validate() error {
 		// ordering comparison below (all NaN comparisons are false),
 		// and infinite times would stall the allocation simulator's
 		// snapshot clock.
-		if !finite(v.Arrive) || !finite(v.Depart) || !finite(float64(v.Memory)) || !finite(v.MaxMemFrac) {
+		if !finite(v.Arrive) || !finite(v.Depart) || !finite(float64(v.Memory)) || !finite(v.MaxMemFrac) || !finite(v.SlackHours) {
 			return fmt.Errorf("trace %s: VM %d has a non-finite field", t.Name, i)
 		}
 		if v.Depart <= v.Arrive {
@@ -79,6 +87,12 @@ func (t Trace) Validate() error {
 		}
 		if v.Gen < 1 || v.Gen > 3 {
 			return fmt.Errorf("trace %s: VM %d has generation %d", t.Name, i, v.Gen)
+		}
+		if v.SlackHours < 0 {
+			return fmt.Errorf("trace %s: VM %d has negative slack %v", t.Name, i, v.SlackHours)
+		}
+		if !v.Deferrable && v.SlackHours != 0 {
+			return fmt.Errorf("trace %s: VM %d is not deferrable but has slack %v", t.Name, i, v.SlackHours)
 		}
 		prev = v.Arrive
 	}
@@ -111,6 +125,14 @@ type GenParams struct {
 	// MeanMaxMemFrac is the mean of the per-VM maximum memory
 	// utilisation fraction.
 	MeanMaxMemFrac float64
+	// DeferrableFrac is the fraction of non-full-node arrivals marked
+	// delay-tolerant. Zero (the default) leaves the generator's RNG
+	// draw sequence untouched, so every pre-existing seeded trace is
+	// byte-identical with the annotation machinery in place.
+	DeferrableFrac float64
+	// MeanSlackHours is the mean scheduling slack (exponential) given
+	// to deferrable VMs. Must be positive when DeferrableFrac > 0.
+	MeanSlackHours float64
 }
 
 // DefaultParams returns a production-like parameterisation.
@@ -137,6 +159,12 @@ func Generate(p GenParams) (Trace, error) {
 	}
 	if len(p.CoreSizes) == 0 || len(p.CoreSizes) != len(p.CoreWeights) {
 		return Trace{}, fmt.Errorf("trace: core size/weight mismatch")
+	}
+	if p.DeferrableFrac < 0 || p.DeferrableFrac > 1 {
+		return Trace{}, fmt.Errorf("trace: deferrable fraction %v out of [0,1]", p.DeferrableFrac)
+	}
+	if p.DeferrableFrac > 0 && p.MeanSlackHours <= 0 {
+		return Trace{}, fmt.Errorf("trace: deferrable VMs need a positive mean slack")
 	}
 	r := stats.NewRNG(p.Seed)
 	appsByClass := apps.ByClass()
@@ -189,6 +217,17 @@ func Generate(p GenParams) (Trace, error) {
 		}
 		frac := p.MeanMaxMemFrac + r.Normal(0, 0.18)
 		frac = math.Max(0.05, math.Min(1, frac))
+		// Deferrable annotation draws are gated behind the parameter so
+		// a zero DeferrableFrac consumes no RNG state: every trace
+		// generated before the annotation existed stays byte-identical.
+		deferrable := false
+		slack := 0.0
+		if p.DeferrableFrac > 0 {
+			deferrable = r.Float64() < p.DeferrableFrac && !full
+			if deferrable {
+				slack = r.Exp(p.MeanSlackHours)
+			}
+		}
 		tr.VMs = append(tr.VMs, VM{
 			ID:         id,
 			Arrive:     now,
@@ -199,6 +238,8 @@ func Generate(p GenParams) (Trace, error) {
 			FullNode:   full,
 			App:        app.Name,
 			MaxMemFrac: frac,
+			Deferrable: deferrable,
+			SlackHours: slack,
 		})
 		id++
 	}
@@ -241,6 +282,7 @@ func ProductionSuite() ([]Trace, error) {
 type Stats struct {
 	VMs           int
 	FullNodeVMs   int
+	DeferrableVMs int
 	MeanCores     float64
 	MeanMemoryGB  float64
 	MeanLifetime  float64
@@ -284,6 +326,9 @@ func Summarise(t Trace) Stats {
 		s.MeanMaxMem += v.MaxMemFrac
 		if v.FullNode {
 			s.FullNodeVMs++
+		}
+		if v.Deferrable {
+			s.DeferrableVMs++
 		}
 		events = append(events, demandEvent{v.Arrive, v.Cores, float64(v.Memory)},
 			demandEvent{v.Depart, -v.Cores, -float64(v.Memory)})

@@ -65,6 +65,9 @@ type Hours float64
 // HoursPerYear is the paper's year length: 365 days.
 const HoursPerYear Hours = 8760
 
+// HoursPerDay is the period of a diurnal carbon-intensity cycle.
+const HoursPerDay Hours = 24
+
 // Years converts a year count to Hours.
 func Years(y float64) Hours { return Hours(y) * HoursPerYear }
 
