@@ -8,21 +8,30 @@
 //	gsfd                              # listen on :8080
 //	gsfd -addr :9090 -workers 8 -queue 128 -cache-ttl 5m
 //	gsfd -audit                       # audit invariants on every evaluation
+//	gsfd -rate 50 -burst 200          # per-client rate limiting
+//	gsfd -self http://n1:8080 -peers http://n1:8080,http://n2:8080
 //
-// Endpoints:
+// Endpoints (see docs/API.md for the full wire reference):
 //
 //	POST /v1/percore    per-core emissions for a SKU at a carbon intensity
 //	POST /v1/savings    per-core savings of a SKU vs a baseline
 //	POST /v1/evaluate   full framework evaluation over a synthetic workload
 //	                    (accepts ci_series for a time-varying grid)
-//	POST /v1/batch      many percore/savings/evaluate items, one response
+//	POST /v1/batch      many percore/savings/evaluate items, one response;
+//	                    streams NDJSON or SSE when Accept asks for it
+//	POST /v1/sweep      one green/baseline pair across many grid CIs
 //	POST /v1/ciseries   validate a carbon-intensity timeseries and report
 //	                    its statistics and effective CI
 //	GET  /v1/skus       SKU catalog (sorted by name)
 //	GET  /v1/datasets   dataset catalog (sorted by name)
+//	GET  /v1/limits     operational limits (batch size, pool, rate, replicas)
 //	GET  /metrics       OpenMetrics scrape
 //	GET  /healthz       liveness
 //	GET  /readyz        readiness (503 while draining)
+//
+// With -peers, replicas consistent-hash the evaluation keyspace and
+// forward requests to the owning replica, so the fleet's caches
+// partition instead of duplicating.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: /readyz flips to 503,
 // the listener stops accepting connections, and in-flight evaluations
@@ -38,6 +47,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -65,13 +75,24 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.cfg.CacheEntries, "cache-entries", 0, "result cache capacity (0 = default 1024)")
 	fs.DurationVar(&o.cfg.CacheTTL, "cache-ttl", 0, "result cache TTL (0 = default 15m)")
 	fs.DurationVar(&o.cfg.RequestTimeout, "timeout", 0, "per-request deadline (0 = default 30s)")
-	fs.IntVar(&o.cfg.MaxBatchItems, "batch-max", 0, "max items per /v1/batch request (0 = default 256)")
+	fs.IntVar(&o.cfg.MaxBatchItems, "batch-max", 0, "max items per /v1/batch or /v1/sweep request (0 = default 256)")
+	fs.Float64Var(&o.cfg.RatePerSec, "rate", 0, "per-client request rate limit in requests/s (0 = unlimited)")
+	fs.IntVar(&o.cfg.RateBurst, "burst", 0, "per-client token-bucket burst (0 = 4x rate)")
+	fs.StringVar(&o.cfg.SelfURL, "self", "", "this replica's advertised base URL (required with -peers)")
+	peers := fs.String("peers", "", "comma-separated replica base URLs; turns on keyspace sharding")
 	fs.BoolVar(&o.audit, "audit", false, "check runtime invariants on every evaluation; violations count in /metrics")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
 	if fs.NArg() > 0 {
 		return o, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				o.cfg.Peers = append(o.cfg.Peers, p)
+			}
+		}
 	}
 	return o, nil
 }

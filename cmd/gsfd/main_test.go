@@ -63,3 +63,29 @@ func TestParseFlagsRejectsPositionalArgs(t *testing.T) {
 		t.Error("positional argument accepted")
 	}
 }
+
+func TestParseFlagsShardingAndRate(t *testing.T) {
+	o, err := parseFlags([]string{
+		"-rate", "50", "-burst", "200",
+		"-self", "http://n1:8080",
+		"-peers", "http://n1:8080, http://n2:8080,http://n3:8080,",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.cfg.RatePerSec != 50 || o.cfg.RateBurst != 200 {
+		t.Errorf("rate flags %+v", o.cfg)
+	}
+	if o.cfg.SelfURL != "http://n1:8080" {
+		t.Errorf("self %q", o.cfg.SelfURL)
+	}
+	want := []string{"http://n1:8080", "http://n2:8080", "http://n3:8080"}
+	if len(o.cfg.Peers) != len(want) {
+		t.Fatalf("peers %v, want %v", o.cfg.Peers, want)
+	}
+	for i := range want {
+		if o.cfg.Peers[i] != want[i] {
+			t.Errorf("peer %d = %q, want %q", i, o.cfg.Peers[i], want[i])
+		}
+	}
+}

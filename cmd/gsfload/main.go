@@ -1,0 +1,387 @@
+// Command gsfload drives open-loop load against gsfd and emits a
+// machine-readable serving benchmark (BENCH_serve.json, gsf-bench/v1).
+// Open-loop means arrivals are scheduled by a fixed-rate clock,
+// independent of completions, so a slow server accumulates latency
+// instead of silently slowing the generator — the honest way to
+// measure a service's shed and tail-latency behaviour.
+//
+// Two modes:
+//
+//   - self-drive (default): spins 1 or more in-process gsfd replicas on
+//     loopback listeners — sharded via -peers wiring when -replicas > 1 —
+//     and drives them. Reproducible anywhere, used by CI.
+//   - external (-targets): drives an already-running fleet by URL.
+//
+// Each run emits one row: achieved QPS, p50/p99 latency, cache-hit and
+// shard-forward ratios, and shed (429) counts. -min-qps and -max-p99
+// turn the run into a CI gate.
+//
+// Usage:
+//
+//	gsfload                                  # 1-replica and 3-replica rows
+//	gsfload -replicas 3 -rate 300 -duration 10s
+//	gsfload -targets http://n1:8080,http://n2:8080
+//	gsfload -min-qps 100 -max-p99 0.5        # gate
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/greensku/gsf/internal/server"
+)
+
+type options struct {
+	targets     []string
+	replicas    []int
+	rate        float64
+	duration    time.Duration
+	keys        int
+	maxInflight int
+	out         string
+	minQPS      float64
+	maxP99      float64
+	workers     int
+}
+
+func parseFlags(args []string) (options, error) {
+	fs := flag.NewFlagSet("gsfload", flag.ContinueOnError)
+	var o options
+	targets := fs.String("targets", "", "comma-separated gsfd base URLs (external mode; default self-drive)")
+	replicas := fs.String("replicas", "1,3", "comma-separated replica counts to self-drive, one row each")
+	fs.Float64Var(&o.rate, "rate", 200, "open-loop arrival rate in requests/s")
+	fs.DurationVar(&o.duration, "duration", 5*time.Second, "load duration per scenario")
+	fs.IntVar(&o.keys, "keys", 64, "distinct request keys (smaller = more cache hits)")
+	fs.IntVar(&o.maxInflight, "maxinflight", 512, "safety cap on concurrent requests")
+	fs.StringVar(&o.out, "out", "BENCH_serve.json", "artifact path ('-' for stdout)")
+	fs.Float64Var(&o.minQPS, "min-qps", 0, "exit non-zero unless every row reaches this QPS (0 disables)")
+	fs.Float64Var(&o.maxP99, "max-p99", 0, "exit non-zero if any row's p99 exceeds this many seconds (0 disables)")
+	fs.IntVar(&o.workers, "workers", 0, "workers per self-driven replica (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if fs.NArg() > 0 {
+		return o, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *targets != "" {
+		for _, u := range strings.Split(*targets, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				o.targets = append(o.targets, u)
+			}
+		}
+	}
+	for _, r := range strings.Split(*replicas, ",") {
+		r = strings.TrimSpace(r)
+		if r == "" {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(r, "%d", &n); err != nil || n < 1 {
+			return o, fmt.Errorf("bad -replicas entry %q", r)
+		}
+		o.replicas = append(o.replicas, n)
+	}
+	if o.rate <= 0 {
+		return o, fmt.Errorf("-rate must be positive")
+	}
+	return o, nil
+}
+
+// serveRow is one scenario's results in the gsf-bench/v1 artifact.
+type serveRow struct {
+	Scenario     string  `json:"scenario"`
+	Replicas     int     `json:"replicas"`
+	OfferedQPS   float64 `json:"offered_qps"`
+	DurationSecs float64 `json:"duration_seconds"`
+	Sent         int     `json:"sent"`
+	Completed    int     `json:"completed"`
+	QPS          float64 `json:"qps"`
+	P50Seconds   float64 `json:"p50_seconds"`
+	P99Seconds   float64 `json:"p99_seconds"`
+	CacheHits    int     `json:"cache_hits"`
+	HitRatio     float64 `json:"cache_hit_ratio"`
+	Forwarded    int     `json:"forwarded"`
+	ForwardRatio float64 `json:"forward_ratio"`
+	Shed         int     `json:"shed_429"`
+	Errors       int     `json:"errors"`
+}
+
+type artifact struct {
+	Schema string     `json:"schema"`
+	Serve  []serveRow `json:"serve"`
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gsfload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options, stdout io.Writer) error {
+	var rows []serveRow
+	if len(o.targets) > 0 {
+		row, err := drive(o, fmt.Sprintf("external-%d", len(o.targets)), o.targets)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+	} else {
+		for _, n := range o.replicas {
+			urls, shutdown, err := selfFleet(n, o.workers)
+			if err != nil {
+				return err
+			}
+			name := "single"
+			if n > 1 {
+				name = fmt.Sprintf("shard%d", n)
+			}
+			row, err := drive(o, name, urls)
+			shutdown()
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+		}
+	}
+
+	art := artifact{Schema: "gsf-bench/v1", Serve: rows}
+	body, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	body = append(body, '\n')
+	if o.out == "-" {
+		stdout.Write(body)
+	} else {
+		if err := os.WriteFile(o.out, body, 0o644); err != nil {
+			return err
+		}
+	}
+	for _, row := range rows {
+		fmt.Fprintf(stdout, "%-10s replicas=%d qps=%.0f p50=%.4fs p99=%.4fs hit=%.2f forward=%.2f shed=%d errors=%d\n",
+			row.Scenario, row.Replicas, row.QPS, row.P50Seconds, row.P99Seconds,
+			row.HitRatio, row.ForwardRatio, row.Shed, row.Errors)
+	}
+	return gate(o, rows)
+}
+
+func gate(o options, rows []serveRow) error {
+	for _, row := range rows {
+		if o.minQPS > 0 && row.QPS < o.minQPS {
+			return fmt.Errorf("scenario %s: qps %.1f below gate %.1f", row.Scenario, row.QPS, o.minQPS)
+		}
+		if o.maxP99 > 0 && row.P99Seconds > o.maxP99 {
+			return fmt.Errorf("scenario %s: p99 %.4fs above gate %.4fs", row.Scenario, row.P99Seconds, o.maxP99)
+		}
+	}
+	return nil
+}
+
+// selfFleet starts n sharded in-process replicas on loopback listeners
+// and returns their URLs and a shutdown function. Listeners are bound
+// before any replica is built so every Config can carry the full
+// membership.
+func selfFleet(n, workers int) ([]string, func(), error) {
+	listeners := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		listeners[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	var servers []*server.Server
+	var https []*http.Server
+	for i := range listeners {
+		cfg := server.Config{
+			Workers: workers,
+			// Deep queue: open-loop load measures latency under backlog,
+			// and shed counts should come from deliberate overload runs,
+			// not a default-sized queue.
+			QueueDepth: 4096,
+			Logger:     log,
+		}
+		if n > 1 {
+			cfg.SelfURL = urls[i]
+			cfg.Peers = urls
+		}
+		s, err := server.New(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		servers = append(servers, s)
+		hs := &http.Server{Handler: s.Handler()}
+		https = append(https, hs)
+		go hs.Serve(listeners[i])
+	}
+	shutdown := func() {
+		for _, hs := range https {
+			hs.Close()
+		}
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	return urls, shutdown, nil
+}
+
+// sample is one completed request's observation.
+type sample struct {
+	latency   time.Duration
+	status    int
+	cacheHit  bool
+	forwarded bool
+	err       bool
+}
+
+// drive runs the open-loop generator against targets for o.duration and
+// folds the observations into one row.
+func drive(o options, scenario string, targets []string) (serveRow, error) {
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        o.maxInflight,
+			MaxIdleConnsPerHost: o.maxInflight,
+		},
+	}
+
+	interval := time.Duration(float64(time.Second) / o.rate)
+	deadline := time.Now().Add(o.duration)
+	results := make(chan sample, o.maxInflight)
+	var wg sync.WaitGroup
+	inflight := make(chan struct{}, o.maxInflight)
+
+	// The collector drains results concurrently with the generator so
+	// no completion ever blocks the arrival clock.
+	row := serveRow{Scenario: scenario, Replicas: len(targets), OfferedQPS: o.rate}
+	var latencies []float64
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for s := range results {
+			if s.err {
+				row.Errors++
+				continue
+			}
+			switch {
+			case s.status == http.StatusOK:
+				row.Completed++
+				latencies = append(latencies, s.latency.Seconds())
+				if s.cacheHit {
+					row.CacheHits++
+				}
+				if s.forwarded {
+					row.Forwarded++
+				}
+			case s.status == http.StatusTooManyRequests:
+				row.Shed++
+			default:
+				row.Errors++
+			}
+		}
+	}()
+
+	sent := 0
+	start := time.Now()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for now := start; now.Before(deadline); now = <-ticker.C {
+		// Open loop: the tick fires regardless of completions. The
+		// inflight cap only guards against unbounded goroutine growth;
+		// hitting it records an error sample instead of blocking the
+		// clock.
+		select {
+		case inflight <- struct{}{}:
+		default:
+			results <- sample{err: true}
+			sent++
+			continue
+		}
+		path, body := requestFor(sent, o.keys)
+		target := targets[sent%len(targets)]
+		sent++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-inflight }()
+			results <- issue(client, target, path, body)
+		}()
+	}
+	elapsed := time.Since(start)
+	wg.Wait()
+	close(results)
+	<-collected
+
+	row.DurationSecs = elapsed.Seconds()
+	row.Sent = sent
+	if row.Completed > 0 {
+		row.QPS = float64(row.Completed) / elapsed.Seconds()
+		sort.Float64s(latencies)
+		row.P50Seconds = percentile(latencies, 0.50)
+		row.P99Seconds = percentile(latencies, 0.99)
+		row.HitRatio = float64(row.CacheHits) / float64(row.Completed)
+		row.ForwardRatio = float64(row.Forwarded) / float64(row.Completed)
+	}
+	return row, nil
+}
+
+// requestFor maps a request sequence number onto the key space: an
+// alternating percore/savings mix over o.keys distinct carbon
+// intensities, so a warm cache serves most of the run.
+func requestFor(seq, keys int) (string, string) {
+	// seq/2 decorrelates the key index from the endpoint choice so both
+	// endpoints cycle through the full keyspace.
+	ci := 0.05 + float64((seq/2)%keys)*0.001
+	if seq%2 == 0 {
+		return "/v1/percore", fmt.Sprintf(`{"sku":"GreenSKU-Full","ci":%g}`, ci)
+	}
+	return "/v1/savings", fmt.Sprintf(`{"sku":"GreenSKU-CXL","ci":%g}`, ci)
+}
+
+func issue(client *http.Client, target, path, body string) sample {
+	start := time.Now()
+	req, err := http.NewRequest(http.MethodPost, target+path, strings.NewReader(body))
+	if err != nil {
+		return sample{err: true}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return sample{err: true}
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return sample{
+		latency:   time.Since(start),
+		status:    resp.StatusCode,
+		cacheHit:  resp.Header.Get("X-Cache") == "hit",
+		forwarded: resp.Header.Get("X-GSF-Shard") == "forwarded",
+	}
+}
+
+// percentile reads the p-th percentile from ascending sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.targets) != 0 {
+		t.Errorf("targets %v, want self-drive by default", o.targets)
+	}
+	if len(o.replicas) != 2 || o.replicas[0] != 1 || o.replicas[1] != 3 {
+		t.Errorf("replicas %v, want [1 3]", o.replicas)
+	}
+	if o.rate != 200 || o.duration != 5*time.Second {
+		t.Errorf("load shape %+v", o)
+	}
+}
+
+func TestParseFlagsOverrides(t *testing.T) {
+	o, err := parseFlags([]string{
+		"-targets", "http://a:1, http://b:2", "-rate", "50",
+		"-duration", "2s", "-keys", "8", "-min-qps", "10", "-max-p99", "0.5",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.targets) != 2 || o.targets[1] != "http://b:2" {
+		t.Errorf("targets %v", o.targets)
+	}
+	if o.rate != 50 || o.keys != 8 || o.minQPS != 10 || o.maxP99 != 0.5 {
+		t.Errorf("parsed %+v", o)
+	}
+}
+
+func TestParseFlagsRejectsBadInput(t *testing.T) {
+	if _, err := parseFlags([]string{"-rate", "0"}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := parseFlags([]string{"-replicas", "0"}); err == nil {
+		t.Error("zero replica count accepted")
+	}
+	if _, err := parseFlags([]string{"extra"}); err == nil {
+		t.Error("positional argument accepted")
+	}
+}
+
+func TestGate(t *testing.T) {
+	rows := []serveRow{{Scenario: "single", QPS: 100, P99Seconds: 0.2}}
+	if err := gate(options{minQPS: 50, maxP99: 0.5}, rows); err != nil {
+		t.Errorf("passing gates failed: %v", err)
+	}
+	if err := gate(options{minQPS: 200}, rows); err == nil {
+		t.Error("QPS gate did not trip")
+	}
+	if err := gate(options{maxP99: 0.1}, rows); err == nil {
+		t.Error("p99 gate did not trip")
+	}
+}
+
+// TestSelfDriveSmoke runs a short real load against 1- and 2-replica
+// in-process fleets and checks the artifact shape: a row per scenario,
+// completions, cache hits once the keyspace wraps, and forwards only
+// in the sharded run.
+func TestSelfDriveSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	o := options{
+		replicas:    []int{1, 2},
+		rate:        200,
+		duration:    1500 * time.Millisecond,
+		keys:        16,
+		maxInflight: 256,
+		out:         out,
+		workers:     2,
+	}
+	var stdout bytes.Buffer
+	if err := run(o, &stdout); err != nil {
+		t.Fatalf("run: %v\n%s", err, stdout.String())
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art artifact
+	if err := json.Unmarshal(raw, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.Schema != "gsf-bench/v1" {
+		t.Errorf("schema %q", art.Schema)
+	}
+	if len(art.Serve) != 2 {
+		t.Fatalf("got %d rows, want 2", len(art.Serve))
+	}
+	single, sharded := art.Serve[0], art.Serve[1]
+	if single.Scenario != "single" || single.Replicas != 1 {
+		t.Errorf("row 0 %+v, want single/1", single)
+	}
+	if sharded.Scenario != "shard2" || sharded.Replicas != 2 {
+		t.Errorf("row 1 %+v, want shard2/2", sharded)
+	}
+	for _, row := range art.Serve {
+		if row.Completed == 0 || row.QPS == 0 {
+			t.Errorf("%s: no completed requests: %+v", row.Scenario, row)
+		}
+		if row.CacheHits == 0 {
+			t.Errorf("%s: no cache hits with a 16-key space", row.Scenario)
+		}
+		if row.P99Seconds < row.P50Seconds {
+			t.Errorf("%s: p99 %v below p50 %v", row.Scenario, row.P99Seconds, row.P50Seconds)
+		}
+	}
+	if single.Forwarded != 0 {
+		t.Errorf("single replica forwarded %d requests", single.Forwarded)
+	}
+	if sharded.Forwarded == 0 {
+		t.Error("sharded run never forwarded despite round-robin targets")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile %v", got)
+	}
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(s, 0.5); got != 5 {
+		t.Errorf("p50 %v, want 5", got)
+	}
+	if got := percentile(s, 0.99); got != 9 {
+		t.Errorf("p99 %v, want 9", got)
+	}
+}
+
+func TestRequestForCoversMixAndKeyspace(t *testing.T) {
+	paths := map[string]bool{}
+	bodies := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		p, b := requestFor(i, 8)
+		paths[p] = true
+		bodies[b] = true
+	}
+	if len(paths) != 2 {
+		t.Errorf("mix covered %d endpoints, want 2", len(paths))
+	}
+	// 8 keys x 2 endpoints = 16 distinct requests.
+	if len(bodies) != 16 {
+		t.Errorf("%d distinct bodies, want 16", len(bodies))
+	}
+}

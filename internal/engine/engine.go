@@ -89,6 +89,56 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 	return results
 }
 
+// Stream runs fn(ctx, i) for i in [0, n) across a bounded worker pool
+// and hands each result to emit as soon as the job completes — in
+// completion order, not index order. It exists for streaming response
+// paths (gsfd's NDJSON/SSE batch) where buffering n results defeats
+// the point: memory stays O(workers) regardless of n. emit is called
+// exactly n times, serially, from the calling goroutine; the Index
+// lets receivers correlate results with jobs. Cancellation and panic
+// isolation behave like Map: affected jobs carry the error in their
+// Result.
+func Stream[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error), emit func(i int, r Result[T])) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	type indexed struct {
+		i int
+		r Result[T]
+	}
+	ch := make(chan indexed, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					ch <- indexed{i, Result[T]{Err: err}}
+					continue
+				}
+				ch <- indexed{i, runJob(ctx, i, fn)}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	for out := range ch {
+		emit(out.i, out.r)
+	}
+}
+
 // runJob executes one job with panic isolation.
 func runJob[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (res Result[T]) {
 	defer func() {

@@ -221,3 +221,106 @@ func ExampleMap() {
 	fmt.Println(vals)
 	// Output: [job-0 job-1 job-2]
 }
+
+func TestStreamDeliversAllInCompletionOrder(t *testing.T) {
+	const n = 100
+	// Job i sleeps inversely to its index, so completion order is far
+	// from index order; Stream must still deliver every result once.
+	release := make(chan struct{})
+	seen := make(map[int]bool, n)
+	calls := 0
+	Stream(context.Background(), 8, n,
+		func(_ context.Context, i int) (int, error) {
+			if i == 0 {
+				<-release // job 0 finishes last
+			}
+			return i * 2, nil
+		},
+		func(i int, r Result[int]) {
+			calls++
+			if calls == n-1 {
+				close(release)
+			}
+			if seen[i] {
+				t.Fatalf("index %d delivered twice", i)
+			}
+			seen[i] = true
+			if r.Err != nil || r.Value != i*2 {
+				t.Fatalf("job %d: (%d, %v)", i, r.Value, r.Err)
+			}
+		})
+	if calls != n {
+		t.Fatalf("emit called %d times, want %d", calls, n)
+	}
+}
+
+func TestStreamEmitsBeforeAllJobsFinish(t *testing.T) {
+	// With one slow job holding a worker, the fast jobs' results must
+	// reach emit while the slow one is still running — that property is
+	// what lets the server flush early results of a long batch.
+	blocked := make(chan struct{})
+	firstEmit := make(chan struct{}, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Stream(context.Background(), 2, 3,
+			func(_ context.Context, i int) (int, error) {
+				if i == 0 {
+					<-blocked
+				}
+				return i, nil
+			},
+			func(i int, r Result[int]) {
+				select {
+				case firstEmit <- struct{}{}:
+				default:
+				}
+			})
+	}()
+	select {
+	case <-firstEmit:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no result emitted while one job was still blocked")
+	}
+	close(blocked)
+	<-done
+}
+
+func TestStreamPanicIsolation(t *testing.T) {
+	var panics, oks int
+	Stream(context.Background(), 4, 8,
+		func(_ context.Context, i int) (int, error) {
+			if i%2 == 0 {
+				panic("boom")
+			}
+			return i, nil
+		},
+		func(i int, r Result[int]) {
+			var pe *PanicError
+			if errors.As(r.Err, &pe) {
+				panics++
+			} else if r.Err == nil {
+				oks++
+			}
+		})
+	if panics != 4 || oks != 4 {
+		t.Fatalf("panics=%d oks=%d, want 4 and 4", panics, oks)
+	}
+}
+
+func TestStreamCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	delivered := 0
+	Stream(ctx, 2, 10,
+		func(ctx context.Context, i int) (int, error) { return i, nil },
+		func(i int, r Result[int]) {
+			delivered++
+			if r.Err == nil {
+				t.Errorf("job %d ran after cancellation", i)
+			}
+		})
+	if delivered != 10 {
+		t.Fatalf("emit called %d times, want 10 (cancelled jobs still report)", delivered)
+	}
+}

@@ -1,0 +1,322 @@
+// Package api defines gsfd's v1 wire contract: every request and
+// response type served under /v1, the machine-readable error envelope,
+// and the content types used for streaming negotiation.
+//
+// The types here are the single source of truth for the wire format —
+// the server handlers, the gsfload load generator, the golden
+// wire-compatibility fixtures, and docs/API.md all derive from them.
+// Field names, JSON tags, and declaration order are load-bearing:
+// encoding/json emits struct fields in declaration order, and the
+// committed fixtures under internal/server/testdata/wire pin the exact
+// bytes. Changing anything in this file is a wire change and must ship
+// with regenerated fixtures and a docs/API.md update.
+package api
+
+import (
+	"encoding/json"
+
+	"github.com/greensku/gsf/internal/units"
+)
+
+// --- POST /v1/percore -------------------------------------------------
+
+// PerCoreRequest asks for the per-core carbon emissions of one SKU at
+// one grid carbon intensity.
+type PerCoreRequest struct {
+	// Dataset names the carbon dataset; empty selects open-source.
+	Dataset string `json:"dataset"`
+	// SKU names a catalog SKU (GET /v1/skus).
+	SKU string `json:"sku"`
+	// CI is the grid carbon intensity in kgCO2e/kWh; zero or omitted
+	// uses the dataset default.
+	CI float64 `json:"ci"`
+}
+
+// PerCoreResponse is the per-core emissions breakdown.
+type PerCoreResponse struct {
+	Dataset     string                `json:"dataset"`
+	SKU         string                `json:"sku"`
+	CI          units.CarbonIntensity `json:"ci"`
+	Operational units.KgCO2e          `json:"operational_per_core"`
+	Embodied    units.KgCO2e          `json:"embodied_per_core"`
+	Total       units.KgCO2e          `json:"total_per_core"`
+}
+
+// --- POST /v1/savings -------------------------------------------------
+
+// SavingsRequest asks for the per-core savings of a SKU vs a baseline.
+type SavingsRequest struct {
+	Dataset string `json:"dataset"`
+	// SKU is the candidate (typically a GreenSKU).
+	SKU string `json:"sku"`
+	// Baseline is the comparison SKU; empty selects "Baseline" (Gen3).
+	Baseline string  `json:"baseline"`
+	CI       float64 `json:"ci"`
+}
+
+// SavingsResponse is a Table IV/VIII-style savings row.
+type SavingsResponse struct {
+	Dataset  string                `json:"dataset"`
+	SKU      string                `json:"sku"`
+	Baseline string                `json:"baseline"`
+	CI       units.CarbonIntensity `json:"ci"`
+	// Fractions, e.g. 0.28 means the candidate saves 28% (Table
+	// IV/VIII rows).
+	Operational float64 `json:"operational_savings"`
+	Embodied    float64 `json:"embodied_savings"`
+	Total       float64 `json:"total_savings"`
+}
+
+// --- POST /v1/evaluate ------------------------------------------------
+
+// WorkloadSpec selects the synthetic VM trace an evaluation runs over.
+type WorkloadSpec struct {
+	// Name labels the synthetic trace; it also seeds the app-class
+	// assignment, so it is part of the cache key. Empty means "gsfd".
+	Name string `json:"name"`
+	// Seed makes the trace deterministic; identical specs produce
+	// identical traces, which is what makes evaluate cacheable.
+	Seed uint64 `json:"seed"`
+	// ArrivalsPerHour and HorizonHours override the production-like
+	// defaults (24/h over 14 days); use smaller values for cheap
+	// queries.
+	ArrivalsPerHour float64 `json:"arrivals_per_hour"`
+	HorizonHours    float64 `json:"horizon_hours"`
+}
+
+// CISample is one (time, intensity) knot of a request-supplied
+// carbon-intensity timeseries.
+type CISample struct {
+	TH float64 `json:"t_h"`
+	CI float64 `json:"ci"`
+}
+
+// EvaluateRequest asks for a full framework evaluation of a green SKU
+// vs a baseline over a synthetic workload.
+type EvaluateRequest struct {
+	Dataset string `json:"dataset"`
+	// Green names the candidate GreenSKU; empty selects GreenSKU-Full.
+	Green string `json:"green"`
+	// Baseline defaults to "Baseline" (Gen3).
+	Baseline string  `json:"baseline"`
+	CI       float64 `json:"ci"`
+	// CISeries evaluates under a time-varying grid intensity: a
+	// piecewise-linear timeseries collapsed to its effective CI over
+	// one server lifetime. Mutually exclusive with a non-zero scalar
+	// ci; a constant series is byte-identical to the scalar path.
+	CISeries []CISample `json:"ci_series"`
+	// CIPeriodH makes the series periodic (e.g. 24 for diurnal).
+	CIPeriodH float64 `json:"ci_period_h"`
+	// CXLBacked evaluates performance as if VM memory were CXL-served.
+	CXLBacked bool         `json:"cxl_backed"`
+	Workload  WorkloadSpec `json:"workload"`
+}
+
+// EvaluateWorkload identifies the generated trace of an evaluation.
+type EvaluateWorkload struct {
+	Name string `json:"name"`
+	Seed uint64 `json:"seed"`
+	VMs  int    `json:"vms"`
+}
+
+// EvaluateCluster is the server mix of a sized cluster.
+type EvaluateCluster struct {
+	BaselineOnly  int `json:"baseline_only_servers"`
+	BaseServers   int `json:"base_servers"`
+	GreenServers  int `json:"green_servers"`
+	BufferServers int `json:"buffer_servers"`
+}
+
+// EvaluateResponse is a full framework evaluation.
+type EvaluateResponse struct {
+	Dataset        string                `json:"dataset"`
+	Green          string                `json:"green"`
+	Baseline       string                `json:"baseline"`
+	CI             units.CarbonIntensity `json:"ci"`
+	Workload       EvaluateWorkload      `json:"workload"`
+	PerCoreGreen   units.KgCO2e          `json:"per_core_green"`
+	PerCoreBase    units.KgCO2e          `json:"per_core_baseline"`
+	PerCoreSavings float64               `json:"per_core_savings"`
+	Cluster        EvaluateCluster       `json:"cluster"`
+	ClusterSavings float64               `json:"cluster_savings"`
+	DCSavings      float64               `json:"dc_savings"`
+}
+
+// --- POST /v1/ciseries ------------------------------------------------
+
+// CISeriesRequest validates a carbon-intensity timeseries standalone.
+type CISeriesRequest struct {
+	// Name labels the series in the response (optional).
+	Name string `json:"name"`
+	// Series is the piecewise-linear timeseries; Period makes it wrap.
+	Series  []CISample `json:"series"`
+	PeriodH float64    `json:"period_h"`
+	// Dataset selects the lifetime used for the effective CI; empty
+	// selects open-source.
+	Dataset string `json:"dataset"`
+}
+
+// CISeriesResponse summarises a validated timeseries.
+type CISeriesResponse struct {
+	Name     string  `json:"name"`
+	Samples  int     `json:"samples"`
+	PeriodH  float64 `json:"period_h"`
+	Constant bool    `json:"constant"`
+	// Window statistics over one period (or the sampled span when
+	// aperiodic).
+	Mean   units.CarbonIntensity `json:"mean"`
+	Peak   units.CarbonIntensity `json:"peak"`
+	Trough units.CarbonIntensity `json:"trough"`
+	P10    units.CarbonIntensity `json:"p10"`
+	P50    units.CarbonIntensity `json:"p50"`
+	P90    units.CarbonIntensity `json:"p90"`
+	// EffectiveCI is the scalar that yields identical lifetime
+	// operational emissions under the selected dataset: the value
+	// /v1/evaluate substitutes when given this series.
+	Dataset     string                `json:"dataset"`
+	EffectiveCI units.CarbonIntensity `json:"effective_ci"`
+}
+
+// --- POST /v1/batch ---------------------------------------------------
+
+// BatchRequest carries many evaluation requests in one round trip.
+type BatchRequest struct {
+	Items []BatchItem `json:"items"`
+}
+
+// BatchItem is the union of the three single-endpoint request shapes
+// plus a kind discriminator. Fields irrelevant to the kind are
+// ignored, mirroring how the single endpoints treat their own
+// requests.
+type BatchItem struct {
+	// Kind selects the computation: "percore", "savings", or
+	// "evaluate".
+	Kind string `json:"kind"`
+
+	Dataset  string  `json:"dataset"`
+	SKU      string  `json:"sku"`
+	Green    string  `json:"green"`
+	Baseline string  `json:"baseline"`
+	CI       float64 `json:"ci"`
+
+	CXLBacked bool         `json:"cxl_backed"`
+	Workload  WorkloadSpec `json:"workload"`
+}
+
+// BatchResult is one item's in-band outcome: either OK holds the exact
+// body the single endpoint would have returned, or Error/Status hold
+// the error envelope and HTTP status the single endpoint would have
+// answered with.
+type BatchResult struct {
+	OK     json.RawMessage `json:"ok,omitempty"`
+	Cached bool            `json:"cached,omitempty"`
+	Error  *Error          `json:"error,omitempty"`
+	Status int             `json:"status,omitempty"`
+}
+
+// BatchResponse is the buffered (non-streaming) batch reply, one result
+// per item in request order.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// BatchStreamItem is one streamed batch or sweep result. Streaming
+// responses deliver items in completion order; Index maps a result
+// back to its request slot.
+type BatchStreamItem struct {
+	Index  int             `json:"index"`
+	OK     json.RawMessage `json:"ok,omitempty"`
+	Cached bool            `json:"cached,omitempty"`
+	Error  *Error          `json:"error,omitempty"`
+	Status int             `json:"status,omitempty"`
+}
+
+// StreamDone is the terminal record of a streamed response.
+type StreamDone struct {
+	Done   bool `json:"done"`
+	Items  int  `json:"items"`
+	Errors int  `json:"errors"`
+}
+
+// --- POST /v1/sweep ---------------------------------------------------
+
+// SweepRequest evaluates one green/baseline pair at many grid carbon
+// intensities (the Fig. 11/12 sweep shape). All evaluate fields except
+// the scalar CI apply to every point.
+type SweepRequest struct {
+	Dataset   string       `json:"dataset"`
+	Green     string       `json:"green"`
+	Baseline  string       `json:"baseline"`
+	CXLBacked bool         `json:"cxl_backed"`
+	Workload  WorkloadSpec `json:"workload"`
+	// CIs are the sweep points in kgCO2e/kWh; one evaluate result is
+	// returned per point, in order (buffered) or tagged by index
+	// (streamed).
+	CIs []float64 `json:"cis"`
+}
+
+// SweepResponse is the buffered sweep reply, one evaluate result per
+// CI point in request order.
+type SweepResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// --- GET /v1/skus and /v1/datasets ------------------------------------
+
+// SKUInfo describes one catalog SKU.
+type SKUInfo struct {
+	Name            string   `json:"name"`
+	CPU             string   `json:"cpu"`
+	Cores           int      `json:"cores"`
+	LocalDRAM       units.GB `json:"local_dram"`
+	CXLDRAM         units.GB `json:"cxl_dram"`
+	SSDTB           float64  `json:"ssd_tb"`
+	ReusedSSDTB     float64  `json:"reused_ssd_tb"`
+	MemoryCoreRatio float64  `json:"memory_core_ratio"`
+	HasCXL          bool     `json:"has_cxl"`
+}
+
+// SKUsResponse lists the catalog, sorted by name.
+type SKUsResponse struct {
+	SKUs []SKUInfo `json:"skus"`
+}
+
+// DatasetInfo describes one servable carbon dataset.
+type DatasetInfo struct {
+	Name         string                `json:"name"`
+	DefaultCI    units.CarbonIntensity `json:"default_ci"`
+	Lifetime     units.Hours           `json:"lifetime"`
+	DerateFactor float64               `json:"derate_factor"`
+	PUE          float64               `json:"pue"`
+}
+
+// DatasetsResponse lists the datasets, sorted by name.
+type DatasetsResponse struct {
+	Datasets []DatasetInfo `json:"datasets"`
+}
+
+// --- GET /v1/limits ---------------------------------------------------
+
+// LimitsResponse reports the server's operational limits so clients can
+// size requests without trial and error.
+type LimitsResponse struct {
+	// Workers is the evaluation worker pool size.
+	Workers int `json:"workers"`
+	// QueueDepth is the pending-request queue capacity; a full queue
+	// sheds with 429.
+	QueueDepth int `json:"queue_depth"`
+	// MaxBatchItems bounds one /v1/batch request; larger batches get a
+	// bad_input error carrying this limit.
+	MaxBatchItems int `json:"max_batch_items"`
+	// MaxTraceVMs bounds the expected VM count of one synthetic
+	// workload (arrivals_per_hour x horizon_hours).
+	MaxTraceVMs int `json:"max_trace_vms"`
+	// RequestTimeoutSeconds bounds one request end to end.
+	RequestTimeoutSeconds float64 `json:"request_timeout_seconds"`
+	// RatePerSec and RateBurst describe the per-client token bucket;
+	// zero rate means rate limiting is off.
+	RatePerSec float64 `json:"rate_per_sec"`
+	RateBurst  int     `json:"rate_burst"`
+	// Replicas is the shard ring size (1 when sharding is off).
+	Replicas int `json:"replicas"`
+}

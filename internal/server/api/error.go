@@ -1,0 +1,80 @@
+package api
+
+// The v1 error envelope. Every non-2xx response from every /v1
+// endpoint — including 429 sheds, which also carry a Retry-After
+// header — has the body:
+//
+//	{"error":{"code":"<stable code>","message":"<human text>"}}
+//
+// Batch and sweep responses embed the same Error object per failed
+// item. Messages are for humans and may change; codes are the machine
+// contract and are stable.
+
+// Stable error codes.
+const (
+	// CodeBadInput: the request was malformed or out of range
+	// (HTTP 400).
+	CodeBadInput = "bad_input"
+	// CodeUnknownSKU: the named SKU is not in the catalog (HTTP 400;
+	// see GET /v1/skus).
+	CodeUnknownSKU = "unknown_sku"
+	// CodeUnknownDataset: the named dataset is not servable (HTTP 400;
+	// see GET /v1/datasets).
+	CodeUnknownDataset = "unknown_dataset"
+	// CodeOverloaded: the server shed the request — queue full, rate
+	// limit, or deadline (HTTP 429 or 503; honor Retry-After).
+	CodeOverloaded = "overloaded"
+	// CodeInternal: an unexpected server-side failure (HTTP 500).
+	CodeInternal = "internal"
+)
+
+// Error is the machine-readable error shape.
+type Error struct {
+	// Code is one of the stable Code* constants.
+	Code string `json:"code"`
+	// Message is human-readable detail; not part of the stable
+	// contract.
+	Message string `json:"message"`
+	// Limit carries the relevant bound when the error is a limit
+	// violation (e.g. max_batch_items for an oversized batch).
+	Limit int `json:"limit,omitempty"`
+}
+
+// ErrorResponse is the envelope: the body of every error reply.
+type ErrorResponse struct {
+	Error Error `json:"error"`
+}
+
+// Content types for streaming negotiation on /v1/batch and /v1/sweep.
+const (
+	// ContentTypeJSON is the default buffered response format.
+	ContentTypeJSON = "application/json"
+	// ContentTypeNDJSON streams one JSON object per line in completion
+	// order: BatchStreamItem records followed by one StreamDone.
+	ContentTypeNDJSON = "application/x-ndjson"
+	// ContentTypeSSE streams the same records as Server-Sent Events
+	// ("result" and "done" events).
+	ContentTypeSSE = "text/event-stream"
+)
+
+// Headers used by the wire contract.
+const (
+	// HeaderCache reports the result-cache disposition: "hit" or
+	// "miss".
+	HeaderCache = "X-Cache"
+	// HeaderBatchSize carries the item count of a batch or sweep
+	// response.
+	HeaderBatchSize = "X-Batch-Size"
+	// HeaderShard reports how a sharded replica served the request:
+	// "local" or "forwarded".
+	HeaderShard = "X-GSF-Shard"
+	// HeaderForwarded marks a replica-to-replica forwarded request;
+	// receivers always serve it locally (loop prevention).
+	HeaderForwarded = "X-GSF-Forwarded"
+	// HeaderClient names the client for per-client rate limiting;
+	// absent, the remote address is used.
+	HeaderClient = "X-GSF-Client"
+	// HeaderPriority selects the shedding priority: "high", "low", or
+	// absent for normal.
+	HeaderPriority = "X-GSF-Priority"
+)

@@ -7,72 +7,45 @@ package server
 // share the result cache and singleflight with the single endpoints
 // (a batch item and a single request for the same computation hit the
 // same cache entry), and fail independently: the response carries one
-// in-band result per item, in request order, with the same status
-// mapping the single endpoints use.
+// in-band result per item, in request order, with the same error
+// envelope and status mapping the single endpoints use.
+//
+// POST /v1/sweep: one green/baseline pair evaluated at many grid
+// carbon intensities — the Fig. 11/12 sweep shape — expanded into
+// evaluate items and served through the same machinery.
+//
+// Both endpoints stream instead of buffering when the client negotiates
+// it (Accept: application/x-ndjson or text/event-stream; see
+// stream.go): results are emitted in completion order with O(1)
+// response buffering, which is what makes 10k-item requests safe.
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 
 	"github.com/greensku/gsf/internal/engine"
+	"github.com/greensku/gsf/internal/server/api"
 )
 
 // batchHeader is the response header carrying the item count;
 // instrument buckets it into the "batch" metric label.
-const batchHeader = "X-Batch-Size"
-
-type batchRequest struct {
-	Items []batchItem `json:"items"`
-}
-
-// batchItem is the union of the three single-endpoint request shapes
-// plus a kind discriminator. Fields irrelevant to the kind are
-// ignored, mirroring how the single endpoints treat their own
-// requests.
-type batchItem struct {
-	// Kind selects the computation: "percore", "savings", or
-	// "evaluate".
-	Kind string `json:"kind"`
-
-	Dataset  string  `json:"dataset"`
-	SKU      string  `json:"sku"`
-	Green    string  `json:"green"`
-	Baseline string  `json:"baseline"`
-	CI       float64 `json:"ci"`
-
-	CXLBacked bool         `json:"cxl_backed"`
-	Workload  workloadSpec `json:"workload"`
-}
-
-// batchResult is one item's in-band outcome: either OK holds the
-// exact body the single endpoint would have returned, or Error/Status
-// hold the message and HTTP status the single endpoint would have
-// answered with.
-type batchResult struct {
-	OK     json.RawMessage `json:"ok,omitempty"`
-	Cached bool            `json:"cached,omitempty"`
-	Error  string          `json:"error,omitempty"`
-	Status int             `json:"status,omitempty"`
-}
-
-type batchResponse struct {
-	Results []batchResult `json:"results"`
-}
+const batchHeader = api.HeaderBatchSize
 
 // itemJob dispatches a batch item to the shared job builder for its
 // kind.
-func (s *Server) itemJob(it batchItem) (string, func() ([]byte, error), error) {
+func (s *Server) itemJob(it api.BatchItem) (string, func() ([]byte, error), error) {
 	switch it.Kind {
 	case "percore":
-		return s.perCoreJob(perCoreRequest{Dataset: it.Dataset, SKU: it.SKU, CI: it.CI})
+		return s.perCoreJob(api.PerCoreRequest{Dataset: it.Dataset, SKU: it.SKU, CI: it.CI})
 	case "savings":
-		return s.savingsJob(savingsRequest{Dataset: it.Dataset, SKU: it.SKU, Baseline: it.Baseline, CI: it.CI})
+		return s.savingsJob(api.SavingsRequest{Dataset: it.Dataset, SKU: it.SKU, Baseline: it.Baseline, CI: it.CI})
 	case "evaluate":
-		return s.evaluateJob(evaluateRequest{
+		return s.evaluateJob(api.EvaluateRequest{
 			Dataset: it.Dataset, Green: it.Green, Baseline: it.Baseline,
 			CI: it.CI, CXLBacked: it.CXLBacked, Workload: it.Workload,
 		})
@@ -81,8 +54,47 @@ func (s *Server) itemJob(it batchItem) (string, func() ([]byte, error), error) {
 	}
 }
 
+// itemEndpoint maps a batch item to the single-endpoint path and
+// request payload a shard forward re-sends.
+func itemEndpoint(it api.BatchItem) (string, any) {
+	switch it.Kind {
+	case "percore":
+		return "/v1/percore", api.PerCoreRequest{Dataset: it.Dataset, SKU: it.SKU, CI: it.CI}
+	case "savings":
+		return "/v1/savings", api.SavingsRequest{Dataset: it.Dataset, SKU: it.SKU, Baseline: it.Baseline, CI: it.CI}
+	default:
+		return "/v1/evaluate", api.EvaluateRequest{
+			Dataset: it.Dataset, Green: it.Green, Baseline: it.Baseline,
+			CI: it.CI, CXLBacked: it.CXLBacked, Workload: it.Workload,
+		}
+	}
+}
+
+// itemFailure renders an item error as its in-band envelope and status.
+// Errors relayed from a shard owner keep the owner's envelope verbatim.
+func itemFailure(err error) (*api.Error, int) {
+	var fe *forwardedError
+	if errors.As(err, &fe) {
+		e := fe.e
+		return &e, fe.status
+	}
+	e := apiErrorFor(err)
+	return &e, httpStatus(err)
+}
+
+// itemResult folds one item outcome into the in-band result shape.
+func itemResult(body []byte, cached bool, err error) api.BatchResult {
+	if err != nil {
+		e, status := itemFailure(err)
+		return api.BatchResult{Error: e, Status: status}
+	}
+	// Single-endpoint bodies end in a newline; strip it so the
+	// embedded JSON value stays clean.
+	return api.BatchResult{OK: json.RawMessage(bytes.TrimSuffix(body, []byte("\n"))), Cached: cached}
+}
+
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	var req batchRequest
+	var req api.BatchRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		s.writeError(w, err)
 		return
@@ -93,41 +105,81 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if n > s.cfg.MaxBatchItems {
-		s.writeError(w, fmt.Errorf("%w: batch of %d items exceeds the limit of %d",
-			errBadRequest, n, s.cfg.MaxBatchItems))
+		s.writeError(w, &codedError{code: api.CodeBadInput, limit: s.cfg.MaxBatchItems,
+			err: fmt.Errorf("%w: batch of %d items exceeds the limit of %d (GET /v1/limits)",
+				errBadRequest, n, s.cfg.MaxBatchItems)})
 		return
 	}
 	s.metrics.BatchItems.add(uint64(n))
+	s.serveItems(w, r, req.Items, false)
+}
 
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req api.SweepRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	n := len(req.CIs)
+	if n == 0 {
+		s.writeError(w, fmt.Errorf("%w: sweep needs at least one ci point", errBadRequest))
+		return
+	}
+	if n > s.cfg.MaxBatchItems {
+		s.writeError(w, &codedError{code: api.CodeBadInput, limit: s.cfg.MaxBatchItems,
+			err: fmt.Errorf("%w: sweep of %d points exceeds the limit of %d (GET /v1/limits)",
+				errBadRequest, n, s.cfg.MaxBatchItems)})
+		return
+	}
+	items := make([]api.BatchItem, n)
+	for i, ci := range req.CIs {
+		items[i] = api.BatchItem{
+			Kind: "evaluate", Dataset: req.Dataset, Green: req.Green,
+			Baseline: req.Baseline, CI: ci, CXLBacked: req.CXLBacked,
+			Workload: req.Workload,
+		}
+	}
+	s.metrics.SweepPoints.add(uint64(n))
+	s.serveItems(w, r, items, true)
+}
+
+// serveItems answers a validated batch or sweep: streamed in completion
+// order when the client negotiated a streaming content type, buffered
+// in request order otherwise.
+func (s *Server) serveItems(w http.ResponseWriter, r *http.Request, items []api.BatchItem, sweep bool) {
+	if mode := streamMode(r); mode != "" {
+		s.streamItems(w, r, items, mode)
+		return
+	}
+	n := len(items)
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	results := engine.Map(ctx, s.cfg.Workers, n,
-		func(ctx context.Context, i int) (batchResult, error) {
-			key, fn, err := s.itemJob(req.Items[i])
+		func(ctx context.Context, i int) (api.BatchResult, error) {
+			key, fn, err := s.itemJob(items[i])
 			if err != nil {
-				return batchResult{Error: err.Error(), Status: httpStatus(err)}, nil
+				return itemResult(nil, false, err), nil
 			}
-			body, cached, err := s.compute(ctx, key, fn)
-			if err != nil {
-				return batchResult{Error: err.Error(), Status: httpStatus(err)}, nil
-			}
-			// Single-endpoint bodies end in a newline; strip it so the
-			// embedded JSON value stays clean.
-			return batchResult{OK: json.RawMessage(bytes.TrimSuffix(body, []byte("\n"))), Cached: cached}, nil
+			body, cached, err := s.computeItem(ctx, r, items[i], key, fn)
+			return itemResult(body, cached, err), nil
 		})
 
-	out := batchResponse{Results: make([]batchResult, n)}
+	out := make([]api.BatchResult, n)
 	for i, res := range results {
 		if res.Err != nil {
 			// Cancellation before dispatch or a panic in the item; fold
 			// it in-band like any other per-item failure.
-			out.Results[i] = batchResult{Error: res.Err.Error(), Status: httpStatus(res.Err)}
+			out[i] = itemResult(nil, false, res.Err)
 			continue
 		}
-		out.Results[i] = res.Value
+		out[i] = res.Value
 	}
 	w.Header().Set(batchHeader, strconv.Itoa(n))
-	s.writeJSON(w, out)
+	if sweep {
+		s.writeJSON(w, api.SweepResponse{Results: out})
+		return
+	}
+	s.writeJSON(w, api.BatchResponse{Results: out})
 }
 
 // batchBucket folds an item count into a low-cardinality label value

@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"net/http"
 	"testing"
+
+	"github.com/greensku/gsf/internal/server/api"
 )
 
 // decodeBatch parses a /v1/batch response body.
-func decodeBatch(t *testing.T, body []byte) []batchResult {
+func decodeBatch(t *testing.T, body []byte) []api.BatchResult {
 	t.Helper()
-	var resp batchResponse
+	var resp api.BatchResponse
 	if err := json.Unmarshal(body, &resp); err != nil {
 		t.Fatalf("batch response: %v: %s", err, body)
 	}
@@ -35,8 +37,8 @@ func TestBatchMixedKinds(t *testing.T) {
 		t.Fatalf("got %d results, want 3", len(results))
 	}
 	for i, res := range results {
-		if res.Error != "" || len(res.OK) == 0 {
-			t.Fatalf("item %d: error %q, ok %q", i, res.Error, res.OK)
+		if res.Error != nil || len(res.OK) == 0 {
+			t.Fatalf("item %d: error %v, ok %q", i, res.Error, res.OK)
 		}
 	}
 
@@ -76,7 +78,7 @@ func TestBatchInBandErrors(t *testing.T) {
 	if len(results) != 3 {
 		t.Fatalf("got %d results, want 3", len(results))
 	}
-	if results[0].Error != "" || len(results[0].OK) == 0 {
+	if results[0].Error != nil || len(results[0].OK) == 0 {
 		t.Errorf("good item failed: %+v", results[0])
 	}
 	for i := 1; i < 3; i++ {
@@ -86,9 +88,15 @@ func TestBatchInBandErrors(t *testing.T) {
 		if results[i].Status != http.StatusBadRequest {
 			t.Errorf("item %d: status %d, want 400", i, results[i].Status)
 		}
-		if results[i].Error == "" {
-			t.Errorf("item %d: missing error message", i)
+		if results[i].Error == nil || results[i].Error.Message == "" {
+			t.Errorf("item %d: missing error envelope", i)
 		}
+	}
+	if got := results[1].Error.Code; got != api.CodeUnknownSKU {
+		t.Errorf("item 1 code %q, want %q", got, api.CodeUnknownSKU)
+	}
+	if got := results[2].Error.Code; got != api.CodeBadInput {
+		t.Errorf("item 2 code %q, want %q", got, api.CodeBadInput)
 	}
 }
 
@@ -110,7 +118,7 @@ func TestBatchSharesCacheWithSingleEndpoints(t *testing.T) {
 	// And the other way: a fresh computation done by the batch is a
 	// cache hit for the single endpoint.
 	w = post(t, s.Handler(), "/v1/batch", `{"items":[{"kind":"savings","sku":"GreenSKU-Efficient"}]}`)
-	if results = decodeBatch(t, w.Body.Bytes()); results[0].Error != "" {
+	if results = decodeBatch(t, w.Body.Bytes()); results[0].Error != nil {
 		t.Fatalf("batch savings failed: %+v", results[0])
 	}
 	sw := post(t, s.Handler(), "/v1/savings", `{"sku":"GreenSKU-Efficient"}`)

@@ -9,6 +9,8 @@ import (
 	"net/http/httptest"
 	"testing"
 	"time"
+
+	"github.com/greensku/gsf/internal/server/api"
 )
 
 // FuzzBatchRequest throws arbitrary bytes at POST /v1/batch. The
@@ -48,14 +50,14 @@ func FuzzBatchRequest(f *testing.F) {
 
 		switch w.Code {
 		case http.StatusOK:
-			var resp batchResponse
+			var resp api.BatchResponse
 			if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
-				t.Fatalf("200 body does not decode as batchResponse: %v\n%s", err, w.Body.Bytes())
+				t.Fatalf("200 body does not decode as api.BatchResponse: %v\n%s", err, w.Body.Bytes())
 			}
 			if len(resp.Results) == 0 {
 				t.Fatalf("200 with no results:\n%s", w.Body.Bytes())
 			}
-			var in batchRequest
+			var in api.BatchRequest
 			if err := json.Unmarshal(body, &in); err == nil && len(resp.Results) != len(in.Items) {
 				t.Fatalf("batch of %d items answered with %d results", len(in.Items), len(resp.Results))
 			}

@@ -1,14 +1,18 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 
 	"github.com/greensku/gsf"
+	"github.com/greensku/gsf/internal/core"
+	"github.com/greensku/gsf/internal/server/api"
 	"github.com/greensku/gsf/internal/trace"
 	"github.com/greensku/gsf/internal/units"
 )
@@ -18,18 +22,77 @@ import (
 // HTTP 400.
 var errBadRequest = errors.New("server: bad request")
 
-// maxBodyBytes bounds request bodies; every request here is a few
-// hundred bytes of JSON.
-const maxBodyBytes = 1 << 20
+// errRateLimited marks a request shed by the per-client rate limiter;
+// it maps to HTTP 429 like a full queue.
+var errRateLimited = errors.New("server: rate limit exceeded")
 
-// decodeJSON strictly parses the request body into dst.
-func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+// maxBodyBytes bounds request bodies; every request here is at most a
+// few hundred kilobytes of JSON (a full 10k-item batch).
+const maxBodyBytes = 8 << 20
+
+// codedError attaches a stable wire code (api.Code*) to an error. The
+// wrapped error keeps the sentinel chain intact so httpStatus still
+// maps it.
+type codedError struct {
+	code       string
+	limit      int // optional bound for limit violations
+	retryAfter int // optional Retry-After seconds for 429s
+	err        error
+}
+
+func (e *codedError) Error() string { return e.err.Error() }
+func (e *codedError) Unwrap() error { return e.err }
+
+// apiErrorFor renders any handler error as the wire envelope's Error
+// object, deriving the stable code from the error chain.
+func apiErrorFor(err error) api.Error {
+	var ce *codedError
+	if errors.As(err, &ce) {
+		return api.Error{Code: ce.code, Message: ce.Error(), Limit: ce.limit}
+	}
+	code := api.CodeInternal
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, errRateLimited),
+		errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		code = api.CodeOverloaded
+	case errors.Is(err, core.ErrBadInput), errors.Is(err, errBadRequest):
+		code = api.CodeBadInput
+	}
+	return api.Error{Code: code, Message: err.Error()}
+}
+
+// readBody drains the request body (bounded) so it can be decoded
+// locally and, on a sharded server, re-sent verbatim to the owning
+// replica.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading request body: %v", errBadRequest, err)
+	}
+	return body, nil
+}
+
+// decodeStrict parses JSON into dst, rejecting unknown fields and
+// trailing garbage.
+func decodeStrict(data []byte, dst any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		return fmt.Errorf("%w: malformed request body: %v", errBadRequest, err)
 	}
+	if dec.More() {
+		return fmt.Errorf("%w: malformed request body: trailing data", errBadRequest)
+	}
 	return nil
+}
+
+// decodeJSON reads and strictly parses the request body into dst.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	body, err := readBody(w, r)
+	if err != nil {
+		return err
+	}
+	return decodeStrict(body, dst)
 }
 
 func (s *Server) lookupDataset(name string) (*dataset, error) {
@@ -38,7 +101,8 @@ func (s *Server) lookupDataset(name string) (*dataset, error) {
 	}
 	d, ok := s.datasets[name]
 	if !ok {
-		return nil, fmt.Errorf("%w: dataset %q (see GET /v1/datasets)", errBadRequest, name)
+		return nil, &codedError{code: api.CodeUnknownDataset,
+			err: fmt.Errorf("%w: dataset %q (see GET /v1/datasets)", errBadRequest, name)}
 	}
 	return d, nil
 }
@@ -46,29 +110,37 @@ func (s *Server) lookupDataset(name string) (*dataset, error) {
 func (s *Server) lookupSKU(field, name string) (gsf.SKU, error) {
 	sku, ok := s.skus[name]
 	if !ok {
-		return gsf.SKU{}, fmt.Errorf("%w: %s SKU %q (see GET /v1/skus)", errBadRequest, field, name)
+		return gsf.SKU{}, &codedError{code: api.CodeUnknownSKU,
+			err: fmt.Errorf("%w: %s SKU %q (see GET /v1/skus)", errBadRequest, field, name)}
 	}
 	return sku, nil
 }
 
-// writeError sends a JSON error body with the status mapped from err.
+// writeError sends the error envelope with the status mapped from err.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status := httpStatus(err)
 	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterFor(err))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	body, merr := marshalBody(api.ErrorResponse{Error: apiErrorFor(err)})
+	if merr != nil {
+		return
+	}
+	w.Write(body)
 }
 
 // writeComputed sends a compute result with its cache disposition.
-func writeComputed(w http.ResponseWriter, body []byte, cached bool) {
+func (s *Server) writeComputed(w http.ResponseWriter, body []byte, cached bool) {
 	w.Header().Set("Content-Type", "application/json")
 	if cached {
-		w.Header().Set("X-Cache", "hit")
+		w.Header().Set(api.HeaderCache, "hit")
 	} else {
-		w.Header().Set("X-Cache", "miss")
+		w.Header().Set(api.HeaderCache, "miss")
+	}
+	if s.ring != nil {
+		w.Header().Set(api.HeaderShard, "local")
 	}
 	w.Write(body)
 }
@@ -88,29 +160,10 @@ func fmtCI(ci units.CarbonIntensity) string {
 
 // --- POST /v1/percore -------------------------------------------------
 
-type perCoreRequest struct {
-	// Dataset names the carbon dataset; empty selects open-source.
-	Dataset string `json:"dataset"`
-	// SKU names a catalog SKU (GET /v1/skus).
-	SKU string `json:"sku"`
-	// CI is the grid carbon intensity in kgCO2e/kWh; zero or omitted
-	// uses the dataset default.
-	CI float64 `json:"ci"`
-}
-
-type perCoreResponse struct {
-	Dataset     string                `json:"dataset"`
-	SKU         string                `json:"sku"`
-	CI          units.CarbonIntensity `json:"ci"`
-	Operational units.KgCO2e          `json:"operational_per_core"`
-	Embodied    units.KgCO2e          `json:"embodied_per_core"`
-	Total       units.KgCO2e          `json:"total_per_core"`
-}
-
 // perCoreJob validates a percore request into its cache key and
 // computation; shared by the single endpoint and /v1/batch so both
 // populate the same cache entries.
-func (s *Server) perCoreJob(req perCoreRequest) (string, func() ([]byte, error), error) {
+func (s *Server) perCoreJob(req api.PerCoreRequest) (string, func() ([]byte, error), error) {
 	d, err := s.lookupDataset(req.Dataset)
 	if err != nil {
 		return "", nil, err
@@ -129,7 +182,7 @@ func (s *Server) perCoreJob(req perCoreRequest) (string, func() ([]byte, error),
 		if err != nil {
 			return nil, err
 		}
-		return marshalBody(perCoreResponse{
+		return marshalBody(api.PerCoreResponse{
 			Dataset:     d.name,
 			SKU:         pc.SKU,
 			CI:          ci,
@@ -141,8 +194,13 @@ func (s *Server) perCoreJob(req perCoreRequest) (string, func() ([]byte, error),
 }
 
 func (s *Server) handlePerCore(w http.ResponseWriter, r *http.Request) {
-	var req perCoreRequest
-	if err := decodeJSON(w, r, &req); err != nil {
+	body, err := readBody(w, r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var req api.PerCoreRequest
+	if err := decodeStrict(body, &req); err != nil {
 		s.writeError(w, err)
 		return
 	}
@@ -151,14 +209,17 @@ func (s *Server) handlePerCore(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	if s.maybeForward(w, r, key, body) {
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	body, cached, err := s.compute(ctx, key, fn)
+	out, cached, err := s.compute(ctx, key, fn)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	writeComputed(w, body, cached)
+	s.writeComputed(w, out, cached)
 }
 
 func normalizeCI(ci float64, d *dataset) (units.CarbonIntensity, error) {
@@ -173,30 +234,9 @@ func normalizeCI(ci float64, d *dataset) (units.CarbonIntensity, error) {
 
 // --- POST /v1/savings -------------------------------------------------
 
-type savingsRequest struct {
-	Dataset string `json:"dataset"`
-	// SKU is the candidate (typically a GreenSKU).
-	SKU string `json:"sku"`
-	// Baseline is the comparison SKU; empty selects "Baseline" (Gen3).
-	Baseline string  `json:"baseline"`
-	CI       float64 `json:"ci"`
-}
-
-type savingsResponse struct {
-	Dataset  string                `json:"dataset"`
-	SKU      string                `json:"sku"`
-	Baseline string                `json:"baseline"`
-	CI       units.CarbonIntensity `json:"ci"`
-	// Fractions, e.g. 0.28 means the candidate saves 28% (Table
-	// IV/VIII rows).
-	Operational float64 `json:"operational_savings"`
-	Embodied    float64 `json:"embodied_savings"`
-	Total       float64 `json:"total_savings"`
-}
-
 // savingsJob validates a savings request into its cache key and
 // computation; shared with /v1/batch.
-func (s *Server) savingsJob(req savingsRequest) (string, func() ([]byte, error), error) {
+func (s *Server) savingsJob(req api.SavingsRequest) (string, func() ([]byte, error), error) {
 	if req.Baseline == "" {
 		req.Baseline = "Baseline"
 	}
@@ -222,7 +262,7 @@ func (s *Server) savingsJob(req savingsRequest) (string, func() ([]byte, error),
 		if err != nil {
 			return nil, err
 		}
-		return marshalBody(savingsResponse{
+		return marshalBody(api.SavingsResponse{
 			Dataset:     d.name,
 			SKU:         sv.SKU,
 			Baseline:    baseline.Name,
@@ -235,8 +275,13 @@ func (s *Server) savingsJob(req savingsRequest) (string, func() ([]byte, error),
 }
 
 func (s *Server) handleSavings(w http.ResponseWriter, r *http.Request) {
-	var req savingsRequest
-	if err := decodeJSON(w, r, &req); err != nil {
+	body, err := readBody(w, r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var req api.SavingsRequest
+	if err := decodeStrict(body, &req); err != nil {
 		s.writeError(w, err)
 		return
 	}
@@ -245,77 +290,24 @@ func (s *Server) handleSavings(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	if s.maybeForward(w, r, key, body) {
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	body, cached, err := s.compute(ctx, key, fn)
+	out, cached, err := s.compute(ctx, key, fn)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	writeComputed(w, body, cached)
+	s.writeComputed(w, out, cached)
 }
 
 // --- POST /v1/evaluate ------------------------------------------------
 
-type workloadSpec struct {
-	// Name labels the synthetic trace; it also seeds the app-class
-	// assignment, so it is part of the cache key. Empty means "gsfd".
-	Name string `json:"name"`
-	// Seed makes the trace deterministic; identical specs produce
-	// identical traces, which is what makes evaluate cacheable.
-	Seed uint64 `json:"seed"`
-	// ArrivalsPerHour and HorizonHours override the production-like
-	// defaults (24/h over 14 days); use smaller values for cheap
-	// queries.
-	ArrivalsPerHour float64 `json:"arrivals_per_hour"`
-	HorizonHours    float64 `json:"horizon_hours"`
-}
-
-type evaluateRequest struct {
-	Dataset string `json:"dataset"`
-	// Green names the candidate GreenSKU; empty selects GreenSKU-Full.
-	Green string `json:"green"`
-	// Baseline defaults to "Baseline" (Gen3).
-	Baseline string  `json:"baseline"`
-	CI       float64 `json:"ci"`
-	// CISeries evaluates under a time-varying grid intensity: a
-	// piecewise-linear timeseries collapsed to its effective CI over
-	// one server lifetime. Mutually exclusive with a non-zero scalar
-	// ci; a constant series is byte-identical to the scalar path.
-	CISeries []ciSamplePayload `json:"ci_series"`
-	// CIPeriodH makes the series periodic (e.g. 24 for diurnal).
-	CIPeriodH float64 `json:"ci_period_h"`
-	// CXLBacked evaluates performance as if VM memory were CXL-served.
-	CXLBacked bool         `json:"cxl_backed"`
-	Workload  workloadSpec `json:"workload"`
-}
-
-type evaluateResponse struct {
-	Dataset  string                `json:"dataset"`
-	Green    string                `json:"green"`
-	Baseline string                `json:"baseline"`
-	CI       units.CarbonIntensity `json:"ci"`
-	Workload struct {
-		Name string `json:"name"`
-		Seed uint64 `json:"seed"`
-		VMs  int    `json:"vms"`
-	} `json:"workload"`
-	PerCoreGreen   units.KgCO2e `json:"per_core_green"`
-	PerCoreBase    units.KgCO2e `json:"per_core_baseline"`
-	PerCoreSavings float64      `json:"per_core_savings"`
-	Cluster        struct {
-		BaselineOnly  int `json:"baseline_only_servers"`
-		BaseServers   int `json:"base_servers"`
-		GreenServers  int `json:"green_servers"`
-		BufferServers int `json:"buffer_servers"`
-	} `json:"cluster"`
-	ClusterSavings float64 `json:"cluster_savings"`
-	DCSavings      float64 `json:"dc_savings"`
-}
-
 // evaluateJob validates an evaluate request into its cache key and
-// computation; shared with /v1/batch.
-func (s *Server) evaluateJob(req evaluateRequest) (string, func() ([]byte, error), error) {
+// computation; shared with /v1/batch and /v1/sweep.
+func (s *Server) evaluateJob(req api.EvaluateRequest) (string, func() ([]byte, error), error) {
 	if req.Green == "" {
 		req.Green = "GreenSKU-Full"
 	}
@@ -381,7 +373,7 @@ func (s *Server) evaluateJob(req evaluateRequest) (string, func() ([]byte, error
 		if err != nil {
 			return nil, err
 		}
-		resp := evaluateResponse{
+		resp := api.EvaluateResponse{
 			Dataset:        d.name,
 			Green:          green.Name,
 			Baseline:       baseline.Name,
@@ -404,8 +396,13 @@ func (s *Server) evaluateJob(req evaluateRequest) (string, func() ([]byte, error
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
-	var req evaluateRequest
-	if err := decodeJSON(w, r, &req); err != nil {
+	body, err := readBody(w, r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var req api.EvaluateRequest
+	if err := decodeStrict(body, &req); err != nil {
 		s.writeError(w, err)
 		return
 	}
@@ -414,19 +411,22 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	if s.maybeForward(w, r, key, body) {
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	body, cached, err := s.compute(ctx, key, fn)
+	out, cached, err := s.compute(ctx, key, fn)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	writeComputed(w, body, cached)
+	s.writeComputed(w, out, cached)
 }
 
 // traceParams resolves a workload spec against the generator defaults
 // and bounds its cost.
-func (s *Server) traceParams(spec workloadSpec) (trace.GenParams, error) {
+func (s *Server) traceParams(spec api.WorkloadSpec) (trace.GenParams, error) {
 	if spec.Name == "" {
 		spec.Name = "gsfd"
 	}
@@ -447,25 +447,13 @@ func (s *Server) traceParams(spec workloadSpec) (trace.GenParams, error) {
 	return p, nil
 }
 
-// --- GET /v1/skus and /v1/datasets -----------------------------------
-
-type skuInfo struct {
-	Name            string   `json:"name"`
-	CPU             string   `json:"cpu"`
-	Cores           int      `json:"cores"`
-	LocalDRAM       units.GB `json:"local_dram"`
-	CXLDRAM         units.GB `json:"cxl_dram"`
-	SSDTB           float64  `json:"ssd_tb"`
-	ReusedSSDTB     float64  `json:"reused_ssd_tb"`
-	MemoryCoreRatio float64  `json:"memory_core_ratio"`
-	HasCXL          bool     `json:"has_cxl"`
-}
+// --- GET /v1/skus, /v1/datasets, /v1/limits ---------------------------
 
 func (s *Server) handleSKUs(w http.ResponseWriter, r *http.Request) {
-	out := make([]skuInfo, 0, len(s.skuOrder))
+	out := make([]api.SKUInfo, 0, len(s.skuOrder))
 	for _, name := range s.skuOrder {
 		sku := s.skus[name]
-		out = append(out, skuInfo{
+		out = append(out, api.SKUInfo{
 			Name:            sku.Name,
 			CPU:             sku.CPU.Name,
 			Cores:           sku.Cores(),
@@ -477,22 +465,14 @@ func (s *Server) handleSKUs(w http.ResponseWriter, r *http.Request) {
 			HasCXL:          sku.HasCXL(),
 		})
 	}
-	s.writeJSON(w, map[string]any{"skus": out})
-}
-
-type datasetInfo struct {
-	Name         string                `json:"name"`
-	DefaultCI    units.CarbonIntensity `json:"default_ci"`
-	Lifetime     units.Hours           `json:"lifetime"`
-	DerateFactor float64               `json:"derate_factor"`
-	PUE          float64               `json:"pue"`
+	s.writeJSON(w, api.SKUsResponse{SKUs: out})
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
-	out := make([]datasetInfo, 0, len(s.datasetOrder))
+	out := make([]api.DatasetInfo, 0, len(s.datasetOrder))
 	for _, name := range s.datasetOrder {
 		data := s.datasets[name].model.Data()
-		out = append(out, datasetInfo{
+		out = append(out, api.DatasetInfo{
 			Name:         data.Name,
 			DefaultCI:    data.DefaultCI,
 			Lifetime:     data.Lifetime,
@@ -500,21 +480,34 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			PUE:          data.PUE,
 		})
 	}
-	s.writeJSON(w, map[string]any{"datasets": out})
+	s.writeJSON(w, api.DatasetsResponse{Datasets: out})
+}
+
+// handleLimits reports the server's operational limits (batch size,
+// workload bound, pool shape, rate limit) so clients can size requests
+// without tripping 400s.
+func (s *Server) handleLimits(w http.ResponseWriter, r *http.Request) {
+	resp := api.LimitsResponse{
+		Workers:               s.cfg.Workers,
+		QueueDepth:            s.cfg.QueueDepth,
+		MaxBatchItems:         s.cfg.MaxBatchItems,
+		MaxTraceVMs:           s.cfg.MaxTraceVMs,
+		RequestTimeoutSeconds: s.cfg.RequestTimeout.Seconds(),
+		RatePerSec:            s.cfg.RatePerSec,
+		RateBurst:             s.cfg.RateBurst,
+		Replicas:              1,
+	}
+	if s.ring != nil {
+		resp.Replicas = s.ring.size()
+	}
+	s.writeJSON(w, resp)
 }
 
 // --- POST /v1/ciseries ------------------------------------------------
 
-// ciSamplePayload is one (time, intensity) knot of a request-supplied
-// carbon-intensity timeseries.
-type ciSamplePayload struct {
-	TH float64 `json:"t_h"`
-	CI float64 `json:"ci"`
-}
-
 // signalFromPayload builds and validates a gridci signal from request
 // JSON; validation failures map to HTTP 400.
-func signalFromPayload(name string, samples []ciSamplePayload, periodH float64) (*gsf.CISignal, error) {
+func signalFromPayload(name string, samples []api.CISample, periodH float64) (*gsf.CISignal, error) {
 	sig := &gsf.CISignal{Name: name, Period: units.Hours(periodH)}
 	for _, p := range samples {
 		sig.Samples = append(sig.Samples, gsf.CISample{T: units.Hours(p.TH), CI: units.CarbonIntensity(p.CI)})
@@ -525,43 +518,12 @@ func signalFromPayload(name string, samples []ciSamplePayload, periodH float64) 
 	return sig, nil
 }
 
-type ciSeriesRequest struct {
-	// Name labels the series in the response (optional).
-	Name string `json:"name"`
-	// Series is the piecewise-linear timeseries; Period makes it wrap.
-	Series  []ciSamplePayload `json:"series"`
-	PeriodH float64           `json:"period_h"`
-	// Dataset selects the lifetime used for the effective CI; empty
-	// selects open-source.
-	Dataset string `json:"dataset"`
-}
-
-type ciSeriesResponse struct {
-	Name     string  `json:"name"`
-	Samples  int     `json:"samples"`
-	PeriodH  float64 `json:"period_h"`
-	Constant bool    `json:"constant"`
-	// Window statistics over one period (or the sampled span when
-	// aperiodic).
-	Mean   units.CarbonIntensity `json:"mean"`
-	Peak   units.CarbonIntensity `json:"peak"`
-	Trough units.CarbonIntensity `json:"trough"`
-	P10    units.CarbonIntensity `json:"p10"`
-	P50    units.CarbonIntensity `json:"p50"`
-	P90    units.CarbonIntensity `json:"p90"`
-	// EffectiveCI is the scalar that yields identical lifetime
-	// operational emissions under the selected dataset: the value
-	// /v1/evaluate substitutes when given this series.
-	Dataset     string                `json:"dataset"`
-	EffectiveCI units.CarbonIntensity `json:"effective_ci"`
-}
-
 // handleCISeries validates a carbon-intensity timeseries and returns
 // its summary statistics plus the effective CI an evaluation would
 // use. Validation and a handful of interpolations are far cheaper than
 // a request decode, so this runs inline, outside the worker pool.
 func (s *Server) handleCISeries(w http.ResponseWriter, r *http.Request) {
-	var req ciSeriesRequest
+	var req api.CISeriesRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		s.writeError(w, err)
 		return
@@ -589,7 +551,7 @@ func (s *Server) handleCISeries(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := sig.Stats(0, span)
-	resp := ciSeriesResponse{
+	resp := api.CISeriesResponse{
 		Name:        sig.Name,
 		Samples:     len(sig.Samples),
 		PeriodH:     float64(sig.Period),

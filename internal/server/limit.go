@@ -1,0 +1,215 @@
+package server
+
+// Per-client fairness for gsfd. The worker pool already answers queue
+// overflow with 429 + Retry-After, but that alone lets one aggressive
+// client starve everyone: its requests fill the queue and every client
+// sheds equally. The limiter in this file makes shedding discriminate:
+//
+//   - each client (X-GSF-Client header, else the remote IP) gets a
+//     token bucket refilled at RatePerSec with RateBurst capacity;
+//   - requests declare a priority via X-GSF-Priority (low | normal |
+//     high, default normal). Low-priority work is shed first: it needs
+//     a half-full bucket and is refused outright while the worker
+//     queue is under pressure. High-priority work may overdraft the
+//     bucket to -burst, borrowing against the client's future refill.
+//
+// Shed requests get the standard error envelope with code
+// "overloaded" and a Retry-After computed from the refill rate, so the
+// existing backoff path in clients keeps working unchanged. Forwarded
+// shard traffic is never re-limited — the client-facing replica
+// already charged the client.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/greensku/gsf/internal/server/api"
+)
+
+// maxLimiterClients bounds the per-client bucket table; beyond it the
+// least recently seen client is evicted (its bucket resets to full,
+// which only ever errs in the client's favour).
+const maxLimiterClients = 8192
+
+type priority int
+
+const (
+	priLow priority = iota
+	priNormal
+	priHigh
+)
+
+// parsePriority maps the X-GSF-Priority header to a priority class;
+// unknown values are normal so a typo never silently sheds traffic.
+func parsePriority(v string) priority {
+	switch v {
+	case "low":
+		return priLow
+	case "high":
+		return priHigh
+	default:
+		return priNormal
+	}
+}
+
+func (p priority) String() string {
+	switch p {
+	case priLow:
+		return "low"
+	case priHigh:
+		return "high"
+	default:
+		return "normal"
+	}
+}
+
+// limiter is a table of per-client token buckets with LRU eviction.
+type limiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time // test hook
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time // last refill
+	seen   time.Time // last use, for LRU eviction
+}
+
+func newLimiter(rate float64, burst int) *limiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// admit charges one token for client at the given priority. When the
+// request is shed it returns the wait, in seconds rounded up, until
+// the bucket will admit it again.
+func (l *limiter) admit(client string, pri priority) (bool, int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[client]
+	if b == nil {
+		if len(l.buckets) >= maxLimiterClients {
+			l.evictOldest()
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	}
+	b.tokens = math.Min(l.burst, b.tokens+l.rate*now.Sub(b.last).Seconds())
+	b.last = now
+	b.seen = now
+
+	// The admission floor by priority: low-priority work keeps the
+	// bucket half full for everyone else; high-priority work may
+	// overdraft to -burst.
+	floor := 1.0
+	switch pri {
+	case priLow:
+		floor = 1 + l.burst/2
+	case priHigh:
+		floor = 1 - 2*l.burst
+	}
+	if b.tokens < floor {
+		return false, l.retryAfter(floor - b.tokens)
+	}
+	b.tokens--
+	return true, 0
+}
+
+// retryAfter converts a token deficit into whole seconds, minimum 1.
+func (l *limiter) retryAfter(deficit float64) int {
+	secs := int(math.Ceil(deficit / l.rate))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// evictOldest drops the least recently used bucket. Called with mu
+// held; linear scan is fine at the eviction threshold.
+func (l *limiter) evictOldest() {
+	var oldest string
+	var when time.Time
+	first := true
+	for k, b := range l.buckets {
+		if first || b.seen.Before(when) {
+			oldest, when, first = k, b.seen, false
+		}
+	}
+	delete(l.buckets, oldest)
+}
+
+// clientKey identifies the requesting client: the self-reported
+// X-GSF-Client header when present (trusted deployments, fair-share by
+// team), else the remote IP.
+func clientKey(r *http.Request) string {
+	if c := r.Header.Get(api.HeaderClient); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// limited wraps a compute handler with per-client admission control
+// and priority shedding. Non-compute endpoints (health, metrics,
+// catalogs) stay unlimited.
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.limiter == nil || isForwarded(r) {
+			h(w, r)
+			return
+		}
+		pri := parsePriority(r.Header.Get(api.HeaderPriority))
+		// Shed low-priority work early while the worker queue is under
+		// pressure: it would only deepen the backlog the 429 path is
+		// trying to drain.
+		if pri == priLow && s.cfg.QueueDepth > 0 && 2*s.pool.depth() >= s.cfg.QueueDepth {
+			s.metrics.RateLimited.with(pri.String()).inc()
+			s.writeError(w, &codedError{code: api.CodeOverloaded, retryAfter: 1,
+				err: fmt.Errorf("%w: low-priority request shed under queue pressure", errRateLimited)})
+			return
+		}
+		ok, retry := s.limiter.admit(clientKey(r), pri)
+		if !ok {
+			s.metrics.RateLimited.with(pri.String()).inc()
+			s.writeError(w, &codedError{code: api.CodeOverloaded, retryAfter: retry,
+				err: fmt.Errorf("%w: client %q exceeded %g requests/s", errRateLimited, clientKey(r), s.limiter.rate)})
+			return
+		}
+		h(w, r)
+	}
+}
+
+// retryAfterFor derives the Retry-After value for a 429: the limiter's
+// computed wait when present, else the pool's standard one-second
+// backoff.
+func retryAfterFor(err error) string {
+	var ce *codedError
+	if errors.As(err, &ce) && ce.retryAfter > 0 {
+		return strconv.Itoa(ce.retryAfter)
+	}
+	return "1"
+}

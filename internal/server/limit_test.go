@@ -1,0 +1,256 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/greensku/gsf/internal/server/api"
+)
+
+func TestLimiterTokenBucket(t *testing.T) {
+	l := newLimiter(2, 4) // 2 tokens/s, burst 4
+	now := time.Unix(0, 0)
+	l.now = func() time.Time { return now }
+
+	// A fresh client spends its burst, then is refused with a usable
+	// Retry-After.
+	for i := 0; i < 4; i++ {
+		if ok, _ := l.admit("alice", priNormal); !ok {
+			t.Fatalf("request %d refused within burst", i)
+		}
+	}
+	ok, retry := l.admit("alice", priNormal)
+	if ok {
+		t.Fatal("request beyond burst admitted")
+	}
+	if retry < 1 {
+		t.Fatalf("Retry-After %d, want >= 1", retry)
+	}
+
+	// Other clients are unaffected.
+	if ok, _ := l.admit("bob", priNormal); !ok {
+		t.Fatal("second client refused by first client's exhaustion")
+	}
+
+	// Refill: after one second, two more tokens.
+	now = now.Add(time.Second)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.admit("alice", priNormal); !ok {
+			t.Fatalf("refilled request %d refused", i)
+		}
+	}
+	if ok, _ := l.admit("alice", priNormal); ok {
+		t.Fatal("third request after a 2-token refill admitted")
+	}
+}
+
+func TestLimiterPriorities(t *testing.T) {
+	l := newLimiter(1, 4)
+	now := time.Unix(0, 0)
+	l.now = func() time.Time { return now }
+
+	// Low priority must leave the bucket half full for everyone else:
+	// with burst 4 and admission floor 1+burst/2 = 3, it gets exactly
+	// two requests (4 -> 2 tokens) before refusal.
+	lowAdmits := 0
+	for i := 0; i < 10; i++ {
+		ok, _ := l.admit("c", priLow)
+		if !ok {
+			break
+		}
+		lowAdmits++
+	}
+	if lowAdmits != 2 {
+		t.Fatalf("low priority admitted %d times on a burst-4 bucket, want 2", lowAdmits)
+	}
+	// Normal priority still gets through on the same bucket (2 tokens
+	// remain), then exhausts it.
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.admit("c", priNormal); !ok {
+			t.Fatalf("normal request %d refused with %v tokens", i, l.buckets["c"].tokens)
+		}
+	}
+	if ok, _ := l.admit("c", priNormal); ok {
+		t.Fatal("normal request admitted on an empty bucket")
+	}
+
+	// High priority overdrafts an exhausted bucket, but not forever.
+	overdrafts := 0
+	for i := 0; i < 50; i++ {
+		ok, _ := l.admit("c", priHigh)
+		if !ok {
+			break
+		}
+		overdrafts++
+	}
+	if overdrafts == 0 {
+		t.Fatal("high priority never overdrafted an empty bucket")
+	}
+	if overdrafts >= 50 {
+		t.Fatal("high-priority overdraft is unbounded")
+	}
+}
+
+func TestLimiterEviction(t *testing.T) {
+	l := newLimiter(1, 1)
+	base := time.Unix(0, 0)
+	step := 0
+	l.now = func() time.Time { step++; return base.Add(time.Duration(step) * time.Millisecond) }
+	for i := 0; i <= maxLimiterClients; i++ {
+		l.admit("client-"+strconv.Itoa(i), priNormal)
+	}
+	if len(l.buckets) != maxLimiterClients {
+		t.Fatalf("bucket table %d entries, want capped at %d", len(l.buckets), maxLimiterClients)
+	}
+	if _, evicted := l.buckets["client-0"]; evicted {
+		t.Error("oldest client not the one evicted")
+	}
+}
+
+func TestRateLimitEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{RatePerSec: 0.001, RateBurst: 2})
+	body := `{"sku":"GreenSKU-Full","ci":0.1}`
+	hdr := func(r *http.Request) { r.Header.Set(api.HeaderClient, "team-a") }
+
+	postAs := func(client, pri string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/v1/percore", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		if client != "" {
+			req.Header.Set(api.HeaderClient, client)
+		}
+		if pri != "" {
+			req.Header.Set(api.HeaderPriority, pri)
+		}
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		return w
+	}
+	_ = hdr
+
+	// Burst of 2, then 429 with the envelope and Retry-After.
+	for i := 0; i < 2; i++ {
+		if w := postAs("team-a", ""); w.Code != http.StatusOK {
+			t.Fatalf("request %d status %d: %s", i, w.Code, w.Body)
+		}
+	}
+	w := postAs("team-a", "")
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	var e api.ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error.Code != api.CodeOverloaded {
+		t.Errorf("429 body %s, want overloaded envelope", w.Body)
+	}
+	retry, err := strconv.Atoi(w.Header().Get("Retry-After"))
+	if err != nil || retry < 1 {
+		t.Errorf("Retry-After %q not a positive integer", w.Header().Get("Retry-After"))
+	}
+
+	// High priority still admitted for the exhausted client; a second
+	// client is unaffected.
+	if w := postAs("team-a", "high"); w.Code != http.StatusOK {
+		t.Errorf("high-priority status %d, want 200 via overdraft", w.Code)
+	}
+	if w := postAs("team-b", ""); w.Code != http.StatusOK {
+		t.Errorf("other client status %d, want 200", w.Code)
+	}
+
+	samples := parseOpenMetrics(t, get(t, s.Handler(), "/metrics").Body.String())
+	if got := sumSamples(samples, "gsfd_rate_limited_total", `priority="normal"`); got == 0 {
+		t.Error("no rate-limited samples for priority=normal")
+	}
+}
+
+func TestLowPriorityShedsUnderQueuePressure(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 2, RatePerSec: 1000, RateBurst: 1000})
+	release := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	s.testHook = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	// Unblock the workers and wait for the in-flight requests before the
+	// server's cleanup closes the pool under them.
+	var wg sync.WaitGroup
+	t.Cleanup(func() { close(release); wg.Wait() })
+
+	codes := make(chan int, 8)
+	do := func(ci string) {
+		defer wg.Done()
+		req := httptest.NewRequest(http.MethodPost, "/v1/percore",
+			strings.NewReader(`{"sku":"Baseline","ci":`+ci+`}`))
+		req.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		codes <- w.Code
+	}
+	wg.Add(2)
+	go do("0.11") // occupies the worker
+	<-entered
+	go do("0.12") // queued
+	deadline := time.Now().Add(5 * time.Second)
+	for s.pool.depth() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue is half full (1 of 2): low priority must be shed even though
+	// its token bucket is full, normal priority still queues.
+	req := httptest.NewRequest(http.MethodPost, "/v1/percore",
+		strings.NewReader(`{"sku":"Baseline","ci":0.13}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(api.HeaderPriority, "low")
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("low-priority status %d under queue pressure, want 429", w.Code)
+	}
+	var e api.ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error.Code != api.CodeOverloaded {
+		t.Errorf("shed body %s, want overloaded envelope", w.Body)
+	}
+}
+
+func TestForwardedRequestsBypassLimiter(t *testing.T) {
+	s := newTestServer(t, Config{RatePerSec: 0.001, RateBurst: 1})
+	body := `{"sku":"GreenSKU-Full","ci":0.1}`
+	// Exhaust the bucket.
+	if w := post(t, s.Handler(), "/v1/percore", body); w.Code != http.StatusOK {
+		t.Fatalf("first request status %d", w.Code)
+	}
+	if w := post(t, s.Handler(), "/v1/percore", body); w.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request status %d, want 429", w.Code)
+	}
+	// A forwarded request from a peer replica is not re-limited.
+	req := httptest.NewRequest(http.MethodPost, "/v1/percore", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(api.HeaderForwarded, "http://peer:1")
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Errorf("forwarded request status %d, want 200 (limiter bypassed)", w.Code)
+	}
+}
+
+func TestParsePriority(t *testing.T) {
+	cases := map[string]priority{
+		"low": priLow, "normal": priNormal, "high": priHigh,
+		"": priNormal, "urgent": priNormal,
+	}
+	for in, want := range cases {
+		if got := parsePriority(in); got != want {
+			t.Errorf("parsePriority(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

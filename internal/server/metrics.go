@@ -145,6 +145,19 @@ type Metrics struct {
 	// BatchItems counts individual items received across /v1/batch
 	// requests.
 	BatchItems counter
+	// SweepPoints counts carbon-intensity points received across
+	// /v1/sweep requests.
+	SweepPoints counter
+	// StreamedResults counts per-item records emitted on streamed
+	// (NDJSON/SSE) responses.
+	StreamedResults counter
+	// Forwarded / ForwardFailed count shard forwards to peer replicas
+	// and forwards that fell back to local computation.
+	Forwarded     counter
+	ForwardFailed counter
+	// RateLimited counts requests shed by the per-client limiter, by
+	// priority class.
+	RateLimited *counterVec
 
 	gauges []gauge
 }
@@ -157,6 +170,8 @@ func NewMetrics() *Metrics {
 			"Completed HTTP requests.", "endpoint", "code", "batch"),
 		Latency: newHistogramVec("gsfd_http_request_seconds",
 			"HTTP request latency in seconds.", "endpoint", defaultBuckets),
+		RateLimited: newCounterVec("gsfd_rate_limited",
+			"Requests shed by the per-client rate limiter.", "priority"),
 	}
 }
 
@@ -182,6 +197,9 @@ func (m *Metrics) WriteOpenMetrics(w io.Writer) error {
 	if err := m.writeHistogramVec(w, m.Latency); err != nil {
 		return err
 	}
+	if err := m.writeCounterVec(w, m.RateLimited); err != nil {
+		return err
+	}
 	scalars := []struct {
 		name, help string
 		c          *counter
@@ -191,6 +209,10 @@ func (m *Metrics) WriteOpenMetrics(w io.Writer) error {
 		{"gsfd_dedup_requests", "Requests coalesced onto an identical in-flight evaluation.", &m.Deduplicated},
 		{"gsfd_shed_requests", "Requests rejected with 429 because the queue was full.", &m.Shed},
 		{"gsfd_batch_items", "Items received across /v1/batch requests.", &m.BatchItems},
+		{"gsfd_sweep_points", "Carbon-intensity points received across /v1/sweep requests.", &m.SweepPoints},
+		{"gsfd_streamed_results", "Per-item records emitted on streamed responses.", &m.StreamedResults},
+		{"gsfd_shard_forwarded", "Requests forwarded to the shard-owning replica.", &m.Forwarded},
+		{"gsfd_shard_forward_failed", "Shard forwards that fell back to local computation.", &m.ForwardFailed},
 	}
 	for _, s := range scalars {
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n# HELP %s %s\n%s_total %d\n",

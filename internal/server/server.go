@@ -52,9 +52,23 @@ type Config struct {
 	// MaxTraceVMs bounds the expected VM count of a synthetic
 	// workload request (arrival rate x horizon). Default: 100000.
 	MaxTraceVMs int
-	// MaxBatchItems bounds the item count of one /v1/batch request.
-	// Default: 256.
+	// MaxBatchItems bounds the item count of one /v1/batch or /v1/sweep
+	// request. Default: 256.
 	MaxBatchItems int
+	// RatePerSec enables per-client rate limiting: each client's token
+	// bucket refills at this rate. Zero disables the limiter (the
+	// worker-queue 429 path still sheds load). Default: 0.
+	RatePerSec float64
+	// RateBurst is the per-client token-bucket capacity. Default when
+	// limiting is on: 4x RatePerSec, minimum 1.
+	RateBurst int
+	// SelfURL is this replica's advertised base URL (e.g.
+	// "http://10.0.0.1:8080"), required when Peers is set. Default: "".
+	SelfURL string
+	// Peers lists every replica's base URL (self included or not; it is
+	// deduplicated). Two or more distinct members turn on consistent-hash
+	// sharding of the evaluation keyspace. Default: none.
+	Peers []string
 	// Logger receives structured request logs. Default: slog.Default.
 	Logger *slog.Logger
 	// Audit, when set, threads runtime invariant checking through every
@@ -84,6 +98,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatchItems <= 0 {
 		c.MaxBatchItems = 256
+	}
+	if c.RatePerSec > 0 && c.RateBurst <= 0 {
+		c.RateBurst = int(4 * c.RatePerSec)
+		if c.RateBurst < 1 {
+			c.RateBurst = 1
+		}
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -117,9 +137,11 @@ type Server struct {
 	skus           map[string]gsf.SKU
 	skuOrder       []string
 
-	pool   *pool
-	cache  *resultCache
-	flight *flightGroup
+	pool    *pool
+	cache   *resultCache
+	flight  *flightGroup
+	ring    *ring    // nil when sharding is off
+	limiter *limiter // nil when rate limiting is off
 
 	inflight atomic.Int64 // compute requests currently being served
 	ready    atomic.Bool
@@ -143,6 +165,15 @@ func New(cfg Config) (*Server, error) {
 		pool:     newPool(cfg.Workers, cfg.QueueDepth),
 		cache:    newResultCache(cfg.CacheEntries, cfg.CacheTTL),
 		flight:   newFlightGroup(),
+		limiter:  newLimiter(cfg.RatePerSec, cfg.RateBurst),
+	}
+	if len(cfg.Peers) > 0 {
+		ring, err := newRing(cfg.SelfURL, cfg.Peers, cfg.RequestTimeout)
+		if err != nil {
+			s.pool.close()
+			return nil, err
+		}
+		s.ring = ring
 	}
 
 	var fwOpts []gsf.Option
@@ -190,13 +221,15 @@ func New(cfg Config) (*Server, error) {
 }
 
 func (s *Server) routes() {
-	s.mux.Handle("POST /v1/percore", s.instrument("/v1/percore", s.handlePerCore))
-	s.mux.Handle("POST /v1/savings", s.instrument("/v1/savings", s.handleSavings))
-	s.mux.Handle("POST /v1/evaluate", s.instrument("/v1/evaluate", s.handleEvaluate))
-	s.mux.Handle("POST /v1/batch", s.instrument("/v1/batch", s.handleBatch))
-	s.mux.Handle("POST /v1/ciseries", s.instrument("/v1/ciseries", s.handleCISeries))
+	s.mux.Handle("POST /v1/percore", s.instrument("/v1/percore", s.limited(s.handlePerCore)))
+	s.mux.Handle("POST /v1/savings", s.instrument("/v1/savings", s.limited(s.handleSavings)))
+	s.mux.Handle("POST /v1/evaluate", s.instrument("/v1/evaluate", s.limited(s.handleEvaluate)))
+	s.mux.Handle("POST /v1/batch", s.instrument("/v1/batch", s.limited(s.handleBatch)))
+	s.mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.limited(s.handleSweep)))
+	s.mux.Handle("POST /v1/ciseries", s.instrument("/v1/ciseries", s.limited(s.handleCISeries)))
 	s.mux.Handle("GET /v1/skus", s.instrument("/v1/skus", s.handleSKUs))
 	s.mux.Handle("GET /v1/datasets", s.instrument("/v1/datasets", s.handleDatasets))
+	s.mux.Handle("GET /v1/limits", s.instrument("/v1/limits", s.handleLimits))
 	s.mux.Handle("GET /metrics", s.metrics.handler())
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -250,6 +283,14 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	n, err := r.ResponseWriter.Write(b)
 	r.bytes += n
 	return n, err
+}
+
+// Flush forwards to the underlying writer so streamed responses keep
+// per-record flushing through the instrumentation wrapper.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps an endpoint with request metrics and structured
@@ -331,7 +372,7 @@ func (s *Server) compute(ctx context.Context, key string, fn func() ([]byte, err
 // client mistakes to 4xx, capacity to 429, deadlines to 503.
 func httpStatus(err error) int {
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, errRateLimited):
 		return http.StatusTooManyRequests
 	case errors.Is(err, core.ErrBadInput), errors.Is(err, errBadRequest):
 		return http.StatusBadRequest

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/greensku/gsf"
+	"github.com/greensku/gsf/internal/server/api"
 )
 
 func newTestServer(t *testing.T, cfg Config) *Server {
@@ -92,7 +93,7 @@ func TestSavingsEndpoint(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", w.Code, w.Body)
 	}
-	var resp savingsResponse
+	var resp api.SavingsResponse
 	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestCatalogEndpoints(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("skus status %d", w.Code)
 	}
-	var skus map[string][]skuInfo
+	var skus map[string][]api.SKUInfo
 	if err := json.Unmarshal(w.Body.Bytes(), &skus); err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestCatalogEndpoints(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("datasets status %d", w.Code)
 	}
-	var ds map[string][]datasetInfo
+	var ds map[string][]api.DatasetInfo
 	if err := json.Unmarshal(w.Body.Bytes(), &ds); err != nil {
 		t.Fatal(err)
 	}
@@ -195,9 +196,10 @@ func TestClientErrors(t *testing.T) {
 			if w.Code != http.StatusBadRequest {
 				t.Errorf("status %d, want 400 (body %s)", w.Code, w.Body)
 			}
-			var e map[string]string
-			if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e["error"] == "" {
-				t.Errorf("error body %q not structured", w.Body)
+			var e api.ErrorResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil ||
+				e.Error.Code == "" || e.Error.Message == "" {
+				t.Errorf("error body %q not a coded envelope", w.Body)
 			}
 		})
 	}

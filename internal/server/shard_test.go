@@ -1,0 +1,325 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRingMembershipAndBalance(t *testing.T) {
+	if r, err := newRing("http://a:1", []string{"http://a:1/", " http://a:1"}, time.Second); err != nil || r != nil {
+		t.Fatalf("self-only membership should disable sharding, got (%v, %v)", r, err)
+	}
+	if _, err := newRing("", []string{"http://b:1"}, time.Second); err == nil {
+		t.Fatal("peers without a self URL must be rejected")
+	}
+
+	r, err := newRing("http://a:1", []string{"http://b:1", "http://c:1"}, time.Second)
+	if err != nil || r == nil {
+		t.Fatalf("newRing: (%v, %v)", r, err)
+	}
+	if r.size() != 3 {
+		t.Fatalf("size %d, want 3", r.size())
+	}
+
+	// Ownership must be deterministic and roughly balanced.
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		key := cacheKey("percore", fmt.Sprintf("key-%d", i))
+		owner := r.owner(key)
+		if again := r.owner(key); again != owner {
+			t.Fatalf("owner(%q) not deterministic: %q then %q", key, owner, again)
+		}
+		counts[owner]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("keys landed on %d replicas, want 3: %v", len(counts), counts)
+	}
+	for addr, n := range counts {
+		if n < keys/3/2 || n > keys/3*2 {
+			t.Errorf("replica %s owns %d of %d keys — ring badly unbalanced: %v", addr, n, keys, counts)
+		}
+	}
+
+	// Every replica must agree on ownership regardless of how its own
+	// address is listed.
+	rb, err := newRing("http://b:1", []string{"http://a:1", "http://c:1", "http://b:1"}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		key := cacheKey("savings", fmt.Sprintf("key-%d", i))
+		if r.owner(key) != rb.owner(key) {
+			t.Fatalf("replicas disagree on owner of %q", key)
+		}
+	}
+}
+
+// shardFleet spins n in-process replicas sharing one membership list
+// and returns their base URLs and servers.
+func shardFleet(t *testing.T, n int, mutate func(i int, cfg *Config)) ([]string, []*Server) {
+	t.Helper()
+	listeners := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	// Allocate the listeners first so every replica can know the full
+	// membership before any of them is built.
+	for i := range listeners {
+		listeners[i] = httptest.NewUnstartedServer(nil)
+		urls[i] = "http://" + listeners[i].Listener.Addr().String()
+	}
+	servers := make([]*Server, n)
+	for i := range servers {
+		cfg := Config{
+			SelfURL: urls[i],
+			Peers:   urls,
+			Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		servers[i] = s
+		listeners[i].Config.Handler = s.Handler()
+		listeners[i].Start()
+		t.Cleanup(listeners[i].Close)
+	}
+	return urls, servers
+}
+
+func postURL(t *testing.T, url, body string, header map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+// TestShardForwardingPartitionsCaches drives distinct keys through one
+// replica of a 3-replica fleet and checks that remote-owned keys are
+// forwarded (X-GSF-Shard: forwarded), locally-owned keys served
+// locally, answers match an unsharded server byte for byte, and a
+// repeat run is answered from the owners' caches wherever it landed.
+func TestShardForwardingPartitionsCaches(t *testing.T) {
+	urls, servers := shardFleet(t, 3, nil)
+	single := newTestServer(t, Config{})
+
+	bodies := make([]string, 12)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf(`{"sku":"GreenSKU-Full","ci":%g}`, 0.1+float64(i)*0.01)
+	}
+	dispositions := map[string]int{}
+	for _, body := range bodies {
+		resp, raw := postURL(t, urls[0]+"/v1/percore", body, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, raw)
+		}
+		shard := resp.Header.Get("X-GSF-Shard")
+		if shard != "local" && shard != "forwarded" {
+			t.Fatalf("X-GSF-Shard %q, want local or forwarded", shard)
+		}
+		dispositions[shard]++
+
+		// Sharding must not change the wire contract.
+		w := post(t, single.Handler(), "/v1/percore", body)
+		if string(raw) != w.Body.String() {
+			t.Fatalf("sharded answer differs from unsharded:\n%s\nvs\n%s", raw, w.Body)
+		}
+	}
+	if dispositions["forwarded"] == 0 {
+		t.Error("12 distinct keys and no forwards: ring is not partitioning")
+	}
+
+	// Second pass: every key was computed exactly once, on its owner, so
+	// all repeats are cache hits no matter which disposition they had.
+	for _, body := range bodies {
+		resp, raw := postURL(t, urls[0]+"/v1/percore", body, nil)
+		if got := resp.Header.Get("X-Cache"); got != "hit" {
+			t.Errorf("repeat of %s: X-Cache %q, want hit (%s)", body, got, raw)
+		}
+	}
+
+	// The caches partition: total entries across the fleet equals the
+	// key count (plus nothing duplicated).
+	total := 0
+	for _, s := range servers {
+		total += s.cache.len()
+	}
+	if total != len(bodies) {
+		t.Errorf("fleet holds %d cache entries for %d keys — caches are duplicating", total, len(bodies))
+	}
+}
+
+// TestShardForwardLoopPrevention: a forwarded request is always served
+// locally, even by a replica whose ring says another node owns the key.
+func TestShardForwardLoopPrevention(t *testing.T) {
+	urls, servers := shardFleet(t, 2, nil)
+	body := `{"sku":"GreenSKU-Full","ci":0.42}`
+	for i, u := range urls {
+		resp, raw := postURL(t, u+"/v1/percore", body, map[string]string{"X-GSF-Forwarded": "test"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("replica %d status %d: %s", i, resp.StatusCode, raw)
+		}
+		if got := resp.Header.Get("X-GSF-Shard"); got != "local" {
+			t.Errorf("replica %d served a forwarded request with X-GSF-Shard %q, want local", i, got)
+		}
+	}
+	// Both replicas computed it locally: two cache entries for one key.
+	total := 0
+	for _, s := range servers {
+		total += s.cache.len()
+	}
+	if total != 2 {
+		t.Errorf("fleet cache entries %d, want 2 (each replica computed locally)", total)
+	}
+}
+
+// TestShardForwardFallback: when the owner is unreachable the receiving
+// replica answers locally instead of failing.
+func TestShardForwardFallback(t *testing.T) {
+	dead := httptest.NewServer(nil)
+	deadURL := "http://" + dead.Listener.Addr().String()
+	dead.Close() // port is now refused
+
+	live := httptest.NewUnstartedServer(nil)
+	liveURL := "http://" + live.Listener.Addr().String()
+	s, err := New(Config{
+		SelfURL: liveURL,
+		Peers:   []string{liveURL, deadURL},
+		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	live.Config.Handler = s.Handler()
+	live.Start()
+	t.Cleanup(live.Close)
+
+	// Find keys owned by the dead peer so the forward path must engage.
+	fallbacks := 0
+	for i := 0; i < 40 && fallbacks < 3; i++ {
+		body := fmt.Sprintf(`{"sku":"Baseline","ci":%g}`, 0.2+float64(i)*0.01)
+		resp, raw := postURL(t, liveURL+"/v1/percore", body, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d with dead peer: %s", resp.StatusCode, raw)
+		}
+		if resp.Header.Get("X-GSF-Shard") == "local" && s.metrics.ForwardFailed.value() > 0 {
+			fallbacks++
+		}
+	}
+	if s.metrics.ForwardFailed.value() == 0 {
+		t.Error("no forward failures recorded against an unreachable peer")
+	}
+	if fallbacks == 0 {
+		t.Error("no request fell back to local computation")
+	}
+}
+
+// TestShardedBatchForwardsItems: batch items route to their owners
+// individually, and the batch answer matches an unsharded server's.
+func TestShardedBatchForwardsItems(t *testing.T) {
+	urls, servers := shardFleet(t, 3, nil)
+	single := newTestServer(t, Config{})
+
+	var items []string
+	for i := 0; i < 9; i++ {
+		items = append(items, fmt.Sprintf(`{"kind":"percore","sku":"GreenSKU-CXL","ci":%g}`, 0.1+float64(i)*0.02))
+	}
+	body := `{"items":[` + strings.Join(items, ",") + `]}`
+
+	resp, raw := postURL(t, urls[0]+"/v1/batch", body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	w := post(t, single.Handler(), "/v1/batch", body)
+	if string(raw) != w.Body.String() {
+		t.Fatalf("sharded batch differs from unsharded:\n%s\nvs\n%s", raw, w.Body)
+	}
+	forwarded := uint64(0)
+	for _, s := range servers {
+		forwarded += s.metrics.Forwarded.value()
+	}
+	if forwarded == 0 {
+		t.Error("9 distinct batch items and no item forwards")
+	}
+	// Partitioned: each item cached exactly once across the fleet.
+	total := 0
+	for _, s := range servers {
+		total += s.cache.len()
+	}
+	if total != len(items) {
+		t.Errorf("fleet cache entries %d for %d items", total, len(items))
+	}
+}
+
+// TestShardedStreamedBatch: streaming and sharding compose — records
+// stream from the receiving replica while item computation is spread
+// across the fleet.
+func TestShardedStreamedBatch(t *testing.T) {
+	urls, _ := shardFleet(t, 2, nil)
+	var items []string
+	for i := 0; i < 6; i++ {
+		items = append(items, fmt.Sprintf(`{"kind":"percore","sku":"Gen1","ci":%g}`, 0.1+float64(i)*0.03))
+	}
+	body := `{"items":[` + strings.Join(items, ",") + `]}`
+	resp, raw := postURL(t, urls[1]+"/v1/batch", body, map[string]string{"Accept": "application/x-ndjson"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) != len(items)+1 {
+		t.Fatalf("got %d lines, want %d results + done", len(lines), len(items))
+	}
+	for _, line := range lines[:len(items)] {
+		var rec struct {
+			Index int             `json:"index"`
+			OK    json.RawMessage `json:"ok"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil || len(rec.OK) == 0 {
+			t.Fatalf("bad streamed record %q (err %v)", line, err)
+		}
+	}
+}
+
+func TestLimitsReportsReplicas(t *testing.T) {
+	urls, _ := shardFleet(t, 3, nil)
+	resp, err := http.Get(urls[0] + "/v1/limits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lim struct {
+		Replicas int `json:"replicas"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&lim); err != nil {
+		t.Fatal(err)
+	}
+	if lim.Replicas != 3 {
+		t.Errorf("replicas %d, want 3", lim.Replicas)
+	}
+}

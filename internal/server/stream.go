@@ -1,0 +1,110 @@
+package server
+
+// Streaming responses for sweep-sized requests. /v1/batch and
+// /v1/sweep negotiate a streaming format through the Accept header:
+//
+//	Accept: application/x-ndjson   one JSON object per line
+//	Accept: text/event-stream      Server-Sent Events
+//
+// Either way the server emits one record per item in completion order
+// — each carrying the item's request index, so clients can correlate —
+// followed by a terminal "done" record. Results are written and
+// flushed as the engine finishes them, so response memory is O(workers)
+// instead of O(items): a 10k-item batch streams with bounded buffering
+// and its first result lands before the last item is evaluated.
+// Per-item errors travel in-band as the same envelope the buffered
+// path embeds.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"github.com/greensku/gsf/internal/engine"
+	"github.com/greensku/gsf/internal/server/api"
+)
+
+// streamMode inspects the Accept header: "ndjson", "sse", or "" for
+// the default buffered JSON response. The first recognised streaming
+// media type wins.
+func streamMode(r *http.Request) string {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		switch mt {
+		case api.ContentTypeNDJSON:
+			return "ndjson"
+		case api.ContentTypeSSE:
+			return "sse"
+		}
+	}
+	return ""
+}
+
+// streamItems serves a validated batch or sweep as a stream: results
+// are emitted in completion order with one flush per record.
+func (s *Server) streamItems(w http.ResponseWriter, r *http.Request, items []api.BatchItem, mode string) {
+	n := len(items)
+	if mode == "sse" {
+		w.Header().Set("Content-Type", api.ContentTypeSSE)
+		w.Header().Set("Cache-Control", "no-store")
+	} else {
+		w.Header().Set("Content-Type", api.ContentTypeNDJSON)
+	}
+	w.Header().Set(batchHeader, strconv.Itoa(n))
+	if s.ring != nil {
+		w.Header().Set(api.HeaderShard, "local")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	errs := 0
+	engine.Stream(ctx, s.cfg.Workers, n,
+		func(ctx context.Context, i int) (api.BatchResult, error) {
+			key, fn, err := s.itemJob(items[i])
+			if err != nil {
+				return itemResult(nil, false, err), nil
+			}
+			body, cached, err := s.computeItem(ctx, r, items[i], key, fn)
+			return itemResult(body, cached, err), nil
+		},
+		func(i int, res engine.Result[api.BatchResult]) {
+			out := res.Value
+			if res.Err != nil {
+				out = itemResult(nil, false, res.Err)
+			}
+			if out.Error != nil {
+				errs++
+			}
+			s.metrics.StreamedResults.inc()
+			writeStreamRecord(w, flusher, mode, "result", api.BatchStreamItem{
+				Index: i, OK: out.OK, Cached: out.Cached,
+				Error: out.Error, Status: out.Status,
+			})
+		})
+	writeStreamRecord(w, flusher, mode, "done", api.StreamDone{Done: true, Items: n, Errors: errs})
+}
+
+// writeStreamRecord emits one record in the negotiated framing and
+// flushes it so the client sees it immediately. Write errors are
+// ignored: a mid-stream disconnect cancels the request context, which
+// stops dispatch.
+func writeStreamRecord(w io.Writer, f http.Flusher, mode, event string, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	if mode == "sse" {
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, body)
+	} else {
+		w.Write(append(body, '\n'))
+	}
+	if f != nil {
+		f.Flush()
+	}
+}

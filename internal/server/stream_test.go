@@ -1,0 +1,360 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/greensku/gsf/internal/server/api"
+)
+
+// flushTrackingWriter records the largest number of response bytes
+// buffered between flushes; a correctly streaming handler keeps it to
+// roughly one record no matter how many items the request carries.
+type flushTrackingWriter struct {
+	header       http.Header
+	status       int
+	unflushed    int
+	maxUnflushed int
+	flushes      int
+	total        int
+}
+
+func newFlushTrackingWriter() *flushTrackingWriter {
+	return &flushTrackingWriter{header: http.Header{}}
+}
+
+func (w *flushTrackingWriter) Header() http.Header  { return w.header }
+func (w *flushTrackingWriter) WriteHeader(code int) { w.status = code }
+func (w *flushTrackingWriter) Write(b []byte) (int, error) {
+	w.unflushed += len(b)
+	w.total += len(b)
+	if w.unflushed > w.maxUnflushed {
+		w.maxUnflushed = w.unflushed
+	}
+	return len(b), nil
+}
+func (w *flushTrackingWriter) Flush() {
+	w.unflushed = 0
+	w.flushes++
+}
+
+// TestStreamedBatchBoundedBuffering streams a 10k-item batch and
+// asserts the response buffer stays O(1): every record is flushed as
+// it is produced, so the high-water mark of unflushed bytes is a
+// single record, not the 10k-item response body.
+func TestStreamedBatchBoundedBuffering(t *testing.T) {
+	s := newTestServer(t, Config{MaxBatchItems: 10000})
+	const n = 10000
+	var sb strings.Builder
+	sb.WriteString(`{"items":[`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		// Four distinct computations, then cache hits: the point is
+		// stream volume, not evaluation work.
+		fmt.Fprintf(&sb, `{"kind":"percore","sku":"GreenSKU-Full","ci":%g}`, 0.1+float64(i%4)*0.05)
+	}
+	sb.WriteString(`]}`)
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(sb.String()))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", api.ContentTypeNDJSON)
+	w := newFlushTrackingWriter()
+	s.Handler().ServeHTTP(w, req)
+
+	if w.status != http.StatusOK {
+		t.Fatalf("status %d", w.status)
+	}
+	if got := w.header.Get("Content-Type"); got != api.ContentTypeNDJSON {
+		t.Fatalf("content type %q", got)
+	}
+	if w.flushes < n {
+		t.Errorf("%d flushes for %d records, want at least one per record", w.flushes, n)
+	}
+	// One NDJSON record for these items is ~500 bytes; 4 KiB of slack
+	// still fails hard if the handler buffers even 1%% of the response.
+	if w.maxUnflushed > 4096 {
+		t.Errorf("max unflushed bytes %d (total %d): response is being buffered, not streamed",
+			w.maxUnflushed, w.total)
+	}
+	if w.total < n*100 {
+		t.Errorf("streamed only %d bytes for %d items", w.total, n)
+	}
+}
+
+// TestStreamedBatchCompletionOrder proves completion-order delivery
+// end to end: with one worker and the second item blocked, the first
+// item's record must reach the client before the batch finishes.
+func TestStreamedBatchCompletionOrder(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	computed := make(chan struct{}, 4)
+	release := make(chan struct{})
+	first := true
+	s.testHook = func() {
+		computed <- struct{}{}
+		if !first {
+			<-release
+		}
+		first = false
+	}
+	defer func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+	}()
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"items":[
+		{"kind":"percore","sku":"GreenSKU-Full","ci":0.1},
+		{"kind":"percore","sku":"Baseline","ci":0.2}
+	]}`
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/batch", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", api.ContentTypeNDJSON)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// The first record must arrive while item 1 is still blocked in the
+	// worker — i.e. before the last item has been evaluated.
+	lines := make(chan string, 4)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	var firstLine string
+	select {
+	case firstLine = <-lines:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no streamed record arrived while the second item was blocked")
+	}
+	var rec api.BatchStreamItem
+	if err := json.Unmarshal([]byte(firstLine), &rec); err != nil {
+		t.Fatalf("first record %q: %v", firstLine, err)
+	}
+	if rec.Index != 0 || rec.Error != nil {
+		t.Fatalf("first record %+v, want successful index 0", rec)
+	}
+	close(release)
+
+	rest := 0
+	for range lines {
+		rest++
+	}
+	if rest != 2 { // second result + done record
+		t.Fatalf("got %d records after the first, want 2", rest)
+	}
+}
+
+func TestStreamedBatchNDJSON(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := `{"items":[
+		{"kind":"percore","sku":"GreenSKU-Full","ci":0.1},
+		{"kind":"percore","sku":"no-such-sku"},
+		{"kind":"savings","sku":"GreenSKU-CXL"}
+	]}`
+	req := httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", api.ContentTypeNDJSON)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get("X-Batch-Size"); got != "3" {
+		t.Errorf("X-Batch-Size %q, want 3", got)
+	}
+	lines := strings.Split(strings.TrimRight(w.Body.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 3 results + done:\n%s", len(lines), w.Body)
+	}
+	seen := map[int]api.BatchStreamItem{}
+	for _, line := range lines[:3] {
+		var rec api.BatchStreamItem
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if _, dup := seen[rec.Index]; dup {
+			t.Fatalf("index %d streamed twice", rec.Index)
+		}
+		seen[rec.Index] = rec
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := seen[i]; !ok {
+			t.Fatalf("index %d missing from stream", i)
+		}
+	}
+	if seen[0].Error != nil || len(seen[0].OK) == 0 {
+		t.Errorf("item 0: %+v, want success", seen[0])
+	}
+	if seen[1].Error == nil || seen[1].Error.Code != api.CodeUnknownSKU || seen[1].Status != http.StatusBadRequest {
+		t.Errorf("item 1: %+v, want in-band unknown_sku error", seen[1])
+	}
+	var done api.StreamDone
+	if err := json.Unmarshal([]byte(lines[3]), &done); err != nil {
+		t.Fatalf("done record %q: %v", lines[3], err)
+	}
+	if !done.Done || done.Items != 3 || done.Errors != 1 {
+		t.Errorf("done record %+v, want {done:true items:3 errors:1}", done)
+	}
+}
+
+func TestStreamedBatchSSE(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := `{"items":[{"kind":"percore","sku":"GreenSKU-Full","ci":0.1}]}`
+	req := httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", api.ContentTypeSSE)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get("Content-Type"); got != api.ContentTypeSSE {
+		t.Fatalf("content type %q", got)
+	}
+	events := strings.Split(strings.TrimRight(w.Body.String(), "\n"), "\n\n")
+	if len(events) != 2 {
+		t.Fatalf("got %d SSE events, want result + done:\n%s", len(events), w.Body)
+	}
+	for i, want := range []string{"result", "done"} {
+		fields := strings.SplitN(events[i], "\n", 2)
+		if len(fields) != 2 || fields[0] != "event: "+want || !strings.HasPrefix(fields[1], "data: ") {
+			t.Fatalf("event %d framing %q, want event %q with data line", i, events[i], want)
+		}
+		payload := strings.TrimPrefix(fields[1], "data: ")
+		if !json.Valid([]byte(payload)) {
+			t.Fatalf("event %d payload is not JSON: %q", i, payload)
+		}
+	}
+}
+
+func TestStreamModeNegotiation(t *testing.T) {
+	cases := map[string]string{
+		"":                                       "",
+		"application/json":                       "",
+		"application/x-ndjson":                   "ndjson",
+		"text/event-stream":                      "sse",
+		"application/json, application/x-ndjson": "ndjson",
+		"text/event-stream;q=0.9":                "sse",
+		"application/x-ndjson ; q=1, text/event-stream": "ndjson",
+	}
+	for accept, want := range cases {
+		r := httptest.NewRequest(http.MethodPost, "/v1/batch", nil)
+		if accept != "" {
+			r.Header.Set("Accept", accept)
+		}
+		if got := streamMode(r); got != want {
+			t.Errorf("streamMode(%q) = %q, want %q", accept, got, want)
+		}
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := `{"green":"GreenSKU-Full","cis":[0.05,0.1,0.7],` + smallWorkload + `}`
+	w := post(t, s.Handler(), "/v1/sweep", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp api.SweepResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(resp.Results))
+	}
+	wantCI := []float64{0.05, 0.1, 0.7}
+	savings := map[float64]bool{}
+	for i, res := range resp.Results {
+		if res.Error != nil {
+			t.Fatalf("point %d failed: %+v", i, res.Error)
+		}
+		var ev api.EvaluateResponse
+		if err := json.Unmarshal(res.OK, &ev); err != nil {
+			t.Fatalf("point %d body: %v", i, err)
+		}
+		if float64(ev.CI) != wantCI[i] {
+			t.Errorf("point %d echoed ci %v, want %v", i, ev.CI, wantCI[i])
+		}
+		savings[ev.PerCoreSavings] = true
+	}
+	// Distinct grid CIs must produce distinct evaluations.
+	if len(savings) != 3 {
+		t.Errorf("sweep produced %d distinct savings values, want 3", len(savings))
+	}
+
+	samples := parseOpenMetrics(t, get(t, s.Handler(), "/metrics").Body.String())
+	if got := sumSamples(samples, "gsfd_sweep_points_total"); got != 3 {
+		t.Errorf("gsfd_sweep_points_total = %v, want 3", got)
+	}
+
+	// Empty and oversized sweeps are rejected with the envelope.
+	if w := post(t, s.Handler(), "/v1/sweep", `{"cis":[]}`); w.Code != http.StatusBadRequest {
+		t.Errorf("empty sweep: status %d, want 400", w.Code)
+	}
+}
+
+func TestLimitsEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 3, QueueDepth: 9, MaxBatchItems: 77, RatePerSec: 5})
+	w := get(t, s.Handler(), "/v1/limits")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	var resp api.LimitsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Workers != 3 || resp.QueueDepth != 9 || resp.MaxBatchItems != 77 {
+		t.Errorf("limits %+v do not reflect the config", resp)
+	}
+	if resp.RatePerSec != 5 || resp.RateBurst != 20 {
+		t.Errorf("rate limits %+v, want rate 5 burst 20", resp)
+	}
+	if resp.Replicas != 1 {
+		t.Errorf("replicas %d, want 1 when sharding is off", resp.Replicas)
+	}
+}
+
+// TestBatchOverLimitNamesTheLimit pins the satellite contract: the
+// over-limit rejection carries the configured bound in the envelope.
+func TestBatchOverLimitNamesTheLimit(t *testing.T) {
+	s := newTestServer(t, Config{MaxBatchItems: 2})
+	over := `{"items":[{"kind":"percore","sku":"A"},{"kind":"percore","sku":"B"},{"kind":"percore","sku":"C"}]}`
+	w := post(t, s.Handler(), "/v1/batch", over)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", w.Code)
+	}
+	var e api.ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Error.Code != api.CodeBadInput || e.Error.Limit != 2 {
+		t.Errorf("envelope %+v, want bad_input with limit 2", e.Error)
+	}
+	if !strings.Contains(e.Error.Message, "/v1/limits") {
+		t.Errorf("message %q should point at GET /v1/limits", e.Error.Message)
+	}
+}

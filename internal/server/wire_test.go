@@ -1,0 +1,189 @@
+package server
+
+// Golden wire-compatibility fixtures for every /v1 endpoint. Each
+// fixture replays a literal request against a fresh server and compares
+// the response — status, content type, and exact body bytes — against a
+// committed golden file under testdata/wire. The non-error fixtures
+// were captured before the wire types moved into internal/server/api,
+// so a passing run proves the consolidation is byte-compatible; any
+// future wire drift fails CI.
+//
+// Regenerate (after an intentional wire change) with:
+//
+//	go test ./internal/server -run TestWireCompatibility -update
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateWire = flag.Bool("update", false, "rewrite the wire fixtures under testdata/wire")
+
+// wireFixture is one request/response pair. The request is a literal;
+// the expected response lives in testdata/wire/<name>.golden.
+type wireFixture struct {
+	name   string
+	method string
+	path   string
+	accept string // optional Accept header
+	body   string // request body ("" for GET)
+	// maxBatch, when non-zero, overrides Config.MaxBatchItems so limit
+	// errors are reproducible with a small literal body.
+	maxBatch int
+}
+
+var wireFixtures = []wireFixture{
+	// Compute endpoints: deterministic evaluations, exact bodies.
+	{name: "percore_default", method: "POST", path: "/v1/percore",
+		body: `{"sku":"GreenSKU-Full"}`},
+	{name: "percore_ci", method: "POST", path: "/v1/percore",
+		body: `{"sku":"GreenSKU-CXL","ci":0.25}`},
+	{name: "savings_default", method: "POST", path: "/v1/savings",
+		body: `{"sku":"GreenSKU-Full"}`},
+	{name: "savings_baseline", method: "POST", path: "/v1/savings",
+		body: `{"sku":"GreenSKU-Efficient","baseline":"Gen2","ci":0.2}`},
+	{name: "evaluate_small", method: "POST", path: "/v1/evaluate",
+		body: `{"green":"GreenSKU-Full","baseline":"Baseline",` + smallWorkload + `}`},
+	{name: "evaluate_cxl", method: "POST", path: "/v1/evaluate",
+		body: `{"green":"GreenSKU-CXL","cxl_backed":true,` + smallWorkload + `}`},
+	{name: "evaluate_ciseries", method: "POST", path: "/v1/evaluate",
+		body: `{"ci_series":[{"t_h":0,"ci":0.05},{"t_h":12,"ci":0.17}],"ci_period_h":24,` + smallWorkload + `}`},
+	{name: "ciseries_diurnal", method: "POST", path: "/v1/ciseries",
+		body: `{"name":"diurnal","period_h":24,"series":[{"t_h":1,"ci":0.2},{"t_h":7,"ci":0.04},{"t_h":13,"ci":0.06},{"t_h":19,"ci":0.22}]}`},
+
+	// Catalog endpoints.
+	{name: "skus", method: "GET", path: "/v1/skus"},
+	{name: "datasets", method: "GET", path: "/v1/datasets"},
+
+	// Batch: embedded bodies must match the single endpoints.
+	{name: "batch_mixed", method: "POST", path: "/v1/batch",
+		body: `{"items":[{"kind":"percore","sku":"GreenSKU-Full","ci":0.1},{"kind":"savings","sku":"GreenSKU-CXL"},{"kind":"evaluate","green":"GreenSKU-Full",` + smallWorkload + `}]}`},
+}
+
+// wireErrorFixtures pin the error envelope: machine-readable
+// {"error":{"code","message"}} bodies with stable codes on every
+// endpoint. Captured after the api consolidation (the envelope is the
+// one intentional wire change of that refactor).
+var wireErrorFixtures = []wireFixture{
+	{name: "err_malformed_json", method: "POST", path: "/v1/percore",
+		body: `{"sku":`},
+	{name: "err_unknown_field", method: "POST", path: "/v1/percore",
+		body: `{"skew":"Baseline"}`},
+	{name: "err_unknown_sku", method: "POST", path: "/v1/percore",
+		body: `{"sku":"MegaSKU"}`},
+	{name: "err_unknown_dataset", method: "POST", path: "/v1/percore",
+		body: `{"sku":"Baseline","dataset":"secret"}`},
+	{name: "err_negative_ci", method: "POST", path: "/v1/percore",
+		body: `{"sku":"Baseline","ci":-1}`},
+	{name: "err_unknown_baseline", method: "POST", path: "/v1/savings",
+		body: `{"sku":"Baseline","baseline":"nope"}`},
+	{name: "err_batch_empty", method: "POST", path: "/v1/batch",
+		body: `{"items":[]}`},
+	{name: "err_batch_overlimit", method: "POST", path: "/v1/batch", maxBatch: 2,
+		body: `{"items":[{"kind":"percore","sku":"Gen1"},{"kind":"percore","sku":"Gen2"},{"kind":"percore","sku":"Baseline"}]}`},
+	{name: "err_batch_badkind", method: "POST", path: "/v1/batch",
+		body: `{"items":[{"kind":"teleport"}]}`},
+}
+
+const wireDir = "testdata/wire"
+
+// goldenBytes renders a response in the golden file format: a status
+// line, a content-type line, a blank separator, then the exact body.
+func goldenBytes(status int, contentType string, body []byte) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "HTTP %d\nContent-Type: %s\n\n", status, contentType)
+	b.Write(body)
+	return b.Bytes()
+}
+
+// parseGolden splits a golden file into status, content type, and body.
+func parseGolden(t *testing.T, raw []byte) (int, string, []byte) {
+	t.Helper()
+	head, body, ok := bytes.Cut(raw, []byte("\n\n"))
+	if !ok {
+		t.Fatal("golden file missing blank separator line")
+	}
+	lines := strings.Split(string(head), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("golden header %q: want status and content-type lines", head)
+	}
+	var status int
+	if _, err := fmt.Sscanf(lines[0], "HTTP %d", &status); err != nil {
+		t.Fatalf("golden status line %q: %v", lines[0], err)
+	}
+	contentType := strings.TrimPrefix(lines[1], "Content-Type: ")
+	return status, contentType, body
+}
+
+// replayFixture runs one fixture against a fresh server so cache state
+// never leaks between fixtures.
+func replayFixture(t *testing.T, fx wireFixture) *httptest.ResponseRecorder {
+	t.Helper()
+	s := newTestServer(t, Config{MaxBatchItems: fx.maxBatch})
+	var req *http.Request
+	if fx.method == http.MethodGet {
+		req = httptest.NewRequest(http.MethodGet, fx.path, nil)
+	} else {
+		req = httptest.NewRequest(fx.method, fx.path, strings.NewReader(fx.body))
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if fx.accept != "" {
+		req.Header.Set("Accept", fx.accept)
+	}
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w
+}
+
+func runWireFixtures(t *testing.T, fixtures []wireFixture) {
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			w := replayFixture(t, fx)
+			got := goldenBytes(w.Code, w.Header().Get("Content-Type"), w.Body.Bytes())
+			path := filepath.Join(wireDir, fx.name+".golden")
+			if *updateWire {
+				if err := os.MkdirAll(wireDir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			wantStatus, wantCT, wantBody := parseGolden(t, raw)
+			if w.Code != wantStatus {
+				t.Errorf("status %d, want %d (body %s)", w.Code, wantStatus, w.Body)
+			}
+			if ct := w.Header().Get("Content-Type"); ct != wantCT {
+				t.Errorf("content type %q, want %q", ct, wantCT)
+			}
+			if !bytes.Equal(w.Body.Bytes(), wantBody) {
+				t.Errorf("body drifted from golden:\n got: %s\nwant: %s", w.Body.Bytes(), wantBody)
+			}
+		})
+	}
+}
+
+// TestWireCompatibility replays the committed non-error fixtures; these
+// bodies were captured before the api-package consolidation and must
+// never drift.
+func TestWireCompatibility(t *testing.T) {
+	runWireFixtures(t, wireFixtures)
+}
+
+// TestWireErrorEnvelope replays the error fixtures: every error body is
+// the {"error":{"code","message"}} envelope with a documented code.
+func TestWireErrorEnvelope(t *testing.T) {
+	runWireFixtures(t, wireErrorFixtures)
+}
