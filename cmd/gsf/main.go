@@ -12,7 +12,7 @@
 // Paper experiments: fig1 fig2 fig7 fig8 fig9 fig10 fig11 fig12 table1
 // table2 table3 table4 table8 sec5 maintenance sec7 lowload.
 // Extension studies: memtier storage power growth lifetime harvest
-// diversity search dynci.
+// diversity search dynci frontier.
 package main
 
 import (
@@ -211,6 +211,17 @@ var registry = map[string]runner{
 			return err
 		}
 		return r.Render(w)
+	},
+	"frontier": func(w io.Writer, quick bool) error {
+		opt := experiments.DefaultFrontierOptions()
+		if quick {
+			opt = experiments.QuickFrontierOptions()
+		}
+		r, err := experiments.Frontier(opt)
+		if err != nil {
+			return err
+		}
+		return r.Render(w, "Frontier: SKU design-space search (carbon/perf/density Pareto set)")
 	},
 	"dynci": func(w io.Writer, quick bool) error {
 		opt := experiments.DefaultDynCIOptions()

@@ -76,6 +76,7 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&o.cfg.CacheTTL, "cache-ttl", 0, "result cache TTL (0 = default 15m)")
 	fs.DurationVar(&o.cfg.RequestTimeout, "timeout", 0, "per-request deadline (0 = default 30s)")
 	fs.IntVar(&o.cfg.MaxBatchItems, "batch-max", 0, "max items per /v1/batch or /v1/sweep request (0 = default 256)")
+	fs.IntVar(&o.cfg.MaxDesignCandidates, "design-max", 0, "max candidates per /v1/design search (0 = default 4096)")
 	fs.Float64Var(&o.cfg.RatePerSec, "rate", 0, "per-client request rate limit in requests/s (0 = unlimited)")
 	fs.IntVar(&o.cfg.RateBurst, "burst", 0, "per-client token-bucket burst (0 = 4x rate)")
 	fs.StringVar(&o.cfg.SelfURL, "self", "", "this replica's advertised base URL (required with -peers)")

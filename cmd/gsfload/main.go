@@ -13,13 +13,17 @@
 //   - external (-targets): drives an already-running fleet by URL.
 //
 // Each run emits one row: achieved QPS, p50/p99 latency, cache-hit and
-// shard-forward ratios, and shed (429) counts. -min-qps and -max-p99
-// turn the run into a CI gate.
+// shard-forward ratios, and shed (429) counts, plus a latency-over-time
+// series (one bucket per -window) so long soaks expose drift — a
+// leaking cache or a growing backlog shows up as a rising per-window
+// p99 long before it moves the whole-run percentile. -min-qps and
+// -max-p99 turn the run into a CI gate.
 //
 // Usage:
 //
 //	gsfload                                  # 1-replica and 3-replica rows
 //	gsfload -replicas 3 -rate 300 -duration 10s
+//	gsfload -duration 10m -window 10s        # long soak, 60-bucket series
 //	gsfload -targets http://n1:8080,http://n2:8080
 //	gsfload -min-qps 100 -max-p99 0.5        # gate
 package main
@@ -46,6 +50,7 @@ type options struct {
 	replicas    []int
 	rate        float64
 	duration    time.Duration
+	window      time.Duration
 	keys        int
 	maxInflight int
 	out         string
@@ -61,6 +66,7 @@ func parseFlags(args []string) (options, error) {
 	replicas := fs.String("replicas", "1,3", "comma-separated replica counts to self-drive, one row each")
 	fs.Float64Var(&o.rate, "rate", 200, "open-loop arrival rate in requests/s")
 	fs.DurationVar(&o.duration, "duration", 5*time.Second, "load duration per scenario")
+	fs.DurationVar(&o.window, "window", time.Second, "bucket width for the latency-over-time series")
 	fs.IntVar(&o.keys, "keys", 64, "distinct request keys (smaller = more cache hits)")
 	fs.IntVar(&o.maxInflight, "maxinflight", 512, "safety cap on concurrent requests")
 	fs.StringVar(&o.out, "out", "BENCH_serve.json", "artifact path ('-' for stdout)")
@@ -94,6 +100,9 @@ func parseFlags(args []string) (options, error) {
 	if o.rate <= 0 {
 		return o, fmt.Errorf("-rate must be positive")
 	}
+	if o.window <= 0 {
+		return o, fmt.Errorf("-window must be positive")
+	}
 	return o, nil
 }
 
@@ -112,6 +121,28 @@ type serveRow struct {
 	HitRatio     float64 `json:"cache_hit_ratio"`
 	Forwarded    int     `json:"forwarded"`
 	ForwardRatio float64 `json:"forward_ratio"`
+	Shed         int     `json:"shed_429"`
+	Errors       int     `json:"errors"`
+	// Series is the latency-over-time breakdown: one bucket per -window
+	// of run time, keyed by completion time. Long soaks read it as a
+	// drift chart; short CI runs carry a handful of buckets.
+	Series []windowRow `json:"series,omitempty"`
+}
+
+// windowAgg accumulates one time bucket's raw observations while the
+// collector drains results.
+type windowAgg struct {
+	completed, shed, errors int
+	latencies               []float64
+}
+
+// windowRow is one time bucket of a scenario's series.
+type windowRow struct {
+	StartSeconds float64 `json:"start_seconds"`
+	Completed    int     `json:"completed"`
+	QPS          float64 `json:"qps"`
+	P50Seconds   float64 `json:"p50_seconds"`
+	P99Seconds   float64 `json:"p99_seconds"`
 	Shed         int     `json:"shed_429"`
 	Errors       int     `json:"errors"`
 }
@@ -243,9 +274,12 @@ func selfFleet(n, workers int) ([]string, func(), error) {
 	return urls, shutdown, nil
 }
 
-// sample is one completed request's observation.
+// sample is one completed request's observation. at is the completion
+// offset from the scenario start, used to bucket the sample into the
+// latency-over-time series.
 type sample struct {
 	latency   time.Duration
+	at        time.Duration
 	status    int
 	cacheHit  bool
 	forwarded bool
@@ -270,21 +304,40 @@ func drive(o options, scenario string, targets []string) (serveRow, error) {
 	inflight := make(chan struct{}, o.maxInflight)
 
 	// The collector drains results concurrently with the generator so
-	// no completion ever blocks the arrival clock.
+	// no completion ever blocks the arrival clock. Each sample also
+	// lands in a time bucket for the latency-over-time series.
 	row := serveRow{Scenario: scenario, Replicas: len(targets), OfferedQPS: o.rate}
 	var latencies []float64
+	windows := map[int]*windowAgg{}
+	bucket := func(at time.Duration) *windowAgg {
+		i := 0
+		if o.window > 0 {
+			i = int(at / o.window)
+		}
+		w := windows[i]
+		if w == nil {
+			w = &windowAgg{}
+			windows[i] = w
+		}
+		return w
+	}
 	collected := make(chan struct{})
 	go func() {
 		defer close(collected)
 		for s := range results {
+			w := bucket(s.at)
 			if s.err {
 				row.Errors++
+				w.errors++
 				continue
 			}
 			switch {
 			case s.status == http.StatusOK:
 				row.Completed++
-				latencies = append(latencies, s.latency.Seconds())
+				w.completed++
+				lat := s.latency.Seconds()
+				latencies = append(latencies, lat)
+				w.latencies = append(w.latencies, lat)
 				if s.cacheHit {
 					row.CacheHits++
 				}
@@ -293,8 +346,10 @@ func drive(o options, scenario string, targets []string) (serveRow, error) {
 				}
 			case s.status == http.StatusTooManyRequests:
 				row.Shed++
+				w.shed++
 			default:
 				row.Errors++
+				w.errors++
 			}
 		}
 	}()
@@ -311,7 +366,7 @@ func drive(o options, scenario string, targets []string) (serveRow, error) {
 		select {
 		case inflight <- struct{}{}:
 		default:
-			results <- sample{err: true}
+			results <- sample{err: true, at: time.Since(start)}
 			sent++
 			continue
 		}
@@ -322,11 +377,14 @@ func drive(o options, scenario string, targets []string) (serveRow, error) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-inflight }()
-			results <- issue(client, target, path, body)
+			s := issue(client, target, path, body)
+			s.at = time.Since(start)
+			results <- s
 		}()
 	}
 	elapsed := time.Since(start)
 	wg.Wait()
+	total := time.Since(start) // includes the in-flight drain past the deadline
 	close(results)
 	<-collected
 
@@ -340,7 +398,45 @@ func drive(o options, scenario string, targets []string) (serveRow, error) {
 		row.HitRatio = float64(row.CacheHits) / float64(row.Completed)
 		row.ForwardRatio = float64(row.Forwarded) / float64(row.Completed)
 	}
+	row.Series = buildSeries(windows, o.window, total)
 	return row, nil
+}
+
+// buildSeries folds the collector's time buckets into the artifact's
+// latency-over-time series, in bucket order. The final bucket's rate
+// uses only the span the run actually covered, so a soak ending
+// mid-window does not read as a throughput dip.
+func buildSeries(windows map[int]*windowAgg, width, total time.Duration) []windowRow {
+	if width <= 0 || len(windows) == 0 {
+		return nil
+	}
+	idxs := make([]int, 0, len(windows))
+	for i := range windows {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	series := make([]windowRow, 0, len(idxs))
+	for _, i := range idxs {
+		w := windows[i]
+		wr := windowRow{
+			StartSeconds: float64(i) * width.Seconds(),
+			Completed:    w.completed,
+			Shed:         w.shed,
+			Errors:       w.errors,
+		}
+		span := width.Seconds()
+		if rem := total.Seconds() - wr.StartSeconds; rem > 0 && rem < span {
+			span = rem
+		}
+		if w.completed > 0 {
+			wr.QPS = float64(w.completed) / span
+			sort.Float64s(w.latencies)
+			wr.P50Seconds = percentile(w.latencies, 0.50)
+			wr.P99Seconds = percentile(w.latencies, 0.99)
+		}
+		series = append(series, wr)
+	}
+	return series
 }
 
 // requestFor maps a request sequence number onto the key space: an

@@ -20,7 +20,7 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if len(o.replicas) != 2 || o.replicas[0] != 1 || o.replicas[1] != 3 {
 		t.Errorf("replicas %v, want [1 3]", o.replicas)
 	}
-	if o.rate != 200 || o.duration != 5*time.Second {
+	if o.rate != 200 || o.duration != 5*time.Second || o.window != time.Second {
 		t.Errorf("load shape %+v", o)
 	}
 }
@@ -50,6 +50,9 @@ func TestParseFlagsRejectsBadInput(t *testing.T) {
 	}
 	if _, err := parseFlags([]string{"extra"}); err == nil {
 		t.Error("positional argument accepted")
+	}
+	if _, err := parseFlags([]string{"-window", "0s"}); err == nil {
+		t.Error("zero series window accepted")
 	}
 }
 
@@ -123,6 +126,86 @@ func TestSelfDriveSmoke(t *testing.T) {
 	}
 	if sharded.Forwarded == 0 {
 		t.Error("sharded run never forwarded despite round-robin targets")
+	}
+}
+
+func TestBuildSeries(t *testing.T) {
+	windows := map[int]*windowAgg{
+		0: {completed: 4, latencies: []float64{0.01, 0.02, 0.03, 0.04}},
+		2: {completed: 1, shed: 2, errors: 1, latencies: []float64{0.05}},
+	}
+	got := buildSeries(windows, time.Second, 2500*time.Millisecond)
+	if len(got) != 2 {
+		t.Fatalf("%d rows, want 2 (empty buckets are not invented)", len(got))
+	}
+	w0, w2 := got[0], got[1]
+	if w0.StartSeconds != 0 || w0.Completed != 4 || w0.QPS != 4 {
+		t.Errorf("bucket 0 %+v", w0)
+	}
+	if w0.P50Seconds != 0.02 || w0.P99Seconds != 0.03 {
+		t.Errorf("bucket 0 percentiles %+v", w0)
+	}
+	// The run covered only half of bucket 2: its rate uses the real span.
+	if w2.StartSeconds != 2 || w2.QPS != 2 || w2.Shed != 2 || w2.Errors != 1 {
+		t.Errorf("bucket 2 %+v", w2)
+	}
+	if buildSeries(nil, time.Second, time.Second) != nil {
+		t.Error("empty run produced a series")
+	}
+	if buildSeries(windows, 0, time.Second) != nil {
+		t.Error("zero window produced a series")
+	}
+}
+
+// TestLongSoakSeriesSmoke drives a short soak against one in-process
+// replica and checks the latency-over-time series: buckets in time
+// order, totals that reconcile with the whole-run row, and sane
+// per-bucket percentiles.
+func TestLongSoakSeriesSmoke(t *testing.T) {
+	urls, shutdown, err := selfFleet(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	o := options{
+		rate:        300,
+		duration:    1200 * time.Millisecond,
+		window:      300 * time.Millisecond,
+		keys:        8,
+		maxInflight: 256,
+	}
+	row, err := drive(o, "soak", urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Completed == 0 {
+		t.Fatalf("no completed requests: %+v", row)
+	}
+	if len(row.Series) < 3 {
+		t.Fatalf("soak produced %d series buckets, want >= 3: %+v", len(row.Series), row.Series)
+	}
+	var completed, shed, errors int
+	prev := -1.0
+	for _, w := range row.Series {
+		if w.StartSeconds <= prev {
+			t.Errorf("bucket starts out of order: %v after %v", w.StartSeconds, prev)
+		}
+		prev = w.StartSeconds
+		completed += w.Completed
+		shed += w.Shed
+		errors += w.Errors
+		if w.Completed > 0 {
+			if w.QPS <= 0 {
+				t.Errorf("bucket at %vs completed %d with qps %v", w.StartSeconds, w.Completed, w.QPS)
+			}
+			if w.P99Seconds < w.P50Seconds {
+				t.Errorf("bucket at %vs: p99 %v below p50 %v", w.StartSeconds, w.P99Seconds, w.P50Seconds)
+			}
+		}
+	}
+	if completed != row.Completed || shed != row.Shed || errors != row.Errors {
+		t.Errorf("series sums (%d ok, %d shed, %d err) != row (%d, %d, %d)",
+			completed, shed, errors, row.Completed, row.Shed, row.Errors)
 	}
 }
 

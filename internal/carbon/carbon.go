@@ -113,6 +113,20 @@ func (m *Model) Server(sku hw.SKU) (Server, error) {
 		cxl := m.Data.CXLSubsystem
 		add("cxl", cxl.TDP, cxl.VRLoss, cxl.Embodied)
 	}
+	if sku.HasGPU() {
+		var gpuPower units.Watts
+		var gpuEmb units.KgCO2e
+		for _, g := range sku.GPUs {
+			spec, err := m.Data.GPU(g.Spec.Name)
+			if err != nil {
+				return Server{}, err
+			}
+			n := float64(g.Count)
+			gpuPower += units.Watts(float64(spec.TDP) * n * (1 + spec.VRLoss))
+			gpuEmb += units.KgCO2e(float64(spec.Embodied) * n)
+		}
+		parts = append(parts, Part{Name: "gpu", Power: units.Watts(float64(gpuPower) * d), Embodied: gpuEmb})
+	}
 	if base := m.Data.ServerBase; base.TDP > 0 || base.Embodied > 0 {
 		add("base", base.TDP, base.VRLoss, base.Embodied)
 	}

@@ -1,0 +1,71 @@
+package carbon
+
+import (
+	"math"
+	"testing"
+
+	"github.com/greensku/gsf/internal/carbondata"
+	"github.com/greensku/gsf/internal/hw"
+)
+
+func gpuSKU(spec hw.GPUSpec, count int) hw.SKU {
+	sku := hw.BaselineGen3()
+	sku.Name = "gpu-test"
+	sku.GPUs = []hw.GPUGroup{{Spec: spec, Count: count}}
+	return sku
+}
+
+// TestServerGPUPart checks the accelerator contribution follows Eq. 1
+// like every other component — accounting TDP derated and loss-adjusted
+// per card — and that GPU-less SKUs are bit-identical to before the
+// part existed.
+func TestServerGPUPart(t *testing.T) {
+	data := carbondata.OpenSource()
+	m := mustModel(t, data)
+
+	plain, err := m.Server(hw.BaselineGen3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plain.Parts {
+		if p.Name == "gpu" {
+			t.Fatal("GPU-less SKU grew a gpu part")
+		}
+	}
+
+	srv, err := m.Server(gpuSKU(hw.L4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gpu *Part
+	for i := range srv.Parts {
+		if srv.Parts[i].Name == "gpu" {
+			gpu = &srv.Parts[i]
+		}
+	}
+	if gpu == nil {
+		t.Fatal("no gpu part on an accelerator-bearing SKU")
+	}
+	spec := data.GPUs["L4"]
+	wantPower := float64(spec.TDP) * 2 * (1 + spec.VRLoss) * data.DerateFactor
+	if math.Abs(float64(gpu.Power)-wantPower) > 1e-12 {
+		t.Errorf("gpu power %v, want %v", gpu.Power, wantPower)
+	}
+	if want := float64(spec.Embodied) * 2; float64(gpu.Embodied) != want {
+		t.Errorf("gpu embodied %v, want %v", gpu.Embodied, want)
+	}
+	if float64(srv.Power) <= float64(plain.Power) {
+		t.Error("accelerators did not increase server power")
+	}
+}
+
+// TestServerGPUMissingData: a GPU-bearing SKU against a dataset with no
+// data for its card must error, not silently drop the part.
+func TestServerGPUMissingData(t *testing.T) {
+	m := mustModel(t, carbondata.WorkedExample())
+	sku := gpuSKU(hw.A100, 2)
+	sku.CPU = hw.Bergamo // worked-example only has Bergamo data
+	if _, err := m.Server(sku); err == nil {
+		t.Fatal("missing GPU carbon data did not error")
+	}
+}

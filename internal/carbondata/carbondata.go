@@ -46,6 +46,12 @@ type Dataset struct {
 	// CPUs maps a CPU name (hw.CPUSpec.Name) to its carbon data.
 	CPUs map[string]Component
 
+	// GPUs maps an accelerator name (hw.GPUSpec.Name) to its carbon
+	// data, per unit (card). Optional: the paper's SKUs carry no
+	// accelerators, so datasets may omit it; evaluating a GPU-bearing
+	// SKU against a dataset without data for its card is an error.
+	GPUs map[string]Component
+
 	// DRAMPerGB is first-life direct-attached DRAM, per GB.
 	DRAMPerGB Component
 	// ReusedDRAMPerGB is second-life (reused) DRAM, per GB. Embodied
@@ -138,6 +144,14 @@ func (d Dataset) Validate() error {
 	if len(d.CPUs) == 0 {
 		return fmt.Errorf("carbondata: %s: no CPU carbon data", d.Name)
 	}
+	for name, c := range d.GPUs {
+		if c.TDP <= 0 {
+			return fmt.Errorf("carbondata: %s: GPU %s has non-positive TDP", d.Name, name)
+		}
+		if c.Embodied < 0 {
+			return fmt.Errorf("carbondata: %s: GPU %s has negative embodied", d.Name, name)
+		}
+	}
 	return nil
 }
 
@@ -146,6 +160,15 @@ func (d Dataset) CPU(name string) (Component, error) {
 	c, ok := d.CPUs[name]
 	if !ok {
 		return Component{}, fmt.Errorf("carbondata: %s: no carbon data for CPU %q", d.Name, name)
+	}
+	return c, nil
+}
+
+// GPU returns the carbon data for the named accelerator card.
+func (d Dataset) GPU(name string) (Component, error) {
+	c, ok := d.GPUs[name]
+	if !ok {
+		return Component{}, fmt.Errorf("carbondata: %s: no carbon data for GPU %q", d.Name, name)
 	}
 	return c, nil
 }
@@ -217,6 +240,13 @@ func OpenSource() Dataset {
 	// which makes GreenSKU-Full's operational savings lower than
 	// GreenSKU-CXL's as in Table VIII (14% vs 15%).
 	d.ReusedSSDPerTB = Component{TDP: 7, Embodied: 0}
+	// fitted: SCARIF-style accelerator estimates (PAPERS.md). The A100
+	// embodied value follows SCARIF's server-level regression with the
+	// large HBM stack dominating; the L4 is a small-die inference part.
+	d.GPUs = map[string]Component{
+		"A100": {TDP: 400, Embodied: 143, VRLoss: 0.05},
+		"L4":   {TDP: 72, Embodied: 40, VRLoss: 0.05},
+	}
 	return d
 }
 

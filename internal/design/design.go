@@ -1,0 +1,210 @@
+package design
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/greensku/gsf/internal/audit"
+	"github.com/greensku/gsf/internal/carbon"
+	"github.com/greensku/gsf/internal/carbondata"
+	"github.com/greensku/gsf/internal/engine"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/search"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// Options configure one frontier search.
+type Options struct {
+	Space       search.Space
+	Constraints search.Constraints
+	Dataset     string
+	// CI is the grid carbon intensity; zero selects the dataset default.
+	CI      units.CarbonIntensity
+	Perf    PerfOptions
+	Epsilon Objectives
+	// Workers bounds the parallel candidate fan-out; <= 0 selects
+	// GOMAXPROCS, 1 forces serial order. The frontier is byte-identical
+	// either way.
+	Workers int
+	// Extra SKUs are evaluated alongside the generated candidates and
+	// classified against the final frontier — the frontier experiment
+	// passes the paper's five Table IV configurations here.
+	Extra []hw.SKU
+	// Audit receives design invariant violations (frontier recompute
+	// drift, mutual domination). Nil falls back to the process default.
+	Audit audit.Checker
+}
+
+// DefaultGPUOptions spans the accelerator corner of the space: no
+// card, and two or four of each catalog part.
+func DefaultGPUOptions() []search.GPUOption {
+	opts := []search.GPUOption{{}}
+	for _, g := range hw.GPUCatalog() {
+		for _, n := range []int{2, 4} {
+			opts = append(opts, search.GPUOption{Spec: g, Count: n})
+		}
+	}
+	return opts
+}
+
+// DefaultOptions returns the stock search: the paper's design
+// neighbourhood widened with the accelerator dimension, evaluated on
+// the open dataset at its default CI.
+func DefaultOptions() Options {
+	sp := search.DefaultSpace()
+	sp.GPUOptions = DefaultGPUOptions()
+	return Options{
+		Space:       sp,
+		Constraints: search.DefaultConstraints(),
+		Dataset:     "open-source",
+		Perf:        DefaultPerfOptions(),
+		Epsilon:     DefaultEpsilon(),
+	}
+}
+
+// Candidates materialises the space's candidate SKUs in enumeration
+// order: every design that satisfies the platform constraints and fits
+// at least one server per rack under the dataset's power cap. The rack
+// pre-check keeps undeployable corners (a GPU population blowing the
+// rack power budget) out of the evaluation fan-out, so an evaluation
+// error downstream always signals a real fault, never a bad corner of
+// the space.
+func Candidates(sp search.Space, c search.Constraints, m *carbon.Model) ([]hw.SKU, error) {
+	var out []hw.SKU
+	for _, d := range sp.Designs() {
+		if !sp.Feasible(d, c) {
+			continue
+		}
+		sku := sp.SKU(d)
+		rack, err := m.Rack(sku)
+		if err != nil {
+			return nil, err
+		}
+		if rack.Cores == 0 {
+			continue
+		}
+		out = append(out, sku)
+	}
+	return out, nil
+}
+
+// Verdict classifies one extra SKU against the searched frontier.
+type Verdict struct {
+	Point Point
+	// OnFrontier reports the SKU survived as a frontier point.
+	OnFrontier bool
+	// DominatedBy names the first frontier point (in Points order)
+	// that beats it; empty when OnFrontier.
+	DominatedBy string
+}
+
+// Result is the output of one frontier search.
+type Result struct {
+	Dataset string
+	CI      units.CarbonIntensity
+	// Candidates counts evaluated designs (generated plus Extra).
+	Candidates int
+	// Frontier is the non-dominated set, ascending carbon order.
+	Frontier []Point
+	// Verdicts classify Options.Extra, in input order.
+	Verdicts []Verdict
+}
+
+// Search generates, evaluates, and ranks the design space. Candidate
+// evaluation fans out through the engine; insertion happens in
+// enumeration order, and because the dominance order is a strict
+// partial order the resulting frontier does not depend on that order
+// anyway — the serial and parallel runs are byte-identical.
+func Search(ctx context.Context, opt Options) (Result, error) {
+	data, ok := carbondata.Datasets()[opt.Dataset]
+	if !ok {
+		return Result{}, fmt.Errorf("design: unknown dataset %q", opt.Dataset)
+	}
+	m, err := carbon.New(data)
+	if err != nil {
+		return Result{}, err
+	}
+	m.Audit = opt.Audit
+	skus, err := Candidates(opt.Space, opt.Constraints, m)
+	if err != nil {
+		return Result{}, err
+	}
+	skus = append(skus, opt.Extra...)
+	if len(skus) == 0 {
+		return Result{}, fmt.Errorf("design: no feasible candidates in the space")
+	}
+
+	ev := NewEvaluator(m, opt.CI, opt.Perf)
+	results := engine.Map(ctx, engine.Workers(opt.Workers), len(skus), func(ctx context.Context, i int) (Point, error) {
+		return ev.Evaluate(ctx, skus[i])
+	})
+	pts, err := engine.Collect(results)
+	if err != nil {
+		return Result{}, err
+	}
+
+	f := NewFrontier(opt.Epsilon)
+	for _, p := range pts {
+		f.Insert(p)
+	}
+	out := Result{Dataset: opt.Dataset, CI: ev.CI, Candidates: len(skus), Frontier: f.Points()}
+	for _, p := range pts[len(pts)-len(opt.Extra):] {
+		v := Verdict{Point: p, DominatedBy: f.DominatedBy(p)}
+		v.OnFrontier = v.DominatedBy == ""
+		out.Verdicts = append(out.Verdicts, v)
+	}
+	CheckFrontier(ctx, audit.Resolve(opt.Audit), ev, f)
+	return out, nil
+}
+
+// CheckFrontier audits a finished frontier: every point's objectives
+// must recompute exactly through the carbon model and a fresh,
+// unmemoised performance evaluation (catching an optimizer that
+// mutates or mislabels points), and no frontier point may beat
+// another (catching broken pruning). A nil checker skips everything.
+func CheckFrontier(ctx context.Context, c audit.Checker, ev *Evaluator, f *Frontier) {
+	if c == nil || f == nil {
+		return
+	}
+	// Fresh caches and no process-wide SLO memo: the recompute must
+	// not be served by the state under test.
+	fopt := ev.Perf
+	fopt.Base.DisableSLOMemo = true
+	fresh := NewEvaluator(ev.Model, ev.CI, fopt)
+	pts := f.Points()
+	for _, p := range pts {
+		pc, err := fresh.Model.PerCore(p.SKU, fresh.CI)
+		if err != nil {
+			audit.Failf(c, "design", "frontier-recompute", "%s: %v", p.SKU.Name, err)
+			continue
+		}
+		rack, err := fresh.Model.Rack(p.SKU)
+		if err != nil {
+			audit.Failf(c, "design", "frontier-recompute", "%s: %v", p.SKU.Name, err)
+			continue
+		}
+		if !audit.Close(float64(pc.Total()), p.Obj.CarbonPerCore, audit.CarbonTol) {
+			audit.Failf(c, "design", "frontier-carbon",
+				"%s: stored %v kg/core, carbon model says %v", p.SKU.Name, p.Obj.CarbonPerCore, float64(pc.Total()))
+		}
+		if float64(rack.Cores) != p.Obj.CoresPerRack {
+			audit.Failf(c, "design", "frontier-density",
+				"%s: stored %v cores/rack, carbon model says %d", p.SKU.Name, p.Obj.CoresPerRack, rack.Cores)
+		}
+		score, err := fresh.PerfScore(ctx, p.SKU)
+		if err != nil {
+			audit.Failf(c, "design", "frontier-recompute", "%s: %v", p.SKU.Name, err)
+		} else if !audit.Close(score, p.Obj.PerfPerCore, audit.CarbonTol) {
+			audit.Failf(c, "design", "frontier-perf",
+				"%s: stored score %v, perf model says %v", p.SKU.Name, p.Obj.PerfPerCore, score)
+		}
+	}
+	for i, p := range pts {
+		for j, q := range pts {
+			if i != j && f.Beats(p, q) {
+				audit.Failf(c, "design", "frontier-domination",
+					"frontier point %s beats frontier point %s", p.SKU.Name, q.SKU.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package design
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/greensku/gsf/internal/audit"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/stats"
+)
+
+func TestMain(m *testing.M) { os.Exit(audit.SweepMain(m)) }
+
+func pt(name string, carbon, perfScore, cores float64) Point {
+	return Point{SKU: hw.SKU{Name: name}, Obj: Objectives{
+		CarbonPerCore: carbon, PerfPerCore: perfScore, CoresPerRack: cores,
+	}}
+}
+
+// randomPoints generates a cloud with deliberate structure: clustered
+// values that land in shared epsilon cells, exact ties, and plain
+// random spread, so the quantised order and its tie-breaks all get
+// exercised.
+func randomPoints(r *stats.RNG, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		var o Objectives
+		switch r.Intn(3) {
+		case 0: // continuous spread
+			o = Objectives{20 + 40*r.Float64(), 0.5 + r.Float64(), float64(320 + 80*r.Intn(16))}
+		case 1: // coarse grid: many cell collisions under DefaultEpsilon
+			o = Objectives{20 + float64(r.Intn(8)), 0.5 + 0.1*float64(r.Intn(8)), float64(320 + 80*r.Intn(4))}
+		default: // near-duplicates inside one cell
+			o = Objectives{30 + 0.001*float64(r.Intn(5)), 0.9 + 0.0001*float64(r.Intn(5)), 640}
+		}
+		pts[i] = Point{SKU: hw.SKU{Name: fmt.Sprintf("p%03d", i)}, Obj: o}
+	}
+	return pts
+}
+
+// oracleFrontier is the O(n²) reference: the maximal elements of the
+// strict partial order, computed by brute force.
+func oracleFrontier(f *Frontier, pts []Point) []string {
+	var names []string
+	for i, p := range pts {
+		beaten := false
+		for j, q := range pts {
+			if i != j && f.Beats(q, p) {
+				beaten = true
+				break
+			}
+		}
+		if !beaten {
+			names = append(names, p.SKU.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func frontierNames(f *Frontier) []string {
+	var names []string
+	for _, p := range f.Points() {
+		names = append(names, p.SKU.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TestFrontierProperties checks, across 35 seeds and for both an exact
+// and a quantised frontier: the incremental frontier equals the
+// brute-force oracle, no surviving point beats another, every pruned
+// candidate is beaten by a survivor, and the surviving set is
+// invariant under insertion-order permutation.
+func TestFrontierProperties(t *testing.T) {
+	epsilons := []Objectives{{}, DefaultEpsilon()}
+	for seed := uint64(0); seed < 35; seed++ {
+		r := stats.NewRNG(seed*2654435761 + 1)
+		pts := randomPoints(r, 80+r.Intn(60))
+		for ei, eps := range epsilons {
+			f := NewFrontier(eps)
+			for _, p := range pts {
+				f.Insert(p)
+			}
+			got := frontierNames(f)
+			want := oracleFrontier(f, pts)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d eps#%d: frontier %v != oracle %v", seed, ei, got, want)
+			}
+
+			surv := f.Points()
+			for i, p := range surv {
+				for j, q := range surv {
+					if i != j && f.Beats(p, q) {
+						t.Fatalf("seed %d eps#%d: survivor %s beats survivor %s", seed, ei, p.SKU.Name, q.SKU.Name)
+					}
+				}
+			}
+
+			inSet := map[string]bool{}
+			for _, n := range got {
+				inSet[n] = true
+			}
+			for _, p := range pts {
+				if inSet[p.SKU.Name] {
+					continue
+				}
+				beaten := false
+				for _, q := range surv {
+					if f.Beats(q, p) {
+						beaten = true
+						break
+					}
+				}
+				if !beaten {
+					t.Fatalf("seed %d eps#%d: pruned point %s is beaten by no survivor", seed, ei, p.SKU.Name)
+				}
+			}
+
+			for perm := 0; perm < 4; perm++ {
+				shuffled := append([]Point(nil), pts...)
+				for i := len(shuffled) - 1; i > 0; i-- {
+					j := r.Intn(i + 1)
+					shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+				}
+				g := NewFrontier(eps)
+				for _, p := range shuffled {
+					g.Insert(p)
+				}
+				if pn := frontierNames(g); !reflect.DeepEqual(pn, got) {
+					t.Fatalf("seed %d eps#%d perm %d: frontier %v != identity-order frontier %v", seed, ei, perm, pn, got)
+				}
+			}
+		}
+	}
+}
+
+func TestFrontierInsertBasics(t *testing.T) {
+	f := NewFrontier(Objectives{})
+	if !f.Insert(pt("a", 30, 1.0, 640)) {
+		t.Fatal("first insert rejected")
+	}
+	// Strictly dominated on every axis.
+	if f.Insert(pt("b", 35, 0.9, 600)) {
+		t.Error("dominated point survived")
+	}
+	// Trades carbon for performance: both stay.
+	if !f.Insert(pt("c", 25, 0.8, 640)) {
+		t.Error("trade-off point pruned")
+	}
+	if f.Len() != 2 {
+		t.Fatalf("frontier size %d, want 2", f.Len())
+	}
+	// A dominator of "a" replaces it.
+	if !f.Insert(pt("d", 29, 1.1, 640)) {
+		t.Error("dominating point rejected")
+	}
+	if got := frontierNames(f); !reflect.DeepEqual(got, []string{"c", "d"}) {
+		t.Fatalf("frontier %v, want [c d]", got)
+	}
+	if dom := f.DominatedBy(pt("a", 30, 1.0, 640)); dom != "d" {
+		t.Errorf("DominatedBy(a) = %q, want d", dom)
+	}
+	if dom := f.DominatedBy(pt("c", 25, 0.8, 640)); dom != "" {
+		t.Errorf("DominatedBy(c) = %q, want empty", dom)
+	}
+}
+
+func TestFrontierEpsilonDedup(t *testing.T) {
+	f := NewFrontier(Objectives{CarbonPerCore: 0.1, PerfPerCore: 0.01, CoresPerRack: 0})
+	if !f.Insert(pt("a", 30.01, 1.001, 640)) {
+		t.Fatal("first insert rejected")
+	}
+	// Same cell on every axis, larger raw carbon: deduped.
+	if f.Insert(pt("b", 30.05, 1.002, 640)) {
+		t.Error("cell duplicate survived")
+	}
+	// Same cell, smaller raw carbon: replaces the holder.
+	if !f.Insert(pt("c", 30.005, 1.005, 640)) {
+		t.Error("better cell representative rejected")
+	}
+	if got := frontierNames(f); !reflect.DeepEqual(got, []string{"c"}) {
+		t.Fatalf("frontier %v, want [c]", got)
+	}
+}
+
+func TestFrontierRejectsNonFiniteAndDuplicateNames(t *testing.T) {
+	f := NewFrontier(DefaultEpsilon())
+	if f.Insert(pt("nan", math.NaN(), 1, 640)) {
+		t.Error("NaN objective accepted")
+	}
+	if f.Insert(pt("inf", 30, math.Inf(1), 640)) {
+		t.Error("Inf objective accepted")
+	}
+	if !f.Insert(pt("a", 30, 1, 640)) {
+		t.Fatal("finite insert rejected")
+	}
+	if f.Insert(pt("a", 10, 2, 900)) {
+		t.Error("duplicate name accepted")
+	}
+	if f.Len() != 1 {
+		t.Fatalf("frontier size %d, want 1", f.Len())
+	}
+}

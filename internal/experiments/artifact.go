@@ -22,6 +22,7 @@ var ArtifactFiles = []string{
 	"cluster_savings.txt",
 	"dc_savings.txt",
 	"Dynamic_CI.csv",
+	"Frontier.csv",
 }
 
 // WriteArtifacts regenerates the artifact's output files into dir and
@@ -138,5 +139,30 @@ func WriteArtifactsContext(ctx context.Context, dir string, quick bool) ([]strin
 		return nil, err
 	}
 	written = append(written, dynPath)
+
+	// Frontier.csv: the design-space search with the paper's five SKUs
+	// classified against the frontier.
+	frontOpt := DefaultFrontierOptions()
+	if quick {
+		frontOpt = QuickFrontierOptions()
+	}
+	front, err := FrontierContext(ctx, frontOpt)
+	if err != nil {
+		return nil, err
+	}
+	frontPath := filepath.Join(dir, "Frontier.csv")
+	f, err = os.Create(frontPath)
+	if err != nil {
+		return nil, err
+	}
+	frontHeader, frontRows := front.CSVRows()
+	err = report.WriteCSV(f, frontHeader, frontRows)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	written = append(written, frontPath)
 	return written, nil
 }

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/greensku/gsf/internal/report"
+)
+
+func frontierCSV(t *testing.T, workers int) []byte {
+	t.Helper()
+	opt := QuickFrontierOptions()
+	opt.Workers = workers
+	res, err := FrontierContext(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	header, rows := res.CSVRows()
+	if err := report.WriteCSV(&buf, header, rows); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFrontierSerialMatchesParallel pins the determinism contract CI
+// enforces under -race: the frontier artifact is byte-identical
+// whether candidates are evaluated serially or fanned across engine
+// workers.
+func TestFrontierSerialMatchesParallel(t *testing.T) {
+	serial := frontierCSV(t, 1)
+	parallel := frontierCSV(t, 0)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("frontier artifact depends on worker count:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestFrontierClassifiesPaperSKUs: the artifact must carry one verdict
+// row per Table IV configuration, each either on the frontier or
+// naming its dominator.
+func TestFrontierClassifiesPaperSKUs(t *testing.T) {
+	res, err := Frontier(QuickFrontierOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Verdicts) != 5 {
+		t.Fatalf("%d verdicts, want the paper's 5", len(res.Verdicts))
+	}
+	_, rows := res.CSVRows()
+	paper := 0
+	for _, r := range rows {
+		if r[0] != "paper" {
+			continue
+		}
+		paper++
+		if r[5] == "true" && r[6] != "" {
+			t.Errorf("%s: on frontier yet dominated by %q", r[1], r[6])
+		}
+		if r[5] == "false" && r[6] == "" {
+			t.Errorf("%s: dominated but no dominator named", r[1])
+		}
+	}
+	if paper != 5 {
+		t.Fatalf("%d paper rows in the CSV, want 5", paper)
+	}
+	var b strings.Builder
+	if err := res.Render(&b, "frontier"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "on the frontier") {
+		t.Error("render footer missing the frontier summary")
+	}
+}

@@ -73,6 +73,32 @@ var (
 // CPUCatalog lists the CPUs of Table I in the paper's column order.
 func CPUCatalog() []CPUSpec { return []CPUSpec{Bergamo, Rome, Milan, Genoa} }
 
+// GPUSpec describes an accelerator card. Like CPUSpec it holds only
+// physical characteristics; carbon-accounting values (accounting TDP,
+// embodied kgCO2e per SCARIF-style estimates) live in carbondata.GPUs,
+// keyed by Name.
+type GPUSpec struct {
+	Name  string
+	TDP   units.Watts
+	HBMGB units.GB
+}
+
+// Accelerator catalog: a training/HPC part and an efficient inference
+// part, spanning the TDP range SCARIF models.
+var (
+	A100 = GPUSpec{Name: "A100", TDP: 400, HBMGB: 80}
+	L4   = GPUSpec{Name: "L4", TDP: 72, HBMGB: 24}
+)
+
+// GPUCatalog lists the accelerator cards the design space can draw on.
+func GPUCatalog() []GPUSpec { return []GPUSpec{A100, L4} }
+
+// GPUGroup is a homogeneous set of accelerator cards in a SKU.
+type GPUGroup struct {
+	Spec  GPUSpec
+	Count int
+}
+
 // DIMMGroup is a homogeneous set of memory DIMMs in a SKU.
 type DIMMGroup struct {
 	Count      int
@@ -102,6 +128,10 @@ type SKU struct {
 	DIMMs          []DIMMGroup
 	SSDs           []SSDGroup
 	CXLControllers int
+	// GPUs are optional accelerator cards. None of the paper's SKUs
+	// carry any; the design-space search uses them to widen the space
+	// per SCARIF.
+	GPUs []GPUGroup
 	// FormFactorU is the rack height of the server in rack units.
 	FormFactorU int
 	// CXLBWGBs is additional memory bandwidth contributed by the CXL
@@ -200,6 +230,18 @@ func (s SKU) MemBWPerCoreGBs() float64 {
 // HasCXL reports whether the SKU reaches any memory through CXL.
 func (s SKU) HasCXL() bool { return s.CXLControllers > 0 }
 
+// GPUCount returns the number of accelerator cards.
+func (s SKU) GPUCount() int {
+	n := 0
+	for _, g := range s.GPUs {
+		n += g.Count
+	}
+	return n
+}
+
+// HasGPU reports whether the SKU carries any accelerator.
+func (s SKU) HasGPU() bool { return s.GPUCount() > 0 }
+
 // Validate checks structural invariants of the SKU definition.
 func (s SKU) Validate() error {
 	if s.Name == "" {
@@ -225,6 +267,14 @@ func (s SKU) Validate() error {
 	for _, g := range s.SSDs {
 		if g.Count < 0 || g.CapacityTB < 0 {
 			return fmt.Errorf("hw: SKU %s: negative SSD group", s.Name)
+		}
+	}
+	for _, g := range s.GPUs {
+		if g.Count < 0 {
+			return fmt.Errorf("hw: SKU %s: negative GPU group", s.Name)
+		}
+		if g.Count > 0 && g.Spec.Name == "" {
+			return fmt.Errorf("hw: SKU %s: GPU group without a card name", s.Name)
 		}
 	}
 	return nil

@@ -19,9 +19,18 @@ import (
 	"github.com/greensku/gsf/internal/units"
 )
 
+// GPUOption is one accelerator population choice: a card spec and how
+// many of it to fit. The zero value means no accelerator.
+type GPUOption struct {
+	Spec  hw.GPUSpec
+	Count int
+}
+
 // Space is the discrete design space.
 type Space struct {
-	CPUs            []hw.CPUSpec
+	CPUs []hw.CPUSpec
+	// Sockets lists socket-count choices; empty means single-socket.
+	Sockets         []int
 	LocalDIMMCounts []int
 	LocalDIMMGBs    []units.GB
 	// CXLDIMMCounts are reused 32 GB DDR4 DIMMs, four per CXL card.
@@ -30,6 +39,26 @@ type Space struct {
 	// m.2 drives (striped per the storage plan).
 	NewSSDCounts    []int
 	ReusedSSDCounts []int
+	// GPUOptions lists accelerator populations to consider; empty
+	// means CPU-only designs. Include the zero GPUOption to keep
+	// CPU-only designs in a space that also explores accelerators.
+	GPUOptions []GPUOption
+}
+
+// sockets returns the socket dimension, defaulting to single-socket.
+func (s Space) sockets() []int {
+	if len(s.Sockets) == 0 {
+		return []int{1}
+	}
+	return s.Sockets
+}
+
+// gpuOptions returns the accelerator dimension, defaulting to none.
+func (s Space) gpuOptions() []GPUOption {
+	if len(s.GPUOptions) == 0 {
+		return []GPUOption{{}}
+	}
+	return s.GPUOptions
 }
 
 // DefaultSpace spans the paper's design neighbourhood.
@@ -68,20 +97,31 @@ func DefaultConstraints() Constraints {
 	}
 }
 
-// Design is one point in the space (indices into Space slices).
+// Design is one point in the space (indices into Space slices; Socket
+// and GPU index the defaulted sockets/gpuOptions dimensions and stay 0
+// on spaces that do not populate them).
 type Design struct {
-	CPU, DIMMCount, DIMMGB, CXL, NewSSD, ReusedSSD int
+	CPU, Socket, DIMMCount, DIMMGB, CXL, NewSSD, ReusedSSD, GPU int
 }
 
 // SKU materialises the design.
 func (s Space) SKU(d Design) hw.SKU {
 	cpu := s.CPUs[d.CPU]
+	sockets := s.sockets()[d.Socket]
+	gpu := s.gpuOptions()[d.GPU]
+	name := fmt.Sprintf("%s-%dx%.0fG-%dcxl-%dssd-%drssd",
+		cpu.Name, s.LocalDIMMCounts[d.DIMMCount], float64(s.LocalDIMMGBs[d.DIMMGB]),
+		s.CXLDIMMCounts[d.CXL], s.NewSSDCounts[d.NewSSD], s.ReusedSSDCounts[d.ReusedSSD])
+	if sockets > 1 {
+		name += fmt.Sprintf("-%ds", sockets)
+	}
+	if gpu.Count > 0 {
+		name += fmt.Sprintf("-%dx%s", gpu.Count, gpu.Spec.Name)
+	}
 	sku := hw.SKU{
-		Name: fmt.Sprintf("%s-%dx%.0fG-%dcxl-%dssd-%drssd",
-			cpu.Name, s.LocalDIMMCounts[d.DIMMCount], float64(s.LocalDIMMGBs[d.DIMMGB]),
-			s.CXLDIMMCounts[d.CXL], s.NewSSDCounts[d.NewSSD], s.ReusedSSDCounts[d.ReusedSSD]),
+		Name:        name,
 		CPU:         cpu,
-		Sockets:     1,
+		Sockets:     sockets,
 		FormFactorU: 2,
 		DIMMs: []hw.DIMMGroup{
 			{Count: s.LocalDIMMCounts[d.DIMMCount], CapacityGB: s.LocalDIMMGBs[d.DIMMGB], Kind: hw.MemLocal},
@@ -98,12 +138,44 @@ func (s Space) SKU(d Design) hw.SKU {
 	if n := s.ReusedSSDCounts[d.ReusedSSD]; n > 0 {
 		sku.SSDs = append(sku.SSDs, hw.SSDGroup{Count: n, CapacityTB: 1, Reused: true})
 	}
+	if gpu.Count > 0 {
+		sku.GPUs = []hw.GPUGroup{{Spec: gpu.Spec, Count: gpu.Count}}
+	}
 	return sku
+}
+
+// Designs enumerates every design tuple in the space in canonical
+// nested order (CPU outermost, GPU option innermost). The order is the
+// contract Exhaustive and the frontier driver rely on for
+// deterministic output.
+func (s Space) Designs() []Design {
+	out := make([]Design, 0,
+		len(s.CPUs)*len(s.sockets())*len(s.LocalDIMMCounts)*len(s.LocalDIMMGBs)*
+			len(s.CXLDIMMCounts)*len(s.NewSSDCounts)*len(s.ReusedSSDCounts)*len(s.gpuOptions()))
+	var d Design
+	for d.CPU = range s.CPUs {
+		for d.Socket = range s.sockets() {
+			for d.DIMMCount = range s.LocalDIMMCounts {
+				for d.DIMMGB = range s.LocalDIMMGBs {
+					for d.CXL = range s.CXLDIMMCounts {
+						for d.NewSSD = range s.NewSSDCounts {
+							for d.ReusedSSD = range s.ReusedSSDCounts {
+								for d.GPU = range s.gpuOptions() {
+									out = append(out, d)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
 }
 
 // Lanes returns the design's PCIe lane consumption.
 func Lanes(sku hw.SKU, c Constraints) int {
-	return c.NICLanes + 16*sku.CXLControllers + 4*sku.SSDCount()
+	return c.NICLanes + 16*sku.CXLControllers + 4*sku.SSDCount() + 16*sku.GPUCount()
 }
 
 // Feasible reports whether the design satisfies the constraints.
@@ -174,29 +246,18 @@ func Exhaustive(s Space, c Constraints, dataset string, ci units.CarbonIntensity
 	}
 	best := Result{PerCore: units.KgCO2e(math.Inf(1))}
 	found := false
-	var d Design
-	for d.CPU = range s.CPUs {
-		for d.DIMMCount = range s.LocalDIMMCounts {
-			for d.DIMMGB = range s.LocalDIMMGBs {
-				for d.CXL = range s.CXLDIMMCounts {
-					for d.NewSSD = range s.NewSSDCounts {
-						for d.ReusedSSD = range s.ReusedSSDCounts {
-							if !s.Feasible(d, c) {
-								continue
-							}
-							sku := s.SKU(d)
-							pc, err := ev.perCore(sku)
-							if err != nil {
-								return Result{}, err
-							}
-							if pc < best.PerCore {
-								best = Result{SKU: sku, PerCore: pc}
-								found = true
-							}
-						}
-					}
-				}
-			}
+	for _, d := range s.Designs() {
+		if !s.Feasible(d, c) {
+			continue
+		}
+		sku := s.SKU(d)
+		pc, err := ev.perCore(sku)
+		if err != nil {
+			return Result{}, err
+		}
+		if pc < best.PerCore {
+			best = Result{SKU: sku, PerCore: pc}
+			found = true
 		}
 	}
 	if !found {
@@ -220,27 +281,38 @@ func HillClimb(s Space, c Constraints, dataset string, ci units.CarbonIntensity,
 		return Result{}, err
 	}
 	r := stats.NewRNG(seed)
-	dims := []int{len(s.CPUs), len(s.LocalDIMMCounts), len(s.LocalDIMMGBs), len(s.CXLDIMMCounts), len(s.NewSSDCounts), len(s.ReusedSSDCounts)}
+	dims := []int{len(s.CPUs), len(s.sockets()), len(s.LocalDIMMCounts), len(s.LocalDIMMGBs), len(s.CXLDIMMCounts), len(s.NewSSDCounts), len(s.ReusedSSDCounts), len(s.gpuOptions())}
 	get := func(d *Design, i int) *int {
 		switch i {
 		case 0:
 			return &d.CPU
 		case 1:
-			return &d.DIMMCount
+			return &d.Socket
 		case 2:
-			return &d.DIMMGB
+			return &d.DIMMCount
 		case 3:
-			return &d.CXL
+			return &d.DIMMGB
 		case 4:
+			return &d.CXL
+		case 5:
 			return &d.NewSSD
-		default:
+		case 6:
 			return &d.ReusedSSD
+		default:
+			return &d.GPU
 		}
 	}
+	// Degenerate (single-choice) dimensions are skipped everywhere: a
+	// move within them cannot exist, and drawing from the RNG for them
+	// would perturb the restart stream of spaces that leave the
+	// defaulted socket/GPU dimensions unpopulated.
 	randomFeasible := func() (Design, bool) {
 		for tries := 0; tries < 500; tries++ {
 			var d Design
 			for i, n := range dims {
+				if n < 2 {
+					continue
+				}
 				*get(&d, i) = r.Intn(n)
 			}
 			if s.Feasible(d, c) {
@@ -266,6 +338,9 @@ func HillClimb(s Space, c Constraints, dataset string, ci units.CarbonIntensity,
 			improved = false
 			// Single-coordinate moves.
 			for i, n := range dims {
+				if n < 2 {
+					continue
+				}
 				orig := *get(&d, i)
 				for v := 0; v < n; v++ {
 					if v == orig {
@@ -295,7 +370,13 @@ func HillClimb(s Space, c Constraints, dataset string, ci units.CarbonIntensity,
 			// moves only exist as coordinated changes of two
 			// components.
 			for i := 0; i < len(dims) && !improved; i++ {
+				if dims[i] < 2 {
+					continue
+				}
 				for j := i + 1; j < len(dims) && !improved; j++ {
+					if dims[j] < 2 {
+						continue
+					}
 					oi, oj := *get(&d, i), *get(&d, j)
 					for vi := 0; vi < dims[i] && !improved; vi++ {
 						for vj := 0; vj < dims[j] && !improved; vj++ {

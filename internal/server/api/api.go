@@ -261,6 +261,73 @@ type SweepResponse struct {
 	Results []BatchResult `json:"results"`
 }
 
+// --- POST /v1/design --------------------------------------------------
+
+// DesignRequest asks for the carbon/performance Pareto frontier of the
+// server's SKU design space: every feasible candidate is scored on
+// carbon per core, portfolio performance per core, and rack density,
+// and the non-dominated set is returned.
+type DesignRequest struct {
+	// Dataset names the carbon dataset; empty selects open-source.
+	Dataset string `json:"dataset"`
+	// CI is the grid carbon intensity in kgCO2e/kWh; zero or omitted
+	// uses the dataset default.
+	CI float64 `json:"ci"`
+	// CPUs restricts the candidate CPU bins by name (e.g. "Bergamo");
+	// empty keeps the server's full CPU dimension. A name outside the
+	// space is a bad_input error.
+	CPUs []string `json:"cpus"`
+	// MaxGPUs caps accelerator cards per candidate server; zero removes
+	// the accelerator dimension entirely.
+	MaxGPUs int `json:"max_gpus"`
+	// IncludePaper additionally evaluates the paper's five Table IV
+	// configurations and classifies each against the searched frontier.
+	IncludePaper bool `json:"include_paper"`
+}
+
+// DesignPoint is one evaluated candidate on the three objectives.
+type DesignPoint struct {
+	SKU           string  `json:"sku"`
+	CPU           string  `json:"cpu"`
+	Cores         int     `json:"cores"`
+	CarbonPerCore float64 `json:"carbon_per_core"`
+	PerfPerCore   float64 `json:"perf_per_core"`
+	CoresPerRack  float64 `json:"cores_per_rack"`
+}
+
+// DesignVerdict classifies one paper SKU against the frontier.
+type DesignVerdict struct {
+	Point      DesignPoint `json:"point"`
+	OnFrontier bool        `json:"on_frontier"`
+	// DominatedBy names a frontier point that beats it; empty when
+	// OnFrontier.
+	DominatedBy string `json:"dominated_by,omitempty"`
+}
+
+// DesignResponse is the buffered design reply: the frontier in
+// ascending carbon order, plus one verdict per paper SKU when the
+// request set include_paper.
+type DesignResponse struct {
+	Dataset    string                `json:"dataset"`
+	CI         units.CarbonIntensity `json:"ci"`
+	Candidates int                   `json:"candidates"`
+	Frontier   []DesignPoint         `json:"frontier"`
+	Verdicts   []DesignVerdict       `json:"verdicts,omitempty"`
+}
+
+// DesignDone is the terminal record of a streamed design response.
+// Streams deliver one BatchStreamItem per candidate in completion
+// order — OK holding that candidate's DesignPoint — then this summary,
+// whose Frontier lists the non-dominated candidates by stream index in
+// ascending carbon order.
+type DesignDone struct {
+	Done     bool            `json:"done"`
+	Items    int             `json:"items"`
+	Errors   int             `json:"errors"`
+	Frontier []int           `json:"frontier"`
+	Verdicts []DesignVerdict `json:"verdicts,omitempty"`
+}
+
 // --- GET /v1/skus and /v1/datasets ------------------------------------
 
 // SKUInfo describes one catalog SKU.
@@ -311,6 +378,10 @@ type LimitsResponse struct {
 	// MaxTraceVMs bounds the expected VM count of one synthetic
 	// workload (arrivals_per_hour x horizon_hours).
 	MaxTraceVMs int `json:"max_trace_vms"`
+	// MaxDesignCandidates bounds the candidate count one /v1/design
+	// request may enumerate; larger spaces get a bad_input error
+	// carrying this limit.
+	MaxDesignCandidates int `json:"max_design_candidates"`
 	// RequestTimeoutSeconds bounds one request end to end.
 	RequestTimeoutSeconds float64 `json:"request_timeout_seconds"`
 	// RatePerSec and RateBurst describe the per-client token bucket;

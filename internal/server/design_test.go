@@ -1,0 +1,253 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/greensku/gsf/internal/design"
+	"github.com/greensku/gsf/internal/hw"
+	"github.com/greensku/gsf/internal/search"
+	"github.com/greensku/gsf/internal/server/api"
+	"github.com/greensku/gsf/internal/units"
+)
+
+// tinyDesignSpace mirrors the design package's test space: two CPUs, a
+// CXL corner, and a GPU option — a handful of candidates over three
+// performance profiles, fast enough for handler tests and fuzzing.
+func tinyDesignSpace() search.Space {
+	return search.Space{
+		CPUs:            []hw.CPUSpec{hw.Genoa, hw.Bergamo},
+		LocalDIMMCounts: []int{12},
+		LocalDIMMGBs:    []units.GB{64, 96},
+		CXLDIMMCounts:   []int{0, 8},
+		NewSSDCounts:    []int{3},
+		ReusedSSDCounts: []int{0},
+		GPUOptions:      []search.GPUOption{{}, {Spec: hw.L4, Count: 2}},
+	}
+}
+
+func tinyDesignConfig() Config {
+	sp := tinyDesignSpace()
+	popt := design.DefaultPerfOptions()
+	popt.Base.Requests = 1500
+	popt.KneeLo, popt.KneeHi, popt.KneeTol = 0.5, 0.9, 0.1
+	return Config{DesignSpace: &sp, DesignPerf: &popt}
+}
+
+func TestDesignBuffered(t *testing.T) {
+	s := newTestServer(t, tinyDesignConfig())
+	h := s.Handler()
+
+	w := post(t, h, "/v1/design", `{"include_paper":true}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp api.DesignResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Dataset != "open-source" {
+		t.Errorf("dataset %q, want open-source", resp.Dataset)
+	}
+	if len(resp.Frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	if len(resp.Verdicts) != 5 {
+		t.Fatalf("%d verdicts, want the paper's 5", len(resp.Verdicts))
+	}
+	onFrontier := map[string]bool{}
+	for _, p := range resp.Frontier {
+		onFrontier[p.SKU] = true
+	}
+	for _, v := range resp.Verdicts {
+		if v.OnFrontier == (v.DominatedBy != "") {
+			t.Errorf("%s: on_frontier=%v with dominated_by=%q", v.Point.SKU, v.OnFrontier, v.DominatedBy)
+		}
+		if v.DominatedBy != "" && !onFrontier[v.DominatedBy] {
+			t.Errorf("%s dominated by %q, which is not a frontier point", v.Point.SKU, v.DominatedBy)
+		}
+	}
+
+	// The reply is a deterministic function of the request: byte-equal
+	// and cache-served on replay.
+	w2 := post(t, h, "/v1/design", `{"include_paper":true}`)
+	if w2.Code != http.StatusOK {
+		t.Fatalf("replay status %d: %s", w2.Code, w2.Body)
+	}
+	if w2.Header().Get(api.HeaderCache) != "hit" {
+		t.Error("replayed design request missed the cache")
+	}
+	if w.Body.String() != w2.Body.String() {
+		t.Error("replayed design request drifted from the first reply")
+	}
+}
+
+func TestDesignStreamNDJSON(t *testing.T) {
+	cfg := tinyDesignConfig()
+	cfg.Workers = 1 // deterministic completion order for the assertions
+	s := newTestServer(t, cfg)
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/design", strings.NewReader(`{"include_paper":true}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", api.ContentTypeNDJSON)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != api.ContentTypeNDJSON {
+		t.Fatalf("content type %q", ct)
+	}
+
+	var results []api.BatchStreamItem
+	var done *api.DesignDone
+	sc := bufio.NewScanner(w.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var probe struct {
+			Done bool `json:"done"`
+		}
+		if json.Unmarshal(line, &probe) == nil && probe.Done {
+			done = &api.DesignDone{}
+			if err := json.Unmarshal(line, done); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		var item api.BatchStreamItem
+		if err := json.Unmarshal(line, &item); err != nil {
+			t.Fatalf("bad stream record %s: %v", line, err)
+		}
+		results = append(results, item)
+	}
+	if done == nil {
+		t.Fatal("stream ended without a done record")
+	}
+	if done.Items != len(results) {
+		t.Fatalf("done.items %d, %d records streamed", done.Items, len(results))
+	}
+	if done.Errors != 0 {
+		t.Fatalf("%d streamed errors", done.Errors)
+	}
+	if len(done.Frontier) == 0 {
+		t.Fatal("done record carries no frontier")
+	}
+	points := make(map[int]api.DesignPoint, len(results))
+	for _, it := range results {
+		var p api.DesignPoint
+		if err := json.Unmarshal(it.OK, &p); err != nil {
+			t.Fatalf("record %d has no design point: %v", it.Index, err)
+		}
+		points[it.Index] = p
+	}
+	for _, idx := range done.Frontier {
+		if _, ok := points[idx]; !ok {
+			t.Errorf("frontier index %d has no streamed record", idx)
+		}
+	}
+	if len(done.Verdicts) != 5 {
+		t.Fatalf("%d streamed verdicts, want 5", len(done.Verdicts))
+	}
+
+	// The streamed frontier must name exactly the buffered frontier.
+	wb := post(t, s.Handler(), "/v1/design", `{"include_paper":true}`)
+	var buffered api.DesignResponse
+	if err := json.Unmarshal(wb.Body.Bytes(), &buffered); err != nil {
+		t.Fatal(err)
+	}
+	if len(buffered.Frontier) != len(done.Frontier) {
+		t.Fatalf("buffered frontier has %d points, streamed %d", len(buffered.Frontier), len(done.Frontier))
+	}
+	for i, idx := range done.Frontier {
+		if got, want := points[idx], buffered.Frontier[i]; got != want {
+			t.Errorf("frontier[%d]: streamed %+v != buffered %+v", i, got, want)
+		}
+	}
+}
+
+func TestDesignBadInput(t *testing.T) {
+	s := newTestServer(t, tinyDesignConfig())
+	h := s.Handler()
+	cases := []struct {
+		name, body, code string
+	}{
+		{"unknown_cpu", `{"cpus":["Pentium"]}`, api.CodeBadInput},
+		{"negative_gpus", `{"max_gpus":-1}`, api.CodeBadInput},
+		{"unknown_dataset", `{"dataset":"secret"}`, api.CodeUnknownDataset},
+		{"negative_ci", `{"ci":-0.2}`, api.CodeBadInput},
+		{"unknown_field", `{"frontier":true}`, api.CodeBadInput},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := post(t, h, "/v1/design", tc.body)
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("status %d: %s", w.Code, w.Body)
+			}
+			var env api.ErrorResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+				t.Fatal(err)
+			}
+			if env.Error.Code != tc.code {
+				t.Errorf("code %q, want %q", env.Error.Code, tc.code)
+			}
+		})
+	}
+}
+
+func TestDesignCandidateLimit(t *testing.T) {
+	cfg := tinyDesignConfig()
+	cfg.MaxDesignCandidates = 2
+	s := newTestServer(t, cfg)
+	w := post(t, s.Handler(), "/v1/design", `{}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var env api.ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != api.CodeBadInput || env.Error.Limit != 2 {
+		t.Errorf("envelope %+v, want bad_input with limit 2", env.Error)
+	}
+}
+
+func TestDesignCPUAndGPUFilters(t *testing.T) {
+	s := newTestServer(t, tinyDesignConfig())
+	h := s.Handler()
+
+	// CPU-only, Bergamo-only: every frontier point is a Bergamo SKU.
+	w := post(t, h, "/v1/design", `{"cpus":["Bergamo"]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp api.DesignResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range resp.Frontier {
+		if p.CPU != "Bergamo" {
+			t.Errorf("frontier point %s uses CPU %s despite the filter", p.SKU, p.CPU)
+		}
+	}
+
+	// max_gpus 0 must strip accelerator candidates; the tiny space's L4
+	// corner halves away.
+	w0 := post(t, h, "/v1/design", `{}`)
+	wg := post(t, h, "/v1/design", `{"max_gpus":2}`)
+	var r0, rg api.DesignResponse
+	if err := json.Unmarshal(w0.Body.Bytes(), &r0); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(wg.Body.Bytes(), &rg); err != nil {
+		t.Fatal(err)
+	}
+	if rg.Candidates <= r0.Candidates {
+		t.Errorf("max_gpus=2 enumerated %d candidates, max_gpus=0 %d: GPU dimension never opened",
+			rg.Candidates, r0.Candidates)
+	}
+}

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/greensku/gsf/internal/server/api"
+)
+
+// FuzzDesignRequest throws arbitrary bytes at POST /v1/design. The
+// handler must never panic, must answer only with the statuses the
+// endpoint documents (200, 400 bad request, 429 shed, 503 deadline),
+// and every 200 body must decode as an api.DesignResponse with a
+// non-empty frontier and internally consistent verdicts.
+func FuzzDesignRequest(f *testing.F) {
+	// One server for the whole run over a tiny pinned space: the profile
+	// memo makes repeated searches nearly free, and any cpus/max_gpus
+	// filter the fuzzer discovers still lands inside it.
+	cfg := tinyDesignConfig()
+	cfg.RequestTimeout = 10 * time.Second
+	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	s, err := New(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(s.Close)
+	h := s.Handler()
+
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"include_paper":true}`))
+	f.Add([]byte(`{"cpus":["Bergamo"],"max_gpus":2,"ci":0.2}`))
+	f.Add([]byte(`{"cpus":["Pentium"]}`))
+	f.Add([]byte(`{"dataset":"worked-example"}`))
+	f.Add([]byte(`{"max_gpus":-3}`))
+	f.Add([]byte(`{"ci":-1}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte("\x00\xff{}"))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/design", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+
+		switch w.Code {
+		case http.StatusOK:
+			var resp api.DesignResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 body does not decode as api.DesignResponse: %v\n%s", err, w.Body.Bytes())
+			}
+			if len(resp.Frontier) == 0 {
+				t.Fatalf("200 with an empty frontier:\n%s", w.Body.Bytes())
+			}
+			if resp.Candidates < len(resp.Frontier) {
+				t.Fatalf("frontier of %d points from %d candidates", len(resp.Frontier), resp.Candidates)
+			}
+			onFrontier := map[string]bool{}
+			for _, p := range resp.Frontier {
+				onFrontier[p.SKU] = true
+			}
+			for _, v := range resp.Verdicts {
+				if v.OnFrontier == (v.DominatedBy != "") {
+					t.Fatalf("verdict %s: on_frontier=%v with dominated_by=%q",
+						v.Point.SKU, v.OnFrontier, v.DominatedBy)
+				}
+				if v.DominatedBy != "" && !onFrontier[v.DominatedBy] {
+					t.Fatalf("verdict %s dominated by %q, not a frontier point", v.Point.SKU, v.DominatedBy)
+				}
+			}
+		case http.StatusBadRequest, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			// Documented rejections.
+		default:
+			t.Fatalf("undocumented status %d for body %q: %s", w.Code, body, w.Body.Bytes())
+		}
+	})
+}

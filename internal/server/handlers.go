@@ -492,6 +492,7 @@ func (s *Server) handleLimits(w http.ResponseWriter, r *http.Request) {
 		QueueDepth:            s.cfg.QueueDepth,
 		MaxBatchItems:         s.cfg.MaxBatchItems,
 		MaxTraceVMs:           s.cfg.MaxTraceVMs,
+		MaxDesignCandidates:   s.cfg.MaxDesignCandidates,
 		RequestTimeoutSeconds: s.cfg.RequestTimeout.Seconds(),
 		RatePerSec:            s.cfg.RatePerSec,
 		RateBurst:             s.cfg.RateBurst,

@@ -32,6 +32,8 @@ import (
 	"github.com/greensku/gsf"
 	"github.com/greensku/gsf/internal/audit"
 	"github.com/greensku/gsf/internal/core"
+	"github.com/greensku/gsf/internal/design"
+	"github.com/greensku/gsf/internal/search"
 )
 
 // Config parameterises the service. The zero value is usable: every
@@ -55,6 +57,15 @@ type Config struct {
 	// MaxBatchItems bounds the item count of one /v1/batch or /v1/sweep
 	// request. Default: 256.
 	MaxBatchItems int
+	// MaxDesignCandidates bounds the candidate count one /v1/design
+	// request may enumerate. Default: 4096.
+	MaxDesignCandidates int
+	// DesignSpace overrides the /v1/design candidate space. Default:
+	// the design package's stock space (design.DefaultOptions).
+	DesignSpace *search.Space
+	// DesignPerf overrides the /v1/design performance protocol —
+	// simulation budget, knee bracket. Default: design.DefaultPerfOptions.
+	DesignPerf *design.PerfOptions
 	// RatePerSec enables per-client rate limiting: each client's token
 	// bucket refills at this rate. Zero disables the limiter (the
 	// worker-queue 429 path still sheds load). Default: 0.
@@ -98,6 +109,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatchItems <= 0 {
 		c.MaxBatchItems = 256
+	}
+	if c.MaxDesignCandidates <= 0 {
+		c.MaxDesignCandidates = 4096
 	}
 	if c.RatePerSec > 0 && c.RateBurst <= 0 {
 		c.RateBurst = int(4 * c.RatePerSec)
@@ -227,6 +241,7 @@ func (s *Server) routes() {
 	s.mux.Handle("POST /v1/batch", s.instrument("/v1/batch", s.limited(s.handleBatch)))
 	s.mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.limited(s.handleSweep)))
 	s.mux.Handle("POST /v1/ciseries", s.instrument("/v1/ciseries", s.limited(s.handleCISeries)))
+	s.mux.Handle("POST /v1/design", s.instrument("/v1/design", s.limited(s.handleDesign)))
 	s.mux.Handle("GET /v1/skus", s.instrument("/v1/skus", s.handleSKUs))
 	s.mux.Handle("GET /v1/datasets", s.instrument("/v1/datasets", s.handleDatasets))
 	s.mux.Handle("GET /v1/limits", s.instrument("/v1/limits", s.handleLimits))

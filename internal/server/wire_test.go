@@ -37,6 +37,10 @@ type wireFixture struct {
 	// maxBatch, when non-zero, overrides Config.MaxBatchItems so limit
 	// errors are reproducible with a small literal body.
 	maxBatch int
+	// cfg, when set, adjusts the fresh server's Config before start —
+	// e.g. a tiny design space so /v1/design bodies replay quickly and
+	// byte-identically.
+	cfg func(*Config)
 }
 
 var wireFixtures = []wireFixture{
@@ -65,6 +69,28 @@ var wireFixtures = []wireFixture{
 	// Batch: embedded bodies must match the single endpoints.
 	{name: "batch_mixed", method: "POST", path: "/v1/batch",
 		body: `{"items":[{"kind":"percore","sku":"GreenSKU-Full","ci":0.1},{"kind":"savings","sku":"GreenSKU-CXL"},{"kind":"evaluate","green":"GreenSKU-Full",` + smallWorkload + `}]}`},
+
+	// Design: the frontier search over a pinned tiny space. The
+	// buffered body and the single-worker stream (deterministic
+	// completion order) are both exact.
+	{name: "design_paper", method: "POST", path: "/v1/design",
+		body: `{"include_paper":true}`, cfg: tinyWireDesign},
+	{name: "design_stream", method: "POST", path: "/v1/design",
+		accept: "application/x-ndjson",
+		body:   `{"cpus":["Bergamo"]}`,
+		cfg: func(c *Config) {
+			tinyWireDesign(c)
+			c.Workers = 1
+		}},
+}
+
+// tinyWireDesign pins the design fixtures' space and protocol so their
+// bodies stay byte-stable and cheap to replay.
+func tinyWireDesign(c *Config) {
+	sp := tinyDesignSpace()
+	popt := tinyDesignConfig().DesignPerf
+	c.DesignSpace = &sp
+	c.DesignPerf = popt
 }
 
 // wireErrorFixtures pin the error envelope: machine-readable
@@ -90,6 +116,14 @@ var wireErrorFixtures = []wireFixture{
 		body: `{"items":[{"kind":"percore","sku":"Gen1"},{"kind":"percore","sku":"Gen2"},{"kind":"percore","sku":"Baseline"}]}`},
 	{name: "err_batch_badkind", method: "POST", path: "/v1/batch",
 		body: `{"items":[{"kind":"teleport"}]}`},
+	{name: "err_design_unknown_cpu", method: "POST", path: "/v1/design",
+		body: `{"cpus":["Pentium"]}`, cfg: tinyWireDesign},
+	{name: "err_design_overlimit", method: "POST", path: "/v1/design",
+		body: `{"include_paper":true}`,
+		cfg: func(c *Config) {
+			tinyWireDesign(c)
+			c.MaxDesignCandidates = 2
+		}},
 }
 
 const wireDir = "testdata/wire"
@@ -126,7 +160,11 @@ func parseGolden(t *testing.T, raw []byte) (int, string, []byte) {
 // never leaks between fixtures.
 func replayFixture(t *testing.T, fx wireFixture) *httptest.ResponseRecorder {
 	t.Helper()
-	s := newTestServer(t, Config{MaxBatchItems: fx.maxBatch})
+	cfg := Config{MaxBatchItems: fx.maxBatch}
+	if fx.cfg != nil {
+		fx.cfg(&cfg)
+	}
+	s := newTestServer(t, cfg)
 	var req *http.Request
 	if fx.method == http.MethodGet {
 		req = httptest.NewRequest(http.MethodGet, fx.path, nil)
