@@ -14,7 +14,15 @@
 //	gsfbench                                    # both suites, write artifacts
 //	gsfbench -suite alloc -min-speedup 2        # CI gate on the placement index
 //	gsfbench -suite queue -queue-min-speedup 2  # CI gate on the queueing kernel
+//	gsfbench -suite scale -scale-min-speedup 2  # CI gate on the columnar fleet
+//	gsfbench -suite alloc -scale-servers 1000000  # grow the artifact's scale table
 //	gsfbench -quick                             # small smoke run
+//
+// The scale suite replays the columnar streaming path (GSFB decode +
+// virgin-frontier fleet) against Config.ReferenceLayout at large fleet
+// sizes, verifying decision identity; standalone it writes
+// BENCH_scale.json, and with -scale-servers the alloc suite embeds the
+// same row in BENCH_alloc.json's "scale" table.
 package main
 
 import (
@@ -27,13 +35,17 @@ import (
 )
 
 func main() {
-	suite := flag.String("suite", "all", "which benchmarks to run: all, alloc, or queue")
+	suite := flag.String("suite", "all", "which benchmarks to run: all, alloc, queue, or scale")
 	servers := flag.Int("servers", 10000, "servers per class in the allocation sweep")
 	traces := flag.Int("traces", 35, "production-suite traces to replay (max 35)")
 	out := flag.String("out", "BENCH_alloc.json", "alloc artifact path ('-' for stdout)")
 	qout := flag.String("qout", "BENCH_queue.json", "queue artifact path ('-' for stdout)")
+	sout := flag.String("scale-out", "BENCH_scale.json", "scale artifact path for -suite scale ('-' for stdout)")
 	minSpeedup := flag.Float64("min-speedup", 0, "exit non-zero unless indexed/reference speedup reaches this (0 disables)")
 	queueMinSpeedup := flag.Float64("queue-min-speedup", 0, "exit non-zero unless the queueing kernel speedup reaches this (0 disables)")
+	scaleServers := flag.Int("scale-servers", 0, "servers per class in the scale bench (0 skips it in the alloc suite; -suite scale defaults to 1000000)")
+	scaleTraces := flag.Int("scale-traces", 6, "production-suite traces in the scale bench")
+	scaleMinSpeedup := flag.Float64("scale-min-speedup", 0, "exit non-zero unless the columnar/reference-layout speedup reaches this (0 disables)")
 	qServers := flag.Int("qservers", 64, "queueing curve benchmark parallelism")
 	qSteps := flag.Int("qsteps", 8, "queueing curve load points")
 	qRequests := flag.Int("qrequests", 0, "requests per simulation in the queue suite (0 = paper default)")
@@ -42,25 +54,33 @@ func main() {
 	flag.Parse()
 
 	if *quick {
-		*traces, *servers, *qSteps = 4, 500, 4
+		*traces, *servers, *qSteps, *scaleTraces = 4, 500, 4, 2
+		if *scaleServers > 0 || *suite == "scale" {
+			*scaleServers = 20000
+		}
 		if *qRequests == 0 {
 			*qRequests = 4000
 		}
 	}
-	if *suite != "all" && *suite != "alloc" && *suite != "queue" {
-		fmt.Fprintf(os.Stderr, "gsfbench: unknown suite %q (want all, alloc, or queue)\n", *suite)
+	switch *suite {
+	case "all", "alloc", "queue", "scale":
+	default:
+		fmt.Fprintf(os.Stderr, "gsfbench: unknown suite %q (want all, alloc, queue, or scale)\n", *suite)
 		os.Exit(2)
 	}
-	if err := run(*suite, *servers, *traces, *out, *qout, *minSpeedup, *queueMinSpeedup, *qServers, *qSteps, *qRequests, *seed); err != nil {
+	if *suite == "scale" && *scaleServers <= 0 {
+		*scaleServers = 1000000
+	}
+	if err := run(*suite, *servers, *traces, *out, *qout, *sout, *minSpeedup, *queueMinSpeedup, *scaleMinSpeedup, *scaleServers, *scaleTraces, *qServers, *qSteps, *qRequests, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "gsfbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(suite string, servers, traces int, out, qout string, minSpeedup, queueMinSpeedup float64, qServers, qSteps, qRequests int, seed uint64) error {
+func run(suite string, servers, traces int, out, qout, sout string, minSpeedup, queueMinSpeedup, scaleMinSpeedup float64, scaleServers, scaleTraces, qServers, qSteps, qRequests int, seed uint64) error {
 	ctx := context.Background()
 	if suite == "all" || suite == "alloc" {
-		if err := runAlloc(ctx, servers, traces, out, minSpeedup, qServers, qSteps, seed); err != nil {
+		if err := runAlloc(ctx, servers, traces, out, minSpeedup, scaleMinSpeedup, scaleServers, scaleTraces, qServers, qSteps, seed); err != nil {
 			return err
 		}
 	}
@@ -69,10 +89,15 @@ func run(suite string, servers, traces int, out, qout string, minSpeedup, queueM
 			return err
 		}
 	}
+	if suite == "scale" {
+		if err := runScale(ctx, sout, scaleMinSpeedup, scaleServers, scaleTraces); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-func runAlloc(ctx context.Context, servers, traces int, out string, minSpeedup float64, qServers, qSteps int, seed uint64) error {
+func runAlloc(ctx context.Context, servers, traces int, out string, minSpeedup, scaleMinSpeedup float64, scaleServers, scaleTraces, qServers, qSteps int, seed uint64) error {
 	alloc, err := experiments.AllocSweepBench(ctx, experiments.AllocBenchOptions{
 		Traces:          traces,
 		ServersPerClass: servers,
@@ -95,6 +120,14 @@ func runAlloc(ctx context.Context, servers, traces int, out string, minSpeedup f
 	fmt.Printf("queueing curve: %d servers, %d points in %.3fs\n", queue.Servers, queue.Steps, queue.Seconds)
 
 	art := experiments.BenchArtifact{Alloc: alloc, Queueing: queue}
+	var scale experiments.AllocScaleResult
+	if scaleServers > 0 {
+		scale, err = runScaleBench(ctx, scaleServers, scaleTraces)
+		if err != nil {
+			return err
+		}
+		art.Scale = append(art.Scale, scale)
+	}
 	if err := writeTo(out, func(f *os.File) error { return experiments.WriteBenchArtifact(f, art) }); err != nil {
 		return err
 	}
@@ -105,7 +138,50 @@ func runAlloc(ctx context.Context, servers, traces int, out string, minSpeedup f
 	if minSpeedup > 0 && alloc.Speedup < minSpeedup {
 		return fmt.Errorf("indexed path speedup %.2fx below the %.2fx gate", alloc.Speedup, minSpeedup)
 	}
+	if scaleServers > 0 {
+		return gateScale(scale, scaleMinSpeedup)
+	}
 	return nil
+}
+
+// runScaleBench runs the large-fleet columnar-vs-reference-layout
+// replay and prints its measurement.
+func runScaleBench(ctx context.Context, scaleServers, scaleTraces int) (experiments.AllocScaleResult, error) {
+	scale, err := experiments.AllocScaleBench(ctx, experiments.AllocScaleOptions{
+		Traces:          scaleTraces,
+		ServersPerClass: scaleServers,
+	})
+	if err != nil {
+		return experiments.AllocScaleResult{}, err
+	}
+	fmt.Printf("scale replay: %d traces, %d VMs, %d servers/class (%s)\n",
+		scale.Traces, scale.VMs, scale.ServersPerClass, scale.Policy)
+	fmt.Printf("  columnar  %8.3fs   (streaming GSFB decode)\n", scale.ColumnarSeconds)
+	fmt.Printf("  reference %8.3fs   (struct layout)\n", scale.ReferenceSeconds)
+	fmt.Printf("  speedup   %8.2fx   decision-identical: %v\n", scale.Speedup, scale.DecisionIdentical)
+	return scale, nil
+}
+
+func gateScale(scale experiments.AllocScaleResult, scaleMinSpeedup float64) error {
+	if !scale.DecisionIdentical {
+		return fmt.Errorf("columnar and reference-layout replays diverged — the columnar fleet is wrong")
+	}
+	if scaleMinSpeedup > 0 && scale.Speedup < scaleMinSpeedup {
+		return fmt.Errorf("columnar replay speedup %.2fx below the %.2fx gate", scale.Speedup, scaleMinSpeedup)
+	}
+	return nil
+}
+
+func runScale(ctx context.Context, sout string, scaleMinSpeedup float64, scaleServers, scaleTraces int) error {
+	scale, err := runScaleBench(ctx, scaleServers, scaleTraces)
+	if err != nil {
+		return err
+	}
+	art := experiments.ScaleArtifact{Scale: []experiments.AllocScaleResult{scale}}
+	if err := writeTo(sout, func(f *os.File) error { return experiments.WriteScaleArtifact(f, art) }); err != nil {
+		return err
+	}
+	return gateScale(scale, scaleMinSpeedup)
 }
 
 func runQueue(ctx context.Context, qout string, queueMinSpeedup float64, qRequests int, seed uint64) error {

@@ -4,16 +4,27 @@
 // Usage:
 //
 //	tracegen -name demo -seed 42 -hours 336 -rate 24        # summary
-//	tracegen -name demo -csv trace.csv                      # export
+//	tracegen -name demo -csv trace.csv                      # export CSV
+//	tracegen -name demo -binary trace.gsfb                  # export GSFB binary
+//	tracegen -convert trace.csv -o trace.gsfb               # CSV -> binary
+//	tracegen -convert trace.gsfb -o trace.csv               # binary -> CSV
 //	tracegen -suite                                         # the 35-trace study suite
+//
+// The converter sniffs the input format from its leading bytes (GSFB
+// traces start with the magic "GSFB") and writes the other format, so
+// the same flag pair converts in either direction.
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
+	"strings"
 
 	"github.com/greensku/gsf/internal/report"
 	"github.com/greensku/gsf/internal/trace"
@@ -25,16 +36,22 @@ func main() {
 	hours := flag.Float64("hours", 24*14, "trace horizon in hours")
 	rate := flag.Float64("rate", 24, "mean VM arrivals per hour")
 	csvPath := flag.String("csv", "", "write the full trace as CSV to this path")
+	binPath := flag.String("binary", "", "write the full trace as GSFB binary to this path")
+	convert := flag.String("convert", "", "convert this trace file (CSV or GSFB, sniffed) to the other format")
+	convertOut := flag.String("o", "", "converter output path (required with -convert)")
 	suite := flag.Bool("suite", false, "summarise the 35-trace production-like suite")
 	flag.Parse()
 
-	if err := run(os.Stdout, *name, *seed, *hours, *rate, *csvPath, *suite); err != nil {
+	if err := run(os.Stdout, *name, *seed, *hours, *rate, *csvPath, *binPath, *convert, *convertOut, *suite); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, name string, seed uint64, hours, rate float64, csvPath string, suite bool) error {
+func run(w io.Writer, name string, seed uint64, hours, rate float64, csvPath, binPath, convert, convertOut string, suite bool) error {
+	if convert != "" {
+		return runConvert(w, convert, convertOut)
+	}
 	if suite {
 		traces, err := trace.ProductionSuite()
 		if err != nil {
@@ -68,18 +85,69 @@ func run(w io.Writer, name string, seed uint64, hours, rate float64, csvPath str
 	fmt.Fprintf(w, "  peak demand: %d cores, %s memory\n", s.PeakCoreDmd, s.PeakMemoryDmd)
 
 	if csvPath != "" {
-		f, err := os.Create(csvPath)
-		if err != nil {
+		if err := writeFile(csvPath, func(f io.Writer) error { return trace.WriteCSV(f, tr) }); err != nil {
 			return err
-		}
-		werr := trace.WriteCSV(f, tr)
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			return werr
 		}
 		fmt.Fprintf(w, "wrote %d VMs to %s\n", len(tr.VMs), csvPath)
 	}
+	if binPath != "" {
+		if err := writeFile(binPath, func(f io.Writer) error { return trace.WriteBinary(f, tr) }); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %d VMs to %s (GSFB binary)\n", len(tr.VMs), binPath)
+	}
 	return nil
+}
+
+// runConvert converts one trace file between CSV and GSFB binary,
+// sniffing the input format from its magic bytes.
+func runConvert(w io.Writer, in, out string) error {
+	if out == "" {
+		return fmt.Errorf("-convert needs an output path (-o)")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rd := bufio.NewReader(f)
+	head, err := rd.Peek(4)
+	if err != nil && err != io.EOF {
+		return fmt.Errorf("reading %s: %w", in, err)
+	}
+
+	if bytes.Equal(head, []byte("GSFB")) {
+		tr, err := trace.ReadBinary(rd)
+		if err != nil {
+			return err
+		}
+		if err := writeFile(out, func(f io.Writer) error { return trace.WriteCSV(f, tr) }); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "converted %s (GSFB) -> %s (CSV), %d VMs\n", in, out, len(tr.VMs))
+		return nil
+	}
+	tr, err := trace.ReadCSV(rd, strings.TrimSuffix(filepath.Base(in), filepath.Ext(in)))
+	if err != nil {
+		return err
+	}
+	if err := writeFile(out, func(f io.Writer) error { return trace.WriteBinary(f, tr) }); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "converted %s (CSV) -> %s (GSFB), %d VMs\n", in, out, len(tr.VMs))
+	return nil
+}
+
+// writeFile creates path and writes through fn, folding the close
+// error in.
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := fn(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }

@@ -1,15 +1,18 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/greensku/gsf/internal/trace"
 )
 
 func TestSummary(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "demo", 7, 48, 12, "", false); err != nil {
+	if err := run(&b, "demo", 7, 48, 12, "", "", "", "", false); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -24,7 +27,7 @@ func TestCSVExport(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "trace.csv")
 	var b strings.Builder
-	if err := run(&b, "demo", 7, 48, 12, path, false); err != nil {
+	if err := run(&b, "demo", 7, 48, 12, path, "", "", "", false); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -40,9 +43,73 @@ func TestCSVExport(t *testing.T) {
 	}
 }
 
+func TestBinaryExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.gsfb")
+	var b strings.Builder
+	if err := run(&b, "demo", 7, 48, 12, "", path, "", "", false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte("GSFB")) {
+		t.Fatalf("binary export missing GSFB magic: % x", data[:8])
+	}
+	tr, err := trace.ReadBinary(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("exported binary does not decode: %v", err)
+	}
+	if len(tr.VMs) < 100 {
+		t.Fatalf("binary trace has only %d VMs", len(tr.VMs))
+	}
+}
+
+// TestConvertRoundTrip drives the converter both ways: CSV -> GSFB ->
+// CSV must reproduce the CSV bytes exactly (CSV rendering is
+// deterministic and the binary codec is lossless).
+func TestConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	csv1 := filepath.Join(dir, "t.csv")
+	bin := filepath.Join(dir, "t.gsfb")
+	csv2 := filepath.Join(dir, "t2.csv")
+
+	var b strings.Builder
+	if err := run(&b, "demo", 7, 48, 12, csv1, "", "", "", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, "", 0, 0, 0, "", "", csv1, bin, false); err != nil {
+		t.Fatalf("csv->binary: %v", err)
+	}
+	if err := run(&b, "", 0, 0, 0, "", "", bin, csv2, false); err != nil {
+		t.Fatalf("binary->csv: %v", err)
+	}
+	want, err := os.ReadFile(csv1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(csv2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("CSV -> GSFB -> CSV round trip changed the trace")
+	}
+	if !strings.Contains(b.String(), "(CSV) -> ") || !strings.Contains(b.String(), "(GSFB) -> ") {
+		t.Errorf("converter output missing direction markers:\n%s", b.String())
+	}
+}
+
+func TestConvertNeedsOutput(t *testing.T) {
+	if err := run(&strings.Builder{}, "", 0, 0, 0, "", "", "in.csv", "", false); err == nil {
+		t.Fatal("converter accepted a missing output path")
+	}
+}
+
 func TestSuite(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "", 0, 0, 0, "", true); err != nil {
+	if err := run(&b, "", 0, 0, 0, "", "", "", "", true); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -52,7 +119,7 @@ func TestSuite(t *testing.T) {
 }
 
 func TestInvalidParams(t *testing.T) {
-	if err := run(&strings.Builder{}, "x", 1, 0, 10, "", false); err == nil {
+	if err := run(&strings.Builder{}, "x", 1, 0, 10, "", "", "", "", false); err == nil {
 		t.Fatal("accepted zero horizon")
 	}
 }

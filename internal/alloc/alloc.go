@@ -77,6 +77,20 @@ func (p Policy) String() string {
 	return fmt.Sprintf("policy(%d)", int(p))
 }
 
+// ParsePolicy is String's inverse; the empty string selects BestFit,
+// the production default.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "best-fit":
+		return BestFit, nil
+	case "first-fit":
+		return FirstFit, nil
+	case "worst-fit":
+		return WorstFit, nil
+	}
+	return 0, fmt.Errorf("alloc: unknown policy %q (want best-fit, first-fit, or worst-fit)", s)
+}
+
 // Config describes the simulated cluster.
 type Config struct {
 	Base   ServerClass
@@ -102,6 +116,14 @@ type Config struct {
 	// scan); the flag exists so the reference implementation stays
 	// executable for differential tests and benchmarks.
 	ReferenceScan bool
+	// ReferenceLayout keeps the original materialized server structs
+	// (one heap object per server, built up front) instead of the
+	// columnar fleet (colsim.go) that the default path now runs on.
+	// The layouts are decision-identical — proven by the differential
+	// suite — and the flag keeps the struct implementation executable
+	// for those proofs and for layout benchmarks. Implied by
+	// ReferenceScan, which has no columnar counterpart.
+	ReferenceLayout bool
 }
 
 type server struct {
@@ -221,9 +243,17 @@ func Simulate(tr trace.Trace, cfg Config, decide Decider) (Result, error) {
 
 // SimulateContext is Simulate with cancellation: the arrival loop polls
 // ctx every 1024 VMs and returns the context error once observed.
+//
+// The default path streams the trace through the columnar simulator
+// (colsim.go); Config.ReferenceScan and Config.ReferenceLayout select
+// the materialized-struct reference implementation below, which the
+// differential suite proves decision-identical.
 func SimulateContext(ctx context.Context, tr trace.Trace, cfg Config, decide Decider) (Result, error) {
 	if err := tr.Validate(); err != nil {
 		return Result{}, err
+	}
+	if !cfg.ReferenceLayout && !cfg.ReferenceScan && !testIgnoreCapacity {
+		return SimulateSource(ctx, trace.NewSliceSource(tr), cfg, decide)
 	}
 	if cfg.NBase < 0 || cfg.NGreen < 0 || cfg.NBase+cfg.NGreen == 0 {
 		return Result{}, fmt.Errorf("alloc: cluster needs at least one server")
@@ -631,15 +661,53 @@ func pick(servers []*server, cores, mem float64, cfg Config) *server {
 	return best
 }
 
-// aggregator accumulates snapshot observations for one class.
+// aggregator accumulates snapshot observations for one class as
+// running sums — O(1) memory however many snapshots a replay takes,
+// and flat enough that the simulator checkpoint codec (snapshot.go)
+// can carry it verbatim. Each sum accumulates in exactly the order the
+// old per-snapshot slices were appended and summed, so the reported
+// means are bit-identical to the slice implementation's.
 type aggregator struct {
-	corePack, memPack   []float64
-	maxMemUtil          []float64
-	cxlFrac             []float64
-	localFits, observed int
+	corePackSum, memPackSum float64
+	packObs                 int
+	maxMemUtilSum           float64
+	cxlFracSum              float64
+	cxlObs                  int
+	localFits, observed     int
 }
 
 func newAggregator() *aggregator { return &aggregator{} }
+
+// observeServer folds one non-empty server's snapshot observation into
+// the per-server sums. Both layouts funnel through it: the struct path
+// passes the server's fields, the columnar path its column entries.
+func (a *aggregator) observeServer(class *ServerClass, maxMemTouched float64) {
+	util := maxMemTouched / float64(class.Memory)
+	a.maxMemUtilSum += util
+	local := float64(class.LocalMemory)
+	if local <= 0 || local > float64(class.Memory) {
+		local = float64(class.Memory)
+	}
+	over := maxMemTouched - local
+	if over < 0 {
+		over = 0
+		a.localFits++
+	}
+	a.observed++
+	if maxMemTouched > 0 {
+		a.cxlFracSum += over / maxMemTouched
+		a.cxlObs++
+	}
+}
+
+// observePacking folds one snapshot's pool-wide packing densities in.
+func (a *aggregator) observePacking(allocC, capC, allocM, capM float64) {
+	if capC > 0 {
+		a.corePackSum += allocC / capC
+		a.memPackSum += allocM / capM
+		a.packObs++
+	}
+}
 
 func (a *aggregator) observe(servers []*server) {
 	if len(servers) == 0 {
@@ -654,50 +722,30 @@ func (a *aggregator) observe(servers []*server) {
 		capC += float64(s.class.Cores)
 		allocM += float64(s.class.Memory) - s.memFree
 		capM += float64(s.class.Memory)
-
-		util := s.maxMemTouched / float64(s.class.Memory)
-		a.maxMemUtil = append(a.maxMemUtil, util)
-		local := float64(s.class.LocalMemory)
-		if local <= 0 || local > float64(s.class.Memory) {
-			local = float64(s.class.Memory)
-		}
-		over := s.maxMemTouched - local
-		if over < 0 {
-			over = 0
-			a.localFits++
-		}
-		a.observed++
-		if s.maxMemTouched > 0 {
-			a.cxlFrac = append(a.cxlFrac, over/s.maxMemTouched)
-		}
+		a.observeServer(s.class, s.maxMemTouched)
 	}
-	if capC > 0 {
-		a.corePack = append(a.corePack, allocC/capC)
-		a.memPack = append(a.memPack, allocM/capM)
-	}
+	a.observePacking(allocC, capC, allocM, capM)
 }
 
 func (a *aggregator) stats() ClassStats {
 	var cs ClassStats
-	cs.CorePacking = mean(a.corePack)
-	cs.MemPacking = mean(a.memPack)
-	cs.MaxMemUtil = mean(a.maxMemUtil)
-	cs.CXLServedFrac = mean(a.cxlFrac)
+	cs.CorePacking = meanOf(a.corePackSum, a.packObs)
+	cs.MemPacking = meanOf(a.memPackSum, a.packObs)
+	cs.MaxMemUtil = meanOf(a.maxMemUtilSum, a.observed)
+	cs.CXLServedFrac = meanOf(a.cxlFracSum, a.cxlObs)
 	if a.observed > 0 {
 		cs.LocalFitsFrac = float64(a.localFits) / float64(a.observed)
 	}
 	return cs
 }
 
-func mean(v []float64) float64 {
-	if len(v) == 0 {
+// meanOf is sum/n with the empty-sample convention (NaN) the
+// per-snapshot slices had.
+func meanOf(sum float64, n int) float64 {
+	if n == 0 {
 		return math.NaN()
 	}
-	var sum float64
-	for _, x := range v {
-		sum += x
-	}
-	return sum / float64(len(v))
+	return sum / float64(n)
 }
 
 // ClassOf derives a ServerClass from SKU capacities.

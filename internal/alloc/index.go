@@ -26,9 +26,14 @@ package alloc
 //     the leftmost feasible leaf; full-node placement is the leftmost
 //     feasible (or, for multi-pool, leftmost unconditional) empty leaf.
 //
-// Every structure is backed by slices allocated once per simulation;
-// steady-state operations perform zero heap allocations (pinned by
-// TestIndexedPickZeroAllocs).
+// The index is split in two layers. ixCore is the pure structure: it
+// knows servers only as ids with (coresFree, memFree, occupancy)
+// keys, so both server representations share it — poolIndex wraps it
+// over the materialized *server structs, and the columnar fleet
+// (colsim.go) attaches ids straight from its parallel arrays, growing
+// the core as its touched frontier advances. Every structure is
+// backed by slices; steady-state operations perform zero heap
+// allocations (pinned by TestIndexedPickZeroAllocs).
 
 import (
 	"math"
@@ -63,9 +68,15 @@ type segNode struct {
 	cntE           int32
 }
 
-// poolIndex indexes one pool of servers for O(log S) placement.
-type poolIndex struct {
-	servers []*server
+// emptySeg is the identity element of the segment-tree combine.
+var emptySeg = segNode{coresNE: negInf, memNE: negInf, coresE: negInf, memE: negInf}
+
+// ixCore indexes a pool of server ids for O(log S) placement. It holds
+// no server representation of its own: callers attach and detach ids
+// with explicit (cores, mem, occupancy) keys. Capacity grows on
+// demand (grow), so a sparse pool — the columnar fleet's touched
+// prefix — pays only for the ids it has materialized.
+type ixCore struct {
 	nodes   []treapNode
 	rootNE  int32
 	rootE   int32
@@ -82,6 +93,67 @@ func prioOf(id int32) uint32 {
 	return uint32(z ^ (z >> 31))
 }
 
+// initCore readies the core for exactly n ids.
+func (ix *ixCore) initCore(n int) {
+	segSize := int32(1)
+	for int(segSize) < n {
+		segSize <<= 1
+	}
+	ix.nodes = make([]treapNode, n)
+	for i := range ix.nodes {
+		ix.nodes[i].prio = prioOf(int32(i))
+	}
+	ix.rootNE, ix.rootE = nilNode, nilNode
+	ix.seg = make([]segNode, 2*segSize)
+	for i := range ix.seg {
+		ix.seg[i] = emptySeg
+	}
+	ix.segSize = segSize
+}
+
+// grow extends the core to hold ids [0, n). Node slots append in
+// amortized O(1); when n outgrows the segment tree, the tree doubles
+// and rebuilds in O(n) — amortized O(1) per added id. Detached (never
+// attached) slots are inert: their leaves stay at the identity and
+// their treap nodes are untracked.
+func (ix *ixCore) grow(n int32) {
+	for int32(len(ix.nodes)) < n {
+		ix.nodes = append(ix.nodes, treapNode{prio: prioOf(int32(len(ix.nodes)))})
+	}
+	if n <= ix.segSize {
+		return
+	}
+	newSize := ix.segSize
+	if newSize == 0 {
+		newSize = 1
+		ix.rootNE, ix.rootE = nilNode, nilNode
+	}
+	for newSize < n {
+		newSize <<= 1
+	}
+	old := ix.seg
+	oldSize := ix.segSize
+	ix.seg = make([]segNode, 2*newSize)
+	for i := range ix.seg {
+		ix.seg[i] = emptySeg
+	}
+	if oldSize > 0 {
+		copy(ix.seg[newSize:], old[oldSize:])
+	}
+	for i := newSize - 1; i >= 1; i-- {
+		ix.seg[i] = combineSeg(&ix.seg[2*i], &ix.seg[2*i+1])
+	}
+	ix.segSize = newSize
+}
+
+// poolIndex wraps an ixCore over a materialized server pool: the
+// original struct-of-pointers representation used by the reference
+// layout and the multi-pool simulator.
+type poolIndex struct {
+	ixCore
+	servers []*server
+}
+
 // newPoolIndex builds the index over a pool and wires each server to
 // it. Returns nil for an empty pool.
 func newPoolIndex(servers []*server) *poolIndex {
@@ -89,23 +161,9 @@ func newPoolIndex(servers []*server) *poolIndex {
 	if n == 0 {
 		return nil
 	}
-	segSize := int32(1)
-	for int(segSize) < n {
-		segSize <<= 1
-	}
-	ix := &poolIndex{
-		servers: servers,
-		nodes:   make([]treapNode, n),
-		rootNE:  nilNode,
-		rootE:   nilNode,
-		seg:     make([]segNode, 2*segSize),
-		segSize: segSize,
-	}
-	for i := range ix.seg {
-		ix.seg[i] = segNode{coresNE: negInf, memNE: negInf, coresE: negInf, memE: negInf}
-	}
-	for i, s := range servers {
-		ix.nodes[i].prio = prioOf(int32(i))
+	ix := &poolIndex{servers: servers}
+	ix.initCore(n)
+	for _, s := range servers {
 		s.ix = ix
 		ix.attach(s)
 	}
@@ -114,7 +172,7 @@ func newPoolIndex(servers []*server) *poolIndex {
 
 // keyLess orders nodes by (cores, mem, id) ascending — exactly the
 // scan's BestFit preference order, with first-index tie-breaking.
-func (ix *poolIndex) keyLess(a, b int32) bool {
+func (ix *ixCore) keyLess(a, b int32) bool {
 	na, nb := &ix.nodes[a], &ix.nodes[b]
 	if na.cores != nb.cores {
 		return na.cores < nb.cores
@@ -126,7 +184,7 @@ func (ix *poolIndex) keyLess(a, b int32) bool {
 }
 
 // pull recomputes a node's subtree maxMem from its children.
-func (ix *poolIndex) pull(n int32) {
+func (ix *ixCore) pull(n int32) {
 	nd := &ix.nodes[n]
 	mm := nd.mem
 	if nd.left != nilNode {
@@ -142,7 +200,7 @@ func (ix *poolIndex) pull(n int32) {
 	nd.maxMem = mm
 }
 
-func (ix *poolIndex) rotateRight(n int32) int32 {
+func (ix *ixCore) rotateRight(n int32) int32 {
 	l := ix.nodes[n].left
 	ix.nodes[n].left = ix.nodes[l].right
 	ix.nodes[l].right = n
@@ -151,7 +209,7 @@ func (ix *poolIndex) rotateRight(n int32) int32 {
 	return l
 }
 
-func (ix *poolIndex) rotateLeft(n int32) int32 {
+func (ix *ixCore) rotateLeft(n int32) int32 {
 	r := ix.nodes[n].right
 	ix.nodes[n].right = ix.nodes[r].left
 	ix.nodes[r].left = n
@@ -160,7 +218,7 @@ func (ix *poolIndex) rotateLeft(n int32) int32 {
 	return r
 }
 
-func (ix *poolIndex) insertNode(root, n int32) int32 {
+func (ix *ixCore) insertNode(root, n int32) int32 {
 	if root == nilNode {
 		return n
 	}
@@ -180,7 +238,7 @@ func (ix *poolIndex) insertNode(root, n int32) int32 {
 	return root
 }
 
-func (ix *poolIndex) mergeNodes(a, b int32) int32 {
+func (ix *ixCore) mergeNodes(a, b int32) int32 {
 	if a == nilNode {
 		return b
 	}
@@ -197,7 +255,7 @@ func (ix *poolIndex) mergeNodes(a, b int32) int32 {
 	return b
 }
 
-func (ix *poolIndex) deleteNode(root, n int32) int32 {
+func (ix *ixCore) deleteNode(root, n int32) int32 {
 	if root == nilNode {
 		panic("alloc: placement index lost track of a server")
 	}
@@ -214,10 +272,9 @@ func (ix *poolIndex) deleteNode(root, n int32) int32 {
 	return root
 }
 
-// detach removes a server from the index ahead of a mutation of its
-// free capacity or occupancy; attach re-inserts it afterwards.
-func (ix *poolIndex) detach(s *server) {
-	n := s.id
+// detachID removes an id from the index ahead of a mutation of its
+// free capacity or occupancy; attachID re-inserts it afterwards.
+func (ix *ixCore) detachID(n int32) {
 	if ix.nodes[n].ne {
 		ix.rootNE = ix.deleteNode(ix.rootNE, n)
 	} else {
@@ -225,39 +282,47 @@ func (ix *poolIndex) detach(s *server) {
 	}
 }
 
-func (ix *poolIndex) attach(s *server) {
-	n := s.id
+func (ix *ixCore) attachID(n int32, cores, mem float64, ne bool) {
 	nd := &ix.nodes[n]
 	nd.left, nd.right = nilNode, nilNode
-	nd.cores, nd.mem, nd.maxMem = s.coresFree, s.memFree, s.memFree
-	nd.ne = s.vms > 0
-	if nd.ne {
+	nd.cores, nd.mem, nd.maxMem = cores, mem, mem
+	nd.ne = ne
+	if ne {
 		ix.rootNE = ix.insertNode(ix.rootNE, n)
 	} else {
 		ix.rootE = ix.insertNode(ix.rootE, n)
 	}
-	ix.segSet(s)
+	ix.segSet(n, cores, mem, ne)
 }
 
-// segSet rewrites a server's segment-tree leaf and bubbles the change
-// to the root.
-func (ix *poolIndex) segSet(s *server) {
-	i := ix.segSize + s.id
+// detach removes a server from the index ahead of a mutation of its
+// free capacity or occupancy; attach re-inserts it afterwards.
+func (ix *poolIndex) detach(s *server) { ix.detachID(s.id) }
+
+func (ix *poolIndex) attach(s *server) { ix.attachID(s.id, s.coresFree, s.memFree, s.vms > 0) }
+
+// segSet rewrites an id's segment-tree leaf and bubbles the change to
+// the root.
+func (ix *ixCore) segSet(id int32, cores, mem float64, ne bool) {
+	i := ix.segSize + id
 	sn := &ix.seg[i]
-	if s.vms > 0 {
-		*sn = segNode{coresNE: s.coresFree, memNE: s.memFree, coresE: negInf, memE: negInf}
+	if ne {
+		*sn = segNode{coresNE: cores, memNE: mem, coresE: negInf, memE: negInf}
 	} else {
-		*sn = segNode{coresNE: negInf, memNE: negInf, coresE: s.coresFree, memE: s.memFree, cntE: 1}
+		*sn = segNode{coresNE: negInf, memNE: negInf, coresE: cores, memE: mem, cntE: 1}
 	}
 	for i >>= 1; i >= 1; i >>= 1 {
-		l, r := &ix.seg[2*i], &ix.seg[2*i+1]
-		ix.seg[i] = segNode{
-			coresNE: fmax(l.coresNE, r.coresNE),
-			memNE:   fmax(l.memNE, r.memNE),
-			coresE:  fmax(l.coresE, r.coresE),
-			memE:    fmax(l.memE, r.memE),
-			cntE:    l.cntE + r.cntE,
-		}
+		ix.seg[i] = combineSeg(&ix.seg[2*i], &ix.seg[2*i+1])
+	}
+}
+
+func combineSeg(l, r *segNode) segNode {
+	return segNode{
+		coresNE: fmax(l.coresNE, r.coresNE),
+		memNE:   fmax(l.memNE, r.memNE),
+		coresE:  fmax(l.coresE, r.coresE),
+		memE:    fmax(l.memE, r.memE),
+		cntE:    l.cntE + r.cntE,
 	}
 }
 
@@ -275,7 +340,7 @@ func fmax(a, b float64) float64 {
 // probe succeeds, keeping the query O(log S). All comparisons are
 // written positively so non-finite requests (never feasible for the
 // scan) are never feasible here either.
-func (ix *poolIndex) leftmostFeasible(n int32, c, m float64) int32 {
+func (ix *ixCore) leftmostFeasible(n int32, c, m float64) int32 {
 	if n == nilNode {
 		return nilNode
 	}
@@ -298,7 +363,7 @@ func (ix *poolIndex) leftmostFeasible(n int32, c, m float64) int32 {
 }
 
 // leftmostMem returns the leftmost (key-order) node with mem >= m.
-func (ix *poolIndex) leftmostMem(n int32, m float64) int32 {
+func (ix *ixCore) leftmostMem(n int32, m float64) int32 {
 	if n == nilNode || !(ix.nodes[n].maxMem >= m) {
 		return nilNode
 	}
@@ -313,7 +378,7 @@ func (ix *poolIndex) leftmostMem(n int32, m float64) int32 {
 }
 
 // rightmostMem returns the rightmost (key-order) node with mem >= m.
-func (ix *poolIndex) rightmostMem(n int32, m float64) int32 {
+func (ix *ixCore) rightmostMem(n int32, m float64) int32 {
 	if n == nilNode || !(ix.nodes[n].maxMem >= m) {
 		return nilNode
 	}
@@ -328,7 +393,7 @@ func (ix *poolIndex) rightmostMem(n int32, m float64) int32 {
 }
 
 // lowerBound returns the leftmost node with key >= (c, m, -inf).
-func (ix *poolIndex) lowerBound(root int32, c, m float64) int32 {
+func (ix *ixCore) lowerBound(root int32, c, m float64) int32 {
 	res := nilNode
 	for n := root; n != nilNode; {
 		nd := &ix.nodes[n]
@@ -347,7 +412,7 @@ func (ix *poolIndex) lowerBound(root int32, c, m float64) int32 {
 // The rightmost node with mem >= m maximises (cores, mem) over every
 // feasible server; re-anchoring to the lower bound of its (cores, mem)
 // group recovers the scan's first-index tie-break.
-func (ix *poolIndex) worstFeasible(root int32, c, m float64) int32 {
+func (ix *ixCore) worstFeasible(root int32, c, m float64) int32 {
 	r := ix.rightmostMem(root, m)
 	if r == nilNode || !(ix.nodes[r].cores >= c) {
 		return nilNode
@@ -360,7 +425,7 @@ func (ix *poolIndex) worstFeasible(root int32, c, m float64) int32 {
 // nilNode. Class maxima can over-approximate (the cores and mem maxima
 // of a range may come from different servers), so the descent
 // backtracks; leaf checks are exact.
-func (ix *poolIndex) segFirst(i int32, c, m float64, wantNE, wantE bool) int32 {
+func (ix *ixCore) segFirst(i int32, c, m float64, wantNE, wantE bool) int32 {
 	sn := &ix.seg[i]
 	if !((wantNE && sn.coresNE >= c && sn.memNE >= m) || (wantE && sn.coresE >= c && sn.memE >= m)) {
 		return nilNode
@@ -376,8 +441,8 @@ func (ix *poolIndex) segFirst(i int32, c, m float64, wantNE, wantE bool) int32 {
 
 // segFirstEmpty returns the lowest index of an empty server with no
 // capacity condition (the multi-pool full-node rule), or nilNode.
-func (ix *poolIndex) segFirstEmpty() int32 {
-	if ix.seg[1].cntE == 0 {
+func (ix *ixCore) segFirstEmpty() int32 {
+	if ix.segSize == 0 || ix.seg[1].cntE == 0 {
 		return nilNode
 	}
 	i := int32(1)
@@ -392,8 +457,8 @@ func (ix *poolIndex) segFirstEmpty() int32 {
 }
 
 // pickClass selects the policy-preferred feasible server within one
-// occupancy class, or nil.
-func (ix *poolIndex) pickClass(cores, mem float64, pol Policy, nonEmpty bool) int32 {
+// occupancy class, or nilNode.
+func (ix *ixCore) pickClass(cores, mem float64, pol Policy, nonEmpty bool) int32 {
 	root := ix.rootE
 	if nonEmpty {
 		root = ix.rootNE
@@ -404,45 +469,61 @@ func (ix *poolIndex) pickClass(cores, mem float64, pol Policy, nonEmpty bool) in
 	case WorstFit:
 		return ix.worstFeasible(root, cores, mem)
 	default: // FirstFit and unknown policies: earliest index wins.
+		if ix.segSize == 0 {
+			return nilNode
+		}
 		return ix.segFirst(1, cores, mem, nonEmpty, !nonEmpty)
 	}
+}
+
+// pickNode selects the feasible id under the configured policy,
+// decision-identically to the reference scan over the attached ids.
+func (ix *ixCore) pickNode(cores, mem float64, pol Policy, preferNonEmpty bool) int32 {
+	if preferNonEmpty {
+		if n := ix.pickClass(cores, mem, pol, true); n != nilNode {
+			return n
+		}
+		return ix.pickClass(cores, mem, pol, false)
+	}
+	switch pol {
+	case BestFit:
+		a := ix.leftmostFeasible(ix.rootNE, cores, mem)
+		b := ix.leftmostFeasible(ix.rootE, cores, mem)
+		return ix.minKey(a, b)
+	case WorstFit:
+		a := ix.worstFeasible(ix.rootNE, cores, mem)
+		b := ix.worstFeasible(ix.rootE, cores, mem)
+		return ix.maxKeyFirstIdx(a, b)
+	default:
+		if ix.segSize == 0 {
+			return nilNode
+		}
+		return ix.segFirst(1, cores, mem, true, true)
+	}
+}
+
+// firstEmptyFittingNode returns the lowest id of an empty server that
+// fits (cores, mem), or nilNode — the single-pool full-node rule.
+func (ix *ixCore) firstEmptyFittingNode(cores, mem float64) int32 {
+	if ix.segSize == 0 {
+		return nilNode
+	}
+	return ix.segFirst(1, cores, mem, false, true)
 }
 
 // pick selects a feasible server under the configured policy,
 // decision-identically to the reference scan.
 func (ix *poolIndex) pick(cores, mem float64, pol Policy, preferNonEmpty bool) *server {
-	if preferNonEmpty {
-		if n := ix.pickClass(cores, mem, pol, true); n != nilNode {
-			return ix.servers[n]
-		}
-		if n := ix.pickClass(cores, mem, pol, false); n != nilNode {
-			return ix.servers[n]
-		}
-		return nil
+	if n := ix.pickNode(cores, mem, pol, preferNonEmpty); n != nilNode {
+		return ix.servers[n]
 	}
-	var n int32
-	switch pol {
-	case BestFit:
-		a := ix.leftmostFeasible(ix.rootNE, cores, mem)
-		b := ix.leftmostFeasible(ix.rootE, cores, mem)
-		n = ix.minKey(a, b)
-	case WorstFit:
-		a := ix.worstFeasible(ix.rootNE, cores, mem)
-		b := ix.worstFeasible(ix.rootE, cores, mem)
-		n = ix.maxKeyFirstIdx(a, b)
-	default:
-		n = ix.segFirst(1, cores, mem, true, true)
-	}
-	if n == nilNode {
-		return nil
-	}
-	return ix.servers[n]
+	return nil
 }
 
 // firstEmptyFitting returns the lowest-indexed empty server that fits
 // (cores, mem), or nil — the single-pool full-node rule.
 func (ix *poolIndex) firstEmptyFitting(cores, mem float64) *server {
-	if n := ix.segFirst(1, cores, mem, false, true); n != nilNode {
+	if n := ix.firstEmptyFittingNode(cores, mem); n != nilNode {
 		return ix.servers[n]
 	}
 	return nil
@@ -458,7 +539,7 @@ func (ix *poolIndex) firstEmpty() *server {
 }
 
 // minKey combines per-class BestFit winners: smallest (cores, mem, id).
-func (ix *poolIndex) minKey(a, b int32) int32 {
+func (ix *ixCore) minKey(a, b int32) int32 {
 	if a == nilNode {
 		return b
 	}
@@ -473,7 +554,7 @@ func (ix *poolIndex) minKey(a, b int32) int32 {
 
 // maxKeyFirstIdx combines per-class WorstFit winners: largest
 // (cores, mem), then smallest index.
-func (ix *poolIndex) maxKeyFirstIdx(a, b int32) int32 {
+func (ix *ixCore) maxKeyFirstIdx(a, b int32) int32 {
 	if a == nilNode {
 		return b
 	}
@@ -500,48 +581,62 @@ func (ix *poolIndex) maxKeyFirstIdx(a, b int32) int32 {
 }
 
 // auditIntegrity walks the whole index and reports any structural
-// drift against the live servers to the audit layer: treap ordering
-// and heap shape, augmentation sums, occupancy classification, key
-// staleness, segment-tree maxima and empty counts, and that every
-// server is indexed exactly once. The conservation audit calls it so
-// audited simulations verify the index itself, not just the slice.
+// drift against the live servers to the audit layer. See
+// auditIntegrityCore for the checks.
 func (ix *poolIndex) auditIntegrity(chk audit.Checker, pool string) {
 	if chk == nil || ix == nil {
 		return
 	}
-	seen := make([]bool, len(ix.servers))
-	count := 0
-	var walk func(n int32, ne bool, prioCap uint32) (lo, hi int32)
-	walk = func(n int32, ne bool, prioCap uint32) (int32, int32) {
-		nd := &ix.nodes[n]
+	ix.auditIntegrityCore(chk, pool, int32(len(ix.servers)), func(id int32) (float64, float64, bool) {
+		s := ix.servers[id]
+		return s.coresFree, s.memFree, s.vms > 0
+	})
+}
+
+// auditIntegrityCore walks the whole index and reports any structural
+// drift against the live pool state (supplied per id by state) to the
+// audit layer: treap ordering and heap shape, augmentation sums,
+// occupancy classification, key staleness, segment-tree maxima and
+// empty counts, and that every one of the n attached ids is indexed
+// exactly once. The conservation audit calls it so audited
+// simulations verify the index itself, not just the pool.
+func (ix *ixCore) auditIntegrityCore(chk audit.Checker, pool string, n int32, state func(id int32) (cores, mem float64, ne bool)) {
+	if chk == nil || ix == nil {
+		return
+	}
+	seen := make([]bool, n)
+	count := int32(0)
+	var walk func(nd int32, ne bool, prioCap uint32) (lo, hi int32)
+	walk = func(node int32, ne bool, prioCap uint32) (int32, int32) {
+		nd := &ix.nodes[node]
 		if nd.prio > prioCap {
 			audit.Failf(chk, "alloc", "index-integrity",
-				"%s pool: treap heap order violated at node %d", pool, n)
+				"%s pool: treap heap order violated at node %d", pool, node)
 		}
-		if int(n) >= len(ix.servers) || seen[n] {
+		if node >= n || seen[node] {
 			audit.Failf(chk, "alloc", "index-integrity",
-				"%s pool: node %d out of range or indexed twice", pool, n)
-			return n, n
+				"%s pool: node %d out of range or indexed twice", pool, node)
+			return node, node
 		}
-		seen[n] = true
+		seen[node] = true
 		count++
-		s := ix.servers[n]
-		if nd.cores != s.coresFree || nd.mem != s.memFree {
+		sc, sm, sne := state(node)
+		if nd.cores != sc || nd.mem != sm {
 			audit.Failf(chk, "alloc", "index-integrity",
 				"%s pool: node %d key (%g, %g) stale vs server (%g, %g)",
-				pool, n, nd.cores, nd.mem, s.coresFree, s.memFree)
+				pool, node, nd.cores, nd.mem, sc, sm)
 		}
-		if nd.ne != ne || (s.vms > 0) != ne {
+		if nd.ne != ne || sne != ne {
 			audit.Failf(chk, "alloc", "index-integrity",
-				"%s pool: node %d (vms=%d) in wrong occupancy treap (ne=%v)", pool, n, s.vms, ne)
+				"%s pool: node %d (nonEmpty=%v) in wrong occupancy treap (ne=%v)", pool, node, sne, ne)
 		}
 		mm := nd.mem
-		lo, hi := n, n
+		lo, hi := node, node
 		if nd.left != nilNode {
 			llo, lhi := walk(nd.left, ne, nd.prio)
-			if !ix.keyLess(lhi, n) {
+			if !ix.keyLess(lhi, node) {
 				audit.Failf(chk, "alloc", "index-integrity",
-					"%s pool: treap key order violated left of node %d", pool, n)
+					"%s pool: treap key order violated left of node %d", pool, node)
 			}
 			if lm := ix.nodes[nd.left].maxMem; lm > mm {
 				mm = lm
@@ -550,9 +645,9 @@ func (ix *poolIndex) auditIntegrity(chk audit.Checker, pool string) {
 		}
 		if nd.right != nilNode {
 			rlo, rhi := walk(nd.right, ne, nd.prio)
-			if !ix.keyLess(n, rlo) {
+			if !ix.keyLess(node, rlo) {
 				audit.Failf(chk, "alloc", "index-integrity",
-					"%s pool: treap key order violated right of node %d", pool, n)
+					"%s pool: treap key order violated right of node %d", pool, node)
 			}
 			if rm := ix.nodes[nd.right].maxMem; rm > mm {
 				mm = rm
@@ -561,7 +656,7 @@ func (ix *poolIndex) auditIntegrity(chk audit.Checker, pool string) {
 		}
 		if nd.maxMem != mm {
 			audit.Failf(chk, "alloc", "index-integrity",
-				"%s pool: node %d maxMem %g, recomputed %g", pool, n, nd.maxMem, mm)
+				"%s pool: node %d maxMem %g, recomputed %g", pool, node, nd.maxMem, mm)
 		}
 		return lo, hi
 	}
@@ -572,18 +667,22 @@ func (ix *poolIndex) auditIntegrity(chk audit.Checker, pool string) {
 	if ix.rootE != nilNode {
 		walk(ix.rootE, false, maxPrio)
 	}
-	if count != len(ix.servers) {
+	if count != n {
 		audit.Failf(chk, "alloc", "index-integrity",
-			"%s pool: %d of %d servers indexed", pool, count, len(ix.servers))
+			"%s pool: %d of %d servers indexed", pool, count, n)
 	}
-	// Segment tree: exact leaves, consistent internal combines.
-	for i, s := range ix.servers {
-		sn := ix.seg[ix.segSize+int32(i)]
-		want := segNode{coresNE: negInf, memNE: negInf, coresE: negInf, memE: negInf}
-		if s.vms > 0 {
-			want.coresNE, want.memNE = s.coresFree, s.memFree
-		} else {
-			want.coresE, want.memE, want.cntE = s.coresFree, s.memFree, 1
+	// Segment tree: exact leaves for attached ids, identity leaves
+	// beyond them, consistent internal combines.
+	for i := int32(0); i < ix.segSize; i++ {
+		sn := ix.seg[ix.segSize+i]
+		want := emptySeg
+		if i < n {
+			sc, sm, sne := state(i)
+			if sne {
+				want.coresNE, want.memNE = sc, sm
+			} else {
+				want.coresE, want.memE, want.cntE = sc, sm, 1
+			}
 		}
 		if sn != want {
 			audit.Failf(chk, "alloc", "index-integrity",
@@ -591,15 +690,7 @@ func (ix *poolIndex) auditIntegrity(chk audit.Checker, pool string) {
 		}
 	}
 	for i := ix.segSize - 1; i >= 1; i-- {
-		l, r := &ix.seg[2*i], &ix.seg[2*i+1]
-		want := segNode{
-			coresNE: fmax(l.coresNE, r.coresNE),
-			memNE:   fmax(l.memNE, r.memNE),
-			coresE:  fmax(l.coresE, r.coresE),
-			memE:    fmax(l.memE, r.memE),
-			cntE:    l.cntE + r.cntE,
-		}
-		if ix.seg[i] != want {
+		if want := combineSeg(&ix.seg[2*i], &ix.seg[2*i+1]); ix.seg[i] != want {
 			audit.Failf(chk, "alloc", "index-integrity",
 				"%s pool: segment node %d inconsistent with children", pool, i)
 		}

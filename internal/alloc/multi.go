@@ -42,6 +42,14 @@ type MultiConfig struct {
 	// ReferenceScan selects the O(S) linear-scan reference allocator
 	// instead of the placement index, as in Config.ReferenceScan.
 	ReferenceScan bool
+	// Shards > 1 runs the replay as a pool-sharded pipeline (shard.go):
+	// the ordered pool list (greens, then baseline) is split across up
+	// to Shards concurrent stages, each VM flowing through the stages
+	// it is offered to. Results are identical to the sequential replay
+	// bit for bit — pools see the same offered streams either way; the
+	// differential suite proves it. 0 or 1 replays sequentially;
+	// values past the pool count are clamped.
+	Shards int
 }
 
 // MultiResult holds per-pool statistics.
@@ -83,6 +91,9 @@ func SimulateMultiContext(ctx context.Context, tr trace.Trace, mc MultiConfig, d
 	}
 	if decide == nil {
 		decide = func(trace.VM) MultiDecision { return MultiDecision{} }
+	}
+	if stages := min(mc.Shards, len(greens)+1); stages > 1 {
+		return simulateMultiSharded(ctx, tr, mc, decide, stages)
 	}
 	cfg := Config{Policy: mc.Policy, PreferNonEmpty: mc.PreferNonEmpty}
 	snapEvery := mc.SnapshotEvery

@@ -1,0 +1,349 @@
+package alloc
+
+// Sharded multi-pool replay.
+//
+// SimulateMultiContext's placement rule gives the simulation a natural
+// parallel decomposition: a VM tries the green pools in cluster order
+// and falls back to the baseline, so pool i's offered stream is
+// exactly the stream pool i-1 declined. Pools never share servers, and
+// releases and snapshots touch only the pool that placed the VM —
+// the only cross-pool coupling is that rejection stream. Sharding
+// therefore splits the ordered pool list (greens, then base) into
+// contiguous stages, runs one simulator per stage through engine.Map,
+// and pipes each stage's declined VMs to the next in batches. Every
+// pool sees the identical offered substream in the identical order as
+// the sequential replay, so per-pool decisions — and the merged
+// MultiResult — are identical bit for bit; the differential suite
+// proves it across the production traces, and a race-mode CI step
+// keeps the pipeline honest.
+//
+// The merge is index-slotted: engine.Map returns stage results in
+// stage order regardless of completion order, each stage reports the
+// ClassStats of exactly the pools it owned, and the merged Green slice
+// is their concatenation — no reduction step that could reorder or
+// reweigh anything.
+//
+// Throughput: stages overlap in time (stage k works on batch b while
+// stage k+1 works on batch b-1), so the speedup bound is the number of
+// pools with real traffic. Full-node VMs ride the pipeline untouched
+// until the base stage, which applies the usual first-empty rule.
+
+import (
+	"context"
+
+	"github.com/greensku/gsf/internal/engine"
+	"github.com/greensku/gsf/internal/trace"
+)
+
+// shardBatch is the unit of inter-stage flow: arrivals still looking
+// for a pool, in trace order, with their directives resolved once (the
+// decider runs exactly once per VM, in the first stage, so stateful
+// deciders observe the same call sequence as the sequential replay).
+type shardBatch struct {
+	vms    []trace.VM
+	scales []MultiDecision
+}
+
+const shardBatchLen = 1024
+
+// shardStage is one pipeline stage's scope and result. Stages own the
+// green pools [gLo, gHi); the last stage also owns the baseline pool
+// and with it the final rejection count.
+type shardStageResult struct {
+	placed    int
+	rejected  int
+	snapshots int
+	green     []ClassStats
+	base      ClassStats
+}
+
+// simulateMultiSharded is the Shards > 1 path of SimulateMultiContext.
+// The trace is already validated and the cluster checked.
+func simulateMultiSharded(ctx context.Context, tr trace.Trace, mc MultiConfig, decide MultiDecider, stages int) (MultiResult, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	nGreens := len(mc.Greens)
+	// Distribute the green pools contiguously across the first
+	// stages-1 shards; the last shard takes the remainder plus the
+	// baseline. Contiguity preserves the try-order.
+	bounds := make([][2]int, stages) // [gLo, gHi) per stage
+	per := nGreens / stages
+	extra := nGreens % stages
+	lo := 0
+	for i := range bounds {
+		width := per
+		if i < extra {
+			width++
+		}
+		bounds[i] = [2]int{lo, lo + width}
+		lo += width
+	}
+	bounds[stages-1][1] = nGreens
+
+	// The inter-stage pipes. pipes[k] feeds stage k; stage k feeds
+	// pipes[k+1]. Buffered so a fast stage can run ahead one batch.
+	pipes := make([]chan shardBatch, stages+1)
+	for i := range pipes {
+		pipes[i] = make(chan shardBatch, 1)
+	}
+
+	send := func(c chan<- shardBatch, b shardBatch) error {
+		select {
+		case c <- b:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+
+	// The feeder resolves directives and seeds the pipeline. It runs
+	// as stage index 0 of the Map below alongside the pool stages, so
+	// a panic anywhere tears the whole pipeline down through ctx.
+	feed := func(ctx context.Context) error {
+		defer close(pipes[0])
+		batch := shardBatch{}
+		for i, vm := range tr.VMs {
+			if i&1023 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			var d MultiDecision
+			if !vm.FullNode {
+				d = decide(vm)
+			}
+			batch.vms = append(batch.vms, vm)
+			batch.scales = append(batch.scales, d)
+			if len(batch.vms) >= shardBatchLen {
+				if err := send(pipes[0], batch); err != nil {
+					return err
+				}
+				batch = shardBatch{}
+			}
+		}
+		if len(batch.vms) > 0 {
+			return send(pipes[0], batch)
+		}
+		return nil
+	}
+
+	snapEvery := mc.SnapshotEvery
+	if snapEvery <= 0 {
+		snapEvery = 12
+	}
+	cfg := Config{Policy: mc.Policy, PreferNonEmpty: mc.PreferNonEmpty}
+
+	runStage := func(ctx context.Context, k int) (shardStageResult, error) {
+		defer func() {
+			// Unblock the upstream stage before unwinding a panic so
+			// the whole Map returns and reports it.
+			if r := recover(); r != nil {
+				cancel()
+				panic(r)
+			}
+		}()
+		defer close(pipes[k+1])
+		isBase := k == stages-1
+		gLo, gHi := bounds[k][0], bounds[k][1]
+
+		pools := mc.Greens[gLo:gHi]
+		srvs := make([][]*server, len(pools))
+		ixs := make([]*poolIndex, len(pools))
+		aggs := make([]*aggregator, len(pools))
+		for i := range pools {
+			cls := pools[i].Class
+			srvs[i] = makeServers(&cls, pools[i].N)
+			if !mc.ReferenceScan && !testIgnoreCapacity {
+				ixs[i] = newPoolIndex(srvs[i])
+			}
+			aggs[i] = newAggregator()
+		}
+		var baseSrvs []*server
+		var baseIx *poolIndex
+		baseAgg := newAggregator()
+		if isBase {
+			baseSrvs = makeServers(&mc.Base.Class, mc.Base.N)
+			if !mc.ReferenceScan && !testIgnoreCapacity {
+				baseIx = newPoolIndex(baseSrvs)
+			}
+		}
+
+		var deps depHeap
+		var out shardStageResult
+		nextSnap := snapEvery
+
+		release := func(until float64) {
+			for len(deps) > 0 && deps[0].at <= until {
+				d := depPop(&deps)
+				s := d.srv
+				if s.ix != nil {
+					s.ix.detach(s)
+				}
+				s.coresFree += d.cores
+				s.memFree += d.mem
+				s.vms--
+				s.maxMemTouched -= d.touched
+				if s.ix != nil {
+					s.ix.attach(s)
+				}
+			}
+		}
+		observe := func() {
+			for i := range pools {
+				aggs[i].observe(srvs[i])
+			}
+			if isBase {
+				baseAgg.observe(baseSrvs)
+			}
+			out.snapshots++
+		}
+		place := func(s *server, cores, mem, touched, depart float64) {
+			if s.ix != nil {
+				s.ix.detach(s)
+			}
+			s.coresFree -= cores
+			s.memFree -= mem
+			s.vms++
+			s.maxMemTouched += touched
+			if s.ix != nil {
+				s.ix.attach(s)
+			}
+			depPush(&deps, departure{at: depart, srv: s, cores: cores, mem: mem, touched: touched})
+			out.placed++
+		}
+
+		var pass shardBatch
+		for {
+			var batch shardBatch
+			var ok bool
+			select {
+			case batch, ok = <-pipes[k]:
+			case <-ctx.Done():
+				return out, ctx.Err()
+			}
+			if !ok {
+				break
+			}
+			for bi, vm := range batch.vms {
+				for nextSnap <= vm.Arrive {
+					release(nextSnap)
+					observe()
+					nextSnap += snapEvery
+				}
+				release(vm.Arrive)
+
+				d := batch.scales[bi]
+				var placedSrv *server
+				var cores, mem float64
+				if vm.FullNode {
+					if isBase {
+						// The multi-pool full-node rule: first empty
+						// baseline server, no capacity check.
+						if baseIx != nil {
+							placedSrv = baseIx.firstEmpty()
+						} else {
+							for _, s := range baseSrvs {
+								if s.vms == 0 {
+									placedSrv = s
+									break
+								}
+							}
+						}
+						if placedSrv != nil {
+							cores = float64(placedSrv.class.Cores)
+							mem = float64(placedSrv.class.Memory)
+						}
+					}
+				} else {
+					for i := range pools {
+						gi := gLo + i
+						if gi >= len(d.Scales) || d.Scales[gi] <= 0 {
+							continue
+						}
+						scale := d.Scales[gi]
+						if scale < 1 {
+							scale = 1
+						}
+						cores = float64(vm.Cores) * scale
+						mem = float64(vm.Memory) * scale
+						placedSrv = pickFrom(nil, ixs[i], srvs[i], cores, mem, cfg)
+						if placedSrv != nil {
+							break
+						}
+					}
+					if placedSrv == nil && isBase {
+						cores = float64(vm.Cores)
+						mem = float64(vm.Memory)
+						placedSrv = pickFrom(nil, baseIx, baseSrvs, cores, mem, cfg)
+					}
+				}
+				if placedSrv != nil {
+					place(placedSrv, cores, mem, mem*vm.MaxMemFrac, vm.Depart)
+					continue
+				}
+				if isBase {
+					out.rejected++
+					continue
+				}
+				pass.vms = append(pass.vms, vm)
+				pass.scales = append(pass.scales, d)
+				if len(pass.vms) >= shardBatchLen {
+					if err := send(pipes[k+1], pass); err != nil {
+						return out, err
+					}
+					pass = shardBatch{}
+				}
+			}
+		}
+		if len(pass.vms) > 0 {
+			if err := send(pipes[k+1], pass); err != nil {
+				return out, err
+			}
+		}
+		for nextSnap <= tr.Horizon {
+			release(nextSnap)
+			observe()
+			nextSnap += snapEvery
+		}
+		release(tr.Horizon)
+		observe()
+
+		out.green = make([]ClassStats, len(pools))
+		for i := range pools {
+			out.green[i] = aggs[i].stats()
+		}
+		if isBase {
+			out.base = baseAgg.stats()
+		}
+		return out, nil
+	}
+
+	// One Map over feeder + stages. Workers must cover every job:
+	// pipeline stages block on each other, so running them on fewer
+	// goroutines than jobs would deadlock.
+	results := engine.Map(ctx, stages+1, stages+1, func(ctx context.Context, i int) (shardStageResult, error) {
+		if i == 0 {
+			return shardStageResult{}, feed(ctx)
+		}
+		return runStage(ctx, i-1)
+	})
+	// Nothing drains pipes[stages]: the base stage rejects instead of
+	// passing, so it only ever closes it.
+	vals, err := engine.Collect(results)
+	if err != nil {
+		return MultiResult{}, err
+	}
+
+	var res MultiResult
+	res.Green = make([]ClassStats, 0, nGreens)
+	for _, v := range vals[1:] {
+		res.Placed += v.placed
+		res.Green = append(res.Green, v.green...)
+	}
+	last := vals[len(vals)-1]
+	res.Rejected = last.rejected
+	res.Base = last.base
+	res.Snapshots = last.snapshots
+	return res, nil
+}

@@ -330,11 +330,14 @@ func WriteQueueArtifact(w io.Writer, a QueueArtifact) error {
 
 // BenchArtifact is the BENCH_alloc.json schema: one allocation sweep
 // measurement plus one queueing curve, versioned so future PRs can
-// extend it without breaking readers.
+// extend it without breaking readers. Scale is the additive
+// large-fleet table (AllocScaleBench rows, e.g. the million-server
+// row); absent when the suite ran without a scale size.
 type BenchArtifact struct {
-	Schema   string           `json:"schema"`
-	Alloc    AllocBenchResult `json:"alloc"`
-	Queueing QueueBenchResult `json:"queueing"`
+	Schema   string             `json:"schema"`
+	Alloc    AllocBenchResult   `json:"alloc"`
+	Queueing QueueBenchResult   `json:"queueing"`
+	Scale    []AllocScaleResult `json:"scale,omitempty"`
 }
 
 // BenchSchema is the current artifact schema identifier.

@@ -328,6 +328,90 @@ type DesignDone struct {
 	Verdicts []DesignVerdict `json:"verdicts,omitempty"`
 }
 
+// --- POST /v1/replay --------------------------------------------------
+
+// ReplayFork is one what-if placement variant resumed from the
+// replay's snapshot: the trace suffix is replayed with this decider
+// against the checkpointed cluster state.
+type ReplayFork struct {
+	// Name labels the variant in the response.
+	Name string `json:"name"`
+	// AdoptPercent is the share of VMs (by id, 0-100) the decider
+	// adopts onto the green pool.
+	AdoptPercent int `json:"adopt_percent"`
+	// Scale multiplies an adopted VM's resource request; zero or
+	// omitted means 1 (unscaled).
+	Scale float64 `json:"scale"`
+}
+
+// ReplayRequest replays a synthetic trace through the columnar
+// allocation simulator, snapshots the cluster state at a fork point,
+// and replays the remaining events once per fork with a what-if
+// decider — the online form of the snapshot/restore checkpointing the
+// simulator uses for long replays.
+type ReplayRequest struct {
+	Workload WorkloadSpec `json:"workload"`
+	// Green and Base name catalog SKUs for the two pools; empty
+	// selects GreenSKU-Full and Baseline.
+	Green string `json:"green"`
+	Base  string `json:"base"`
+	// GreenServers and BaseServers size the pools; zero defaults to
+	// 1000. The simulator is columnar, so servers the trace never
+	// touches cost nothing.
+	GreenServers int `json:"green_servers"`
+	BaseServers  int `json:"base_servers"`
+	// Policy is "best-fit", "first-fit", or "worst-fit"; empty selects
+	// best-fit.
+	Policy string `json:"policy"`
+	// PreferNonEmpty applies the production rule of packing onto
+	// already-occupied servers when possible.
+	PreferNonEmpty bool `json:"prefer_non_empty"`
+	// AdoptPercent and Scale shape the straight-through decider, the
+	// same way a fork's fields shape its what-if decider.
+	AdoptPercent int     `json:"adopt_percent"`
+	Scale        float64 `json:"scale"`
+	// ForkFrac positions the snapshot as a fraction of the trace's
+	// events in [0,1); zero or omitted means 0.5.
+	ForkFrac float64 `json:"fork_frac"`
+	// Forks are the what-if variants; empty replays straight through
+	// and still reports the snapshot it took.
+	Forks []ReplayFork `json:"forks"`
+}
+
+// ReplayPoolStats is one pool's utilisation means. Fields are pointers
+// because a pool the replay never observes has no mean (the simulator
+// reports NaN); such fields are omitted.
+type ReplayPoolStats struct {
+	CorePacking   *float64 `json:"core_packing,omitempty"`
+	MemPacking    *float64 `json:"mem_packing,omitempty"`
+	MaxMemUtil    *float64 `json:"max_mem_util,omitempty"`
+	CXLServedFrac *float64 `json:"cxl_served_frac,omitempty"`
+	LocalFitsFrac *float64 `json:"local_fits_frac,omitempty"`
+}
+
+// ReplayOutcome is one replay's allocation summary: the straight run
+// or one fork.
+type ReplayOutcome struct {
+	Name      string          `json:"name"`
+	Placed    int             `json:"placed"`
+	Rejected  int             `json:"rejected"`
+	Snapshots int             `json:"snapshots"`
+	Base      ReplayPoolStats `json:"base"`
+	Green     ReplayPoolStats `json:"green"`
+}
+
+// ReplayResponse reports the straight replay plus one outcome per
+// fork. Every fork resumed from the same snapshot: its outcome differs
+// from the straight run only by decisions made after ForkEvent.
+type ReplayResponse struct {
+	Workload      EvaluateWorkload `json:"workload"`
+	Policy        string           `json:"policy"`
+	ForkEvent     int              `json:"fork_event"`
+	SnapshotBytes int              `json:"snapshot_bytes"`
+	Straight      ReplayOutcome    `json:"straight"`
+	Forks         []ReplayOutcome  `json:"forks,omitempty"`
+}
+
 // --- GET /v1/skus and /v1/datasets ------------------------------------
 
 // SKUInfo describes one catalog SKU.

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"github.com/greensku/gsf/internal/server/api"
+)
+
+// replayBody is a small replay request: adopt 60% straight through,
+// fork two what-if deciders from the halfway snapshot.
+const replayBody = `{` + smallWorkload + `,"adopt_percent":60,"prefer_non_empty":true,` +
+	`"forks":[{"name":"adopt-all","adopt_percent":100},{"name":"adopt-none","adopt_percent":0}]}`
+
+func TestReplayEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := post(t, s.Handler(), "/v1/replay", replayBody)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp api.ReplayResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if resp.Workload.VMs == 0 {
+		t.Fatal("degenerate workload: no VMs")
+	}
+	if resp.ForkEvent <= 0 || resp.ForkEvent >= resp.Workload.VMs {
+		t.Errorf("fork event %d outside (0,%d)", resp.ForkEvent, resp.Workload.VMs)
+	}
+	if resp.SnapshotBytes <= 0 {
+		t.Errorf("snapshot reported %d bytes", resp.SnapshotBytes)
+	}
+	if got := resp.Straight.Placed + resp.Straight.Rejected; got != resp.Workload.VMs {
+		t.Errorf("straight placed+rejected %d, want %d", got, resp.Workload.VMs)
+	}
+	if len(resp.Forks) != 2 {
+		t.Fatalf("got %d forks, want 2", len(resp.Forks))
+	}
+	for _, f := range resp.Forks {
+		if got := f.Placed + f.Rejected; got != resp.Workload.VMs {
+			t.Errorf("fork %s placed+rejected %d, want %d", f.Name, got, resp.Workload.VMs)
+		}
+	}
+	// The forks share the straight run's prefix but diverge after the
+	// snapshot: adopting everything vs nothing must change green-pool
+	// utilisation observations relative to each other.
+	all, none := resp.Forks[0], resp.Forks[1]
+	if all.Name != "adopt-all" || none.Name != "adopt-none" {
+		t.Fatalf("fork order drifted: %s, %s", all.Name, none.Name)
+	}
+	if all.Green.CorePacking == nil {
+		t.Error("adopt-all fork never observed the green pool")
+	}
+}
+
+// TestReplayDeterministicAndCached pins the endpoint's contract that
+// identical requests produce byte-identical bodies, served from cache
+// on the second hit.
+func TestReplayDeterministicAndCached(t *testing.T) {
+	s := newTestServer(t, Config{})
+	first := post(t, s.Handler(), "/v1/replay", replayBody)
+	second := post(t, s.Handler(), "/v1/replay", replayBody)
+	if first.Code != http.StatusOK || second.Code != http.StatusOK {
+		t.Fatalf("statuses %d, %d", first.Code, second.Code)
+	}
+	if first.Body.String() != second.Body.String() {
+		t.Error("identical replay requests produced different bodies")
+	}
+	if got := second.Header().Get(api.HeaderCache); got != "hit" {
+		t.Errorf("second response cache header %q, want hit", got)
+	}
+}
+
+// TestReplayForkMatchesStraight: a fork with the straight run's own
+// knobs must reproduce the straight result exactly — restore plus
+// suffix replay is the uninterrupted replay.
+func TestReplayForkMatchesStraight(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := `{` + smallWorkload + `,"adopt_percent":60,"prefer_non_empty":true,` +
+		`"forks":[{"name":"same","adopt_percent":60}]}`
+	w := post(t, s.Handler(), "/v1/replay", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp api.ReplayResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	straight, fork := resp.Straight, resp.Forks[0]
+	straight.Name, fork.Name = "", ""
+	sj, _ := json.Marshal(straight)
+	fj, _ := json.Marshal(fork)
+	if string(sj) != string(fj) {
+		t.Errorf("fork with identical decider diverged from straight run:\n straight %s\n fork     %s", sj, fj)
+	}
+}
+
+func TestReplayRejectsBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := map[string]string{
+		"bad-policy":     `{` + smallWorkload + `,"policy":"mid-fit"}`,
+		"bad-adopt":      `{` + smallWorkload + `,"adopt_percent":140}`,
+		"bad-scale":      `{` + smallWorkload + `,"scale":0.5}`,
+		"huge-scale":     `{` + smallWorkload + `,"scale":100}`,
+		"bad-frac":       `{` + smallWorkload + `,"fork_frac":1.5}`,
+		"negative-pool":  `{` + smallWorkload + `,"green_servers":-5}`,
+		"oversize-pool":  `{` + smallWorkload + `,"base_servers":2000000}`,
+		"unknown-green":  `{` + smallWorkload + `,"green":"MegaSKU"}`,
+		"bad-fork-knob":  `{` + smallWorkload + `,"forks":[{"adopt_percent":-1}]}`,
+		"too-many-forks": `{` + smallWorkload + `,"forks":[{},{},{},{},{},{},{},{},{}]}`,
+	}
+	for name, body := range cases {
+		if w := post(t, s.Handler(), "/v1/replay", body); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", name, w.Code, w.Body)
+		}
+	}
+}

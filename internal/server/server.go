@@ -242,6 +242,7 @@ func (s *Server) routes() {
 	s.mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.limited(s.handleSweep)))
 	s.mux.Handle("POST /v1/ciseries", s.instrument("/v1/ciseries", s.limited(s.handleCISeries)))
 	s.mux.Handle("POST /v1/design", s.instrument("/v1/design", s.limited(s.handleDesign)))
+	s.mux.Handle("POST /v1/replay", s.instrument("/v1/replay", s.limited(s.handleReplay)))
 	s.mux.Handle("GET /v1/skus", s.instrument("/v1/skus", s.handleSKUs))
 	s.mux.Handle("GET /v1/datasets", s.instrument("/v1/datasets", s.handleDatasets))
 	s.mux.Handle("GET /v1/limits", s.instrument("/v1/limits", s.handleLimits))

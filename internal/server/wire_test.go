@@ -70,6 +70,10 @@ var wireFixtures = []wireFixture{
 	{name: "batch_mixed", method: "POST", path: "/v1/batch",
 		body: `{"items":[{"kind":"percore","sku":"GreenSKU-Full","ci":0.1},{"kind":"savings","sku":"GreenSKU-CXL"},{"kind":"evaluate","green":"GreenSKU-Full",` + smallWorkload + `}]}`},
 
+	// Replay: snapshot-forked what-if placement over a seeded trace.
+	{name: "replay_fork", method: "POST", path: "/v1/replay",
+		body: `{` + smallWorkload + `,"adopt_percent":60,"prefer_non_empty":true,"forks":[{"name":"adopt-all","adopt_percent":100}]}`},
+
 	// Design: the frontier search over a pinned tiny space. The
 	// buffered body and the single-worker stream (deterministic
 	// completion order) are both exact.
@@ -116,6 +120,8 @@ var wireErrorFixtures = []wireFixture{
 		body: `{"items":[{"kind":"percore","sku":"Gen1"},{"kind":"percore","sku":"Gen2"},{"kind":"percore","sku":"Baseline"}]}`},
 	{name: "err_batch_badkind", method: "POST", path: "/v1/batch",
 		body: `{"items":[{"kind":"teleport"}]}`},
+	{name: "err_replay_bad_policy", method: "POST", path: "/v1/replay",
+		body: `{` + smallWorkload + `,"policy":"mid-fit"}`},
 	{name: "err_design_unknown_cpu", method: "POST", path: "/v1/design",
 		body: `{"cpus":["Pentium"]}`, cfg: tinyWireDesign},
 	{name: "err_design_overlimit", method: "POST", path: "/v1/design",

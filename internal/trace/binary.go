@@ -1,0 +1,519 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+
+	"github.com/greensku/gsf/internal/units"
+)
+
+// Binary trace format "GSFB" version 1.
+//
+// The CSV codec is fine for 300k-VM traces but a 100M-event replay
+// cannot afford ~100 bytes/row of text or a materialized []VM. GSFB is
+// a compact, streamable alternative: varint-delta encoded, with a
+// versioned header, decode-time validation (every record passes
+// CheckVM as it is produced), and a canonical encoding — for any
+// decodable stream, re-encoding the decoded trace reproduces the input
+// byte for byte (FuzzBinaryTrace holds this).
+//
+// Layout:
+//
+//	magic "GSFB" | uvarint version (=1) | uvarint len(name) | name
+//	| horizon float64 bits LE (8 bytes) | uvarint count
+//	| count records
+//
+// Per record:
+//
+//	zigzag-varint  ID - prevID
+//	flags byte     bit0 FullNode, bit1 Deferrable, bits2-3 Gen-1
+//	               (3 invalid), bits 4-7 must be zero
+//	uvarint        arrival: record 0 carries orderedBits(Arrive)
+//	               absolute; later records carry the delta
+//	               orderedBits(Arrive) - orderedBits(prevArrive).
+//	               Deltas are unsigned, so the format physically
+//	               cannot express an out-of-order trace.
+//	uvarint        orderedBits(Depart) - orderedBits(Arrive); zero or
+//	               wrapping values decode to Depart <= Arrive and are
+//	               rejected, so negative durations cannot round-trip.
+//	uvarint        Cores (capped at maxBinaryCores)
+//	uvarint        bswap64(Float64bits(Memory)) — round values have
+//	               trailing-zero mantissas, so byte-swapping puts the
+//	               zeros where varints drop them
+//	app            uvarint intern-table index; an index equal to the
+//	               table length introduces a new entry (uvarint len +
+//	               bytes); larger indices are invalid
+//	uvarint        bswap64(Float64bits(MaxMemFrac))
+//	uvarint        bswap64(Float64bits(SlackHours)) — present only
+//	               when the Deferrable flag is set
+//
+// All varints must be minimally encoded; the decoder rejects
+// non-canonical forms so that decode∘encode is the identity on valid
+// streams.
+const (
+	binaryMagic   = "GSFB"
+	binaryVersion = 1
+
+	// maxBinaryName bounds the trace-name field so a corrupt header
+	// cannot demand an unbounded allocation.
+	maxBinaryName = 1 << 12
+	// maxBinaryApp bounds one application-name intern entry.
+	maxBinaryApp = 1 << 10
+	// maxBinaryCores bounds a single VM's core request; the largest
+	// real request in the suite is a full 80-core node.
+	maxBinaryCores = 1 << 20
+	// maxBinaryPrealloc caps the slice capacity ReadBinary trusts from
+	// the header count, so a forged count cannot allocate gigabytes
+	// before the first record fails to parse.
+	maxBinaryPrealloc = 1 << 20
+)
+
+// orderedBits maps float64 to uint64 so that float ordering matches
+// unsigned integer ordering (a strictly monotone bijection). It is how
+// arrival/departure deltas become small non-negative varints.
+func orderedBits(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b>>63 == 1 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// unorderedBits inverts orderedBits.
+func unorderedBits(u uint64) float64 {
+	if u>>63 == 1 {
+		return math.Float64frombits(u &^ (1 << 63))
+	}
+	return math.Float64frombits(^u)
+}
+
+// swappedBits byte-swaps a float's bit pattern: "round" values (48 GB,
+// 0.5, 3.0) have long runs of trailing mantissa zeros, and the swap
+// moves them to the high varint groups that a minimal encoding omits.
+func swappedBits(f float64) uint64 { return bits.ReverseBytes64(math.Float64bits(f)) }
+
+func unswappedBits(u uint64) float64 { return math.Float64frombits(bits.ReverseBytes64(u)) }
+
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// record flag bits.
+const (
+	flagFullNode   = 1 << 0
+	flagDeferrable = 1 << 1
+	flagGenShift   = 2
+	flagGenMask    = 3 << flagGenShift
+	flagReserved   = ^byte(flagFullNode | flagDeferrable | flagGenMask)
+)
+
+// BinaryWriter streams VMs into the GSFB format without materializing
+// the trace. The caller declares the record count up front (the header
+// carries it so decoders can pre-size); Flush fails if the count and
+// the number of Write calls disagree.
+type BinaryWriter struct {
+	w          *bufio.Writer
+	name       string
+	count      uint64
+	written    uint64
+	prevID     int64
+	prevArrive float64
+	interned   map[string]uint64
+	buf        []byte
+	err        error
+}
+
+// NewBinaryWriter writes the GSFB header and returns a writer ready to
+// stream count records.
+func NewBinaryWriter(w io.Writer, name string, horizon float64, count int) (*BinaryWriter, error) {
+	if len(name) > maxBinaryName {
+		return nil, fmt.Errorf("trace: binary: name is %d bytes, max %d", len(name), maxBinaryName)
+	}
+	if !finite(horizon) {
+		return nil, fmt.Errorf("trace: binary: non-finite horizon %v", horizon)
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("trace: binary: negative record count %d", count)
+	}
+	bw := &BinaryWriter{
+		w:          bufio.NewWriter(w),
+		name:       name,
+		count:      uint64(count),
+		prevArrive: math.Inf(-1),
+		interned:   make(map[string]uint64),
+		buf:        make([]byte, 0, 8*binary.MaxVarintLen64),
+	}
+	bw.buf = append(bw.buf, binaryMagic...)
+	bw.buf = binary.AppendUvarint(bw.buf, binaryVersion)
+	bw.buf = binary.AppendUvarint(bw.buf, uint64(len(name)))
+	bw.buf = append(bw.buf, name...)
+	bw.buf = binary.LittleEndian.AppendUint64(bw.buf, math.Float64bits(horizon))
+	bw.buf = binary.AppendUvarint(bw.buf, bw.count)
+	if _, err := bw.w.Write(bw.buf); err != nil {
+		bw.err = err
+		return nil, err
+	}
+	return bw, nil
+}
+
+// Write appends one VM. Records must arrive pre-sorted and valid: each
+// is checked with CheckVM against the previous arrival, exactly what a
+// decoder will enforce, so an encodable stream is a decodable one.
+func (bw *BinaryWriter) Write(vm VM) error {
+	if bw.err != nil {
+		return bw.err
+	}
+	if bw.written >= bw.count {
+		return bw.fail(fmt.Errorf("trace: binary: more than the declared %d records", bw.count))
+	}
+	if err := CheckVM(bw.name, int(bw.written), bw.prevArrive, vm); err != nil {
+		return bw.fail(err)
+	}
+	if vm.Cores > maxBinaryCores {
+		return bw.fail(fmt.Errorf("trace: binary: VM %d requests %d cores, max %d", bw.written, vm.Cores, maxBinaryCores))
+	}
+	if len(vm.App) > maxBinaryApp {
+		return bw.fail(fmt.Errorf("trace: binary: VM %d app name is %d bytes, max %d", bw.written, len(vm.App), maxBinaryApp))
+	}
+	buf := bw.buf[:0]
+	buf = binary.AppendUvarint(buf, zigzag(int64(vm.ID)-bw.prevID))
+	var flags byte
+	if vm.FullNode {
+		flags |= flagFullNode
+	}
+	if vm.Deferrable {
+		flags |= flagDeferrable
+	}
+	flags |= byte(vm.Gen-1) << flagGenShift
+	buf = append(buf, flags)
+	if bw.written == 0 {
+		buf = binary.AppendUvarint(buf, orderedBits(vm.Arrive))
+	} else {
+		buf = binary.AppendUvarint(buf, orderedBits(vm.Arrive)-orderedBits(bw.prevArrive))
+	}
+	buf = binary.AppendUvarint(buf, orderedBits(vm.Depart)-orderedBits(vm.Arrive))
+	buf = binary.AppendUvarint(buf, uint64(vm.Cores))
+	buf = binary.AppendUvarint(buf, swappedBits(float64(vm.Memory)))
+	if ix, ok := bw.interned[vm.App]; ok {
+		buf = binary.AppendUvarint(buf, ix)
+	} else {
+		ix = uint64(len(bw.interned))
+		bw.interned[vm.App] = ix
+		buf = binary.AppendUvarint(buf, ix)
+		buf = binary.AppendUvarint(buf, uint64(len(vm.App)))
+		buf = append(buf, vm.App...)
+	}
+	buf = binary.AppendUvarint(buf, swappedBits(vm.MaxMemFrac))
+	if vm.Deferrable {
+		buf = binary.AppendUvarint(buf, swappedBits(vm.SlackHours))
+	}
+	bw.buf = buf[:0]
+	if _, err := bw.w.Write(buf); err != nil {
+		return bw.fail(err)
+	}
+	bw.prevID = int64(vm.ID)
+	bw.prevArrive = vm.Arrive
+	bw.written++
+	return nil
+}
+
+func (bw *BinaryWriter) fail(err error) error {
+	bw.err = err
+	return err
+}
+
+// Flush completes the stream, verifying the declared record count was
+// met and draining the buffered writer.
+func (bw *BinaryWriter) Flush() error {
+	if bw.err != nil {
+		return bw.err
+	}
+	if bw.written != bw.count {
+		return bw.fail(fmt.Errorf("trace: binary: wrote %d of the declared %d records", bw.written, bw.count))
+	}
+	if err := bw.w.Flush(); err != nil {
+		return bw.fail(err)
+	}
+	return nil
+}
+
+// WriteBinary serialises a whole trace in the GSFB format.
+func WriteBinary(w io.Writer, t Trace) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw, err := NewBinaryWriter(w, t.Name, t.Horizon, len(t.VMs))
+	if err != nil {
+		return err
+	}
+	for _, vm := range t.VMs {
+		if err := bw.Write(vm); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// BinaryReader streams a GSFB trace: a Source whose memory footprint
+// is O(1) in the event count. Every record is validated with CheckVM
+// at decode time — non-finite fields, negative durations, bad
+// generations, and slack-without-deferrable are rejected as they are
+// read, not after the fact.
+type BinaryReader struct {
+	r          *bufio.Reader
+	name       string
+	horizon    float64
+	count      uint64
+	read       uint64
+	prevID     int64
+	prevArrive float64
+	table      []string
+	tableIx    map[string]struct{}
+	err        error
+	done       bool
+}
+
+// NewBinaryReader parses the GSFB header and returns a streaming
+// reader positioned at the first record.
+func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
+	br := &BinaryReader{r: bufio.NewReader(r), prevArrive: math.Inf(-1)}
+	var magic [len(binaryMagic)]byte
+	if _, err := io.ReadFull(br.r, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: binary: reading magic: %w", err)
+	}
+	if string(magic[:]) != binaryMagic {
+		return nil, fmt.Errorf("trace: binary: bad magic %q", magic[:])
+	}
+	version, err := br.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("trace: binary: reading version: %w", err)
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("trace: binary: unsupported version %d", version)
+	}
+	nameLen, err := br.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("trace: binary: reading name length: %w", err)
+	}
+	if nameLen > maxBinaryName {
+		return nil, fmt.Errorf("trace: binary: name is %d bytes, max %d", nameLen, maxBinaryName)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br.r, name); err != nil {
+		return nil, fmt.Errorf("trace: binary: reading name: %w", err)
+	}
+	br.name = string(name)
+	var hbits [8]byte
+	if _, err := io.ReadFull(br.r, hbits[:]); err != nil {
+		return nil, fmt.Errorf("trace: binary: reading horizon: %w", err)
+	}
+	br.horizon = math.Float64frombits(binary.LittleEndian.Uint64(hbits[:]))
+	if !finite(br.horizon) {
+		return nil, fmt.Errorf("trace: binary: non-finite horizon %v", br.horizon)
+	}
+	if br.count, err = br.uvarint(); err != nil {
+		return nil, fmt.Errorf("trace: binary: reading record count: %w", err)
+	}
+	return br, nil
+}
+
+// uvarint reads one minimally-encoded unsigned varint. Non-canonical
+// encodings (padded with redundant continuation groups) are rejected:
+// accepting them would let two distinct byte streams decode to the
+// same trace, breaking the re-encode byte-identity guarantee.
+func (br *BinaryReader) uvarint() (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		b, err := br.r.ReadByte()
+		if err != nil {
+			if err == io.EOF && i > 0 {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, fmt.Errorf("varint overflows 64 bits")
+			}
+			if i > 0 && b == 0 {
+				return 0, fmt.Errorf("non-canonical varint")
+			}
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, fmt.Errorf("varint overflows 64 bits")
+}
+
+// Next decodes the next record. After the final record it verifies the
+// stream ends exactly there — trailing bytes are an error, so every
+// valid stream is the canonical encoding of its trace.
+func (br *BinaryReader) Next() (VM, bool) {
+	if br.err != nil || br.done {
+		return VM{}, false
+	}
+	if br.read == br.count {
+		br.done = true
+		if _, err := br.r.ReadByte(); err != io.EOF {
+			if err == nil {
+				br.err = fmt.Errorf("trace: binary: trailing data after %d records", br.count)
+			} else {
+				br.err = fmt.Errorf("trace: binary: after final record: %w", err)
+			}
+		}
+		return VM{}, false
+	}
+	vm, err := br.record()
+	if err != nil {
+		br.err = fmt.Errorf("trace: binary: record %d: %w", br.read, err)
+		return VM{}, false
+	}
+	if err := CheckVM(br.name, int(br.read), br.prevArrive, vm); err != nil {
+		br.err = err
+		return VM{}, false
+	}
+	br.prevID = int64(vm.ID)
+	br.prevArrive = vm.Arrive
+	br.read++
+	return vm, true
+}
+
+func (br *BinaryReader) record() (VM, error) {
+	var vm VM
+	idDelta, err := br.uvarint()
+	if err != nil {
+		return vm, fmt.Errorf("id: %w", err)
+	}
+	vm.ID = int(br.prevID + unzigzag(idDelta))
+	flags, err := br.r.ReadByte()
+	if err != nil {
+		return vm, fmt.Errorf("flags: %w", err)
+	}
+	if flags&flagReserved != 0 {
+		return vm, fmt.Errorf("reserved flag bits %#x set", flags&flagReserved)
+	}
+	vm.FullNode = flags&flagFullNode != 0
+	vm.Deferrable = flags&flagDeferrable != 0
+	vm.Gen = int(flags&flagGenMask)>>flagGenShift + 1
+	arriveDelta, err := br.uvarint()
+	if err != nil {
+		return vm, fmt.Errorf("arrive: %w", err)
+	}
+	if br.read == 0 {
+		vm.Arrive = unorderedBits(arriveDelta)
+	} else {
+		vm.Arrive = unorderedBits(orderedBits(br.prevArrive) + arriveDelta)
+	}
+	departDelta, err := br.uvarint()
+	if err != nil {
+		return vm, fmt.Errorf("depart: %w", err)
+	}
+	vm.Depart = unorderedBits(orderedBits(vm.Arrive) + departDelta)
+	cores, err := br.uvarint()
+	if err != nil {
+		return vm, fmt.Errorf("cores: %w", err)
+	}
+	if cores > maxBinaryCores {
+		return vm, fmt.Errorf("%d cores, max %d", cores, maxBinaryCores)
+	}
+	vm.Cores = int(cores)
+	mem, err := br.uvarint()
+	if err != nil {
+		return vm, fmt.Errorf("memory: %w", err)
+	}
+	vm.Memory = units.GB(unswappedBits(mem))
+	appIx, err := br.uvarint()
+	if err != nil {
+		return vm, fmt.Errorf("app: %w", err)
+	}
+	switch {
+	case appIx < uint64(len(br.table)):
+		vm.App = br.table[appIx]
+	case appIx == uint64(len(br.table)):
+		appLen, err := br.uvarint()
+		if err != nil {
+			return vm, fmt.Errorf("app length: %w", err)
+		}
+		if appLen > maxBinaryApp {
+			return vm, fmt.Errorf("app name is %d bytes, max %d", appLen, maxBinaryApp)
+		}
+		name := make([]byte, appLen)
+		if _, err := io.ReadFull(br.r, name); err != nil {
+			return vm, fmt.Errorf("app name: %w", err)
+		}
+		vm.App = string(name)
+		// A string may enter the intern table only once: a stream that
+		// re-introduces a known name would decode fine but re-encode as
+		// a back-reference, breaking the canonical-encoding guarantee.
+		if br.tableIx == nil {
+			br.tableIx = make(map[string]struct{})
+		}
+		if _, dup := br.tableIx[vm.App]; dup {
+			return vm, fmt.Errorf("app %q interned twice", vm.App)
+		}
+		br.tableIx[vm.App] = struct{}{}
+		br.table = append(br.table, vm.App)
+	default:
+		return vm, fmt.Errorf("app intern index %d past table size %d", appIx, len(br.table))
+	}
+	frac, err := br.uvarint()
+	if err != nil {
+		return vm, fmt.Errorf("max_mem_frac: %w", err)
+	}
+	vm.MaxMemFrac = unswappedBits(frac)
+	if vm.Deferrable {
+		slack, err := br.uvarint()
+		if err != nil {
+			return vm, fmt.Errorf("slack: %w", err)
+		}
+		vm.SlackHours = unswappedBits(slack)
+	}
+	return vm, nil
+}
+
+// Err reports the first decode error, or nil after a clean end of
+// stream.
+func (br *BinaryReader) Err() error { return br.err }
+
+// Name returns the trace name from the header.
+func (br *BinaryReader) Name() string { return br.name }
+
+// Horizon returns the trace horizon from the header.
+func (br *BinaryReader) Horizon() float64 { return br.horizon }
+
+// Count returns the declared record count from the header.
+func (br *BinaryReader) Count() uint64 { return br.count }
+
+// ReadBinary materializes a whole GSFB trace, rejecting streams whose
+// record count disagrees with the header or that carry trailing data.
+func ReadBinary(r io.Reader) (Trace, error) {
+	br, err := NewBinaryReader(r)
+	if err != nil {
+		return Trace{}, err
+	}
+	var t Trace
+	t.Name = br.Name()
+	t.Horizon = br.Horizon()
+	prealloc := br.Count()
+	if prealloc > maxBinaryPrealloc {
+		prealloc = maxBinaryPrealloc
+	}
+	t.VMs = make([]VM, 0, prealloc)
+	for {
+		vm, ok := br.Next()
+		if !ok {
+			break
+		}
+		t.VMs = append(t.VMs, vm)
+	}
+	if err := br.Err(); err != nil {
+		return Trace{}, err
+	}
+	return t, nil
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBinaryTrace holds the two round-trip contracts of the GSFB
+// codec:
+//
+//  1. Byte identity: any stream ReadBinary accepts is the canonical
+//     encoding of its trace — re-encoding the decoded trace
+//     reproduces the input byte for byte. This is what the decoder's
+//     canonical-varint, reserved-flag, duplicate-intern, and
+//     trailing-data rejections buy.
+//  2. Value identity across formats: any trace the CSV path accepts
+//     either converts losslessly through binary (exact equality, no
+//     tolerance — binary carries full float bits where CSV rounds),
+//     or is rejected for one of the documented binary caps.
+func FuzzBinaryTrace(f *testing.F) {
+	// Seed with realistic streams: the generator's own output, a tiny
+	// hand-rolled trace, the empty trace, a header-only prefix, and
+	// plain junk.
+	tr, err := Generate(DefaultParams("fuzz-bin-seed", 11))
+	if err != nil {
+		f.Fatal(err)
+	}
+	tr.VMs = tr.VMs[:min(len(tr.VMs), 20)]
+	var seed bytes.Buffer
+	if err := WriteBinary(&seed, Trace{Name: tr.Name, VMs: tr.VMs, Horizon: tr.Horizon}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+
+	small := Trace{Name: "s", Horizon: 4, VMs: []VM{
+		{ID: 0, Arrive: 1, Depart: 2, Cores: 4, Memory: 24, Gen: 2, App: "web", MaxMemFrac: 0.5},
+		{ID: 1, Arrive: 1.5, Depart: 3, Cores: 80, Memory: 768, Gen: 3, FullNode: true, App: "big", MaxMemFrac: 0.9},
+		{ID: 2, Arrive: 2, Depart: 3.5, Cores: 2, Memory: 8, Gen: 1, App: "web", MaxMemFrac: 0.25, Deferrable: true, SlackHours: 6},
+	}}
+	var smallBuf bytes.Buffer
+	if err := WriteBinary(&smallBuf, small); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(smallBuf.Bytes())
+
+	var empty bytes.Buffer
+	if err := WriteBinary(&empty, Trace{Name: "empty", Horizon: 1}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	f.Add(smallBuf.Bytes()[:12])
+	f.Add([]byte("GSFB"))
+	f.Add([]byte("not a trace \x00\xff"))
+	// A CSV seed so the cross-format leg starts from parseable input.
+	var csvSeed bytes.Buffer
+	if err := WriteCSV(&csvSeed, small); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(csvSeed.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Leg 1: binary decode → re-encode must be the identity.
+		if tr, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			var re bytes.Buffer
+			if err := WriteBinary(&re, tr); err != nil {
+				t.Fatalf("WriteBinary failed on a decoded trace: %v", err)
+			}
+			if !bytes.Equal(re.Bytes(), data) {
+				t.Fatalf("re-encode not byte-identical:\n in: %x\nout: %x", data, re.Bytes())
+			}
+		}
+
+		// Leg 2: CSV-parseable input must convert through binary with
+		// exact values, or fail only on a documented cap.
+		trCSV, err := ReadCSV(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		var bin bytes.Buffer
+		if err := WriteBinary(&bin, trCSV); err != nil {
+			for _, v := range trCSV.VMs {
+				if v.Cores > maxBinaryCores || len(v.App) > maxBinaryApp {
+					return // documented encoding caps, not CSV semantics
+				}
+			}
+			t.Fatalf("binary rejected a valid CSV trace for no documented cap: %v", err)
+		}
+		tr2, err := ReadBinary(bytes.NewReader(bin.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of own encoding failed: %v", err)
+		}
+		if tr2.Name != trCSV.Name || tr2.Horizon != trCSV.Horizon || len(tr2.VMs) != len(trCSV.VMs) {
+			t.Fatalf("conversion changed shape: (%q,%v,%d) -> (%q,%v,%d)",
+				trCSV.Name, trCSV.Horizon, len(trCSV.VMs), tr2.Name, tr2.Horizon, len(tr2.VMs))
+		}
+		for i := range trCSV.VMs {
+			if trCSV.VMs[i] != tr2.VMs[i] {
+				t.Fatalf("VM %d changed across CSV->binary->decode:\n  %+v\n  %+v", i, trCSV.VMs[i], tr2.VMs[i])
+			}
+		}
+	})
+}

@@ -66,38 +66,90 @@ type Trace struct {
 func (t Trace) Validate() error {
 	prev := math.Inf(-1)
 	for i, v := range t.VMs {
-		// Reject non-finite fields first: NaN slips through every
-		// ordering comparison below (all NaN comparisons are false),
-		// and infinite times would stall the allocation simulator's
-		// snapshot clock.
-		if !finite(v.Arrive) || !finite(v.Depart) || !finite(float64(v.Memory)) || !finite(v.MaxMemFrac) || !finite(v.SlackHours) {
-			return fmt.Errorf("trace %s: VM %d has a non-finite field", t.Name, i)
-		}
-		if v.Depart <= v.Arrive {
-			return fmt.Errorf("trace %s: VM %d departs before arriving", t.Name, i)
-		}
-		if v.Cores <= 0 || v.Memory <= 0 {
-			return fmt.Errorf("trace %s: VM %d has empty resource request", t.Name, i)
-		}
-		if v.Arrive < prev {
-			return fmt.Errorf("trace %s: VMs not sorted by arrival at %d", t.Name, i)
-		}
-		if v.MaxMemFrac < 0 || v.MaxMemFrac > 1 {
-			return fmt.Errorf("trace %s: VM %d MaxMemFrac %v out of [0,1]", t.Name, i, v.MaxMemFrac)
-		}
-		if v.Gen < 1 || v.Gen > 3 {
-			return fmt.Errorf("trace %s: VM %d has generation %d", t.Name, i, v.Gen)
-		}
-		if v.SlackHours < 0 {
-			return fmt.Errorf("trace %s: VM %d has negative slack %v", t.Name, i, v.SlackHours)
-		}
-		if !v.Deferrable && v.SlackHours != 0 {
-			return fmt.Errorf("trace %s: VM %d is not deferrable but has slack %v", t.Name, i, v.SlackHours)
+		if err := CheckVM(t.Name, i, prev, v); err != nil {
+			return err
 		}
 		prev = v.Arrive
 	}
 	return nil
 }
+
+// CheckVM validates one VM the way Trace.Validate does, so streaming
+// consumers (the binary decoder, the columnar simulator) can harden
+// each event at the moment it is produced instead of requiring a
+// materialized trace. prevArrive is the previous event's arrival time
+// (math.Inf(-1) for the first event); i indexes the event within its
+// stream for the error message.
+func CheckVM(name string, i int, prevArrive float64, v VM) error {
+	// Reject non-finite fields first: NaN slips through every
+	// ordering comparison below (all NaN comparisons are false),
+	// and infinite times would stall the allocation simulator's
+	// snapshot clock.
+	if !finite(v.Arrive) || !finite(v.Depart) || !finite(float64(v.Memory)) || !finite(v.MaxMemFrac) || !finite(v.SlackHours) {
+		return fmt.Errorf("trace %s: VM %d has a non-finite field", name, i)
+	}
+	if v.Depart <= v.Arrive {
+		return fmt.Errorf("trace %s: VM %d departs before arriving", name, i)
+	}
+	if v.Cores <= 0 || v.Memory <= 0 {
+		return fmt.Errorf("trace %s: VM %d has empty resource request", name, i)
+	}
+	if v.Arrive < prevArrive {
+		return fmt.Errorf("trace %s: VMs not sorted by arrival at %d", name, i)
+	}
+	if v.MaxMemFrac < 0 || v.MaxMemFrac > 1 {
+		return fmt.Errorf("trace %s: VM %d MaxMemFrac %v out of [0,1]", name, i, v.MaxMemFrac)
+	}
+	if v.Gen < 1 || v.Gen > 3 {
+		return fmt.Errorf("trace %s: VM %d has generation %d", name, i, v.Gen)
+	}
+	if v.SlackHours < 0 {
+		return fmt.Errorf("trace %s: VM %d has negative slack %v", name, i, v.SlackHours)
+	}
+	if !v.Deferrable && v.SlackHours != 0 {
+		return fmt.Errorf("trace %s: VM %d is not deferrable but has slack %v", name, i, v.SlackHours)
+	}
+	return nil
+}
+
+// Source streams a trace's VMs in arrival order without requiring the
+// whole event set in memory — the contract the columnar allocation
+// simulator replays 100M-event traces through. Implementations must
+// yield validated events (CheckVM) in non-decreasing arrival order;
+// the binary decoder enforces this at decode time.
+type Source interface {
+	// Next returns the next VM, or ok=false when the stream is
+	// exhausted or failed (distinguish with Err).
+	Next() (vm VM, ok bool)
+	// Err reports the first stream error, or nil after clean EOF.
+	Err() error
+	// Name labels the trace in error messages and results.
+	Name() string
+	// Horizon is the trace horizon in hours (the snapshot clock's end).
+	Horizon() float64
+}
+
+// SliceSource adapts a materialized Trace to the Source interface.
+type SliceSource struct {
+	t Trace
+	i int
+}
+
+// NewSliceSource returns a Source over an already-validated Trace.
+func NewSliceSource(t Trace) *SliceSource { return &SliceSource{t: t} }
+
+func (s *SliceSource) Next() (VM, bool) {
+	if s.i >= len(s.t.VMs) {
+		return VM{}, false
+	}
+	vm := s.t.VMs[s.i]
+	s.i++
+	return vm, true
+}
+
+func (s *SliceSource) Err() error       { return nil }
+func (s *SliceSource) Name() string     { return s.t.Name }
+func (s *SliceSource) Horizon() float64 { return s.t.Horizon }
 
 func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/greensku/gsf/internal/units"
+)
+
+// TestCheckVM tables the per-event validation contract shared by
+// Trace.Validate, the binary decoder, and the streaming simulator:
+// one rule per case, with the streaming-specific prevArrive threading
+// exercised explicitly.
+func TestCheckVM(t *testing.T) {
+	valid := testVM()
+	cases := []struct {
+		name       string
+		mutate     func(*VM)
+		prevArrive float64
+		want       string // "" means the VM must pass
+	}{
+		{name: "valid", prevArrive: math.Inf(-1)},
+		{name: "valid after equal arrival", prevArrive: valid.Arrive},
+		{name: "nan arrive", mutate: func(v *VM) { v.Arrive = math.NaN() }, prevArrive: math.Inf(-1), want: "non-finite field"},
+		{name: "inf depart", mutate: func(v *VM) { v.Depart = math.Inf(1) }, prevArrive: math.Inf(-1), want: "non-finite field"},
+		{name: "nan memory", mutate: func(v *VM) { v.Memory = units.GB(math.NaN()) }, prevArrive: math.Inf(-1), want: "non-finite field"},
+		{name: "nan max_mem_frac", mutate: func(v *VM) { v.MaxMemFrac = math.NaN() }, prevArrive: math.Inf(-1), want: "non-finite field"},
+		{name: "inf slack", mutate: func(v *VM) { v.Deferrable = true; v.SlackHours = math.Inf(1) }, prevArrive: math.Inf(-1), want: "non-finite field"},
+		{name: "zero duration", mutate: func(v *VM) { v.Depart = v.Arrive }, prevArrive: math.Inf(-1), want: "departs before arriving"},
+		{name: "negative duration", mutate: func(v *VM) { v.Depart = v.Arrive - 1 }, prevArrive: math.Inf(-1), want: "departs before arriving"},
+		{name: "zero cores", mutate: func(v *VM) { v.Cores = 0 }, prevArrive: math.Inf(-1), want: "empty resource request"},
+		{name: "negative memory", mutate: func(v *VM) { v.Memory = -1; v.Depart = 5 }, prevArrive: math.Inf(-1), want: "empty resource request"},
+		{name: "arrives before predecessor", prevArrive: valid.Arrive + 1, want: "not sorted"},
+		{name: "max_mem_frac above one", mutate: func(v *VM) { v.MaxMemFrac = 1.5 }, prevArrive: math.Inf(-1), want: "out of [0,1]"},
+		{name: "max_mem_frac negative", mutate: func(v *VM) { v.MaxMemFrac = -0.1 }, prevArrive: math.Inf(-1), want: "out of [0,1]"},
+		{name: "generation zero", mutate: func(v *VM) { v.Gen = 0 }, prevArrive: math.Inf(-1), want: "has generation 0"},
+		{name: "generation four", mutate: func(v *VM) { v.Gen = 4 }, prevArrive: math.Inf(-1), want: "has generation 4"},
+		{name: "negative slack", mutate: func(v *VM) { v.Deferrable = true; v.SlackHours = -1 }, prevArrive: math.Inf(-1), want: "negative slack"},
+		{name: "slack without deferrable", mutate: func(v *VM) { v.SlackHours = 2 }, prevArrive: math.Inf(-1), want: "not deferrable but has slack"},
+		{name: "deferrable zero slack ok", mutate: func(v *VM) { v.Deferrable = true }, prevArrive: math.Inf(-1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			vm := valid
+			if tc.mutate != nil {
+				tc.mutate(&vm)
+			}
+			err := CheckVM("tbl", 0, tc.prevArrive, vm)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("valid VM rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid VM accepted (want %q)", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateMatchesCheckVM: Trace.Validate is exactly CheckVM folded
+// over the trace with threaded arrivals.
+func TestValidateMatchesCheckVM(t *testing.T) {
+	tr, err := Generate(DefaultParams("validate-fold", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(-1)
+	for i, v := range tr.VMs {
+		if err := CheckVM(tr.Name, i, prev, v); err != nil {
+			t.Fatalf("CheckVM rejects VM %d of a Validate-clean trace: %v", i, err)
+		}
+		prev = v.Arrive
+	}
+	// Break one VM; both paths must reject with the same message.
+	tr.VMs[len(tr.VMs)/2].Gen = 9
+	errValidate := tr.Validate()
+	if errValidate == nil {
+		t.Fatal("Validate accepted a broken trace")
+	}
+	prev = math.Inf(-1)
+	var errFold error
+	for i, v := range tr.VMs {
+		if errFold = CheckVM(tr.Name, i, prev, v); errFold != nil {
+			break
+		}
+		prev = v.Arrive
+	}
+	if errFold == nil || errFold.Error() != errValidate.Error() {
+		t.Fatalf("fold error %v != Validate error %v", errFold, errValidate)
+	}
+}
