@@ -14,9 +14,14 @@
 //	gsfbench                                    # both suites, write artifacts
 //	gsfbench -suite alloc -min-speedup 2        # CI gate on the placement index
 //	gsfbench -suite queue -queue-min-speedup 2  # CI gate on the queueing kernel
+//	gsfbench -suite queue -queue-min-batch-speedup 2 -queue-min-cumulative 8
+//	                                            # CI gates on the batched kernel
 //	gsfbench -suite scale -scale-min-speedup 2  # CI gate on the columnar fleet
 //	gsfbench -suite alloc -scale-servers 1000000  # grow the artifact's scale table
+//	gsfbench -suite alloc -shards 3             # sharded multi-pool replay
 //	gsfbench -quick                             # small smoke run
+//	gsfbench -suite queue -cpuprofile cpu.out -memprofile mem.out
+//	                                            # profile the kernel sweep
 //
 // The scale suite replays the columnar streaming path (GSFB decode +
 // virgin-frontier fleet) against Config.ReferenceLayout at large fleet
@@ -30,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/greensku/gsf/internal/experiments"
 )
@@ -42,14 +49,19 @@ func main() {
 	qout := flag.String("qout", "BENCH_queue.json", "queue artifact path ('-' for stdout)")
 	sout := flag.String("scale-out", "BENCH_scale.json", "scale artifact path for -suite scale ('-' for stdout)")
 	minSpeedup := flag.Float64("min-speedup", 0, "exit non-zero unless indexed/reference speedup reaches this (0 disables)")
-	queueMinSpeedup := flag.Float64("queue-min-speedup", 0, "exit non-zero unless the queueing kernel speedup reaches this (0 disables)")
+	queueMinSpeedup := flag.Float64("queue-min-speedup", 0, "exit non-zero unless the queueing kernel fast/reference speedup reaches this (0 disables)")
+	queueMinBatchSpeedup := flag.Float64("queue-min-batch-speedup", 0, "exit non-zero unless the batched/fast kernel speedup reaches this (0 disables)")
+	queueMinCumulative := flag.Float64("queue-min-cumulative", 0, "exit non-zero unless the batched/reference cumulative speedup reaches this (0 disables)")
 	scaleServers := flag.Int("scale-servers", 0, "servers per class in the scale bench (0 skips it in the alloc suite; -suite scale defaults to 1000000)")
 	scaleTraces := flag.Int("scale-traces", 6, "production-suite traces in the scale bench")
 	scaleMinSpeedup := flag.Float64("scale-min-speedup", 0, "exit non-zero unless the columnar/reference-layout speedup reaches this (0 disables)")
 	qServers := flag.Int("qservers", 64, "queueing curve benchmark parallelism")
 	qSteps := flag.Int("qsteps", 8, "queueing curve load points")
 	qRequests := flag.Int("qrequests", 0, "requests per simulation in the queue suite (0 = paper default)")
+	shards := flag.Int("shards", 0, "replay the alloc sweep through the pool-sharded pipeline with this many shards (0 = single-pool replay)")
 	seed := flag.Uint64("seed", 42, "queueing benchmark seed")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile (after the run) to this file")
 	quick := flag.Bool("quick", false, "small smoke run (4 traces, 500 servers, 4 curve points, short simulations)")
 	flag.Parse()
 
@@ -71,21 +83,60 @@ func main() {
 	if *suite == "scale" && *scaleServers <= 0 {
 		*scaleServers = 1000000
 	}
-	if err := run(*suite, *servers, *traces, *out, *qout, *sout, *minSpeedup, *queueMinSpeedup, *scaleMinSpeedup, *scaleServers, *scaleTraces, *qServers, *qSteps, *qRequests, *seed); err != nil {
+	var cpuf *os.File
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gsfbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "gsfbench:", err)
+			os.Exit(1)
+		}
+		cpuf = f
+	}
+	err := run(*suite, *servers, *traces, *out, *qout, *sout, *minSpeedup, *queueMinSpeedup, *queueMinBatchSpeedup, *queueMinCumulative, *scaleMinSpeedup, *scaleServers, *scaleTraces, *qServers, *qSteps, *qRequests, *shards, *seed)
+	if cpuf != nil {
+		pprof.StopCPUProfile()
+		if cerr := cpuf.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if *memprofile != "" {
+		if perr := writeMemProfile(*memprofile); perr != nil && err == nil {
+			err = perr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "gsfbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(suite string, servers, traces int, out, qout, sout string, minSpeedup, queueMinSpeedup, scaleMinSpeedup float64, scaleServers, scaleTraces, qServers, qSteps, qRequests int, seed uint64) error {
+// writeMemProfile snapshots the allocation profile after the run.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // flush recent allocations into the profile
+	werr := pprof.WriteHeapProfile(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+func run(suite string, servers, traces int, out, qout, sout string, minSpeedup, queueMinSpeedup, queueMinBatchSpeedup, queueMinCumulative, scaleMinSpeedup float64, scaleServers, scaleTraces, qServers, qSteps, qRequests, shards int, seed uint64) error {
 	ctx := context.Background()
 	if suite == "all" || suite == "alloc" {
-		if err := runAlloc(ctx, servers, traces, out, minSpeedup, scaleMinSpeedup, scaleServers, scaleTraces, qServers, qSteps, seed); err != nil {
+		if err := runAlloc(ctx, servers, traces, out, minSpeedup, scaleMinSpeedup, scaleServers, scaleTraces, qServers, qSteps, shards, seed); err != nil {
 			return err
 		}
 	}
 	if suite == "all" || suite == "queue" {
-		if err := runQueue(ctx, qout, queueMinSpeedup, qRequests, seed); err != nil {
+		if err := runQueue(ctx, qout, queueMinSpeedup, queueMinBatchSpeedup, queueMinCumulative, qRequests, seed); err != nil {
 			return err
 		}
 	}
@@ -97,16 +148,17 @@ func run(suite string, servers, traces int, out, qout, sout string, minSpeedup, 
 	return nil
 }
 
-func runAlloc(ctx context.Context, servers, traces int, out string, minSpeedup, scaleMinSpeedup float64, scaleServers, scaleTraces, qServers, qSteps int, seed uint64) error {
+func runAlloc(ctx context.Context, servers, traces int, out string, minSpeedup, scaleMinSpeedup float64, scaleServers, scaleTraces, qServers, qSteps, shards int, seed uint64) error {
 	alloc, err := experiments.AllocSweepBench(ctx, experiments.AllocBenchOptions{
 		Traces:          traces,
 		ServersPerClass: servers,
+		Shards:          shards,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("alloc sweep: %d traces, %d VMs, %d servers/class (%s)\n",
-		alloc.Traces, alloc.VMs, alloc.ServersPerClass, alloc.Policy)
+	fmt.Printf("alloc sweep: %d traces, %d VMs, %d servers/class (%s, %d shards)\n",
+		alloc.Traces, alloc.VMs, alloc.ServersPerClass, alloc.Policy, alloc.Shards)
 	fmt.Printf("  indexed   %8.3fs\n", alloc.IndexedSeconds)
 	fmt.Printf("  reference %8.3fs\n", alloc.ReferenceSeconds)
 	fmt.Printf("  speedup   %8.2fx   decision-identical: %v\n", alloc.Speedup, alloc.DecisionIdentical)
@@ -184,7 +236,7 @@ func runScale(ctx context.Context, sout string, scaleMinSpeedup float64, scaleSe
 	return gateScale(scale, scaleMinSpeedup)
 }
 
-func runQueue(ctx context.Context, qout string, queueMinSpeedup float64, qRequests int, seed uint64) error {
+func runQueue(ctx context.Context, qout string, queueMinSpeedup, queueMinBatchSpeedup, queueMinCumulative float64, qRequests int, seed uint64) error {
 	kernel, err := experiments.QueueKernelBench(ctx, experiments.QueueKernelBenchOptions{
 		Requests: qRequests,
 		Seed:     seed,
@@ -194,12 +246,15 @@ func runQueue(ctx context.Context, qout string, queueMinSpeedup float64, qReques
 	}
 	fmt.Printf("queue kernel: TableIII over %d SKUs, %d cells, %d requests/run\n",
 		len(kernel.SKUs), kernel.Cells, kernel.Requests)
-	fmt.Printf("  fast      %8.3fs   (SLO memo: %d hits / %d misses)\n",
-		kernel.FastSeconds, kernel.SLOCacheHits, kernel.SLOCacheMisses)
-	fmt.Printf("  reference %8.3fs\n", kernel.ReferenceSeconds)
-	fmt.Printf("  speedup   %8.2fx   factors-identical: %v\n", kernel.Speedup, kernel.FactorsIdentical)
+	fmt.Printf("  batch     %8.3fs   (SLO memo: %d hits / %d misses)\n",
+		kernel.BatchSeconds, kernel.SLOCacheHits, kernel.SLOCacheMisses)
+	fmt.Printf("  fast      %8.3fs   batch speedup %.2fx\n", kernel.FastSeconds, kernel.BatchSpeedup)
+	fmt.Printf("  reference %8.3fs   fast speedup %.2fx\n", kernel.ReferenceSeconds, kernel.Speedup)
+	fmt.Printf("  cumulative %7.2fx   factors-identical: %v\n", kernel.CumulativeSpeedup, kernel.FactorsIdentical)
 	fmt.Printf("  knee search: frac %.3f in %d evals (fixed-step: %d) %.3fs\n",
 		kernel.Knee.KneeFrac, kernel.Knee.Evals, kernel.Knee.FixedStepEvals, kernel.Knee.Seconds)
+	fmt.Printf("  fluid knee:  frac %.3f in %d sims + %d fluid %.3fs\n",
+		kernel.Knee.FluidKneeFrac, kernel.Knee.FluidSimEvals, kernel.Knee.FluidEvals, kernel.Knee.FluidSeconds)
 
 	art := experiments.QueueArtifact{Kernel: kernel}
 	if err := writeTo(qout, func(f *os.File) error { return experiments.WriteQueueArtifact(f, art) }); err != nil {
@@ -207,10 +262,16 @@ func runQueue(ctx context.Context, qout string, queueMinSpeedup float64, qReques
 	}
 
 	if !kernel.FactorsIdentical {
-		return fmt.Errorf("fast and reference kernels produced different scaling factors — the fast sampling path is wrong")
+		return fmt.Errorf("kernel arms produced different scaling factors — a fast path is wrong")
 	}
 	if queueMinSpeedup > 0 && kernel.Speedup < queueMinSpeedup {
 		return fmt.Errorf("queueing kernel speedup %.2fx below the %.2fx gate", kernel.Speedup, queueMinSpeedup)
+	}
+	if queueMinBatchSpeedup > 0 && kernel.BatchSpeedup < queueMinBatchSpeedup {
+		return fmt.Errorf("batched kernel speedup %.2fx below the %.2fx gate", kernel.BatchSpeedup, queueMinBatchSpeedup)
+	}
+	if queueMinCumulative > 0 && kernel.CumulativeSpeedup < queueMinCumulative {
+		return fmt.Errorf("cumulative kernel speedup %.2fx below the %.2fx gate", kernel.CumulativeSpeedup, queueMinCumulative)
 	}
 	return nil
 }

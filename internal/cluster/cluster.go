@@ -31,6 +31,54 @@ type Sizer struct {
 	// forwarded to every allocation simulation it runs. Nil falls back
 	// to the process default (audit.SetDefault).
 	Audit audit.Checker
+	// Shards > 1 replays simulations through the pool-sharded
+	// multi-pool pipeline (alloc.MultiConfig.Shards) with the green
+	// class as its single green pool. The one-pool multi replay is
+	// bit-identical to the single-pool simulator (the alloc
+	// differential suite proves it), so sharding never changes a
+	// sizing or packing answer. The sharded path reports violations to
+	// the process-default audit checker, not to Audit.
+	Shards int
+}
+
+// simulate replays the trace against nBase + nGreen servers, routing
+// through the sharded multi-pool pipeline when Shards asks for it.
+func (s *Sizer) simulate(ctx context.Context, tr trace.Trace, nBase, nGreen int, decide alloc.Decider) (alloc.Result, error) {
+	if s.Shards > 1 {
+		if decide == nil {
+			decide = alloc.AdoptNone
+		}
+		mres, err := alloc.SimulateMultiContext(ctx, tr, alloc.MultiConfig{
+			Base:           alloc.Pool{Class: s.Base, N: nBase},
+			Greens:         []alloc.Pool{{Class: s.Green, N: nGreen}},
+			Policy:         s.Policy,
+			PreferNonEmpty: true,
+			Shards:         s.Shards,
+		}, func(vm trace.VM) alloc.MultiDecision {
+			d := decide(vm)
+			scale := 0.0
+			if d.Adopt {
+				scale = d.Scale
+			}
+			return alloc.MultiDecision{Scales: []float64{scale}}
+		})
+		if err != nil {
+			return alloc.Result{}, err
+		}
+		return alloc.Result{
+			Placed:    mres.Placed,
+			Rejected:  mres.Rejected,
+			Base:      mres.Base,
+			Green:     mres.Green[0],
+			Snapshots: mres.Snapshots,
+		}, nil
+	}
+	return alloc.SimulateContext(ctx, tr, alloc.Config{
+		Base: s.Base, NBase: nBase,
+		Green: s.Green, NGreen: nGreen,
+		Policy: s.Policy, PreferNonEmpty: true,
+		Audit: s.Audit,
+	}, decide)
 }
 
 func (s *Sizer) maxServers(tr trace.Trace) int {
@@ -53,12 +101,7 @@ func (s *Sizer) hosts(ctx context.Context, tr trace.Trace, nBase, nGreen int) (b
 	if nBase+nGreen == 0 {
 		return len(tr.VMs) == 0, nil
 	}
-	res, err := alloc.SimulateContext(ctx, tr, alloc.Config{
-		Base: s.Base, NBase: nBase,
-		Green: s.Green, NGreen: nGreen,
-		Policy: s.Policy, PreferNonEmpty: true,
-		Audit: s.Audit,
-	}, s.Decide)
+	res, err := s.simulate(ctx, tr, nBase, nGreen, s.Decide)
 	if err != nil {
 		return false, err
 	}
@@ -241,21 +284,12 @@ func (s *Sizer) ComparePackingContext(ctx context.Context, tr trace.Trace) (Pack
 		return pc, err
 	}
 	pc.Mix = m
-	baseRes, err := alloc.SimulateContext(ctx, tr, alloc.Config{
-		Base: s.Base, NBase: m.BaselineOnly,
-		Policy: s.Policy, PreferNonEmpty: true,
-		Audit: s.Audit,
-	}, alloc.AdoptNone)
+	baseRes, err := s.simulate(ctx, tr, m.BaselineOnly, 0, alloc.AdoptNone)
 	if err != nil {
 		return pc, err
 	}
 	pc.Baseline = baseRes.Base
-	mixRes, err := alloc.SimulateContext(ctx, tr, alloc.Config{
-		Base: s.Base, NBase: m.NBase,
-		Green: s.Green, NGreen: m.NGreen,
-		Policy: s.Policy, PreferNonEmpty: true,
-		Audit: s.Audit,
-	}, s.Decide)
+	mixRes, err := s.simulate(ctx, tr, m.NBase, m.NGreen, s.Decide)
 	if err != nil {
 		return pc, err
 	}

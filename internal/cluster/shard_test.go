@@ -1,0 +1,65 @@
+package cluster
+
+// Shard-identity tests for the sizing layer: routing replays through
+// the pool-sharded pipeline (Sizer.Shards / MultiSizer.Shards) must
+// leave every sizing and packing answer exactly unchanged.
+
+import (
+	"testing"
+
+	"github.com/greensku/gsf/internal/alloc"
+	"github.com/greensku/gsf/internal/trace"
+)
+
+func TestSizerShardedMatchesUnsharded(t *testing.T) {
+	tr := testTrace(t, 31)
+	plain := &Sizer{Base: baseClass(), Green: greenClass(), Policy: alloc.BestFit, Decide: alloc.AdoptAll}
+	sharded := &Sizer{Base: baseClass(), Green: greenClass(), Policy: alloc.BestFit, Decide: alloc.AdoptAll, Shards: 2}
+
+	pp, err := plain.ComparePacking(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sharded.ComparePacking(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp != sp {
+		t.Fatalf("sharded packing comparison differs:\nplain   %+v\nsharded %+v", pp, sp)
+	}
+}
+
+func TestMultiSizerShardedMatchesUnsharded(t *testing.T) {
+	tr := testTrace(t, 32)
+	decide := func(vm trace.VM) alloc.MultiDecision {
+		if vm.ID%2 == 0 {
+			return alloc.MultiDecision{Scales: []float64{1, 0}}
+		}
+		return alloc.MultiDecision{Scales: []float64{0, 1.2}}
+	}
+	mk := func(shards int) *MultiSizer {
+		return &MultiSizer{
+			Base:   baseClass(),
+			Greens: []alloc.ServerClass{greenClass(), greenClassB()},
+			Policy: alloc.BestFit,
+			Decide: decide,
+			Shards: shards,
+		}
+	}
+	pm, err := mk(0).Size(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := mk(3).Size(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.BaselineOnly != sm.BaselineOnly || pm.NBase != sm.NBase {
+		t.Fatalf("sharded multi sizing differs: %+v vs %+v", pm, sm)
+	}
+	for i := range pm.NGreens {
+		if pm.NGreens[i] != sm.NGreens[i] {
+			t.Fatalf("sharded multi sizing differs in pool %d: %+v vs %+v", i, pm, sm)
+		}
+	}
+}

@@ -35,6 +35,11 @@ type AllocBenchOptions struct {
 	// target is defined at.
 	ServersPerClass int
 	Policy          alloc.Policy
+	// Shards > 1 replays both timed arms through the pool-sharded
+	// multi-pool pipeline (alloc.MultiConfig.Shards) instead of the
+	// single-pool simulator. Decisions and statistics are bit-identical
+	// either way; only the timings move.
+	Shards int
 }
 
 // AllocBenchResult is the allocation sweep's measurement.
@@ -43,6 +48,7 @@ type AllocBenchResult struct {
 	VMs               int     `json:"vms"`
 	ServersPerClass   int     `json:"servers_per_class"`
 	Policy            string  `json:"policy"`
+	Shards            int     `json:"shards"`
 	IndexedSeconds    float64 `json:"indexed_seconds"`
 	ReferenceSeconds  float64 `json:"reference_seconds"`
 	Speedup           float64 `json:"speedup"`
@@ -82,13 +88,43 @@ func AllocSweepBench(ctx context.Context, opt AllocBenchOptions) (AllocBenchResu
 		NGreen: n,
 		Policy: opt.Policy, PreferNonEmpty: true,
 	}
-	run := func(reference bool) ([]alloc.Result, float64, error) {
+	simulate := func(tr trace.Trace, reference bool) (alloc.Result, error) {
+		if opt.Shards > 1 {
+			mres, err := alloc.SimulateMultiContext(ctx, tr, alloc.MultiConfig{
+				Base:           alloc.Pool{Class: cfg.Base, N: cfg.NBase},
+				Greens:         []alloc.Pool{{Class: cfg.Green, N: cfg.NGreen}},
+				Policy:         cfg.Policy,
+				PreferNonEmpty: cfg.PreferNonEmpty,
+				ReferenceScan:  reference,
+				Shards:         opt.Shards,
+			}, func(vm trace.VM) alloc.MultiDecision {
+				d := benchDecider(vm)
+				scale := 0.0
+				if d.Adopt {
+					scale = d.Scale
+				}
+				return alloc.MultiDecision{Scales: []float64{scale}}
+			})
+			if err != nil {
+				return alloc.Result{}, err
+			}
+			return alloc.Result{
+				Placed:    mres.Placed,
+				Rejected:  mres.Rejected,
+				Base:      mres.Base,
+				Green:     mres.Green[0],
+				Snapshots: mres.Snapshots,
+			}, nil
+		}
 		c := cfg
 		c.ReferenceScan = reference
+		return alloc.SimulateContext(ctx, tr, c, benchDecider)
+	}
+	run := func(reference bool) ([]alloc.Result, float64, error) {
 		out := make([]alloc.Result, 0, len(traces))
 		start := time.Now()
 		for _, tr := range traces {
-			res, err := alloc.SimulateContext(ctx, tr, c, benchDecider)
+			res, err := simulate(tr, reference)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -110,6 +146,7 @@ func AllocSweepBench(ctx context.Context, opt AllocBenchOptions) (AllocBenchResu
 		Traces:            len(traces),
 		ServersPerClass:   n,
 		Policy:            cfg.Policy.String(),
+		Shards:            opt.Shards,
 		IndexedSeconds:    indexedSec,
 		ReferenceSeconds:  referenceSec,
 		DecisionIdentical: true,
@@ -195,38 +232,58 @@ type QueueKernelBenchOptions struct {
 }
 
 // KneeBenchResult measures the adaptive knee search against the
-// fixed-step sweep it replaces.
+// fixed-step sweep it replaces, plus the fluid-guided variant
+// (Config.FluidApprox) that concentrates discrete-event cost near the
+// knee.
 type KneeBenchResult struct {
 	Servers        int     `json:"servers"`
 	KneeFrac       float64 `json:"knee_frac"`
 	Evals          int     `json:"evals"`
 	FixedStepEvals int     `json:"fixed_step_evals"`
 	Seconds        float64 `json:"seconds"`
+	// The fluid-guided search: analytic bracket narrowing plus a
+	// closed-form screening probe. FluidKneeFrac must land within the
+	// bisection resolution of KneeFrac (fluid_test.go bounds it).
+	FluidKneeFrac float64 `json:"fluid_knee_frac"`
+	FluidEvals    int     `json:"fluid_evals"`
+	FluidSimEvals int     `json:"fluid_sim_evals"`
+	FluidSeconds  float64 `json:"fluid_seconds"`
 }
 
 // QueueKernelBenchResult is the queueing-kernel benchmark's
 // measurement: the TableIII profiling sweep over the green-SKU catalog
-// through the fast kernel (ziggurat sampling, single-sort statistics,
-// SLO memoization) and through a reference-shaped run (bit-exact
-// samplers, no memo, serial) approximating the pre-optimization kernel.
+// through three kernels. The batch arm is the default kernel (batched
+// SoA event loop plus everything below); the fast arm is the prior
+// scalar kernel (Config.ReferenceEventLoop with ziggurat sampling,
+// single-sort statistics, SLO memoization); the reference arm is a
+// reference-shaped run (scalar loop, bit-exact samplers, no memo,
+// serial) approximating the pre-optimization kernel.
 type QueueKernelBenchResult struct {
-	SKUs             []string        `json:"skus"`
-	Cells            int             `json:"cells"`
-	Requests         int             `json:"requests"`
-	FastSeconds      float64         `json:"fast_seconds"`
-	ReferenceSeconds float64         `json:"reference_seconds"`
-	Speedup          float64         `json:"speedup"`
-	FactorsIdentical bool            `json:"factors_identical"`
-	SLOCacheHits     int64           `json:"slo_cache_hits"`
-	SLOCacheMisses   int64           `json:"slo_cache_misses"`
-	Knee             KneeBenchResult `json:"knee"`
+	SKUs             []string `json:"skus"`
+	Cells            int      `json:"cells"`
+	Requests         int      `json:"requests"`
+	BatchSeconds     float64  `json:"batch_seconds"`
+	FastSeconds      float64  `json:"fast_seconds"`
+	ReferenceSeconds float64  `json:"reference_seconds"`
+	// BatchSpeedup is fast/batch: what the batched event loop buys
+	// over the prior fast kernel. Speedup is reference/fast, the PR 5
+	// gate, and CumulativeSpeedup is reference/batch.
+	BatchSpeedup      float64         `json:"batch_speedup"`
+	Speedup           float64         `json:"speedup"`
+	CumulativeSpeedup float64         `json:"cumulative_speedup"`
+	FactorsIdentical  bool            `json:"factors_identical"`
+	SLOCacheHits      int64           `json:"slo_cache_hits"`
+	SLOCacheMisses    int64           `json:"slo_cache_misses"`
+	Knee              KneeBenchResult `json:"knee"`
 }
 
 // QueueKernelBench profiles every green SKU in the catalog against all
-// three baseline generations (the Table III protocol), once through the
-// fast kernel and once through the reference-shaped configuration, and
-// verifies the two produce identical factor matrices — the fast path may
-// change latencies in distribution, but it must never flip a factor bin.
+// three baseline generations (the Table III protocol), once per kernel
+// arm (batched, fast-scalar, reference-shaped), and verifies all three
+// produce identical factor matrices — the fast paths may change
+// latencies in distribution, but they must never flip a factor bin.
+// (Batched versus the scalar loop is in fact bit-identical; the
+// queueing differential wall proves that stronger property.)
 func QueueKernelBench(ctx context.Context, opt QueueKernelBenchOptions) (QueueKernelBenchResult, error) {
 	greens := []hw.SKU{hw.GreenSKUEfficient(), hw.GreenSKUCXL(), hw.GreenSKUFull()}
 
@@ -253,32 +310,47 @@ func QueueKernelBench(ctx context.Context, opt QueueKernelBenchOptions) (QueueKe
 		return out, time.Since(start).Seconds(), nil
 	}
 
+	// Batch arm: the default kernel (batched SoA event loop).
 	perf.ResetSLOCache()
-	fast, fastSec, err := sweep(popt)
+	batch, batchSec, err := sweep(popt)
 	if err != nil {
 		return QueueKernelBenchResult{}, err
 	}
 	res.SLOCacheHits, res.SLOCacheMisses = perf.SLOCacheStats()
 
+	// Fast arm: the prior scalar kernel, everything else equal.
+	fopt := popt
+	fopt.ReferenceEventLoop = true
+	perf.ResetSLOCache()
+	fast, fastSec, err := sweep(fopt)
+	if err != nil {
+		return QueueKernelBenchResult{}, err
+	}
+
 	ref := popt
 	ref.Workers = 1
 	ref.ReferenceSampling = true
+	ref.ReferenceEventLoop = true
 	ref.DisableSLOMemo = true
 	reference, refSec, err := sweep(ref)
 	if err != nil {
 		return QueueKernelBenchResult{}, err
 	}
 
-	res.FastSeconds, res.ReferenceSeconds = fastSec, refSec
+	res.BatchSeconds, res.FastSeconds, res.ReferenceSeconds = batchSec, fastSec, refSec
+	if batchSec > 0 {
+		res.BatchSpeedup = fastSec / batchSec
+		res.CumulativeSpeedup = refSec / batchSec
+	}
 	if fastSec > 0 {
 		res.Speedup = refSec / fastSec
 	}
 	for i, g := range greens {
 		res.SKUs = append(res.SKUs, g.Name)
-		for app, gens := range fast[i] {
+		for app, gens := range batch[i] {
 			res.Cells += len(gens)
 			for gen, f := range gens {
-				if reference[i][app][gen] != f {
+				if fast[i][app][gen] != f || reference[i][app][gen] != f {
 					res.FactorsIdentical = false
 				}
 			}
@@ -305,6 +377,19 @@ func QueueKernelBench(ctx context.Context, opt QueueKernelBenchOptions) (QueueKe
 		FixedStepEvals: int((hiFrac - loFrac) / tolFrac),
 		Seconds:        time.Since(start).Seconds(),
 	}
+
+	// The fluid-guided variant of the same search.
+	fcfg := kcfg
+	fcfg.FluidApprox = true
+	start = time.Now()
+	fknee, err := queueing.KneeSearch(ctx, fcfg, loFrac, hiFrac, tolFrac)
+	if err != nil {
+		return QueueKernelBenchResult{}, err
+	}
+	res.Knee.FluidKneeFrac = fknee.KneeFrac
+	res.Knee.FluidEvals = fknee.FluidEvals
+	res.Knee.FluidSimEvals = fknee.Evals
+	res.Knee.FluidSeconds = time.Since(start).Seconds()
 	return res, nil
 }
 

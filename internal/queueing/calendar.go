@@ -1,0 +1,207 @@
+package queueing
+
+// calendarQueue is a calendar-queue priority structure over server
+// next-free times, replacing the binary heap for large server counts.
+// A binary heap pays O(log S) comparisons per dispatch; the calendar
+// hashes each time into a ring of buckets ~one event-spacing wide and
+// pays O(1) amortized, because the event loop's extract-min sequence is
+// monotone non-decreasing (a server is always rebooked at a later
+// time), so the scan cursor only ever moves forward through the ring.
+//
+// The structure stores bare float64 times — exactly what serverHeap
+// stores — so it is a multiset with no server identities. Any structure
+// that extracts the exact minimum of the same multiset yields the same
+// dispatch decisions, which is why swapping it in preserves bit-exact
+// Results (the differential wall in batch_test.go proves it).
+//
+// An entry's home bucket is floor(t * invWidth); the scan uses the same
+// expression, so bucket membership is decided by one consistent
+// function and the monotone-floor argument applies: if
+// floor(a·inv) < floor(b·inv) then a < b, hence the first non-empty
+// bucket (in absolute index order) holds the global minimum.
+//
+// All servers start free at t = 0. A virgin counter stands in for those
+// S identical zero entries (the same trick as the allocator's virgin
+// frontier) so startup costs O(1) instead of filling one bucket with S
+// zeros and scanning it down.
+
+import (
+	"math"
+
+	"github.com/greensku/gsf/internal/audit"
+)
+
+type calendarQueue struct {
+	buckets  [][]float64
+	mask     uint64
+	width    float64
+	invWidth float64
+	// cur is the absolute bucket index (floor(t/width), not masked) of
+	// the last extracted minimum; the next scan starts there.
+	cur uint64
+	// virgin counts servers still at their initial zero next-free time.
+	virgin int
+	// Peek state from the last next() call, consumed by replace().
+	lastVirgin bool
+	foundSlot  int
+	foundIdx   int
+}
+
+// calendarSpan estimates the spread of in-flight next-free times: the
+// time to cycle through all servers at the offered rate plus the
+// service distribution's far tail (so heavy-tailed entries rarely wrap
+// past the ring and pollute rescans). Only performance depends on it;
+// correctness holds for any positive width.
+func calendarSpan(cfg Config) float64 {
+	tail := 8 * cfg.Service.Mean()
+	if qd, ok := cfg.Service.(quantileDist); ok {
+		if q := qd.Quantile(0.9999); q > tail {
+			tail = q
+		}
+	}
+	return float64(cfg.Servers)/cfg.ArrivalRate + tail
+}
+
+// newCalendarQueue builds the ring. Bucket width targets roughly half
+// an event spacing (2·rate·span buckets across the span), so the
+// occupancy near the scan cursor — where departures are spaced 1/rate
+// apart — stays around one entry per bucket. Buckets are carved from
+// one slab with a few slots of headroom each, so steady-state replaces
+// allocate nothing; a bucket overflowing its slab segment falls back
+// to an ordinary append-grow.
+func newCalendarQueue(servers int, span, rate float64, live int) *calendarQueue {
+	if live > servers {
+		live = servers
+	}
+	if live < 1 {
+		live = 1
+	}
+	target := 2 * rate * span
+	if t2 := float64(2 * live); target < t2 {
+		target = t2
+	}
+	nb := 64
+	for float64(nb) < target && nb < 1<<17 {
+		nb <<= 1
+	}
+	w := span / float64(nb)
+	if !(w > 0) || math.IsInf(w, 0) {
+		w = 1
+	}
+	const headroom = 4
+	slab := make([]float64, nb*headroom)
+	buckets := make([][]float64, nb)
+	for i := range buckets {
+		buckets[i] = slab[i*headroom : i*headroom : (i+1)*headroom]
+	}
+	return &calendarQueue{
+		buckets:  buckets,
+		mask:     uint64(nb - 1),
+		width:    w,
+		invWidth: 1 / w,
+		virgin:   servers,
+	}
+}
+
+// next returns the minimum next-free time without removing it, and
+// remembers where it was found for the following replace call. Calling
+// next repeatedly without replace is safe and returns the same value.
+func (q *calendarQueue) next() float64 {
+	if q.virgin > 0 {
+		q.lastVirgin = true
+		return 0
+	}
+	q.lastVirgin = false
+	abs := q.cur
+	for scanned := 0; ; abs++ {
+		slot := int(abs & q.mask)
+		best, bv := -1, 0.0
+		for idx, v := range q.buckets[slot] {
+			if uint64(v*q.invWidth) == abs && (best < 0 || v < bv) {
+				best, bv = idx, v
+			}
+		}
+		if best >= 0 {
+			q.cur = abs
+			q.foundSlot, q.foundIdx = slot, best
+			return bv
+		}
+		scanned++
+		if scanned > len(q.buckets) {
+			// Every remaining entry is more than a full ring ahead of
+			// the cursor (a degenerate width for this workload): jump
+			// straight to the global minimum instead of walking epochs.
+			return q.jumpToMin()
+		}
+	}
+}
+
+// jumpToMin scans every bucket for the global minimum — the fallback
+// when the ring scan traverses a full epoch without a hit.
+func (q *calendarQueue) jumpToMin() float64 {
+	best := math.Inf(1)
+	bslot, bidx := -1, -1
+	for slot, b := range q.buckets {
+		for idx, v := range b {
+			if v < best {
+				best, bslot, bidx = v, slot, idx
+			}
+		}
+	}
+	q.cur = uint64(best * q.invWidth)
+	q.foundSlot, q.foundIdx = bslot, bidx
+	return best
+}
+
+// replace removes the entry the last next() returned and inserts the
+// server's new next-free time — the calendar form of the heap's
+// "rewrite the root and sift" dispatch step.
+func (q *calendarQueue) replace(done float64) {
+	if q.lastVirgin {
+		q.virgin--
+		q.lastVirgin = false
+	} else {
+		b := q.buckets[q.foundSlot]
+		last := len(b) - 1
+		b[q.foundIdx] = b[last]
+		q.buckets[q.foundSlot] = b[:last]
+	}
+	slot := int(uint64(done*q.invWidth) & q.mask)
+	q.buckets[slot] = append(q.buckets[slot], done)
+}
+
+// size returns the number of tracked servers (virgin plus stored).
+func (q *calendarQueue) size() int {
+	n := q.virgin
+	for _, b := range q.buckets {
+		n += len(b)
+	}
+	return n
+}
+
+// auditCalendar verifies the calendar still tracks exactly one
+// next-free time per server and that its incremental scan agrees with
+// a direct full scan for the minimum; called at batch boundaries when
+// auditing is on (the calendar's analogue of auditHeap).
+func auditCalendar(chk audit.Checker, q *calendarQueue, servers int) {
+	if n := q.size(); n != servers {
+		audit.Failf(chk, "queueing", "calendar-integrity",
+			"calendar holds %d next-free entries for %d servers", n, servers)
+		return
+	}
+	direct := math.Inf(1)
+	if q.virgin > 0 {
+		direct = 0
+	}
+	for _, b := range q.buckets {
+		for _, v := range b {
+			if v < direct {
+				direct = v
+			}
+		}
+	}
+	if peek := q.next(); peek != direct {
+		audit.Failf(chk, "queueing", "calendar-min",
+			"calendar scan found minimum %g but direct scan found %g", peek, direct)
+	}
+}

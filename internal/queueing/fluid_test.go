@@ -1,0 +1,269 @@
+package queueing
+
+// Property tests for the fluid fast path. The acceptance contract has
+// three legs: the fluid path is opt-in (default-off configs never see
+// it), fluid answers never substitute for discrete evaluations inside
+// the knee bracket (the fluid-in-bracket audit canary, exercised here
+// under the package recorder), and the fluid-guided knee estimate stays
+// within a bounded distance of the purely discrete knee across 35
+// seeds.
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/greensku/gsf/internal/stats"
+)
+
+// fluidKneeConfigs are fluid-eligible shapes (moments and quantiles
+// exposed) spanning both server-index structures and service CVs.
+func fluidKneeConfigs() []Config {
+	return []Config{
+		{Servers: 8, Service: LogNormal{0.004, 1}, Requests: 20000},
+		{Servers: 8, Service: LogNormal{0.005, 1.5}, Requests: 20000},
+		{Servers: 64, Service: Exponential{0.004}, Requests: 20000},
+	}
+}
+
+// TestFluidKneeBoundedError35Seeds is the acceptance property: across
+// 35 seeds, the fluid-guided knee differs from the purely discrete knee
+// by at most the bisection resolution on each side, uses at least one
+// fluid answer, and never needs more simulations than the discrete
+// search.
+func TestFluidKneeBoundedError35Seeds(t *testing.T) {
+	const (
+		loFrac, hiFrac, tolFrac = 0.5, 1.3, 0.02
+		// Both searches bisect the same deterministic saturation
+		// boundary (common random numbers) to brackets of width
+		// <= tolFrac, so their knees can disagree by at most one
+		// bracket width on each side.
+		maxErr = 2 * tolFrac
+	)
+	for ci, base := range fluidKneeConfigs() {
+		for seed := uint64(1); seed <= 35; seed++ {
+			dcfg := base
+			dcfg.Seed = seed
+			kd, err := KneeSearch(context.Background(), dcfg, loFrac, hiFrac, tolFrac)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fcfg := dcfg
+			fcfg.FluidApprox = true
+			kf, err := KneeSearch(context.Background(), fcfg, loFrac, hiFrac, tolFrac)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if kd.FluidEvals != 0 {
+				t.Fatalf("config %d seed %d: discrete search reported %d fluid evals", ci, seed, kd.FluidEvals)
+			}
+			if kf.FluidEvals < 1 {
+				t.Fatalf("config %d seed %d: fluid-guided search never used the fluid model", ci, seed)
+			}
+			if kf.Found != kd.Found {
+				t.Fatalf("config %d seed %d: fluid-guided Found=%v, discrete Found=%v", ci, seed, kf.Found, kd.Found)
+			}
+			if !kd.Found {
+				continue
+			}
+			if diff := math.Abs(kf.KneeFrac - kd.KneeFrac); diff > maxErr {
+				t.Errorf("config %d seed %d: fluid-guided knee %.4f vs discrete %.4f (|diff| %.4f > %.4f)",
+					ci, seed, kf.KneeFrac, kd.KneeFrac, diff, maxErr)
+			}
+			if kf.Evals > kd.Evals {
+				t.Errorf("config %d seed %d: fluid-guided search used %d discrete evals, discrete search %d",
+					ci, seed, kf.Evals, kd.Evals)
+			}
+			if kf.StableFrac >= kf.KneeFrac {
+				t.Errorf("config %d seed %d: stable frac %.4f not below knee frac %.4f",
+					ci, seed, kf.StableFrac, kf.KneeFrac)
+			}
+		}
+	}
+}
+
+// TestFluidPathIsOptIn pins the default: without Config.FluidApprox no
+// Result ever carries Fluid=true and no knee search counts fluid evals,
+// even for fluid-eligible distributions at fluid-eligible loads.
+func TestFluidPathIsOptIn(t *testing.T) {
+	cfg := Config{
+		Servers:     8,
+		Service:     LogNormal{0.004, 1},
+		ArrivalRate: 0.5 * Capacity(8, LogNormal{0.004, 1}),
+		Requests:    5000,
+		Seed:        3,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fluid {
+		t.Fatal("Run returned a fluid result without FluidApprox set")
+	}
+	k, err := KneeSearch(context.Background(), cfg, 0.5, 1.3, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.FluidEvals != 0 {
+		t.Fatalf("default knee search counted %d fluid evals", k.FluidEvals)
+	}
+}
+
+// TestFluidRespectsReferenceModes pins that the reference modes always
+// win: a config asking for the reference event loop or reference
+// sampling gets a discrete answer even with FluidApprox set, so the
+// differential wall's baseline can never silently become an
+// approximation.
+func TestFluidRespectsReferenceModes(t *testing.T) {
+	base := Config{
+		Servers:     8,
+		Service:     LogNormal{0.004, 1},
+		ArrivalRate: 0.4 * Capacity(8, LogNormal{0.004, 1}),
+		Requests:    5000,
+		Seed:        3,
+		FluidApprox: true,
+	}
+	for _, mode := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"reference-event-loop", func(c *Config) { c.ReferenceEventLoop = true }},
+		{"reference-sampling", func(c *Config) { c.ReferenceSampling = true }},
+	} {
+		cfg := base
+		mode.mut(&cfg)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Fluid {
+			t.Fatalf("%s: fluid model answered despite reference mode", mode.name)
+		}
+	}
+}
+
+// TestFluidResultProperties checks the closed-form answers directly:
+// eligibility honors the utilization threshold and the optional
+// interfaces, results are ordered, never saturated, and track the
+// simulated mean within the Allen–Cunneen approximation's error at
+// moderate load.
+func TestFluidResultProperties(t *testing.T) {
+	ln := LogNormal{0.004, 1}
+	mkCfg := func(frac float64) Config {
+		return Config{
+			Servers:     16,
+			Service:     ln,
+			ArrivalRate: frac * Capacity(16, ln),
+			Requests:    30000,
+			Seed:        7,
+			FluidApprox: true,
+		}
+	}
+
+	// Above the threshold the fluid model must decline.
+	if res, err := Run(mkCfg(0.9)); err != nil {
+		t.Fatal(err)
+	} else if res.Fluid {
+		t.Fatal("fluid model answered above the utilization threshold")
+	}
+	// A distribution without moment accessors must decline too.
+	odd := Config{
+		Servers:     8,
+		Service:     constDist{0.004},
+		ArrivalRate: 0.4 * Capacity(8, constDist{0.004}),
+		Requests:    5000,
+		Seed:        7,
+		FluidApprox: true,
+	}
+	if res, err := Run(odd); err != nil {
+		t.Fatal(err)
+	} else if res.Fluid {
+		t.Fatal("fluid model answered for a distribution without SCV/Quantile")
+	}
+
+	for _, frac := range []float64{0.3, 0.5, 0.65} {
+		cfg := mkCfg(frac)
+		fl, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fl.Fluid {
+			t.Fatalf("frac %.2f: expected a fluid answer", frac)
+		}
+		if fl.Saturated {
+			t.Fatalf("frac %.2f: fluid result claims saturation", frac)
+		}
+		if !(fl.P50 <= fl.P95 && fl.P95 <= fl.P99) {
+			t.Fatalf("frac %.2f: fluid percentiles unordered: %+v", frac, fl)
+		}
+		if !(fl.Mean >= ln.Mean()) {
+			t.Fatalf("frac %.2f: fluid mean %.6f below mean service time", frac, fl.Mean)
+		}
+		dcfg := cfg
+		dcfg.FluidApprox = false
+		sim, err := Run(dcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relErr := math.Abs(fl.Mean-sim.Mean) / sim.Mean; relErr > 0.25 {
+			t.Errorf("frac %.2f: fluid mean %.6f vs simulated %.6f (rel err %.3f)",
+				frac, fl.Mean, sim.Mean, relErr)
+		}
+	}
+}
+
+// constDist is a minimal ServiceDist that deliberately implements
+// neither varianceDist nor quantileDist.
+type constDist struct{ v float64 }
+
+func (c constDist) Mean() float64 { return c.v }
+
+func (c constDist) Sample(*stats.RNG) float64 { return c.v }
+
+func (c constDist) Prepare(bool) Sampler { return constSampler(c.v) }
+
+// TestNormQuantile pins the inverse-normal approximation against known
+// values and its symmetry.
+func TestNormQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.841344746068543, 1},
+		{0.975, 1.959963984540054},
+		{0.99, 2.3263478740408408},
+		{0.001, -3.090232306167813},
+	}
+	for _, c := range cases {
+		if got := normQuantile(c.p); math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("normQuantile(%g) = %.9f, want %.9f", c.p, got, c.want)
+		}
+	}
+	for _, p := range []float64{0.01, 0.2, 0.45} {
+		if got, mir := normQuantile(p), -normQuantile(1-p); math.Abs(got-mir) > 1e-9 {
+			t.Errorf("normQuantile asymmetric at p=%g: %g vs %g", p, got, mir)
+		}
+	}
+	if !math.IsNaN(normQuantile(0)) || !math.IsNaN(normQuantile(1)) {
+		t.Error("normQuantile must be NaN outside (0, 1)")
+	}
+}
+
+// TestFluidKneeFracMonotoneInCV pins the analytic estimate's physics:
+// higher service variability moves the knee earlier, and the estimate
+// always lands strictly inside (0, 1).
+func TestFluidKneeFracMonotoneInCV(t *testing.T) {
+	prev := 1.0
+	for _, cv := range []float64{0.5, 1, 1.5, 2} {
+		cfg := Config{Servers: 16, Service: LogNormal{0.004, cv}}
+		est, ok := fluidKneeFrac(cfg)
+		if !ok {
+			t.Fatalf("cv %.1f: estimate unavailable", cv)
+		}
+		if !(est > 0 && est < 1) {
+			t.Fatalf("cv %.1f: estimate %.4f outside (0, 1)", cv, est)
+		}
+		if est >= prev {
+			t.Errorf("cv %.1f: estimate %.4f did not decrease from %.4f", cv, est, prev)
+		}
+		prev = est
+	}
+}

@@ -88,18 +88,30 @@ func init() {
 	}
 }
 
-// fastExpUnit returns an Exp(1) draw via the ziggurat.
+// fastExpUnit returns an Exp(1) draw via the ziggurat. The common case
+// — a point inside a layer's rectangular core — is a single 64-bit
+// draw, one compare, and one multiply; everything rarer lives in
+// fastExpSlow so this body stays inlinable and the batch fillers can
+// replicate it without a call per draw. The draw sequence is identical
+// to the original single-loop implementation.
 func (r *RNG) fastExpUnit() float64 {
+	z := r.Uint64()
+	// Low 8 bits pick the layer, top 53 the position: disjoint
+	// bit ranges of one draw.
+	i := int(z & (zigExpLayers - 1))
+	u := float64(z>>11) / (1 << 53) // [0, 1)
+	x := u * zigExpX[i]
+	if u < zigExpRatio[i] {
+		return x // inside the layer's rectangular core
+	}
+	return r.fastExpSlow(i, x)
+}
+
+// fastExpSlow resolves a draw that missed layer i's rectangular core:
+// tail, wedge, and — on wedge rejection — the full redraw loop, in the
+// exact order of the pre-split sampler.
+func (r *RNG) fastExpSlow(i int, x float64) float64 {
 	for {
-		z := r.Uint64()
-		// Low 8 bits pick the layer, top 53 the position: disjoint
-		// bit ranges of one draw.
-		i := int(z & (zigExpLayers - 1))
-		u := float64(z>>11) / (1 << 53) // [0, 1)
-		x := u * zigExpX[i]
-		if u < zigExpRatio[i] {
-			return x // inside the layer's rectangular core
-		}
 		if i == 0 {
 			// Tail beyond R: memoryless, so R + Exp(1) via the
 			// reference sampler (rare: ~v*e^R of the mass).
@@ -111,19 +123,32 @@ func (r *RNG) fastExpUnit() float64 {
 		if f0+r.Float64()*(f1-f0) < 1 {
 			return x
 		}
+		z := r.Uint64()
+		i = int(z & (zigExpLayers - 1))
+		u := float64(z>>11) / (1 << 53)
+		x = u * zigExpX[i]
+		if u < zigExpRatio[i] {
+			return x
+		}
 	}
 }
 
-// fastNormUnit returns a standard normal draw via the ziggurat.
+// fastNormUnit returns a standard normal draw via the ziggurat, split
+// like fastExpUnit: inlinable core case, fastNormSlow for the rest.
 func (r *RNG) fastNormUnit() float64 {
+	z := r.Uint64()
+	i := int(z & (zigNormLayers - 1))
+	u := float64(z>>11)/(1<<52) - 1 // [-1, 1)
+	x := u * zigNormX[i]
+	if math.Abs(u) < zigNormRatio[i] {
+		return x
+	}
+	return r.fastNormSlow(i, u, x)
+}
+
+// fastNormSlow resolves a normal draw that missed layer i's core.
+func (r *RNG) fastNormSlow(i int, u, x float64) float64 {
 	for {
-		z := r.Uint64()
-		i := int(z & (zigNormLayers - 1))
-		u := float64(z>>11)/(1<<52) - 1 // [-1, 1)
-		x := u * zigNormX[i]
-		if math.Abs(u) < zigNormRatio[i] {
-			return x
-		}
 		if i == 0 {
 			return r.normTail(u < 0)
 		}
@@ -131,6 +156,13 @@ func (r *RNG) fastNormUnit() float64 {
 		f0 := math.Exp(-0.5 * (zigNormX[i]*zigNormX[i] - xa))
 		f1 := math.Exp(-0.5 * (zigNormX[i+1]*zigNormX[i+1] - xa))
 		if f0+r.Float64()*(f1-f0) < 1 {
+			return x
+		}
+		z := r.Uint64()
+		i = int(z & (zigNormLayers - 1))
+		u = float64(z>>11)/(1<<52) - 1
+		x = u * zigNormX[i]
+		if math.Abs(u) < zigNormRatio[i] {
 			return x
 		}
 	}
@@ -191,5 +223,72 @@ func (r *RNG) FillExp(dst []float64, mean float64) {
 func (r *RNG) FillNormal(dst []float64, mean, stddev float64) {
 	for i := range dst {
 		dst[i] = mean + stddev*r.fastNormUnit()
+	}
+}
+
+// The pair fillers below feed the batched queueing event loop. The
+// scalar loop draws (arrival gap, service time) alternately per
+// request, and the ziggurat consumes a *variable* number of 64-bit
+// draws per sample, so filling all gaps and then all services would
+// permute the stream and change every result. These fillers interleave
+// the two draws per index in exactly the scalar order, keeping the
+// batched kernel bit-identical to the scalar one. The common ziggurat
+// case is written out inline; misses call the shared slow paths.
+
+// FillExpLogNormal fills gaps[i] with Exp(meanIA) draws and svc[i]
+// with LogNormal(mu, sigma) draws, interleaved per index in the exact
+// draw order of alternating FastExp / FastLogNormal calls.
+func (r *RNG) FillExpLogNormal(gaps []float64, meanIA float64, svc []float64, mu, sigma float64) {
+	n := len(gaps)
+	if len(svc) < n {
+		n = len(svc)
+	}
+	for k := 0; k < n; k++ {
+		z := r.Uint64()
+		i := int(z & (zigExpLayers - 1))
+		u := float64(z>>11) / (1 << 53)
+		x := u * zigExpX[i]
+		if u >= zigExpRatio[i] {
+			x = r.fastExpSlow(i, x)
+		}
+		gaps[k] = meanIA * x
+
+		z = r.Uint64()
+		j := int(z & (zigNormLayers - 1))
+		v := float64(z>>11)/(1<<52) - 1
+		y := v * zigNormX[j]
+		if math.Abs(v) >= zigNormRatio[j] {
+			y = r.fastNormSlow(j, v, y)
+		}
+		svc[k] = math.Exp(mu + sigma*y)
+	}
+}
+
+// FillExpExp fills gaps[i] with Exp(meanIA) draws and svc[i] with
+// Exp(meanSvc) draws, interleaved per index in the exact draw order of
+// alternating FastExp calls.
+func (r *RNG) FillExpExp(gaps []float64, meanIA float64, svc []float64, meanSvc float64) {
+	n := len(gaps)
+	if len(svc) < n {
+		n = len(svc)
+	}
+	for k := 0; k < n; k++ {
+		z := r.Uint64()
+		i := int(z & (zigExpLayers - 1))
+		u := float64(z>>11) / (1 << 53)
+		x := u * zigExpX[i]
+		if u >= zigExpRatio[i] {
+			x = r.fastExpSlow(i, x)
+		}
+		gaps[k] = meanIA * x
+
+		z = r.Uint64()
+		i = int(z & (zigExpLayers - 1))
+		u = float64(z>>11) / (1 << 53)
+		x = u * zigExpX[i]
+		if u >= zigExpRatio[i] {
+			x = r.fastExpSlow(i, x)
+		}
+		svc[k] = meanSvc * x
 	}
 }
